@@ -1,0 +1,48 @@
+# MONARCH reproduction — common workflows.
+
+GO ?= go
+
+.PHONY: all build test race vet cover bench repro repro-full examples fuzz clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core/ ./internal/pool/ ./internal/storage/ .
+
+cover:
+	$(GO) test -cover ./internal/... .
+
+# One bench per paper table/figure plus package micro-benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Regenerate every figure/table at the default reduced scale.
+repro:
+	$(GO) run ./cmd/monarch-bench
+
+# The paper's full methodology: full-size datasets, 7 runs, 3 epochs.
+repro-full:
+	$(GO) run ./cmd/monarch-bench -scale 1 -runs 7
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/multitier
+	$(GO) run ./examples/tfpipeline
+	$(GO) run ./examples/partialcache
+	$(GO) run ./examples/pytorchloader
+
+fuzz:
+	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/tfrecord/
+	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/recordio/
+
+clean:
+	rm -f test_output.txt bench_output.txt

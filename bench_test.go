@@ -1,0 +1,117 @@
+package monarch_test
+
+// One benchmark per paper table and figure (plus this reproduction's
+// ablations): each iteration regenerates the complete artefact — all
+// setups, models and seeded repetitions — at a reduced scale, and fails
+// the bench if any of the experiment's shape checks against the paper's
+// reported behaviour does not hold. Run the monarch-bench command for
+// human-readable output or full-scale runs.
+
+import (
+	"testing"
+
+	"monarch/internal/experiments"
+)
+
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	exp, err := experiments.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := experiments.QuickParams()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		o, err := exp.Run(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if failed := o.Failed(); len(failed) > 0 {
+			b.Fatalf("shape checks failed: %v", failed)
+		}
+	}
+}
+
+// BenchmarkFig1MotivationTrainingTime regenerates Figure 1: per-epoch
+// training time for vanilla-lustre / vanilla-local / vanilla-caching on
+// the 100 GiB dataset across LeNet, AlexNet, ResNet-50.
+func BenchmarkFig1MotivationTrainingTime(b *testing.B) { benchExperiment(b, "fig1") }
+
+// BenchmarkTableMotivationResourceUsage regenerates §II-A's CPU/GPU/
+// memory usage numbers.
+func BenchmarkTableMotivationResourceUsage(b *testing.B) {
+	benchExperiment(b, "resources-motivation")
+}
+
+// BenchmarkFig3TrainingTime100GiB regenerates Figure 3: the four setups
+// including MONARCH on the 100 GiB dataset.
+func BenchmarkFig3TrainingTime100GiB(b *testing.B) { benchExperiment(b, "fig3") }
+
+// BenchmarkFig4TrainingTime200GiB regenerates Figure 4: vanilla-lustre
+// vs MONARCH on the 200 GiB dataset that exceeds the local tier.
+func BenchmarkFig4TrainingTime200GiB(b *testing.B) { benchExperiment(b, "fig4") }
+
+// BenchmarkTableLustreIOOps regenerates §IV-A's I/O-operation counts
+// (798,340 ops/epoch vanilla; ~360 k remaining with MONARCH; ~55 %
+// average reduction).
+func BenchmarkTableLustreIOOps(b *testing.B) { benchExperiment(b, "io-ops") }
+
+// BenchmarkTableEvalResourceUsage regenerates §IV-B's resource usage
+// with MONARCH on both datasets.
+func BenchmarkTableEvalResourceUsage(b *testing.B) { benchExperiment(b, "resources-eval") }
+
+// BenchmarkTableMetadataInit regenerates §IV-A's metadata-container
+// initialisation timings (13 s / 52 s).
+func BenchmarkTableMetadataInit(b *testing.B) { benchExperiment(b, "metadata-init") }
+
+// BenchmarkAblationEviction validates §III-A's no-eviction argument
+// against LRU and FIFO replacement.
+func BenchmarkAblationEviction(b *testing.B) { benchExperiment(b, "abl-eviction") }
+
+// BenchmarkAblationThreadPool sweeps the placement pool around the
+// paper's 6 threads.
+func BenchmarkAblationThreadPool(b *testing.B) { benchExperiment(b, "abl-threads") }
+
+// BenchmarkAblationStaging compares §III-A's placement-timing options.
+func BenchmarkAblationStaging(b *testing.B) { benchExperiment(b, "abl-staging") }
+
+// BenchmarkAblationFullFetch toggles the full-file background fetch.
+func BenchmarkAblationFullFetch(b *testing.B) { benchExperiment(b, "abl-fullfetch") }
+
+// BenchmarkAblationPFSSpeed sweeps PFS bandwidth to locate the
+// crossover where tiering stops paying.
+func BenchmarkAblationPFSSpeed(b *testing.B) { benchExperiment(b, "abl-pfs-speed") }
+
+// BenchmarkAblationCoverage sweeps dataset-to-quota ratios to verify
+// the partial-caching law behind Figure 4.
+func BenchmarkAblationCoverage(b *testing.B) { benchExperiment(b, "abl-coverage") }
+
+// BenchmarkAblationCompute sweeps GPU step time across the I/O-bound to
+// compute-bound continuum (the law behind the paper's model selection).
+func BenchmarkAblationCompute(b *testing.B) { benchExperiment(b, "abl-compute") }
+
+// BenchmarkAblationReaders sweeps the pipeline's parallel-read width.
+func BenchmarkAblationReaders(b *testing.B) { benchExperiment(b, "abl-readers") }
+
+// BenchmarkExtensionMultiTier exercises §VI's future-work multi-level
+// hierarchy.
+func BenchmarkExtensionMultiTier(b *testing.B) { benchExperiment(b, "ext-multitier") }
+
+// BenchmarkExtensionPyTorch drives MONARCH with a PyTorch-style
+// DataLoader access pattern (§VI portability).
+func BenchmarkExtensionPyTorch(b *testing.B) { benchExperiment(b, "ext-pytorch") }
+
+// BenchmarkExtensionDistributed runs multi-node training against one
+// shared PFS (§VI distributed training / §I concurrent-job motivation).
+func BenchmarkExtensionDistributed(b *testing.B) { benchExperiment(b, "ext-distributed") }
+
+// BenchmarkExtensionResilience injects a tier-0 device failure
+// mid-training and verifies graceful fallback to the PFS.
+func BenchmarkExtensionResilience(b *testing.B) { benchExperiment(b, "ext-resilience") }
+
+// BenchmarkTraceTimeline charts PFS throughput over virtual time.
+func BenchmarkTraceTimeline(b *testing.B) { benchExperiment(b, "trace-timeline") }
+
+// BenchmarkTableLatency reports per-pread latency percentiles — the
+// operation-level mechanism behind the epoch-time improvements.
+func BenchmarkTableLatency(b *testing.B) { benchExperiment(b, "tab-latency") }

@@ -1,0 +1,152 @@
+// Command monarch-inspect examines TFRecord or RecordIO shards and
+// datasets produced by monarch-mkdataset (or the frameworks
+// themselves).
+//
+// Usage:
+//
+//	monarch-inspect tfrecord <file>   # index a TFRecord shard, verify CRCs
+//	monarch-inspect recordio <file>   # index an MXNet RecordIO shard
+//	monarch-inspect example <file>    # decode the first record's tf.Example
+//	monarch-inspect dataset <dir>     # summarise a shard directory
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"monarch/internal/recordio"
+	"monarch/internal/stats"
+	"monarch/internal/storage"
+	"monarch/internal/tfexample"
+	"monarch/internal/tfrecord"
+)
+
+func main() {
+	if len(os.Args) != 3 {
+		fatal(fmt.Errorf("usage: monarch-inspect {tfrecord <file> | recordio <file> | dataset <dir>}"))
+	}
+	var err error
+	switch os.Args[1] {
+	case "tfrecord":
+		err = inspectShard(os.Args[2], false)
+	case "recordio":
+		err = inspectShard(os.Args[2], true)
+	case "example":
+		err = inspectExample(os.Args[2])
+	case "dataset":
+		err = inspectDataset(os.Args[2])
+	default:
+		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func inspectShard(path string, mxnet bool) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var sizes []float64
+	var framing int64
+	if mxnet {
+		idx, err := recordio.BuildIndex(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, e := range idx {
+			sizes = append(sizes, float64(e.Length))
+			framing += recordio.RecordSize(e.Length) - e.Length
+		}
+	} else {
+		idx, err := tfrecord.BuildIndex(data)
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		for _, e := range idx {
+			sizes = append(sizes, float64(e.Length))
+			framing += tfrecord.Overhead
+		}
+	}
+	s := stats.Summarize(sizes)
+	fmt.Printf("%s: %d records, %d bytes (%.1f%% framing overhead)\n",
+		path, s.N, len(data), 100*float64(framing)/float64(len(data)))
+	fmt.Printf("record sizes: mean %.0f ± %.0f, min %.0f, p50 %.0f, p99 %.0f, max %.0f\n",
+		s.Mean, s.StdDev, s.Min, s.P50, s.P99, s.Max)
+	return nil
+}
+
+// inspectExample decodes the first record of a TFRecord shard as a
+// tf.Example and prints its features.
+func inspectExample(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	payload, err := tfrecord.NewReader(f).Next()
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	ex, err := tfexample.Unmarshal(payload)
+	if err != nil {
+		return fmt.Errorf("%s: first record is not a tf.Example: %w", path, err)
+	}
+	names := make([]string, 0, len(ex))
+	for name := range ex {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%s: first record is a tf.Example with %d feature(s)\n", path, len(ex))
+	for _, name := range names {
+		feat := ex[name]
+		switch {
+		case feat.Bytes != nil:
+			total := 0
+			for _, b := range feat.Bytes {
+				total += len(b)
+			}
+			fmt.Printf("  %-24s bytes_list: %d value(s), %d bytes\n", name, len(feat.Bytes), total)
+		case feat.Ints != nil:
+			fmt.Printf("  %-24s int64_list: %v\n", name, feat.Ints)
+		case feat.Floats != nil:
+			fmt.Printf("  %-24s float_list: %v\n", name, feat.Floats)
+		}
+	}
+	return nil
+}
+
+func inspectDataset(dir string) error {
+	backend, err := storage.NewOSFS("ds", dir, 0)
+	if err != nil {
+		return err
+	}
+	infos, err := backend.List(context.Background())
+	if err != nil {
+		return err
+	}
+	var shards int
+	var total int64
+	for _, fi := range infos {
+		if !strings.Contains(fi.Name, ".tfrecord-") {
+			continue
+		}
+		shards++
+		total += fi.Size
+	}
+	if shards == 0 {
+		return fmt.Errorf("%s: no *.tfrecord-* shards found", dir)
+	}
+	fmt.Printf("%s: %d shards, %d bytes total, mean shard %d bytes\n",
+		dir, shards, total, total/int64(shards))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "monarch-inspect:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,122 @@
+// pytorchloader: drive MONARCH with a PyTorch-style DataLoader — the
+// paper's §VI portability direction. Unlike the TensorFlow pipeline's
+// sequential 256 KiB shard streams, DataLoader workers issue one
+// positioned read per record in globally shuffled order; the same
+// middleware ReadAt call serves both patterns.
+//
+// Run with: go run ./examples/pytorchloader [-scale 0.015625]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"monarch/internal/core"
+	"monarch/internal/dataset"
+	"monarch/internal/experiments"
+	"monarch/internal/models"
+	"monarch/internal/pipeline"
+	"monarch/internal/pool"
+	"monarch/internal/ptloader"
+	"monarch/internal/sim"
+	"monarch/internal/simstore"
+	"monarch/internal/storage"
+)
+
+func main() {
+	scale := flag.Float64("scale", 1.0/64, "dataset scale in (0,1]")
+	flag.Parse()
+
+	p := experiments.DefaultParams(*scale)
+	ds100, _ := p.Datasets()
+	man, err := dataset.Plan(ds100)
+	if err != nil {
+		log.Fatal(err)
+	}
+	mdl := models.LeNet()
+
+	run := func(useMonarch bool) (epochSecs []float64, pfsOps int64) {
+		env := sim.NewEnv(7)
+		defer env.Close()
+		lustreDev := simstore.NewDevice(env, p.Lustre)
+		lustreDev.SetInterference(simstore.NewInterference(env, p.Interference))
+		lustre := simstore.NewStore(lustreDev, "lustre", 0)
+		for i := range man.Shards {
+			lustre.AddFile(man.Shards[i].Name, man.Shards[i].Size)
+		}
+		lustre.SetReadOnly(true)
+		pfs := storage.NewCounting(lustre)
+
+		cfg := ptloader.DefaultConfig()
+		cfg.Manifest = man
+		cfg.PreprocessPerImage = mdl.PreprocessPerImage
+		var src pipeline.Source = pfs
+		var m *core.Monarch
+		if useMonarch {
+			ssd := simstore.NewStore(simstore.NewDevice(env, p.SSD), "ssd", p.SSDQuota())
+			m, err = core.New(core.Config{
+				Levels:        []storage.Backend{ssd, pfs},
+				Pool:          pool.NewSimPool(env, "placer", p.PlacementThreads),
+				FullFileFetch: true,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			src = m
+		}
+		cfg.Source = src
+		cfg.CPU = sim.NewResource(env, "cpu", p.Node.CPUCores)
+		gpu := sim.NewResource(env, "gpu", p.Node.GPUs)
+		refs := ptloader.Flatten(man)
+
+		env.Go("train", func(proc *sim.Proc) {
+			if m != nil {
+				if err := m.Init(proc.Context()); err != nil {
+					log.Fatal(err)
+				}
+			}
+			for epoch := 0; epoch < p.Epochs; epoch++ {
+				start := env.Now()
+				ep, err := ptloader.StartEpoch(env, cfg, refs, epoch, 7)
+				if err != nil {
+					log.Fatal(err)
+				}
+				for {
+					if _, ok := ep.Next(proc); !ok {
+						break
+					}
+					gpu.Acquire(proc, gpu.Capacity())
+					proc.Sleep(mdl.StepTime)
+					gpu.Release(gpu.Capacity())
+				}
+				if err := ep.Err(); err != nil {
+					log.Fatal(err)
+				}
+				epochSecs = append(epochSecs, (env.Now() - start).Seconds())
+			}
+		})
+		if err := env.Run(); err != nil {
+			log.Fatal(err)
+		}
+		return epochSecs, pfs.Counts().DataOps()
+	}
+
+	vEpochs, vOps := run(false)
+	mEpochs, mOps := run(true)
+
+	fmt.Printf("PyTorch-style DataLoader, LeNet, %s at scale %.4g\n\n", ds100.Name, *scale)
+	fmt.Printf("%-8s %14s %14s\n", "epoch", "vanilla-lustre", "monarch")
+	for i := range vEpochs {
+		fmt.Printf("%-8d %13.1fs %13.1fs\n", i+1, vEpochs[i], mEpochs[i])
+	}
+	var vTot, mTot float64
+	for i := range vEpochs {
+		vTot += vEpochs[i]
+		mTot += mEpochs[i]
+	}
+	fmt.Printf("%-8s %13.1fs %13.1fs  (−%.0f%%)\n", "total", vTot, mTot, 100*(1-mTot/vTot))
+	fmt.Printf("\nPFS data ops: %d → %d (−%.0f%%)\n", vOps, mOps, 100*(1-float64(mOps)/float64(vOps)))
+	fmt.Println("note: record-grained access makes ~1 op per image — the op reduction is")
+	fmt.Println("even larger than under TensorFlow's 256 KiB streaming reads.")
+}

@@ -1,0 +1,52 @@
+// tfpipeline: train a model through the simulated TensorFlow-style
+// input pipeline under all four storage setups and compare per-epoch
+// times — Figure 3 of the paper in miniature.
+//
+// Run with: go run ./examples/tfpipeline [-model lenet] [-scale 0.01]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"monarch/internal/experiments"
+	"monarch/internal/report"
+)
+
+func main() {
+	model := flag.String("model", "lenet", "lenet | alexnet | resnet50")
+	scale := flag.Float64("scale", 1.0/64, "dataset scale in (0,1]")
+	runs := flag.Int("runs", 3, "seeded repetitions")
+	flag.Parse()
+
+	p := experiments.DefaultParams(*scale)
+	p.Runs = *runs
+	ds100, _ := p.Datasets()
+
+	chart := report.NewBarChart(fmt.Sprintf(
+		"%s on the %s dataset (scale %.3g, mean ± std over %d runs)",
+		*model, ds100.Name, *scale, *runs))
+	table := report.NewTable("run summary",
+		"setup", "total", "cpu", "gpu", "PFS ops")
+
+	for _, setup := range experiments.AllSetups() {
+		agg, err := experiments.RunMany(setup, *model, ds100, p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for e := range agg.EpochTime {
+			chart.Add(fmt.Sprintf("epoch %d", e+1), string(setup),
+				agg.EpochTime[e].Mean(), agg.EpochTime[e].StdDev(), " s")
+		}
+		table.Add(string(setup),
+			report.Seconds(agg.TotalTime.Mean()),
+			report.Percent(agg.CPUUtil.Mean()),
+			report.Percent(agg.GPUUtil.Mean()),
+			report.Count(int64(agg.PFSOpTotal.Mean())))
+	}
+	chart.Render(os.Stdout)
+	fmt.Println()
+	table.Render(os.Stdout)
+}

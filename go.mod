@@ -1,0 +1,3 @@
+module monarch
+
+go 1.24

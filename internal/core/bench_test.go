@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"monarch/internal/pool"
+	"monarch/internal/storage"
+)
+
+// benchStack builds a warmed-up middleware: every file already placed
+// on tier 0, so the benchmarks isolate the steady-state read path.
+func benchStack(b *testing.B, nfiles, fileSize int) *Monarch {
+	b.Helper()
+	ctx := context.Background()
+	pfs := storage.NewMemFS("pfs", 0)
+	for i := 0; i < nfiles; i++ {
+		if err := pfs.WriteFile(ctx, fmt.Sprintf("f%04d", i),
+			bytes.Repeat([]byte{byte(i)}, fileSize)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pfs.SetReadOnly(true)
+	tier0 := storage.NewMemFS("ssd", 0)
+	gp := pool.NewGoPool(4)
+	m, err := New(Config{
+		Levels:        []storage.Backend{tier0, pfs},
+		Pool:          gp,
+		FullFileFetch: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(m.Close)
+	if err := m.Init(ctx); err != nil {
+		b.Fatal(err)
+	}
+	// Warm placement.
+	buf := make([]byte, fileSize)
+	for i := 0; i < nfiles; i++ {
+		if _, err := m.ReadAt(ctx, fmt.Sprintf("f%04d", i), buf, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for !m.Idle() {
+		time.Sleep(time.Millisecond)
+	}
+	return m
+}
+
+// BenchmarkReadAtSteadyState measures the middleware's per-read
+// overhead once everything is placed: lookup + stats + the memfs copy.
+func BenchmarkReadAtSteadyState(b *testing.B) {
+	m := benchStack(b, 64, 256<<10)
+	ctx := context.Background()
+	buf := make([]byte, 64<<10)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("f%04d", i%64)
+		if _, err := m.ReadAt(ctx, name, buf, int64(i%4)*(64<<10)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReadAtParallel measures the same path under contention, the
+// shape of a framework's reader-thread pool.
+func BenchmarkReadAtParallel(b *testing.B) {
+	m := benchStack(b, 64, 256<<10)
+	ctx := context.Background()
+	b.SetBytes(64 << 10)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		buf := make([]byte, 64<<10)
+		i := 0
+		for pb.Next() {
+			i++
+			name := fmt.Sprintf("f%04d", i%64)
+			if _, err := m.ReadAt(ctx, name, buf, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkMetadataLookup isolates the namespace lookup.
+func BenchmarkMetadataLookup(b *testing.B) {
+	m := benchStack(b, 1024, 64)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.Stat(fmt.Sprintf("f%04d", i%1024)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkInit measures namespace construction over a large listing.
+func BenchmarkInit(b *testing.B) {
+	ctx := context.Background()
+	pfs := storage.NewMemFS("pfs", 0)
+	for i := 0; i < 4096; i++ {
+		if err := pfs.WriteFile(ctx, fmt.Sprintf("f%05d", i), []byte{1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pfs.SetReadOnly(true)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		gp := pool.NewGoPool(1)
+		m, err := New(Config{
+			Levels:        []storage.Backend{storage.NewMemFS("t0", 0), pfs},
+			Pool:          gp,
+			FullFileFetch: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Init(ctx); err != nil {
+			b.Fatal(err)
+		}
+		m.Close()
+	}
+}

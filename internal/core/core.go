@@ -1,0 +1,261 @@
+// Package core implements MONARCH, the paper's contribution: a
+// framework-agnostic middleware for hierarchical storage management
+// that sits between a deep-learning framework's data loader and a
+// hierarchy of storage backends.
+//
+// The three modules of the paper's §III map onto this package as
+// follows:
+//
+//   - storage hierarchy  → Config.Levels / the levels slice: an ordered
+//     list of storage drivers, each wrapping a storage.Backend with a
+//     quota; every level except the last starts empty and is
+//     read-write, the last level is the read-only PFS holding the
+//     dataset;
+//   - placement handler  → placement.go: a background thread pool that
+//     copies each file, on its first read, into the highest tier with
+//     free space — whole-file fetches, no eviction;
+//   - metadata container → metadata.go: an ephemeral virtual namespace
+//     mapping every file to its size and current tier, built at job
+//     start by listing the PFS dataset directory.
+//
+// The public entry point mirrors the paper's TensorFlow integration: a
+// single Monarch.ReadAt(name, buf, off) call replacing the POSIX pread
+// in the framework's file-system driver.
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"monarch/internal/pool"
+	"monarch/internal/storage"
+)
+
+// StagingMode selects when data placement happens (§III-A discusses
+// both options).
+type StagingMode int
+
+const (
+	// StageOnFirstRead places each file when the framework first reads
+	// it during epoch 1 — the paper's choice, adding no start-up delay.
+	StageOnFirstRead StagingMode = iota
+	// StagePreTraining copies files (in namespace order) into the upper
+	// tiers before any read is served — the paper's rejected option i,
+	// kept for the abl-staging ablation.
+	StagePreTraining
+)
+
+// String names the mode.
+func (s StagingMode) String() string {
+	switch s {
+	case StageOnFirstRead:
+		return "on-first-read"
+	case StagePreTraining:
+		return "pre-training"
+	default:
+		return "unknown"
+	}
+}
+
+// Config assembles a Monarch instance.
+type Config struct {
+	// Levels is the storage hierarchy in placement order. The last
+	// level is the PFS: it must already hold the dataset and is treated
+	// as a read-only source. At least two levels are required.
+	Levels []storage.Backend
+	// Pool executes background placements. Required unless every read
+	// should be served from the source (Disabled).
+	Pool pool.Executor
+	// FullFileFetch enables the §III-A optimisation: when the framework
+	// reads only a slice of a file, the background copy still fetches
+	// the file's full content so subsequent slices hit the fast tier.
+	// Disabling it (abl-fullfetch) copies only bytes the framework has
+	// already read — i.e. placement degenerates to per-range caching.
+	FullFileFetch bool
+	// Staging selects placement timing; see StagingMode.
+	Staging StagingMode
+	// Eviction is nil for the paper's no-eviction policy, or an
+	// EvictionPolicy for the abl-eviction ablation.
+	Eviction EvictionPolicy
+	// Disabled turns Monarch into a pass-through to the source level
+	// (used by baselines that want the namespace but no tiering).
+	Disabled bool
+	// Events, when non-nil, receives placement/eviction/fallback events
+	// for observability. The log never blocks the data path.
+	Events *EventLog
+}
+
+// Monarch is the middleware instance. All methods are safe for
+// concurrent use.
+type Monarch struct {
+	cfg    Config
+	levels []*driver
+	source *driver // == levels[len-1]
+	meta   *metadataContainer
+	stats  statsCollector
+	placer *placer
+}
+
+// ErrNotInitialized is returned by reads before Init has built the
+// namespace.
+var ErrNotInitialized = errors.New("monarch: Init has not been called")
+
+// ErrUnknownFile is returned for names absent from the namespace.
+var ErrUnknownFile = errors.New("monarch: file not in namespace")
+
+// New validates cfg and assembles an instance. Call Init before
+// serving reads.
+func New(cfg Config) (*Monarch, error) {
+	if len(cfg.Levels) < 2 {
+		return nil, fmt.Errorf("monarch: need at least 2 levels (got %d)", len(cfg.Levels))
+	}
+	if cfg.Pool == nil && !cfg.Disabled {
+		return nil, fmt.Errorf("monarch: placement pool required")
+	}
+	m := &Monarch{cfg: cfg}
+	for i, b := range cfg.Levels {
+		if b == nil {
+			return nil, fmt.Errorf("monarch: level %d backend is nil", i)
+		}
+		m.levels = append(m.levels, &driver{level: i, backend: b})
+	}
+	m.source = m.levels[len(m.levels)-1]
+	m.meta = newMetadataContainer(len(m.levels))
+	m.stats.init(len(m.levels))
+	m.placer = newPlacer(m)
+	return m, nil
+}
+
+// Init builds the metadata container by listing the source level (the
+// paper's start-up namespace traversal). Calling it a second time is an
+// error: the namespace is ephemeral per job, and rebuilding it would
+// silently forget completed placements.
+func (m *Monarch) Init(ctx context.Context) error {
+	if m.meta.initialized() {
+		return fmt.Errorf("monarch: Init called twice")
+	}
+	infos, err := m.source.backend.List(ctx)
+	if err != nil {
+		return fmt.Errorf("monarch: init: %w", err)
+	}
+	m.meta.populate(infos, len(m.levels)-1)
+	if m.cfg.Staging == StagePreTraining && !m.cfg.Disabled {
+		return m.preStage(ctx)
+	}
+	return nil
+}
+
+// Levels returns the number of hierarchy levels.
+func (m *Monarch) Levels() int { return len(m.levels) }
+
+// NumFiles returns the namespace size.
+func (m *Monarch) NumFiles() int { return m.meta.len() }
+
+// Stats returns a snapshot of middleware counters.
+func (m *Monarch) Stats() Stats { return m.stats.snapshot(m.placer.inFlight()) }
+
+// Idle reports whether no placements are queued or running.
+func (m *Monarch) Idle() bool { return m.placer.inFlight() == 0 }
+
+// Close stops the placement intake. Queued placements still complete
+// (GoPool's Close additionally waits for them).
+func (m *Monarch) Close() {
+	if m.cfg.Pool != nil {
+		m.cfg.Pool.Close()
+	}
+}
+
+// ReadAt is the paper's Monarch.read: it serves len(p) bytes at offset
+// off of the named file from whichever tier currently holds it, and —
+// on the first read of a file — schedules its background placement
+// into the highest tier with free space.
+func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	e, err := m.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	lvl := e.currentLevel()
+	d := m.levels[lvl]
+	n, rerr := d.backend.ReadAt(ctx, name, p, off)
+	if rerr != nil && lvl != m.source.level {
+		// A tier failed under us: fall back to the PFS, which always
+		// holds the dataset, and count the event.
+		m.stats.fallbacks.Add(1)
+		m.cfg.Events.emit(Event{Kind: EventFallback, File: name, Level: lvl, Err: rerr})
+		d = m.source
+		n, rerr = d.backend.ReadAt(ctx, name, p, off)
+	}
+	if rerr != nil {
+		return n, rerr
+	}
+	m.stats.served(d.level, int64(n))
+
+	if !m.cfg.Disabled && m.cfg.Staging == StageOnFirstRead {
+		// The §III-B flow: first access triggers placement. If the
+		// framework happened to read the whole file, hand the content
+		// to the placer so it can skip the source re-read.
+		var full []byte
+		if off == 0 && int64(n) == e.size {
+			full = append([]byte(nil), p[:n]...)
+		}
+		m.placer.onAccess(e, full)
+	}
+	if m.cfg.Eviction != nil {
+		m.cfg.Eviction.OnAccess(name)
+	}
+	return n, nil
+}
+
+// ReadFull reads the entire named file through the middleware.
+func (m *Monarch) ReadFull(ctx context.Context, name string) ([]byte, error) {
+	e, err := m.lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	p := make([]byte, e.size)
+	n, err := m.ReadAt(ctx, name, p, 0)
+	if err != nil {
+		return nil, err
+	}
+	return p[:n], nil
+}
+
+// Stat returns the namespace entry for name without touching storage.
+func (m *Monarch) Stat(name string) (storage.FileInfo, error) {
+	e, err := m.lookup(name)
+	if err != nil {
+		return storage.FileInfo{}, err
+	}
+	return storage.FileInfo{Name: name, Size: e.size}, nil
+}
+
+// Files returns the namespace in sorted order.
+func (m *Monarch) Files() []storage.FileInfo { return m.meta.list() }
+
+// LevelOf reports which tier currently serves name.
+func (m *Monarch) LevelOf(name string) (int, error) {
+	e, err := m.lookup(name)
+	if err != nil {
+		return 0, err
+	}
+	return e.currentLevel(), nil
+}
+
+func (m *Monarch) lookup(name string) (*fileEntry, error) {
+	if !m.meta.initialized() {
+		return nil, ErrNotInitialized
+	}
+	e, ok := m.meta.get(name)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownFile, name)
+	}
+	return e, nil
+}
+
+// driver is the paper's "storage driver": a hierarchy level wrapping a
+// backend.
+type driver struct {
+	level   int
+	backend storage.Backend
+}

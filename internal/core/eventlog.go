@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// EventKind classifies middleware events.
+type EventKind int
+
+// Event kinds recorded by the log.
+const (
+	// EventPlaced: a file landed on an upper tier.
+	EventPlaced EventKind = iota
+	// EventSkipped: no tier had room (or fetching was disabled).
+	EventSkipped
+	// EventFailed: an operational error aborted a placement.
+	EventFailed
+	// EventEvicted: an eviction-policy ablation removed a file.
+	EventEvicted
+	// EventFallback: a read was re-served from the PFS after a tier
+	// failure.
+	EventFallback
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventPlaced:
+		return "placed"
+	case EventSkipped:
+		return "skipped"
+	case EventFailed:
+		return "failed"
+	case EventEvicted:
+		return "evicted"
+	case EventFallback:
+		return "fallback"
+	default:
+		return "unknown"
+	}
+}
+
+// Event is one middleware occurrence worth surfacing to operators.
+type Event struct {
+	Kind  EventKind
+	File  string
+	Level int // tier involved (-1 when not applicable)
+	Bytes int64
+	Err   error
+	// Seq orders events; Wall is the host time the event was recorded
+	// (informational only — experiments run on virtual time).
+	Seq  uint64
+	Wall time.Time
+}
+
+// String formats the event for logs.
+func (e Event) String() string {
+	switch e.Kind {
+	case EventPlaced:
+		return fmt.Sprintf("#%d placed %s on level %d (%d bytes)", e.Seq, e.File, e.Level, e.Bytes)
+	case EventEvicted:
+		return fmt.Sprintf("#%d evicted %s from level %d", e.Seq, e.File, e.Level)
+	case EventFailed:
+		return fmt.Sprintf("#%d placement of %s failed: %v", e.Seq, e.File, e.Err)
+	case EventFallback:
+		return fmt.Sprintf("#%d read of %s fell back to the source level", e.Seq, e.File)
+	default:
+		return fmt.Sprintf("#%d %s %s", e.Seq, e.Kind, e.File)
+	}
+}
+
+// EventLog is a bounded ring of recent middleware events, attached via
+// Config.Events. It is safe for concurrent use and never blocks the
+// read or placement paths; when full, the oldest events are dropped.
+type EventLog struct {
+	mu      sync.Mutex
+	buf     []Event
+	start   int
+	n       int
+	seq     uint64
+	dropped uint64
+}
+
+// NewEventLog creates a ring holding up to capacity events.
+func NewEventLog(capacity int) *EventLog {
+	if capacity <= 0 {
+		panic("core: event log capacity must be positive")
+	}
+	return &EventLog{buf: make([]Event, capacity)}
+}
+
+// add records one event.
+func (l *EventLog) add(e Event) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.seq++
+	e.Seq = l.seq
+	e.Wall = time.Now()
+	if l.n < len(l.buf) {
+		l.buf[(l.start+l.n)%len(l.buf)] = e
+		l.n++
+		return
+	}
+	l.buf[l.start] = e
+	l.start = (l.start + 1) % len(l.buf)
+	l.dropped++
+}
+
+// Events returns the retained events, oldest first.
+func (l *EventLog) Events() []Event {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Event, l.n)
+	for i := 0; i < l.n; i++ {
+		out[i] = l.buf[(l.start+i)%len(l.buf)]
+	}
+	return out
+}
+
+// Dropped returns how many events were evicted from the ring.
+func (l *EventLog) Dropped() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
+
+// Len returns the number of retained events.
+func (l *EventLog) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.n
+}
+
+// emit is the nil-safe hook used by the middleware internals.
+func (l *EventLog) emit(e Event) {
+	if l == nil {
+		return
+	}
+	l.add(e)
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"monarch/internal/pool"
+	"monarch/internal/storage"
+)
+
+func TestEventLogRingSemantics(t *testing.T) {
+	l := NewEventLog(3)
+	for i := 0; i < 5; i++ {
+		l.add(Event{Kind: EventPlaced, File: fmt.Sprintf("f%d", i)})
+	}
+	evs := l.Events()
+	if len(evs) != 3 || l.Len() != 3 {
+		t.Fatalf("len = %d", len(evs))
+	}
+	if evs[0].File != "f2" || evs[2].File != "f4" {
+		t.Fatalf("ring order wrong: %v %v", evs[0].File, evs[2].File)
+	}
+	if l.Dropped() != 2 {
+		t.Fatalf("dropped = %d", l.Dropped())
+	}
+	// Sequence numbers are global and monotone.
+	if evs[0].Seq != 3 || evs[2].Seq != 5 {
+		t.Fatalf("seqs: %d %d", evs[0].Seq, evs[2].Seq)
+	}
+}
+
+func TestEventLogPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewEventLog(0)
+}
+
+func TestEventKindAndString(t *testing.T) {
+	kinds := map[EventKind]string{
+		EventPlaced: "placed", EventSkipped: "skipped", EventFailed: "failed",
+		EventEvicted: "evicted", EventFallback: "fallback", EventKind(42): "unknown",
+	}
+	for k, want := range kinds {
+		if k.String() != want {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	e := Event{Kind: EventPlaced, File: "f", Level: 0, Bytes: 10, Seq: 1}
+	if !strings.Contains(e.String(), "placed f on level 0") {
+		t.Fatalf("%q", e.String())
+	}
+	if !strings.Contains(Event{Kind: EventFailed, File: "g", Err: errors.New("x"), Seq: 2}.String(), "failed") {
+		t.Fatal("failed event string")
+	}
+	if !strings.Contains(Event{Kind: EventEvicted, File: "h", Seq: 3}.String(), "evicted") {
+		t.Fatal("evicted event string")
+	}
+	if !strings.Contains(Event{Kind: EventFallback, File: "i", Seq: 4}.String(), "fell back") {
+		t.Fatal("fallback event string")
+	}
+	if !strings.Contains(Event{Kind: EventSkipped, File: "j", Seq: 5}.String(), "skipped") {
+		t.Fatal("skipped event string")
+	}
+}
+
+func TestNilEventLogIsSafe(t *testing.T) {
+	var l *EventLog
+	l.emit(Event{Kind: EventPlaced}) // must not panic
+}
+
+func TestEventLogConcurrent(t *testing.T) {
+	l := NewEventLog(64)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				l.add(Event{Kind: EventPlaced})
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 64 || l.Dropped() != 800-64 {
+		t.Fatalf("len=%d dropped=%d", l.Len(), l.Dropped())
+	}
+}
+
+func TestMiddlewareEmitsLifecycleEvents(t *testing.T) {
+	ctx := context.Background()
+	pfsRaw := storage.NewMemFS("pfs", 0)
+	for i := 0; i < 4; i++ {
+		if err := pfsRaw.WriteFile(ctx, fmt.Sprintf("f%d", i),
+			bytes.Repeat([]byte{1}, 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pfsRaw.SetReadOnly(true)
+	tier0 := storage.NewFaulty(storage.NewMemFS("ssd", 250)) // fits 2
+	log := NewEventLog(32)
+	gp := pool.NewGoPool(1)
+	m, err := New(Config{
+		Levels:        []storage.Backend{tier0, pfsRaw},
+		Pool:          gp,
+		FullFileFetch: true,
+		Events:        log,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 10)
+	for i := 0; i < 4; i++ {
+		if _, err := m.ReadAt(ctx, fmt.Sprintf("f%d", i), buf, 0); err != nil {
+			t.Fatal(err)
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for !m.Idle() {
+			if time.Now().After(deadline) {
+				t.Fatal("stuck")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	// Break the tier and force a fallback.
+	tier0.Break()
+	if _, err := m.ReadAt(ctx, "f0", buf, 0); err != nil {
+		t.Fatal(err)
+	}
+
+	byKind := map[EventKind]int{}
+	for _, e := range log.Events() {
+		byKind[e.Kind]++
+	}
+	if byKind[EventPlaced] != 2 {
+		t.Fatalf("placed events = %d, want 2", byKind[EventPlaced])
+	}
+	if byKind[EventSkipped] != 2 {
+		t.Fatalf("skipped events = %d, want 2", byKind[EventSkipped])
+	}
+	if byKind[EventFallback] != 1 {
+		t.Fatalf("fallback events = %d, want 1", byKind[EventFallback])
+	}
+}

@@ -1,0 +1,147 @@
+package core
+
+import (
+	"sort"
+	"sync"
+
+	"monarch/internal/storage"
+)
+
+// placementState tracks a file's progress through the placement
+// pipeline.
+type placementState int
+
+const (
+	// stateSource: only the PFS copy exists and no placement has been
+	// scheduled yet.
+	stateSource placementState = iota
+	// stateQueued: a placement task is queued or running.
+	stateQueued
+	// statePlaced: the file lives on an upper tier.
+	statePlaced
+	// stateUnplaceable: every candidate tier was full; the file will be
+	// served from the PFS for the rest of the job (§III-A: placement
+	// stops once the local tiers run out of space).
+	stateUnplaceable
+)
+
+// fileEntry is the paper's "file info": size, name and current storage
+// tier, guarded for concurrent access from the framework's reader
+// threads and the placement pool.
+type fileEntry struct {
+	name string
+	size int64
+
+	mu    sync.Mutex
+	level int
+	state placementState
+}
+
+func (e *fileEntry) currentLevel() int {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.level
+}
+
+// tryQueue transitions Source→Queued exactly once; it reports whether
+// the caller won the race and should schedule the placement.
+func (e *fileEntry) tryQueue() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state != stateSource {
+		return false
+	}
+	e.state = stateQueued
+	return true
+}
+
+// markPlaced records a successful placement onto level.
+func (e *fileEntry) markPlaced(level int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.level = level
+	e.state = statePlaced
+}
+
+// markUnplaceable records that no tier had space.
+func (e *fileEntry) markUnplaceable() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.state = stateUnplaceable
+}
+
+// markEvicted sends the file back to the source level so a later access
+// may re-place it (only eviction-policy ablations ever call this).
+func (e *fileEntry) markEvicted(sourceLevel int) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.level = sourceLevel
+	e.state = stateSource
+}
+
+// metadataContainer is the paper's virtual namespace module. It follows
+// an ephemeral storage model: populated at the start of the training
+// job, updated during runtime, and discarded with the process.
+type metadataContainer struct {
+	mu      sync.RWMutex
+	entries map[string]*fileEntry
+	ready   bool
+	levels  int
+}
+
+func newMetadataContainer(levels int) *metadataContainer {
+	return &metadataContainer{entries: make(map[string]*fileEntry), levels: levels}
+}
+
+// populate builds the namespace from a source-level listing.
+func (c *metadataContainer) populate(infos []storage.FileInfo, sourceLevel int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, fi := range infos {
+		c.entries[fi.Name] = &fileEntry{name: fi.Name, size: fi.Size, level: sourceLevel}
+	}
+	c.ready = true
+}
+
+func (c *metadataContainer) initialized() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.ready
+}
+
+func (c *metadataContainer) get(name string) (*fileEntry, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	e, ok := c.entries[name]
+	return e, ok
+}
+
+func (c *metadataContainer) len() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return len(c.entries)
+}
+
+// list returns the namespace sorted by name.
+func (c *metadataContainer) list() []storage.FileInfo {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]storage.FileInfo, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, storage.FileInfo{Name: e.name, Size: e.size})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// sortedEntries returns entries in name order (pre-staging order).
+func (c *metadataContainer) sortedEntries() []*fileEntry {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*fileEntry, 0, len(c.entries))
+	for _, e := range c.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
+	return out
+}

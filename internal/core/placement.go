@@ -1,0 +1,164 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+
+	"monarch/internal/storage"
+)
+
+// placer is the paper's placement handler: it owns the background
+// thread pool and the tier-selection algorithm (§III-A — descend the
+// hierarchy, first level with room wins; no eviction).
+type placer struct {
+	m        *Monarch
+	inflight atomic.Int64
+}
+
+func newPlacer(m *Monarch) *placer { return &placer{m: m} }
+
+func (pl *placer) inFlight() int { return int(pl.inflight.Load()) }
+
+// onAccess is called from the foreground read path. If this is the
+// file's first access it schedules a placement task; full, when
+// non-nil, is the complete file content the framework just read (the
+// §III-B fast path that skips the source re-read).
+func (pl *placer) onAccess(e *fileEntry, full []byte) {
+	if !e.tryQueue() {
+		return
+	}
+	pl.inflight.Add(1)
+	ok := pl.m.cfg.Pool.Submit(func(ctx context.Context) {
+		defer pl.inflight.Add(-1)
+		pl.place(ctx, e, full)
+	})
+	if !ok {
+		pl.inflight.Add(-1)
+		e.markUnplaceable() // pool closed: no placement for this job
+	}
+}
+
+// place copies e into the first tier with room. The paper's policy
+// never evicts; the eviction ablations hook in through tryMakeRoom.
+func (pl *placer) place(ctx context.Context, e *fileEntry, full []byte) {
+	m := pl.m
+	for _, d := range m.levels[:len(m.levels)-1] {
+		if storage.Free(d.backend) < e.size {
+			if !pl.tryMakeRoom(ctx, d, e.size) {
+				continue
+			}
+		}
+		if err := pl.copyInto(ctx, d, e, full); err != nil {
+			if errors.Is(err, storage.ErrNoSpace) {
+				// Lost a quota race with a concurrent placement; try
+				// the next level down.
+				continue
+			}
+			if errors.Is(err, errFetchDisabled) {
+				m.stats.placementSkips.Add(1)
+				m.cfg.Events.emit(Event{Kind: EventSkipped, File: e.name, Level: -1})
+			} else {
+				m.stats.placementErrors.Add(1)
+				m.cfg.Events.emit(Event{Kind: EventFailed, File: e.name, Level: d.level, Err: err})
+			}
+			e.markUnplaceable()
+			return
+		}
+		e.markPlaced(d.level)
+		m.stats.placements.Add(1)
+		m.stats.placedBytes.Add(e.size)
+		m.cfg.Events.emit(Event{Kind: EventPlaced, File: e.name, Level: d.level, Bytes: e.size})
+		if m.cfg.Eviction != nil {
+			m.cfg.Eviction.OnPlaced(e.name, d.level)
+		}
+		return
+	}
+	m.stats.placementSkips.Add(1)
+	m.cfg.Events.emit(Event{Kind: EventSkipped, File: e.name, Level: -1})
+	e.markUnplaceable()
+}
+
+// copyInto moves the file content onto level d. Preference order:
+// reuse the foreground's full read, then the backend's whole-file copy
+// fast path, then an explicit read-modify-write through this process.
+func (pl *placer) copyInto(ctx context.Context, d *driver, e *fileEntry, full []byte) error {
+	m := pl.m
+	src := m.source.backend
+	switch {
+	case full != nil && int64(len(full)) == e.size:
+		m.stats.fullReadReuses.Add(1)
+		return d.backend.WriteFile(ctx, e.name, full)
+	case !m.cfg.FullFileFetch:
+		// Ablation: no full-file fetch. Without the optimisation the
+		// middleware can only cache content the framework explicitly
+		// read in full, so a partial first read places nothing.
+		return errFetchDisabled
+	default:
+		if cp, ok := d.backend.(storage.Copier); ok {
+			return cp.CopyFrom(ctx, src, e.name)
+		}
+		data, err := src.ReadFile(ctx, e.name)
+		if err != nil {
+			return err
+		}
+		return d.backend.WriteFile(ctx, e.name, data)
+	}
+}
+
+// errFetchDisabled marks placements skipped by the abl-fullfetch
+// configuration; it routes to markUnplaceable via the placementErrors
+// path but is not an operational failure.
+var errFetchDisabled = errors.New("monarch: full-file fetch disabled")
+
+// tryMakeRoom applies the configured eviction policy (ablation only;
+// the paper's MONARCH never evicts) until size bytes fit on d.
+func (pl *placer) tryMakeRoom(ctx context.Context, d *driver, size int64) bool {
+	policy := pl.m.cfg.Eviction
+	if policy == nil {
+		return false
+	}
+	if d.backend.Capacity() > 0 && size > d.backend.Capacity() {
+		return false // would never fit, even empty
+	}
+	for storage.Free(d.backend) < size {
+		victim, ok := policy.Victim(d.level)
+		if !ok {
+			return false
+		}
+		if err := pl.evict(ctx, d, victim); err != nil {
+			return false
+		}
+	}
+	return true
+}
+
+func (pl *placer) evict(ctx context.Context, d *driver, name string) error {
+	m := pl.m
+	e, ok := m.meta.get(name)
+	if !ok {
+		return errors.New("monarch: eviction victim missing from namespace")
+	}
+	if err := d.backend.Remove(ctx, name); err != nil {
+		return err
+	}
+	e.markEvicted(m.source.level)
+	m.cfg.Eviction.OnEvicted(name)
+	m.stats.evictions.Add(1)
+	m.cfg.Events.emit(Event{Kind: EventEvicted, File: name, Level: d.level, Bytes: e.size})
+	return nil
+}
+
+// preStage implements StagePreTraining: synchronously walk the
+// namespace in name order, placing every file until the upper tiers
+// fill. It runs on the caller (no thread pool) because the paper's
+// option i happens before training starts.
+func (m *Monarch) preStage(ctx context.Context) error {
+	for _, e := range m.meta.sortedEntries() {
+		if !e.tryQueue() {
+			continue
+		}
+		m.placer.place(ctx, e, nil)
+	}
+	return nil
+}

@@ -1,0 +1,202 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"monarch/internal/pool"
+	"monarch/internal/storage"
+)
+
+// TestPropertyInvariantsUnderRandomWorkloads drives MONARCH with
+// arbitrary read sequences over randomised hierarchies and checks the
+// middleware's core invariants afterwards:
+//
+//  1. reads always return the source's bytes, whatever tier serves them;
+//  2. no tier ever exceeds its quota;
+//  3. a placed file is fully and correctly present on its tier;
+//  4. placement happens at most once per file (no churn without an
+//     eviction policy);
+//  5. placement fills tiers strictly in hierarchy order.
+func TestPropertyInvariantsUnderRandomWorkloads(t *testing.T) {
+	ctx := context.Background()
+	type workload struct {
+		NumFiles uint8
+		FileSize uint16
+		Quota0   uint16
+		Quota1   uint16
+		ReadPlan []uint16 // (file, offset) pairs derived per element
+		PoolSize uint8
+	}
+	runCase := func(w workload) bool {
+		nfiles := int(w.NumFiles%12) + 1
+		fileSize := int(w.FileSize%2000) + 1
+		quota0 := int64(w.Quota0 % 8000)
+		quota1 := int64(w.Quota1 % 8000)
+
+		pfsRaw := storage.NewMemFS("pfs", 0)
+		contents := make(map[string][]byte, nfiles)
+		for i := 0; i < nfiles; i++ {
+			name := fmt.Sprintf("f%02d", i)
+			c := bytes.Repeat([]byte{byte(i + 1)}, fileSize)
+			contents[name] = c
+			if err := pfsRaw.WriteFile(ctx, name, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pfsRaw.SetReadOnly(true)
+		tier0 := storage.NewMemFS("t0", quota0)
+		tier1 := storage.NewMemFS("t1", quota1)
+		gp := pool.NewGoPool(int(w.PoolSize%4) + 1)
+		m, err := New(Config{
+			Levels:        []storage.Backend{tier0, tier1, pfsRaw},
+			Pool:          gp,
+			FullFileFetch: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		if err := m.Init(ctx); err != nil {
+			t.Fatal(err)
+		}
+
+		buf := make([]byte, 257)
+		for _, step := range w.ReadPlan {
+			name := fmt.Sprintf("f%02d", int(step)%nfiles)
+			off := int64(step) % int64(fileSize)
+			n, err := m.ReadAt(ctx, name, buf, off)
+			if err != nil {
+				t.Logf("read %s@%d: %v", name, off, err)
+				return false
+			}
+			want := contents[name][off:]
+			if len(want) > len(buf) {
+				want = want[:len(buf)]
+			}
+			if n != len(want) || !bytes.Equal(buf[:n], want) {
+				t.Logf("read %s@%d returned wrong bytes", name, off)
+				return false
+			}
+		}
+		// Quiesce placements.
+		deadline := time.Now().Add(5 * time.Second)
+		for !m.Idle() {
+			if time.Now().After(deadline) {
+				t.Log("placements stuck")
+				return false
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+
+		// Invariant 2: quotas respected.
+		if (quota0 > 0 && tier0.Used() > quota0) || (quota1 > 0 && tier1.Used() > quota1) {
+			t.Logf("quota exceeded: %d/%d, %d/%d", tier0.Used(), quota0, tier1.Used(), quota1)
+			return false
+		}
+		// Invariants 3-5.
+		st := m.Stats()
+		placed := int64(0)
+		for name, want := range contents {
+			lvl, err := m.LevelOf(name)
+			if err != nil {
+				return false
+			}
+			if lvl == 2 {
+				continue
+			}
+			placed++
+			tier := []*storage.MemFS{tier0, tier1}[lvl]
+			got, err := tier.ReadFile(ctx, name)
+			if err != nil || !bytes.Equal(got, want) {
+				t.Logf("placed file %s wrong on tier %d: %v", name, lvl, err)
+				return false
+			}
+		}
+		if st.Placements != placed {
+			t.Logf("placements counter %d != placed files %d", st.Placements, placed)
+			return false
+		}
+		if st.Evictions != 0 {
+			t.Logf("no-eviction run evicted %d", st.Evictions)
+			return false
+		}
+		// Invariant 1 (final re-read through the middleware).
+		for name, want := range contents {
+			got := make([]byte, fileSize)
+			n, err := m.ReadAt(ctx, name, got, 0)
+			if err != nil || n != fileSize || !bytes.Equal(got[:n], want) {
+				t.Logf("final read of %s failed: %v", name, err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(runCase, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPropertyLevelOrderRespected checks that with generous quotas the
+// placement always lands on level 0, never skipping ahead.
+func TestPropertyLevelOrderRespected(t *testing.T) {
+	ctx := context.Background()
+	err := quick.Check(func(sizes []uint8) bool {
+		if len(sizes) == 0 || len(sizes) > 16 {
+			return true
+		}
+		pfsRaw := storage.NewMemFS("pfs", 0)
+		for i, s := range sizes {
+			if err := pfsRaw.WriteFile(ctx, fmt.Sprintf("f%d", i),
+				bytes.Repeat([]byte{1}, int(s)+1)); err != nil {
+				return false
+			}
+		}
+		pfsRaw.SetReadOnly(true)
+		tier0 := storage.NewMemFS("t0", 0) // unlimited
+		tier1 := storage.NewMemFS("t1", 0)
+		gp := pool.NewGoPool(2)
+		m, err := New(Config{
+			Levels:        []storage.Backend{tier0, tier1, pfsRaw},
+			Pool:          gp,
+			FullFileFetch: true,
+		})
+		if err != nil {
+			return false
+		}
+		defer m.Close()
+		if err := m.Init(ctx); err != nil {
+			return false
+		}
+		buf := make([]byte, 8)
+		for i := range sizes {
+			if _, err := m.ReadAt(ctx, fmt.Sprintf("f%d", i), buf, 0); err != nil {
+				return false
+			}
+		}
+		deadline := time.Now().Add(5 * time.Second)
+		for !m.Idle() {
+			if time.Now().After(deadline) {
+				return false
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+		// With room on level 0, nothing should land on level 1.
+		if tier1.Used() != 0 {
+			return false
+		}
+		for i := range sizes {
+			if lvl, _ := m.LevelOf(fmt.Sprintf("f%d", i)); lvl != 0 {
+				return false
+			}
+		}
+		return true
+	}, &quick.Config{MaxCount: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

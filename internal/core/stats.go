@@ -1,0 +1,91 @@
+package core
+
+import "sync/atomic"
+
+// Stats is a snapshot of the middleware's counters. Per-level slices
+// are indexed by hierarchy level; the last index is the PFS — the
+// experiments read "I/O pressure on the PFS" from that slot.
+type Stats struct {
+	// ReadsServed / BytesServed count foreground reads by the level
+	// that served them.
+	ReadsServed []int64
+	BytesServed []int64
+	// Placements is the number of files successfully moved to an upper
+	// tier; PlacedBytes the bytes they amount to.
+	Placements  int64
+	PlacedBytes int64
+	// PlacementSkips counts files left on the PFS because no tier had
+	// room (or the fetch ablation disabled copying).
+	PlacementSkips int64
+	// PlacementErrors counts operational failures during placement.
+	PlacementErrors int64
+	// FullReadReuses counts placements satisfied from content the
+	// framework had already read in full (§III-B).
+	FullReadReuses int64
+	// Fallbacks counts foreground reads re-served from the PFS after an
+	// upper tier failed.
+	Fallbacks int64
+	// Evictions counts files removed by an eviction-policy ablation.
+	Evictions int64
+	// InFlight is the number of queued or running placement tasks.
+	InFlight int
+}
+
+// HitRatio returns the fraction of foreground reads served above the
+// source level.
+func (s Stats) HitRatio() float64 {
+	var upper, total int64
+	for i, n := range s.ReadsServed {
+		total += n
+		if i < len(s.ReadsServed)-1 {
+			upper += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(upper) / float64(total)
+}
+
+// statsCollector is the live, concurrent form of Stats.
+type statsCollector struct {
+	readsServed     []atomic.Int64
+	bytesServed     []atomic.Int64
+	placements      atomic.Int64
+	placedBytes     atomic.Int64
+	placementSkips  atomic.Int64
+	placementErrors atomic.Int64
+	fullReadReuses  atomic.Int64
+	fallbacks       atomic.Int64
+	evictions       atomic.Int64
+}
+
+func (c *statsCollector) init(levels int) {
+	c.readsServed = make([]atomic.Int64, levels)
+	c.bytesServed = make([]atomic.Int64, levels)
+}
+
+func (c *statsCollector) served(level int, bytes int64) {
+	c.readsServed[level].Add(1)
+	c.bytesServed[level].Add(bytes)
+}
+
+func (c *statsCollector) snapshot(inFlight int) Stats {
+	s := Stats{
+		ReadsServed:     make([]int64, len(c.readsServed)),
+		BytesServed:     make([]int64, len(c.bytesServed)),
+		Placements:      c.placements.Load(),
+		PlacedBytes:     c.placedBytes.Load(),
+		PlacementSkips:  c.placementSkips.Load(),
+		PlacementErrors: c.placementErrors.Load(),
+		FullReadReuses:  c.fullReadReuses.Load(),
+		Fallbacks:       c.fallbacks.Load(),
+		Evictions:       c.evictions.Load(),
+		InFlight:        inFlight,
+	}
+	for i := range c.readsServed {
+		s.ReadsServed[i] = c.readsServed[i].Load()
+		s.BytesServed[i] = c.bytesServed[i].Load()
+	}
+	return s
+}

@@ -1,0 +1,336 @@
+// Package dataset builds the synthetic stand-ins for the paper's
+// ImageNet-1k derivatives: a 900 k-image / 100 GiB set and a 3 M-image /
+// 200 GiB set, both packed into TFRecord shards.
+//
+// Two builders share one deterministic layout algorithm:
+//
+//   - Plan computes a Manifest — shard names, shard sizes, and the exact
+//     record layout inside each shard — without materialising a byte.
+//     The simulation substrate mounts manifests as virtual files.
+//   - Materialize writes real TFRecord shards with deterministic
+//     payloads into any storage.Backend, for functional tests, examples,
+//     and the monarch-mkdataset tool.
+//
+// Plan and Materialize agree exactly: materialised shard n has the size
+// and record offsets the manifest promised.
+package dataset
+
+import (
+	"context"
+	"fmt"
+
+	"monarch/internal/recordio"
+	"monarch/internal/rng"
+	"monarch/internal/storage"
+	"monarch/internal/tfexample"
+	"monarch/internal/tfrecord"
+)
+
+// Format selects the shard container format.
+type Format int
+
+// Supported container formats (§I of the paper names both).
+const (
+	// TFRecord is TensorFlow's format (the evaluation's choice).
+	TFRecord Format = iota
+	// RecordIO is MXNet's format.
+	RecordIO
+)
+
+// String names the format.
+func (f Format) String() string {
+	switch f {
+	case TFRecord:
+		return "tfrecord"
+	case RecordIO:
+		return "recordio"
+	default:
+		return "unknown"
+	}
+}
+
+// extension returns the shard file extension for the format.
+func (f Format) extension() string {
+	if f == RecordIO {
+		return "rec"
+	}
+	return "tfrecord"
+}
+
+// RecordEnd returns the on-disk end offset (framing and padding
+// included) of a record under this format.
+func (f Format) RecordEnd(e tfrecord.Entry) int64 {
+	if f == RecordIO {
+		return e.Offset + recordio.RecordSize(e.Length)
+	}
+	return e.End()
+}
+
+// Spec describes a synthetic dataset.
+type Spec struct {
+	// Name prefixes shard file names ("imagenet-100g").
+	Name string
+	// Format selects the shard container (default TFRecord).
+	Format Format
+	// NumImages is the total number of records across all shards.
+	NumImages int
+	// TotalBytes is the approximate on-disk size target, including
+	// TFRecord framing.
+	TotalBytes int64
+	// NumShards is the number of TFRecord files. Images are assigned to
+	// shards contiguously, as TF's dataset converters do.
+	NumShards int
+	// SizeSigma is the lognormal spread of individual image sizes
+	// (0 = all images identical).
+	SizeSigma float64
+	// Seed drives the deterministic size sampling.
+	Seed uint64
+	// TFExamplePayloads makes Materialize emit real tf.Example protobuf
+	// payloads (image bytes + class label + filename) instead of raw
+	// keyed patterns. Record sizes are unchanged — the manifest still
+	// describes the layout exactly.
+	TFExamplePayloads bool
+}
+
+// Validate reports configuration errors.
+func (s Spec) Validate() error {
+	switch {
+	case s.Name == "":
+		return fmt.Errorf("dataset: empty name")
+	case s.NumImages <= 0:
+		return fmt.Errorf("dataset: NumImages = %d", s.NumImages)
+	case s.NumShards <= 0:
+		return fmt.Errorf("dataset: NumShards = %d", s.NumShards)
+	case s.NumShards > s.NumImages:
+		return fmt.Errorf("dataset: more shards (%d) than images (%d)", s.NumShards, s.NumImages)
+	case s.TotalBytes <= 0:
+		return fmt.Errorf("dataset: TotalBytes = %d", s.TotalBytes)
+	}
+	if s.MeanImageBytes() < 1 {
+		return fmt.Errorf("dataset: TotalBytes %d too small for %d images", s.TotalBytes, s.NumImages)
+	}
+	return nil
+}
+
+// MeanImageBytes returns the average payload size implied by the spec,
+// accounting for per-record framing overhead.
+func (s Spec) MeanImageBytes() int64 {
+	return s.TotalBytes/int64(s.NumImages) - tfrecord.Overhead
+}
+
+// Shard describes one TFRecord file of the dataset.
+type Shard struct {
+	// Name is the file name within the dataset directory.
+	Name string
+	// Size is the on-disk size including framing.
+	Size int64
+	// Records indexes every record in file order.
+	Records tfrecord.Index
+}
+
+// Manifest is the fully-resolved layout of a dataset.
+type Manifest struct {
+	Spec   Spec
+	Shards []Shard
+}
+
+// TotalBytes returns the exact on-disk footprint of all shards.
+func (m *Manifest) TotalBytes() int64 {
+	var t int64
+	for i := range m.Shards {
+		t += m.Shards[i].Size
+	}
+	return t
+}
+
+// NumRecords returns the total record count.
+func (m *Manifest) NumRecords() int {
+	n := 0
+	for i := range m.Shards {
+		n += len(m.Shards[i].Records)
+	}
+	return n
+}
+
+// ShardName formats the canonical shard file name, mirroring TF's
+// "name.tfrecord-00017-of-01600" convention (extension varies with the
+// format).
+func ShardName(base string, f Format, index, total int) string {
+	return fmt.Sprintf("%s.%s-%05d-of-%05d", base, f.extension(), index, total)
+}
+
+// Plan computes the manifest for spec deterministically.
+func Plan(spec Spec) (*Manifest, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	src := rng.New(spec.Seed)
+	mean := float64(spec.MeanImageBytes())
+	m := &Manifest{Spec: spec, Shards: make([]Shard, spec.NumShards)}
+
+	perShard := spec.NumImages / spec.NumShards
+	extra := spec.NumImages % spec.NumShards
+	for i := 0; i < spec.NumShards; i++ {
+		count := perShard
+		if i < extra {
+			count++
+		}
+		shard := Shard{
+			Name:    ShardName(spec.Name, spec.Format, i, spec.NumShards),
+			Records: make(tfrecord.Index, count),
+		}
+		off := int64(0)
+		for r := 0; r < count; r++ {
+			size := imageSize(src, mean, spec.SizeSigma)
+			e := tfrecord.Entry{Offset: off, Length: size}
+			shard.Records[r] = e
+			off = spec.Format.RecordEnd(e)
+		}
+		shard.Size = off
+		m.Shards[i] = shard
+	}
+	return m, nil
+}
+
+// imageSize samples one image payload size: lognormal around mean with
+// spread sigma, clamped to at least 1 byte.
+func imageSize(src *rng.Source, mean, sigma float64) int64 {
+	if sigma <= 0 {
+		return int64(mean)
+	}
+	v := int64(src.LogNormalMean(mean, sigma))
+	if v < 1 {
+		v = 1
+	}
+	return v
+}
+
+// Materialize writes the dataset's shards into b as real TFRecord files
+// and returns the manifest they follow. Payload bytes are deterministic
+// per record so reads are verifiable.
+func Materialize(ctx context.Context, b storage.Backend, spec Spec) (*Manifest, error) {
+	m, err := Plan(spec)
+	if err != nil {
+		return nil, err
+	}
+	recID := 0
+	for _, shard := range m.Shards {
+		data, err := buildShard(spec, shard, &recID)
+		if err != nil {
+			return nil, err
+		}
+		if err := b.WriteFile(ctx, shard.Name, data); err != nil {
+			return nil, fmt.Errorf("dataset: writing %s: %w", shard.Name, err)
+		}
+	}
+	return m, nil
+}
+
+// recordWriter is the framing interface both formats satisfy.
+type recordWriter interface {
+	Write(data []byte) error
+	Flush() error
+}
+
+func buildShard(spec Spec, shard Shard, recID *int) ([]byte, error) {
+	buf := make(sliceWriter, 0, shard.Size)
+	var w recordWriter
+	if spec.Format == RecordIO {
+		w = recordio.NewWriter(&buf)
+	} else {
+		w = tfrecord.NewWriter(&buf)
+	}
+	for _, e := range shard.Records {
+		id := *recID
+		*recID = id + 1
+		var payload []byte
+		if spec.TFExamplePayloads {
+			var err error
+			payload, err = ExamplePayload(id, int(e.Length))
+			if err != nil {
+				return nil, fmt.Errorf("dataset: shard %s record %d: %w", shard.Name, id, err)
+			}
+		} else {
+			payload = Payload(id, int(e.Length))
+		}
+		if err := w.Write(payload); err != nil {
+			return nil, err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return nil, err
+	}
+	if int64(len(buf)) != shard.Size {
+		return nil, fmt.Errorf("dataset: shard %s built %d bytes, planned %d",
+			shard.Name, len(buf), shard.Size)
+	}
+	return buf, nil
+}
+
+// Payload returns the deterministic content of record id with the given
+// length: a cheap keyed byte pattern, so corruption and misrouted reads
+// are detectable without storing originals.
+func Payload(id, length int) []byte {
+	p := make([]byte, length)
+	x := uint64(id)*0x9e3779b97f4a7c15 + 0x3c6ef372fe94f82a
+	for i := range p {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		p[i] = byte(x)
+	}
+	return p
+}
+
+// ExamplePayload returns record id's content as a serialized
+// tf.Example of exactly `length` bytes: deterministic image bytes, the
+// class label id%1000 (ImageNet's class count), and a filename.
+func ExamplePayload(id, length int) ([]byte, error) {
+	return tfexample.MarshalToSize(int64(id%1000), fmt.Sprintf("img-%08d.jpg", id),
+		length, byte(id*131+17))
+}
+
+// sliceWriter lets tfrecord.Writer append into a preallocated slice.
+type sliceWriter []byte
+
+func (s *sliceWriter) Write(p []byte) (int, error) {
+	*s = append(*s, p...)
+	return len(p), nil
+}
+
+// Frontera reproduces the paper's two evaluation datasets at an
+// arbitrary scale in (0, 1]. Scale 1 is the full 100 GiB / 200 GiB pair;
+// benches run smaller scales. The shard-size choice (64 MiB vs 32 MiB)
+// is our substitution documented in DESIGN.md — the paper does not state
+// shard counts.
+func Frontera(scale float64) (ds100, ds200 Spec) {
+	if scale <= 0 || scale > 1 {
+		panic(fmt.Sprintf("dataset: scale %v out of (0, 1]", scale))
+	}
+	const gib = int64(1) << 30
+	ds100 = Spec{
+		Name:       "imagenet-100g",
+		NumImages:  scaleInt(900_000, scale),
+		TotalBytes: int64(float64(100*gib) * scale),
+		NumShards:  scaleInt(1600, scale),
+		SizeSigma:  0.35,
+		Seed:       100,
+	}
+	ds200 = Spec{
+		Name:       "imagenet-200g",
+		NumImages:  scaleInt(3_000_000, scale),
+		TotalBytes: int64(float64(200*gib) * scale),
+		NumShards:  scaleInt(6400, scale),
+		SizeSigma:  0.35,
+		Seed:       200,
+	}
+	return ds100, ds200
+}
+
+func scaleInt(n int, scale float64) int {
+	v := int(float64(n) * scale)
+	if v < 1 {
+		return 1
+	}
+	return v
+}

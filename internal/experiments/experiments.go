@@ -1,0 +1,193 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"monarch/internal/dataset"
+	"monarch/internal/report"
+)
+
+// Check is one shape assertion against the paper's reported behaviour.
+// Checks validate orderings and reduction bands, never absolute
+// seconds: the substrate is a simulator, not the authors' testbed.
+type Check struct {
+	Name   string
+	Pass   bool
+	Detail string
+}
+
+// Outcome is what one experiment produces.
+type Outcome struct {
+	Tables []*report.Table
+	Charts []*report.BarChart
+	Checks []Check
+}
+
+// Failed returns the names of failing checks.
+func (o *Outcome) Failed() []string {
+	var f []string
+	for _, c := range o.Checks {
+		if !c.Pass {
+			f = append(f, c.Name+": "+c.Detail)
+		}
+	}
+	return f
+}
+
+// Render writes tables, charts and check results to w.
+func (o *Outcome) Render(w io.Writer) {
+	for _, c := range o.Charts {
+		c.Render(w)
+		fmt.Fprintln(w)
+	}
+	for _, t := range o.Tables {
+		t.Render(w)
+		fmt.Fprintln(w)
+	}
+	for _, c := range o.Checks {
+		status := "PASS"
+		if !c.Pass {
+			status = "FAIL"
+		}
+		fmt.Fprintf(w, "  [%s] %s — %s\n", status, c.Name, c.Detail)
+	}
+}
+
+func (o *Outcome) check(name string, pass bool, format string, args ...any) {
+	o.Checks = append(o.Checks, Check{Name: name, Pass: pass, Detail: fmt.Sprintf(format, args...)})
+}
+
+// Experiment regenerates one of the paper's figures or tables (or one
+// of this reproduction's ablations).
+type Experiment struct {
+	// ID is the DESIGN.md experiment id ("fig1", "tab-io-ops", ...).
+	ID string
+	// Title is a human-readable headline.
+	Title string
+	// Paper summarises what the original reports.
+	Paper string
+	// Run executes the experiment under p.
+	Run func(p Params) (*Outcome, error)
+}
+
+// All returns the registry in DESIGN.md order.
+func All() []Experiment {
+	return []Experiment{
+		fig1(), tabResourcesMotivation(), fig3(), fig4(), tabIOOps(),
+		tabResourcesEval(), tabMetadataInit(),
+		ablEviction(), ablThreads(), ablStaging(), ablFullFetch(),
+		ablPFSSpeed(), ablCoverage(), ablCompute(), ablReaders(),
+		extMultiTier(), extPyTorch(), extDistributed(), extResilience(),
+		traceTimeline(), tabLatency(),
+	}
+}
+
+// ByID resolves an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range All() {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", id)
+}
+
+// Cache memoises aggregates across experiments that share
+// configurations (fig1 and the motivation resource table, for
+// instance). Attach with Params.Cache.
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]*Aggregate
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache { return &Cache{m: make(map[string]*Aggregate)} }
+
+func (p Params) cacheKey(setup Setup, model string, spec dataset.Spec) string {
+	k := p
+	k.Cache = nil
+	return fmt.Sprintf("%s|%s|%s|%+v", setup, model, spec.Name, k)
+}
+
+// run executes RunMany through the cache when one is attached.
+func run(setup Setup, model string, spec dataset.Spec, p Params) (*Aggregate, error) {
+	if p.Cache == nil {
+		return RunMany(setup, model, spec, p)
+	}
+	key := p.cacheKey(setup, model, spec)
+	p.Cache.mu.Lock()
+	agg, ok := p.Cache.m[key]
+	p.Cache.mu.Unlock()
+	if ok {
+		return agg, nil
+	}
+	agg, err := RunMany(setup, model, spec, p)
+	if err != nil {
+		return nil, err
+	}
+	p.Cache.mu.Lock()
+	p.Cache.m[key] = agg
+	p.Cache.mu.Unlock()
+	return agg, nil
+}
+
+// matrix runs every (setup, model) combination over one dataset.
+type matrix map[Setup]map[string]*Aggregate
+
+func runMatrix(p Params, setups []Setup, modelNames []string, spec dataset.Spec) (matrix, error) {
+	out := make(matrix)
+	for _, s := range setups {
+		out[s] = make(map[string]*Aggregate)
+		for _, m := range modelNames {
+			agg, err := run(s, m, spec, p)
+			if err != nil {
+				return nil, fmt.Errorf("%s/%s/%s: %w", s, m, spec.Name, err)
+			}
+			out[s][m] = agg
+		}
+	}
+	return out, nil
+}
+
+// trainingChart renders the per-epoch grouped bars of a Figure 1/3/4
+// style plot for one model.
+func trainingChart(title string, epochs int, aggs []*Aggregate) *report.BarChart {
+	c := report.NewBarChart(title)
+	for e := 0; e < epochs; e++ {
+		group := fmt.Sprintf("epoch %d", e+1)
+		for _, a := range aggs {
+			c.Add(group, string(a.Setup), a.EpochTime[e].Mean(), a.EpochTime[e].StdDev(), " s")
+		}
+	}
+	group := "total"
+	for _, a := range aggs {
+		c.Add(group, string(a.Setup), a.TotalTime.Mean(), a.TotalTime.StdDev(), " s")
+	}
+	return c
+}
+
+// reduction returns 1 - with/without, i.e. the fractional improvement.
+func reduction(baseline, improved float64) float64 {
+	if baseline == 0 {
+		return 0
+	}
+	return 1 - improved/baseline
+}
+
+// within reports |a-b| <= tol*max(|a|,|b|).
+func within(a, b, tol float64) bool {
+	m := a
+	if b > m {
+		m = b
+	}
+	if m == 0 {
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d <= tol*m
+}

@@ -1,0 +1,154 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestAllExperimentsPassChecks runs every registered experiment at
+// reduced scale and asserts every built-in shape check against the
+// paper's reported behaviour passes.
+func TestAllExperimentsPassChecks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment sweep skipped in -short mode")
+	}
+	p := QuickParams()
+	p.Cache = NewCache()
+	for _, exp := range All() {
+		exp := exp
+		t.Run(exp.ID, func(t *testing.T) {
+			o, err := exp.Run(p)
+			if err != nil {
+				t.Fatalf("%s: %v", exp.ID, err)
+			}
+			if len(o.Checks) == 0 {
+				t.Fatalf("%s produced no checks", exp.ID)
+			}
+			for _, c := range o.Checks {
+				if c.Pass {
+					t.Logf("PASS %s — %s", c.Name, c.Detail)
+				} else {
+					t.Errorf("FAIL %s — %s", c.Name, c.Detail)
+				}
+			}
+			if len(o.Tables) == 0 && len(o.Charts) == 0 {
+				t.Errorf("%s produced no tables or charts", exp.ID)
+			}
+		})
+	}
+}
+
+func TestRegistryIDsUniqueAndResolvable(t *testing.T) {
+	seen := map[string]bool{}
+	for _, e := range All() {
+		if e.ID == "" || e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %q incomplete", e.ID)
+		}
+		if seen[e.ID] {
+			t.Errorf("duplicate id %q", e.ID)
+		}
+		seen[e.ID] = true
+		got, err := ByID(e.ID)
+		if err != nil || got.ID != e.ID {
+			t.Errorf("ByID(%q) failed: %v", e.ID, err)
+		}
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Error("ByID should fail for unknown ids")
+	}
+}
+
+func TestOutcomeRenderAndFailed(t *testing.T) {
+	o := &Outcome{}
+	o.check("good", true, "fine")
+	o.check("bad", false, "broken %d", 7)
+	if got := o.Failed(); len(got) != 1 || !strings.Contains(got[0], "broken 7") {
+		t.Fatalf("Failed() = %v", got)
+	}
+	var b strings.Builder
+	o.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "[PASS] good") || !strings.Contains(out, "[FAIL] bad") {
+		t.Fatalf("render:\n%s", out)
+	}
+}
+
+func TestCacheReuses(t *testing.T) {
+	p := QuickParams()
+	p.Runs = 1
+	p.Cache = NewCache()
+	ds100, _ := p.Datasets()
+	a, err := run(VanillaLocal, "lenet", ds100, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := run(VanillaLocal, "lenet", ds100, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("cache did not reuse the aggregate")
+	}
+	// Different configuration must miss.
+	pp := p
+	pp.PlacementThreads++
+	c, err := run(VanillaLocal, "lenet", ds100, pp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c == a {
+		t.Fatal("cache conflated distinct configurations")
+	}
+}
+
+func TestWithinAndReduction(t *testing.T) {
+	if !within(100, 105, 0.10) || within(100, 150, 0.10) {
+		t.Fatal("within broken")
+	}
+	if !within(0, 0, 0.1) {
+		t.Fatal("within(0,0) should hold")
+	}
+	if r := reduction(200, 150); r != 0.25 {
+		t.Fatalf("reduction = %v", r)
+	}
+	if reduction(0, 5) != 0 {
+		t.Fatal("reduction with zero baseline")
+	}
+}
+
+func TestParamsHelpers(t *testing.T) {
+	p := DefaultParams(0.5)
+	if p.SSDQuota() != (115<<30)/2 {
+		t.Fatalf("quota = %d", p.SSDQuota())
+	}
+	ds100, ds200 := p.Datasets()
+	if ds100.TotalBytes != 50<<30 || ds200.TotalBytes != 100<<30 {
+		t.Fatalf("dataset sizes %d/%d", ds100.TotalBytes, ds200.TotalBytes)
+	}
+	if p.ScaledDuration(100).Seconds() != 50 {
+		t.Fatal("ScaledDuration broken")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad scale should panic")
+		}
+	}()
+	DefaultParams(2)
+}
+
+func TestQuotaCovered(t *testing.T) {
+	p := QuickParams()
+	_, ds200 := p.Datasets()
+	man, err := planFor(ds200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cov := quotaCovered(man, p.SSDQuota())
+	// 115 GiB of 200 GiB ≈ 57.5%.
+	if cov < 0.5 || cov > 0.65 {
+		t.Fatalf("coverage = %v", cov)
+	}
+	if quotaCovered(man, 0) != 1 || quotaCovered(man, man.TotalBytes()+1) != 1 {
+		t.Fatal("degenerate coverage cases")
+	}
+}

@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+
+	"monarch/internal/dataset"
+	"monarch/internal/report"
+)
+
+// ablEviction demonstrates the §III-A design argument: under random
+// once-per-epoch access with an undersized tier, eviction policies only
+// churn data between tiers and add PFS traffic.
+func ablEviction() Experiment {
+	return Experiment{
+		ID:    "abl-eviction",
+		Title: "Ablation — no-eviction vs LRU/FIFO replacement (200 GiB, LeNet)",
+		Paper: "§III-A claims a cache-replacement policy would increase inter-tier " +
+			"operations and I/O thrashing; MONARCH therefore never evicts",
+		Run: func(p Params) (*Outcome, error) {
+			_, ds200 := p.Datasets()
+			o := &Outcome{}
+			t := report.NewTable("eviction ablation (mean over runs)",
+				"policy", "total time", "PFS ops", "PFS bytes", "placements", "evictions")
+
+			type row struct {
+				policy string
+				agg    *Aggregate
+				place  float64
+				evict  float64
+			}
+			var rows []row
+			for _, policy := range []string{"", "lru", "fifo"} {
+				pp := p
+				pp.Eviction = policy
+				man, err := planFor(ds200)
+				if err != nil {
+					return nil, err
+				}
+				var placements, evictions float64
+				agg := &Aggregate{Setup: Monarch, Model: "lenet", Dataset: ds200.Name}
+				for run := 0; run < pp.Runs; run++ {
+					r, err := RunOne(Monarch, "lenet", man, pp, pp.BaseSeed+uint64(run)*7919)
+					if err != nil {
+						return nil, err
+					}
+					agg.add(r)
+					placements += float64(r.Monarch.Placements) / float64(pp.Runs)
+					evictions += float64(r.Monarch.Evictions) / float64(pp.Runs)
+				}
+				name := policy
+				if name == "" {
+					name = "none (paper)"
+				}
+				t.Add(name, report.Seconds(agg.TotalTime.Mean()),
+					report.Count(int64(agg.PFSOpTotal.Mean())),
+					GiB(agg.PFSBytes.Mean()),
+					report.Count(int64(placements)), report.Count(int64(evictions)))
+				rows = append(rows, row{policy: name, agg: agg, place: placements, evict: evictions})
+			}
+			o.Tables = append(o.Tables, t)
+
+			none, lru, fifo := rows[0], rows[1], rows[2]
+			o.check("LRU evicts under an undersized tier", lru.evict > 0,
+				"%.0f evictions", lru.evict)
+			o.check("eviction inflates placements (tier churn)",
+				lru.place > 1.5*none.place,
+				"lru %.0f vs none %.0f", lru.place, none.place)
+			o.check("eviction adds PFS traffic (the paper's I/O trashing)",
+				lru.agg.PFSBytes.Mean() > 1.1*none.agg.PFSBytes.Mean() &&
+					fifo.agg.PFSBytes.Mean() > 1.1*none.agg.PFSBytes.Mean(),
+				"lru %s / fifo %s vs none %s",
+				GiB(lru.agg.PFSBytes.Mean()), GiB(fifo.agg.PFSBytes.Mean()),
+				GiB(none.agg.PFSBytes.Mean()))
+			o.check("eviction never beats no-eviction on training time",
+				lru.agg.TotalTime.Mean() >= 0.98*none.agg.TotalTime.Mean(),
+				"lru %.1f vs none %.1f", lru.agg.TotalTime.Mean(), none.agg.TotalTime.Mean())
+			return o, nil
+		},
+	}
+}
+
+// ablThreads sweeps the placement thread-pool size around the paper's
+// configured 6 threads.
+func ablThreads() Experiment {
+	return Experiment{
+		ID:    "abl-threads",
+		Title: "Ablation — placement thread-pool size (100 GiB, LeNet)",
+		Paper: "the prototype is configured with 6 background placement threads (§IV)",
+		Run: func(p Params) (*Outcome, error) {
+			ds100, _ := p.Datasets()
+			o := &Outcome{}
+			t := report.NewTable("thread-pool sweep (mean over runs)",
+				"threads", "epoch 1", "total", "PFS ops")
+			results := map[int]*Aggregate{}
+			for _, n := range []int{1, 2, 6, 12} {
+				pp := p
+				pp.PlacementThreads = n
+				agg, err := RunMany(Monarch, "lenet", ds100, pp)
+				if err != nil {
+					return nil, err
+				}
+				results[n] = agg
+				t.Add(fmt.Sprintf("%d", n),
+					report.Seconds(agg.EpochTime[0].Mean()),
+					report.Seconds(agg.TotalTime.Mean()),
+					report.Count(int64(agg.PFSOpTotal.Mean())))
+			}
+			o.Tables = append(o.Tables, t)
+			o.check("more placement threads do not slow epoch 1",
+				results[6].EpochTime[0].Mean() <= 1.10*results[1].EpochTime[0].Mean(),
+				"6 threads %.1f vs 1 thread %.1f",
+				results[6].EpochTime[0].Mean(), results[1].EpochTime[0].Mean())
+			o.check("returns diminish beyond the paper's 6 threads",
+				within(results[12].TotalTime.Mean(), results[6].TotalTime.Mean(), 0.10),
+				"12 threads %.1f vs 6 threads %.1f",
+				results[12].TotalTime.Mean(), results[6].TotalTime.Mean())
+			return o, nil
+		},
+	}
+}
+
+// ablStaging compares the paper's two placement-timing options.
+func ablStaging() Experiment {
+	return Experiment{
+		ID:    "abl-staging",
+		Title: "Ablation — pre-training staging vs place-on-first-read (100 GiB, LeNet)",
+		Paper: "§III-A picks option ii (place during epoch 1) to avoid delaying training " +
+			"start; both options issue the same PFS operations",
+		Run: func(p Params) (*Outcome, error) {
+			ds100, _ := p.Datasets()
+			onRead, err := run(Monarch, "lenet", ds100, p)
+			if err != nil {
+				return nil, err
+			}
+			pp := p
+			pp.PreStage = true
+			pre, err := RunMany(Monarch, "lenet", ds100, pp)
+			if err != nil {
+				return nil, err
+			}
+			o := &Outcome{}
+			t := report.NewTable("staging ablation (mean over runs)",
+				"mode", "staging/init", "epoch 1", "total train", "job total", "PFS ops")
+			t.Add("on-first-read", report.Seconds(onRead.InitTime.Mean()),
+				report.Seconds(onRead.EpochTime[0].Mean()),
+				report.Seconds(onRead.TotalTime.Mean()),
+				report.Seconds(onRead.InitTime.Mean()+onRead.TotalTime.Mean()),
+				report.Count(int64(onRead.PFSOpTotal.Mean())))
+			t.Add("pre-training", report.Seconds(pre.InitTime.Mean()),
+				report.Seconds(pre.EpochTime[0].Mean()),
+				report.Seconds(pre.TotalTime.Mean()),
+				report.Seconds(pre.InitTime.Mean()+pre.TotalTime.Mean()),
+				report.Count(int64(pre.PFSOpTotal.Mean())))
+			o.Tables = append(o.Tables, t)
+
+			o.check("pre-staging delays training start (paper's reason to reject it)",
+				pre.InitTime.Mean() > 5*onRead.InitTime.Mean(),
+				"pre-stage init %.1f s vs %.1f s", pre.InitTime.Mean(), onRead.InitTime.Mean())
+			o.check("pre-staged epoch 1 runs at local speed",
+				pre.EpochTime[0].Mean() < 0.8*onRead.EpochTime[0].Mean(),
+				"pre %.1f vs on-read %.1f", pre.EpochTime[0].Mean(), onRead.EpochTime[0].Mean())
+			jobOnRead := onRead.InitTime.Mean() + onRead.TotalTime.Mean()
+			jobPre := pre.InitTime.Mean() + pre.TotalTime.Mean()
+			o.check("whole-job time favours on-first-read (overlap wins)",
+				jobOnRead <= 1.05*jobPre,
+				"on-read %.1f vs pre %.1f", jobOnRead, jobPre)
+			return o, nil
+		},
+	}
+}
+
+// ablFullFetch toggles the §III-A full-file fetch optimisation.
+func ablFullFetch() Experiment {
+	return Experiment{
+		ID:    "abl-fullfetch",
+		Title: "Ablation — full-file background fetch on/off (100 GiB, LeNet)",
+		Paper: "§III-A: on a partial read MONARCH still fetches the whole file so " +
+			"subsequent requests hit the fast tier; this is what makes its epoch 1 " +
+			"faster than vanilla-lustre's",
+		Run: func(p Params) (*Outcome, error) {
+			ds100, _ := p.Datasets()
+			on, err := run(Monarch, "lenet", ds100, p)
+			if err != nil {
+				return nil, err
+			}
+			pp := p
+			pp.FullFileFetch = false
+			off, err := RunMany(Monarch, "lenet", ds100, pp)
+			if err != nil {
+				return nil, err
+			}
+			o := &Outcome{}
+			t := report.NewTable("full-fetch ablation (mean over runs)",
+				"fetch", "epoch 1", "total", "PFS ops", "placed bytes")
+			t.Add("on (paper)", report.Seconds(on.EpochTime[0].Mean()),
+				report.Seconds(on.TotalTime.Mean()),
+				report.Count(int64(on.PFSOpTotal.Mean())), GiB(on.Cached.Mean()))
+			t.Add("off", report.Seconds(off.EpochTime[0].Mean()),
+				report.Seconds(off.TotalTime.Mean()),
+				report.Count(int64(off.PFSOpTotal.Mean())), GiB(off.Cached.Mean()))
+			o.Tables = append(o.Tables, t)
+
+			o.check("without full fetch nothing is placed (256 KiB reads never cover a shard)",
+				off.Cached.Mean() == 0, "placed %s", GiB(off.Cached.Mean()))
+			o.check("full fetch is what cuts training time",
+				on.TotalTime.Mean() < 0.8*off.TotalTime.Mean(),
+				"on %.1f vs off %.1f", on.TotalTime.Mean(), off.TotalTime.Mean())
+			return o, nil
+		},
+	}
+}
+
+// extMultiTier exercises the paper's §VI future-work direction: a RAM
+// level above the SSD.
+func extMultiTier() Experiment {
+	return Experiment{
+		ID:    "ext-multitier",
+		Title: "Extension — three-level hierarchy (RAM + SSD + PFS), 200 GiB, LeNet",
+		Paper: "§VI proposes hierarchies with additional levels (persistent memory, RAM); " +
+			"a third level should extend coverage of the oversized dataset",
+		Run: func(p Params) (*Outcome, error) {
+			_, ds200 := p.Datasets()
+			two, err := run(Monarch, "lenet", ds200, p)
+			if err != nil {
+				return nil, err
+			}
+			pp := p
+			pp.ExtraTierBytes = 48 << 30 // the node's RAM set-aside
+			three, err := RunMany(Monarch, "lenet", ds200, pp)
+			if err != nil {
+				return nil, err
+			}
+			o := &Outcome{}
+			t := report.NewTable("multi-tier extension (mean over runs)",
+				"hierarchy", "total time", "PFS ops", "placed bytes")
+			t.Add("ssd+pfs", report.Seconds(two.TotalTime.Mean()),
+				report.Count(int64(two.PFSOpTotal.Mean())), GiB(two.Cached.Mean()))
+			t.Add("ram+ssd+pfs", report.Seconds(three.TotalTime.Mean()),
+				report.Count(int64(three.PFSOpTotal.Mean())), GiB(three.Cached.Mean()))
+			o.Tables = append(o.Tables, t)
+
+			o.check("extra tier extends placement coverage",
+				three.Cached.Mean() > 1.2*two.Cached.Mean(),
+				"3-level %s vs 2-level %s", GiB(three.Cached.Mean()), GiB(two.Cached.Mean()))
+			o.check("extra tier reduces PFS traffic further",
+				three.PFSOpTotal.Mean() < two.PFSOpTotal.Mean(),
+				"%.0f vs %.0f ops", three.PFSOpTotal.Mean(), two.PFSOpTotal.Mean())
+			o.check("extra tier does not slow training",
+				three.TotalTime.Mean() <= 1.05*two.TotalTime.Mean(),
+				"3-level %.1f vs 2-level %.1f", three.TotalTime.Mean(), two.TotalTime.Mean())
+			return o, nil
+		},
+	}
+}
+
+// planFor resolves a dataset spec to its manifest for experiments that
+// need per-run results rather than aggregates.
+func planFor(spec dataset.Spec) (*dataset.Manifest, error) { return dataset.Plan(spec) }

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"monarch/internal/dataset"
+	"monarch/internal/models"
+	"monarch/internal/report"
+)
+
+// time1 converts a float nanosecond count back to a duration.
+func time1(ns float64) time.Duration { return time.Duration(ns) }
+
+// runStepScaled runs (vanilla, monarch) over ds with a LeNet profile
+// whose GPU step time is scaled by f, returning mean totals and the
+// vanilla run's GPU utilisation.
+func runStepScaled(p Params, ds dataset.Spec, f float64) (vanillaMean, monarchMean, vanillaGPU float64, err error) {
+	man, err := dataset.Plan(ds)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	mdl := models.LeNet()
+	mdl.Name = fmt.Sprintf("lenet-x%g", f)
+	mdl.StepTime = time1(float64(mdl.StepTime) * f)
+	for _, setup := range []Setup{VanillaLustre, Monarch} {
+		var total, gpu float64
+		for r := 0; r < p.Runs; r++ {
+			res, err := RunOneModel(setup, mdl, man, p, p.BaseSeed+uint64(r)*7919)
+			if err != nil {
+				return 0, 0, 0, err
+			}
+			total += res.Train.Total.Seconds() / float64(p.Runs)
+			gpu += res.Train.GPUUtil / float64(p.Runs)
+		}
+		if setup == VanillaLustre {
+			vanillaMean, vanillaGPU = total, gpu
+		} else {
+			monarchMean = total
+		}
+	}
+	return vanillaMean, monarchMean, vanillaGPU, nil
+}
+
+// ablPFSSpeed sweeps the PFS's bandwidth to locate the crossover where
+// tiering stops paying: as the shared file system approaches the local
+// SSD's speed, MONARCH's benefit must vanish (and never go negative
+// beyond noise). This bounds the paper's claims: they hold *because*
+// Frontera's per-client Lustre share is well below local-SSD speed.
+func ablPFSSpeed() Experiment {
+	return Experiment{
+		ID:    "abl-pfs-speed",
+		Title: "Ablation — PFS speed sensitivity (100 GiB, LeNet)",
+		Paper: "implied by §II: the gap between Lustre and local storage is the entire " +
+			"opportunity; a fast-enough PFS leaves nothing to win",
+		Run: func(p Params) (*Outcome, error) {
+			ds100, _ := p.Datasets()
+			o := &Outcome{}
+			t := report.NewTable("PFS bandwidth sweep (mean over runs)",
+				"PFS speed", "vanilla total", "monarch total", "benefit")
+			factors := []float64{0.5, 1, 2, 4}
+			benefits := make([]float64, len(factors))
+			for i, f := range factors {
+				pp := p
+				pp.Lustre.ReadBandwidth *= f
+				pp.Lustre.WriteBandwidth *= f
+				pp.Lustre.PerOpCost = time1(float64(pp.Lustre.PerOpCost) / f)
+				vanilla, err := RunMany(VanillaLustre, "lenet", ds100, pp)
+				if err != nil {
+					return nil, err
+				}
+				mon, err := RunMany(Monarch, "lenet", ds100, pp)
+				if err != nil {
+					return nil, err
+				}
+				benefits[i] = reduction(vanilla.TotalTime.Mean(), mon.TotalTime.Mean())
+				t.Add(fmt.Sprintf("%.1fx", f),
+					report.Seconds(vanilla.TotalTime.Mean()),
+					report.Seconds(mon.TotalTime.Mean()),
+					fmt.Sprintf("%+.0f%%", -100*benefits[i]))
+			}
+			o.Tables = append(o.Tables, t)
+
+			o.check("benefit grows as the PFS slows (0.5x vs 1x)",
+				benefits[0] > benefits[1],
+				"0.5x: −%.0f%%, 1x: −%.0f%%", 100*benefits[0], 100*benefits[1])
+			o.check("benefit shrinks toward the crossover (4x PFS)",
+				benefits[3] < benefits[1],
+				"4x: −%.0f%%, 1x: −%.0f%%", 100*benefits[3], 100*benefits[1])
+			// At 4x the PFS (1.7 GiB/s) outpaces the SSD (0.5 GiB/s):
+			// the hierarchy's "descending performance" premise (§III-A)
+			// is inverted, so tiering must stop helping — and may hurt,
+			// since MONARCH would demote reads to the slower device.
+			// That is the crossover this sweep exists to locate.
+			o.check("crossover found: tiering stops paying once the PFS outpaces tier 0",
+				benefits[3] <= 0.02,
+				"benefit at 4x PFS: %+.0f%%", 100*benefits[3])
+			return o, nil
+		},
+	}
+}
+
+// ablCompute sweeps the model's GPU step time across the I/O-bound to
+// compute-bound continuum. LeNet, AlexNet and ResNet-50 are three
+// points on this curve (the paper's model selection); the sweep shows
+// the whole law: MONARCH's benefit decays to zero as compute starts to
+// dominate, which is exactly why the paper's ResNet-50 bars are flat.
+func ablCompute() Experiment {
+	return Experiment{
+		ID:    "abl-compute",
+		Title: "Ablation — GPU step-time sweep: I/O-bound to compute-bound (100 GiB)",
+		Paper: "§II/§IV: LeNet and AlexNet benefit because they are I/O-bound; " +
+			"ResNet-50 does not because it is compute-bound",
+		Run: func(p Params) (*Outcome, error) {
+			ds100, _ := p.Datasets()
+			o := &Outcome{}
+			t := report.NewTable("step-time sweep (LeNet profile scaled, mean over runs)",
+				"step scale", "vanilla total", "monarch total", "benefit", "vanilla GPU util")
+			scales := []float64{0.25, 1, 4, 16}
+			benefits := make([]float64, len(scales))
+			for i, f := range scales {
+				// Sweep by scaling where the paper's models differ: the
+				// per-batch GPU time. The harness resolves models by
+				// name, so express the sweep as a step-time multiplier
+				// threaded through a custom experiments run.
+				vanilla, mon, gpuUtil, err := runStepScaled(p, ds100, f)
+				if err != nil {
+					return nil, err
+				}
+				benefits[i] = reduction(vanilla, mon)
+				t.Add(fmt.Sprintf("%.2gx", f),
+					report.Seconds(vanilla), report.Seconds(mon),
+					fmt.Sprintf("−%.0f%%", 100*benefits[i]),
+					report.Percent(gpuUtil))
+			}
+			o.Tables = append(o.Tables, t)
+			o.check("I/O-bound end benefits most (0.25x step)",
+				benefits[0] >= benefits[1]-0.03,
+				"0.25x: −%.0f%%, 1x: −%.0f%%", 100*benefits[0], 100*benefits[1])
+			o.check("benefit decays as compute grows (16x step ≈ ResNet regime)",
+				benefits[3] < 0.08 && benefits[3] < benefits[1],
+				"16x: −%.0f%%, 1x: −%.0f%%", 100*benefits[3], 100*benefits[1])
+			o.check("benefit is monotone along the continuum (within noise)",
+				benefits[1] >= benefits[2]-0.05 && benefits[2] >= benefits[3]-0.05,
+				"benefits: %.2f %.2f %.2f %.2f", benefits[0], benefits[1], benefits[2], benefits[3])
+			return o, nil
+		},
+	}
+}
+
+// ablReaders sweeps the pipeline's parallel-read width. The paper
+// enables "I/O parallelism" in TensorFlow without quantifying it; the
+// sweep shows why it matters on a high-latency PFS (single-stream reads
+// cannot fill the shared pipe) and that MONARCH's benefit is robust to
+// the setting.
+func ablReaders() Experiment {
+	return Experiment{
+		ID:    "abl-readers",
+		Title: "Ablation — parallel-read width (100 GiB, LeNet)",
+		Paper: "§II enables TensorFlow's I/O parallelism; latency-bound single-stream " +
+			"reads would otherwise starve the pipeline",
+		Run: func(p Params) (*Outcome, error) {
+			ds100, _ := p.Datasets()
+			o := &Outcome{}
+			t := report.NewTable("reader-width sweep (mean over runs)",
+				"readers", "vanilla total", "monarch total", "benefit")
+			widths := []int{1, 4, 16, 32}
+			vanilla := make([]float64, len(widths))
+			benefit := make([]float64, len(widths))
+			for i, w := range widths {
+				pp := p
+				pp.Pipeline.Readers = w
+				v, err := RunMany(VanillaLustre, "lenet", ds100, pp)
+				if err != nil {
+					return nil, err
+				}
+				m, err := RunMany(Monarch, "lenet", ds100, pp)
+				if err != nil {
+					return nil, err
+				}
+				vanilla[i] = v.TotalTime.Mean()
+				benefit[i] = reduction(v.TotalTime.Mean(), m.TotalTime.Mean())
+				t.Add(fmt.Sprintf("%d", w),
+					report.Seconds(v.TotalTime.Mean()),
+					report.Seconds(m.TotalTime.Mean()),
+					fmt.Sprintf("−%.0f%%", 100*benefit[i]))
+			}
+			o.Tables = append(o.Tables, t)
+			o.check("parallel reads are required on a high-latency PFS",
+				vanilla[0] > 1.5*vanilla[2],
+				"1 reader %.1f s vs 16 readers %.1f s", vanilla[0], vanilla[2])
+			o.check("width has diminishing returns once the PFS pipe saturates",
+				within(vanilla[3], vanilla[2], 0.15),
+				"32 readers %.1f s vs 16 readers %.1f s", vanilla[3], vanilla[2])
+			o.check("MONARCH helps at every practical width",
+				benefit[1] > 0.1 && benefit[2] > 0.1 && benefit[3] > 0.1,
+				"benefits: %.0f%% %.0f%% %.0f%%", 100*benefit[1], 100*benefit[2], 100*benefit[3])
+			return o, nil
+		},
+	}
+}
+
+// ablCoverage sweeps the dataset-size-to-quota ratio: MONARCH's op
+// reduction should track the cached fraction (the partial-caching law
+// behind the paper's 200 GiB result), degrading gracefully — never a
+// cliff — as the dataset outgrows the tier.
+func ablCoverage() Experiment {
+	return Experiment{
+		ID:    "abl-coverage",
+		Title: "Ablation — dataset size vs tier-0 quota (LeNet)",
+		Paper: "§IV: with 115 GiB of 200 GiB cachable, steady-state PFS ops fall to the " +
+			"uncached share; the law should hold at any ratio",
+		Run: func(p Params) (*Outcome, error) {
+			ds100, _ := p.Datasets()
+			o := &Outcome{}
+			t := report.NewTable("coverage sweep (mean over runs)",
+				"dataset/quota", "covered", "steady-state PFS ops remaining", "total time vs vanilla")
+			ratios := []float64{0.5, 1.5, 3.0}
+			remaining := make([]float64, len(ratios))
+			for i, ratio := range ratios {
+				spec := ds100
+				spec.Name = fmt.Sprintf("cov-%03.0f", ratio*100)
+				spec.TotalBytes = int64(float64(p.SSDQuota()) * ratio)
+				spec.NumImages = int(float64(spec.TotalBytes) / float64(ds100.TotalBytes) * float64(ds100.NumImages))
+				spec.NumShards = int(float64(spec.TotalBytes) / float64(ds100.TotalBytes) * float64(ds100.NumShards))
+				if spec.NumShards < 2 {
+					spec.NumShards = 2
+				}
+				if spec.NumImages < spec.NumShards {
+					spec.NumImages = spec.NumShards
+				}
+				vanilla, err := RunMany(VanillaLustre, "lenet", spec, p)
+				if err != nil {
+					return nil, err
+				}
+				mon, err := RunMany(Monarch, "lenet", spec, p)
+				if err != nil {
+					return nil, err
+				}
+				covered := 1.0
+				if ratio > 1 {
+					covered = 1 / ratio
+				}
+				last := p.Epochs - 1
+				remaining[i] = mon.PFSOps[last].Mean() / vanilla.PFSOps[last].Mean()
+				t.Add(fmt.Sprintf("%.1fx", ratio), report.Percent(covered),
+					report.Percent(remaining[i]),
+					fmt.Sprintf("−%.0f%%", 100*reduction(vanilla.TotalTime.Mean(), mon.TotalTime.Mean())))
+
+				o.check(fmt.Sprintf("steady-state remainder tracks the uncached share at %.1fx", ratio),
+					within(remaining[i], 1-covered, 0.15) || (covered == 1 && remaining[i] < 0.05),
+					"remaining %.0f%% vs uncached %.0f%%", 100*remaining[i], 100*(1-covered))
+			}
+			o.Tables = append(o.Tables, t)
+			o.check("degradation is graceful (remainder monotone in dataset size)",
+				remaining[0] <= remaining[1]+0.05 && remaining[1] <= remaining[2]+0.05,
+				"remainders: %.2f %.2f %.2f", remaining[0], remaining[1], remaining[2])
+			return o, nil
+		},
+	}
+}

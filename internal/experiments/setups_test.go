@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"monarch/internal/dataset"
+	"monarch/internal/sim"
+	"monarch/internal/simstore"
+	"monarch/internal/storage"
+)
+
+func setupManifest(t *testing.T) (*dataset.Manifest, Params) {
+	t.Helper()
+	p := QuickParams()
+	ds100, _ := p.Datasets()
+	man, err := dataset.Plan(ds100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return man, p
+}
+
+func TestBuildRigAllSetups(t *testing.T) {
+	man, p := setupManifest(t)
+	for _, setup := range AllSetups() {
+		env := sim.NewEnv(1)
+		r, err := buildRig(env, setup, man, p)
+		if err != nil {
+			env.Close()
+			t.Fatalf("%s: %v", setup, err)
+		}
+		if r.source == nil {
+			t.Errorf("%s: nil source", setup)
+		}
+		switch setup {
+		case VanillaLocal:
+			if r.pfs != nil {
+				t.Errorf("%s should not track a PFS", setup)
+			}
+		default:
+			if r.pfs == nil {
+				t.Errorf("%s must track the PFS", setup)
+			}
+		}
+		if (setup == Monarch) != (r.monarch != nil) {
+			t.Errorf("%s: monarch presence wrong", setup)
+		}
+		env.Close()
+	}
+}
+
+func TestBuildRigUnknownSetup(t *testing.T) {
+	man, p := setupManifest(t)
+	env := sim.NewEnv(1)
+	defer env.Close()
+	if _, err := buildRig(env, Setup("bogus"), man, p); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestBuildRigUnknownEvictionPolicy(t *testing.T) {
+	man, p := setupManifest(t)
+	p.Eviction = "arc"
+	env := sim.NewEnv(1)
+	defer env.Close()
+	if _, err := buildRig(env, Monarch, man, p); err == nil ||
+		!strings.Contains(err.Error(), "eviction") {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestBuildRigLocalSetupsRejectOversizedDataset(t *testing.T) {
+	_, p := setupManifest(t)
+	_, ds200 := p.Datasets()
+	man, err := dataset.Plan(ds200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, setup := range []Setup{VanillaLocal, VanillaCaching} {
+		env := sim.NewEnv(1)
+		_, err := buildRig(env, setup, man, p)
+		env.Close()
+		if err == nil {
+			t.Errorf("%s accepted a dataset bigger than the local tier", setup)
+		}
+	}
+	// MONARCH is precisely the setup that must accept it.
+	env := sim.NewEnv(1)
+	defer env.Close()
+	if _, err := buildRig(env, Monarch, man, p); err != nil {
+		t.Fatalf("monarch rejected oversized dataset: %v", err)
+	}
+}
+
+func TestBuildRigMultiTier(t *testing.T) {
+	man, p := setupManifest(t)
+	p.ExtraTierBytes = 32 << 30
+	env := sim.NewEnv(1)
+	defer env.Close()
+	r, err := buildRig(env, Monarch, man, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.monarch.Levels() != 3 {
+		t.Fatalf("levels = %d, want 3", r.monarch.Levels())
+	}
+}
+
+func TestCachingSourceWriteThroughAndHit(t *testing.T) {
+	man, p := setupManifest(t)
+	env := sim.NewEnv(1)
+	defer env.Close()
+	p.Lustre.LatencySigma = 0
+	p.UseInterference = false
+	lustre := simstore.NewStore(simstore.NewDevice(env, p.Lustre), "lustre", 0)
+	for i := range man.Shards {
+		lustre.AddFile(man.Shards[i].Name, man.Shards[i].Size)
+	}
+	lustre.SetReadOnly(true)
+	pfs := storage.NewCounting(lustre)
+	ssdDev := simstore.NewDevice(env, p.SSD)
+	src := newCachingSource(env, pfs, ssdDev, man)
+
+	shard := man.Shards[0]
+	env.Go("reader", func(proc *sim.Proc) {
+		ctx := proc.Context()
+		buf := make([]byte, 256<<10)
+		// First pass: sequential full read → PFS + write-through.
+		off := int64(0)
+		for off < shard.Size {
+			n, err := src.ReadAt(ctx, shard.Name, buf, off)
+			if err != nil || n == 0 {
+				t.Errorf("first pass at %d: n=%d err=%v", off, n, err)
+				return
+			}
+			off += int64(n)
+		}
+		if src.cachedBytes() != shard.Size {
+			t.Errorf("cached = %d, want %d", src.cachedBytes(), shard.Size)
+		}
+		pfsBefore := pfs.Counts().DataOps()
+		// Second pass: must hit the cache only.
+		off = 0
+		for off < shard.Size {
+			n, err := src.ReadAt(ctx, shard.Name, buf, off)
+			if err != nil || n == 0 {
+				t.Errorf("second pass: n=%d err=%v", n, err)
+				return
+			}
+			off += int64(n)
+		}
+		if got := pfs.Counts().DataOps(); got != pfsBefore {
+			t.Errorf("cache hit still touched PFS: %d ops", got-pfsBefore)
+		}
+		// Unknown shard.
+		if _, err := src.ReadAt(ctx, "ghost", buf, 0); err == nil {
+			t.Error("unknown shard accepted")
+		}
+		// Reads past EOF on a cached shard.
+		if n, err := src.ReadAt(ctx, shard.Name, buf, shard.Size+10); n != 0 || err != nil {
+			t.Errorf("past-EOF: n=%d err=%v", n, err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// Write-through must have charged the SSD for the whole shard once.
+	_, wOps, _, _, bw := ssdDev.Stats()
+	if bw != shard.Size {
+		t.Fatalf("ssd wrote %d bytes, want %d (ops %d)", bw, shard.Size, wOps)
+	}
+}
+
+func TestRunOneRejectsErrors(t *testing.T) {
+	man, p := setupManifest(t)
+	if _, err := RunOne(Setup("bogus"), "lenet", man, p, 1); err == nil {
+		t.Fatal("bogus setup accepted")
+	}
+	if _, err := RunOne(VanillaLocal, "vgg", man, p, 1); err == nil {
+		t.Fatal("unknown model accepted")
+	}
+}
+
+func TestAllSetupsOrder(t *testing.T) {
+	s := AllSetups()
+	if len(s) != 4 || s[0] != VanillaLustre || s[3] != Monarch {
+		t.Fatalf("setups = %v", s)
+	}
+}
+
+func TestRunResultTotalPFSOps(t *testing.T) {
+	r := RunResult{PFSOpsPerEpoch: []int64{10, 20, 30}}
+	if r.TotalPFSOps() != 60 {
+		t.Fatalf("total = %d", r.TotalPFSOps())
+	}
+}
+
+func TestGiBFormatter(t *testing.T) {
+	if GiB(float64(3<<30)) != "3.0 GiB" {
+		t.Fatal(GiB(float64(3 << 30)))
+	}
+}
+
+// Ensure errors from simulated runs surface rather than hang: a model
+// validation failure must come back as an error.
+func TestRunManyPropagatesModelError(t *testing.T) {
+	p := QuickParams()
+	ds100, _ := p.Datasets()
+	if _, err := RunMany(VanillaLocal, "nope", ds100, p); err == nil {
+		t.Fatal("expected error")
+	}
+	var wantErr error
+	_ = wantErr
+	_ = errors.Is
+}

@@ -1,0 +1,41 @@
+package experiments
+
+import (
+	"testing"
+
+	"monarch/internal/dataset"
+)
+
+// TestSmokeShapes prints the headline behaviours at tiny scale; used
+// during calibration and kept as a fast end-to-end sanity check.
+func TestSmokeShapes(t *testing.T) {
+	p := QuickParams()
+	p.Runs = 1
+	ds100, ds200 := p.Datasets()
+
+	for _, model := range []string{"lenet"} {
+		for _, setup := range []Setup{VanillaLustre, VanillaLocal, VanillaCaching, Monarch} {
+			agg, err := RunMany(setup, model, ds100, p)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", setup, model, err)
+			}
+			t.Logf("ds100 %s %-15s epochs=[%.1f %.1f %.1f]s total=%.1fs cpu=%.0f%% gpu=%.0f%% pfsOps=%v init=%.2fs",
+				model, agg.Setup,
+				agg.EpochTime[0].Mean(), agg.EpochTime[1].Mean(), agg.EpochTime[2].Mean(),
+				agg.TotalTime.Mean(), 100*agg.CPUUtil.Mean(), 100*agg.GPUUtil.Mean(),
+				int64(agg.PFSOpTotal.Mean()), agg.InitTime.Mean())
+		}
+	}
+	for _, setup := range []Setup{VanillaLustre, Monarch} {
+		agg, err := RunMany(setup, "lenet", ds200, p)
+		if err != nil {
+			t.Fatalf("ds200 %s: %v", setup, err)
+		}
+		t.Logf("ds200 lenet %-15s epochs=[%.1f %.1f %.1f]s total=%.1fs pfsOpsPerEpoch=[%v %v %v]",
+			agg.Setup,
+			agg.EpochTime[0].Mean(), agg.EpochTime[1].Mean(), agg.EpochTime[2].Mean(),
+			agg.TotalTime.Mean(),
+			int64(agg.PFSOps[0].Mean()), int64(agg.PFSOps[1].Mean()), int64(agg.PFSOps[2].Mean()))
+	}
+	_ = dataset.Spec{}
+}

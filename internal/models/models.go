@@ -1,0 +1,97 @@
+// Package models holds the cost profiles of the paper's three
+// evaluation networks. The reproduction does not train networks — it
+// reproduces their *resource footprints*: LeNet and AlexNet are
+// I/O-bound on the paper's testbed (small/medium GPU step times, so the
+// storage path gates the epoch), ResNet-50 is compute-bound (the GPUs
+// gate the epoch regardless of storage).
+//
+// Step times are per global batch across the node's 4 GPUs; preprocess
+// cost is CPU-core time per image. Values are calibrated against the
+// paper's Figure 1 as documented in DESIGN.md §5.
+package models
+
+import (
+	"fmt"
+	"time"
+)
+
+// Model is a cost profile.
+type Model struct {
+	// Name is the paper's model name.
+	Name string
+	// StepTime is the synchronous data-parallel step duration for one
+	// global batch using all GPUs.
+	StepTime time.Duration
+	// StepSigma is the lognormal spread of step times.
+	StepSigma float64
+	// GPUBusyFraction is the share of the step during which the GPUs
+	// are actually occupied (the rest is host-side sync overhead).
+	GPUBusyFraction float64
+	// PreprocessPerImage is CPU-core time to decode/augment one image.
+	PreprocessPerImage time.Duration
+}
+
+// Validate reports profile errors.
+func (m Model) Validate() error {
+	switch {
+	case m.Name == "":
+		return fmt.Errorf("models: empty name")
+	case m.StepTime <= 0:
+		return fmt.Errorf("models: %s: non-positive step time", m.Name)
+	case m.GPUBusyFraction <= 0 || m.GPUBusyFraction > 1:
+		return fmt.Errorf("models: %s: GPU busy fraction %v out of (0,1]", m.Name, m.GPUBusyFraction)
+	case m.PreprocessPerImage < 0:
+		return fmt.Errorf("models: %s: negative preprocess cost", m.Name)
+	}
+	return nil
+}
+
+// LeNet is the paper's most I/O-bound model: a tiny network whose step
+// barely occupies the GPUs.
+func LeNet() Model {
+	return Model{
+		Name:               "lenet",
+		StepTime:           24 * time.Millisecond,
+		StepSigma:          0.05,
+		GPUBusyFraction:    1.0,
+		PreprocessPerImage: 4400 * time.Microsecond,
+	}
+}
+
+// AlexNet is moderately I/O-bound: heavier steps than LeNet but still
+// gated by Lustre throughput on the paper's testbed.
+func AlexNet() Model {
+	return Model{
+		Name:               "alexnet",
+		StepTime:           90 * time.Millisecond,
+		StepSigma:          0.05,
+		GPUBusyFraction:    0.8,
+		PreprocessPerImage: 4400 * time.Microsecond,
+	}
+}
+
+// ResNet50 is compute-bound: its step time dominates any storage
+// configuration in the evaluation, which is why the paper's Figures 1,
+// 3 and 4 show flat ResNet bars.
+func ResNet50() Model {
+	return Model{
+		Name:               "resnet50",
+		StepTime:           330 * time.Millisecond,
+		StepSigma:          0.04,
+		GPUBusyFraction:    0.9,
+		PreprocessPerImage: 4400 * time.Microsecond,
+	}
+}
+
+// All returns the evaluation's model set in the paper's order.
+func All() []Model { return []Model{LeNet(), AlexNet(), ResNet50()} }
+
+// ByName resolves a model by its paper name.
+func ByName(name string) (Model, error) {
+	for _, m := range All() {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Model{}, fmt.Errorf("models: unknown model %q", name)
+}

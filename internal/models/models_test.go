@@ -1,0 +1,56 @@
+package models
+
+import (
+	"testing"
+	"time"
+)
+
+func TestPresetsValidate(t *testing.T) {
+	for _, m := range All() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestComputeOrdering(t *testing.T) {
+	// The evaluation relies on LeNet < AlexNet < ResNet-50 compute
+	// demand: that ordering decides which models are I/O-bound.
+	if !(LeNet().StepTime < AlexNet().StepTime && AlexNet().StepTime < ResNet50().StepTime) {
+		t.Fatal("step-time ordering violated")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"lenet", "alexnet", "resnet50"} {
+		m, err := ByName(name)
+		if err != nil || m.Name != name {
+			t.Errorf("ByName(%q) = %+v, %v", name, m, err)
+		}
+	}
+	if _, err := ByName("vgg"); err == nil {
+		t.Error("unknown model should error")
+	}
+}
+
+func TestAllOrderMatchesPaper(t *testing.T) {
+	all := All()
+	if len(all) != 3 || all[0].Name != "lenet" || all[1].Name != "alexnet" || all[2].Name != "resnet50" {
+		t.Fatalf("All() = %v", all)
+	}
+}
+
+func TestValidateRejectsBadProfiles(t *testing.T) {
+	bad := []Model{
+		{},
+		{Name: "x", StepTime: 0, GPUBusyFraction: 1},
+		{Name: "x", StepTime: time.Second, GPUBusyFraction: 0},
+		{Name: "x", StepTime: time.Second, GPUBusyFraction: 1.5},
+		{Name: "x", StepTime: time.Second, GPUBusyFraction: 1, PreprocessPerImage: -time.Second},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("profile %d should be invalid", i)
+		}
+	}
+}

@@ -1,0 +1,303 @@
+// Package pipeline models a TensorFlow-style tf.data input pipeline on
+// the simulation clock. It reproduces the I/O behaviour MONARCH's
+// evaluation depends on:
+//
+//   - TFRecord shards are consumed by a fixed set of parallel reader
+//     streams (parallel interleave); shard order is reshuffled every
+//     epoch, so every file is read exactly once per epoch in random
+//     order — the access pattern §III-A's no-eviction argument rests on;
+//   - each reader issues fixed-size preads (256 KiB by default, which is
+//     what makes the paper's 200 GiB epoch count ~798 k I/O operations);
+//   - records flow through a parallel preprocess (map) stage that burns
+//     CPU-core time per image, then are batched and staged in a bounded
+//     prefetch buffer the trainer consumes from.
+//
+// The pipeline is storage-agnostic: it reads through a Source, which is
+// either a raw backend (the vanilla baselines) or a MONARCH instance.
+package pipeline
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"monarch/internal/dataset"
+	"monarch/internal/rng"
+	"monarch/internal/sim"
+)
+
+// Source is the read interface the pipeline consumes shard bytes
+// through. Both storage.Backend and core.Monarch satisfy it.
+type Source interface {
+	ReadAt(ctx context.Context, name string, p []byte, off int64) (int, error)
+}
+
+// Config parameterises one pipeline instance.
+type Config struct {
+	// Manifest is the dataset layout to iterate.
+	Manifest *dataset.Manifest `json:"-"`
+	// Source serves the shard bytes.
+	Source Source `json:"-"`
+	// Readers is the parallel-interleave width (TF cycle_length).
+	Readers int
+	// ReadSize is the pread granularity in bytes.
+	ReadSize int
+	// GroupSize is how many records travel together between stages
+	// (models TF's fused map_and_batch vectorisation).
+	GroupSize int
+	// PreprocessWorkers is the map-stage parallelism (TF
+	// num_parallel_calls).
+	PreprocessWorkers int
+	// PreprocessPerImage is CPU-core time per record.
+	PreprocessPerImage time.Duration
+	// CPU is the node's core pool; preprocess holds one unit per
+	// worker while it runs. Optional: nil skips CPU accounting.
+	CPU *sim.Resource `json:"-"`
+	// BatchSize is records per training batch.
+	BatchSize int
+	// PrefetchBatches bounds the ready-batch buffer (TF prefetch).
+	PrefetchBatches int
+	// GroupQueueLen bounds the reader→map hand-off buffer.
+	GroupQueueLen int
+	// SelectShards, when set, restricts an epoch to a subset of shard
+	// indices (distributed data-parallel sharding). It receives the
+	// epoch number and the total shard count and returns the indices
+	// this pipeline should read; nil means all shards.
+	SelectShards func(epoch, total int) []int `json:"-"`
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Manifest == nil:
+		return fmt.Errorf("pipeline: nil manifest")
+	case c.Source == nil:
+		return fmt.Errorf("pipeline: nil source")
+	case c.Readers <= 0:
+		return fmt.Errorf("pipeline: Readers = %d", c.Readers)
+	case c.ReadSize <= 0:
+		return fmt.Errorf("pipeline: ReadSize = %d", c.ReadSize)
+	case c.GroupSize <= 0:
+		return fmt.Errorf("pipeline: GroupSize = %d", c.GroupSize)
+	case c.PreprocessWorkers <= 0:
+		return fmt.Errorf("pipeline: PreprocessWorkers = %d", c.PreprocessWorkers)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("pipeline: BatchSize = %d", c.BatchSize)
+	case c.PrefetchBatches <= 0:
+		return fmt.Errorf("pipeline: PrefetchBatches = %d", c.PrefetchBatches)
+	}
+	return nil
+}
+
+// DefaultConfig mirrors the evaluation's TensorFlow settings (parallel
+// I/O, parallel preprocessing and prefetching enabled, §II).
+func DefaultConfig() Config {
+	return Config{
+		Readers:           16,
+		ReadSize:          256 << 10,
+		GroupSize:         32,
+		PreprocessWorkers: 24,
+		BatchSize:         256,
+		PrefetchBatches:   8,
+		GroupQueueLen:     64,
+	}
+}
+
+// Batch is one training batch handed to the consumer.
+type Batch struct {
+	// Records is the number of images in the batch (the final batch of
+	// an epoch may be short).
+	Records int
+}
+
+// group is the unit flowing between reader, map and batch stages.
+type group struct {
+	records int
+}
+
+// Epoch runs one epoch's worth of stages. Construct with StartEpoch;
+// consume with Next until ok is false; then inspect Stats.
+type Epoch struct {
+	out   *sim.Queue[Batch]
+	errs  []error
+	cfg   Config
+	epoch int
+}
+
+// EpochStats summarises one finished epoch.
+type EpochStats struct {
+	Records int
+	Batches int
+}
+
+// StartEpoch spawns the pipeline processes for epoch number `epoch` in
+// env. Shard order derives deterministically from shuffleSeed and the
+// epoch number.
+func StartEpoch(env *sim.Env, cfg Config, epoch int, shuffleSeed uint64) (*Epoch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Epoch{
+		cfg:   cfg,
+		epoch: epoch,
+		out:   sim.NewQueue[Batch](env, fmt.Sprintf("prefetch-e%d", epoch), cfg.PrefetchBatches),
+	}
+
+	// Reshuffle shard order each epoch, as tf.data's
+	// shuffle(reshuffle_each_iteration=True) over file names does.
+	// With a shard selector only the assigned subset is permuted.
+	candidates := len(cfg.Manifest.Shards)
+	var order []int
+	if cfg.SelectShards != nil {
+		subset := cfg.SelectShards(epoch, candidates)
+		perm := rng.New(shuffleSeed + uint64(epoch)*0x9e37).Perm(len(subset))
+		order = make([]int, len(subset))
+		for i, pi := range perm {
+			order[i] = subset[pi]
+		}
+	} else {
+		order = rng.New(shuffleSeed + uint64(epoch)*0x9e37).Perm(candidates)
+	}
+
+	groups := sim.NewQueue[group](env, fmt.Sprintf("groups-e%d", epoch), cfg.GroupQueueLen)
+	preprocessed := sim.NewQueue[group](env, fmt.Sprintf("mapped-e%d", epoch), cfg.GroupQueueLen)
+
+	// Shard dispatcher state: readers pull the next shard index.
+	next := 0
+	takeShard := func() (int, bool) {
+		if next >= len(order) {
+			return 0, false
+		}
+		s := order[next]
+		next++
+		return s, true
+	}
+
+	readers := sim.NewWaitGroup(env)
+	for r := 0; r < cfg.Readers; r++ {
+		readers.Add(1)
+		env.Go(fmt.Sprintf("reader-%d-e%d", r, epoch), func(p *sim.Proc) {
+			defer readers.Done()
+			buf := make([]byte, cfg.ReadSize)
+			ctx := p.Context()
+			for {
+				si, ok := takeShard()
+				if !ok {
+					return
+				}
+				if err := e.readShard(ctx, p, buf, &cfg.Manifest.Shards[si], groups); err != nil {
+					e.errs = append(e.errs, err)
+					return
+				}
+			}
+		})
+	}
+	env.Go(fmt.Sprintf("reader-closer-e%d", epoch), func(p *sim.Proc) {
+		readers.Wait(p)
+		groups.Close()
+	})
+
+	mappers := sim.NewWaitGroup(env)
+	for w := 0; w < cfg.PreprocessWorkers; w++ {
+		mappers.Add(1)
+		env.Go(fmt.Sprintf("map-%d-e%d", w, epoch), func(p *sim.Proc) {
+			defer mappers.Done()
+			for {
+				g, ok := groups.Get(p)
+				if !ok {
+					return
+				}
+				if cfg.PreprocessPerImage > 0 {
+					work := time.Duration(g.records) * cfg.PreprocessPerImage
+					if cfg.CPU != nil {
+						cfg.CPU.Acquire(p, 1)
+						p.Sleep(work)
+						cfg.CPU.Release(1)
+					} else {
+						p.Sleep(work)
+					}
+				}
+				preprocessed.Put(p, g)
+			}
+		})
+	}
+	env.Go(fmt.Sprintf("map-closer-e%d", epoch), func(p *sim.Proc) {
+		mappers.Wait(p)
+		preprocessed.Close()
+	})
+
+	env.Go(fmt.Sprintf("batcher-e%d", epoch), func(p *sim.Proc) {
+		pending := 0
+		for {
+			g, ok := preprocessed.Get(p)
+			if !ok {
+				if pending > 0 {
+					e.out.Put(p, Batch{Records: pending})
+				}
+				e.out.Close()
+				return
+			}
+			pending += g.records
+			for pending >= cfg.BatchSize {
+				e.out.Put(p, Batch{Records: cfg.BatchSize})
+				pending -= cfg.BatchSize
+			}
+		}
+	})
+
+	return e, nil
+}
+
+// readShard streams one TFRecord shard: sequential fixed-size preads,
+// records grouped and pushed downstream as soon as their bytes are
+// buffered. This reproduces TF's RecordReader over a buffered stream.
+func (e *Epoch) readShard(ctx context.Context, p *sim.Proc, buf []byte, shard *dataset.Shard, groups *sim.Queue[group]) error {
+	format := e.cfg.Manifest.Spec.Format
+	buffered := int64(0)
+	inGroup := 0
+	for _, rec := range shard.Records {
+		end := format.RecordEnd(rec)
+		for end > buffered {
+			n, err := e.cfg.Source.ReadAt(ctx, shard.Name, buf, buffered)
+			if err != nil {
+				return fmt.Errorf("pipeline: shard %s at %d: %w", shard.Name, buffered, err)
+			}
+			if n == 0 {
+				return fmt.Errorf("pipeline: shard %s truncated at %d (want %d)",
+					shard.Name, buffered, end)
+			}
+			buffered += int64(n)
+		}
+		inGroup++
+		if inGroup >= e.cfg.GroupSize {
+			groups.Put(p, group{records: inGroup})
+			inGroup = 0
+		}
+	}
+	if inGroup > 0 {
+		groups.Put(p, group{records: inGroup})
+	}
+	return nil
+}
+
+// Next returns the next ready batch; ok is false when the epoch is
+// exhausted.
+func (e *Epoch) Next(p *sim.Proc) (Batch, bool) { return e.out.Get(p) }
+
+// Err returns the first pipeline error, if any.
+func (e *Epoch) Err() error {
+	if len(e.errs) > 0 {
+		return e.errs[0]
+	}
+	return nil
+}
+
+// BufferBytes estimates the resident memory of the pipeline's buffers,
+// used by the experiments' memory-usage report.
+func (c Config) BufferBytes(meanImage int64) int64 {
+	groupBytes := int64(c.GroupSize) * meanImage
+	batchBytes := int64(c.BatchSize) * meanImage
+	return int64(c.GroupQueueLen)*2*groupBytes + // reader + map hand-offs
+		int64(c.PrefetchBatches)*batchBytes +
+		int64(c.Readers)*int64(c.ReadSize)
+}

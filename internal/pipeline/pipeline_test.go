@@ -1,0 +1,534 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"monarch/internal/dataset"
+	"monarch/internal/sim"
+	"monarch/internal/simstore"
+)
+
+// testManifest plans a small deterministic dataset.
+func testManifest(t *testing.T, images, shards int, totalBytes int64) *dataset.Manifest {
+	t.Helper()
+	m, err := dataset.Plan(dataset.Spec{
+		Name:       "t",
+		NumImages:  images,
+		TotalBytes: totalBytes,
+		NumShards:  shards,
+		SizeSigma:  0.2,
+		Seed:       3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// mountStore registers the manifest's shards on a fresh simulated
+// store.
+func mountStore(env *sim.Env, m *dataset.Manifest, spec simstore.DeviceSpec) *simstore.Store {
+	st := simstore.NewStore(simstore.NewDevice(env, spec), spec.Name, 0)
+	for i := range m.Shards {
+		st.AddFile(m.Shards[i].Name, m.Shards[i].Size)
+	}
+	return st
+}
+
+func fastSpec() simstore.DeviceSpec {
+	s := simstore.SSDSpec()
+	s.LatencySigma = 0
+	return s
+}
+
+func smallConfig(m *dataset.Manifest, src Source) Config {
+	cfg := DefaultConfig()
+	cfg.Manifest = m
+	cfg.Source = src
+	cfg.Readers = 4
+	cfg.ReadSize = 4 << 10
+	cfg.GroupSize = 8
+	cfg.PreprocessWorkers = 4
+	cfg.PreprocessPerImage = 100 * time.Microsecond
+	cfg.BatchSize = 16
+	cfg.PrefetchBatches = 4
+	cfg.GroupQueueLen = 8
+	return cfg
+}
+
+// runEpoch consumes one epoch fully and returns total records, batches,
+// and the virtual duration.
+func runEpoch(t *testing.T, cfg Config, epoch int) (records, batches int, elapsed sim.Time, env *sim.Env) {
+	t.Helper()
+	env = sim.NewEnv(7)
+	t.Cleanup(env.Close)
+	if st, ok := cfg.Source.(*deferredSource); ok {
+		st.bind(env)
+	}
+	env.Go("trainer", func(p *sim.Proc) {
+		ep, err := StartEpoch(env, cfg, epoch, 99)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			b, ok := ep.Next(p)
+			if !ok {
+				break
+			}
+			records += b.Records
+			batches++
+		}
+		if err := ep.Err(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return records, batches, env.Now(), env
+}
+
+// deferredSource lets tests build the store after the env exists.
+type deferredSource struct {
+	mk  func(env *sim.Env) Source
+	src Source
+}
+
+func (d *deferredSource) bind(env *sim.Env) { d.src = d.mk(env) }
+func (d *deferredSource) ReadAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	return d.src.ReadAt(ctx, name, p, off)
+}
+
+func TestEpochDeliversEveryRecordExactlyOnce(t *testing.T) {
+	m := testManifest(t, 200, 10, 400_000)
+	cfg := smallConfig(m, &deferredSource{mk: func(env *sim.Env) Source {
+		return mountStore(env, m, fastSpec())
+	}})
+	records, batches, _, _ := runEpoch(t, cfg, 0)
+	if records != 200 {
+		t.Fatalf("records = %d, want 200", records)
+	}
+	wantBatches := (200 + cfg.BatchSize - 1) / cfg.BatchSize
+	if batches != wantBatches {
+		t.Fatalf("batches = %d, want %d", batches, wantBatches)
+	}
+}
+
+func TestBatchSizesExact(t *testing.T) {
+	m := testManifest(t, 100, 5, 200_000)
+	cfg := smallConfig(m, &deferredSource{mk: func(env *sim.Env) Source {
+		return mountStore(env, m, fastSpec())
+	}})
+	cfg.BatchSize = 30
+	env := sim.NewEnv(1)
+	defer env.Close()
+	cfg.Source.(*deferredSource).bind(env)
+	var sizes []int
+	env.Go("trainer", func(p *sim.Proc) {
+		ep, err := StartEpoch(env, cfg, 0, 5)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			b, ok := ep.Next(p)
+			if !ok {
+				return
+			}
+			sizes = append(sizes, b.Records)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i, s := range sizes {
+		total += s
+		if i < len(sizes)-1 && s != 30 {
+			t.Fatalf("non-final batch %d has %d records", i, s)
+		}
+	}
+	if total != 100 {
+		t.Fatalf("total = %d", total)
+	}
+	if last := sizes[len(sizes)-1]; last != 10 {
+		t.Fatalf("final batch = %d, want 10", last)
+	}
+}
+
+func TestEveryShardReadFullyEachEpoch(t *testing.T) {
+	m := testManifest(t, 128, 8, 256_000)
+	var store *simstore.Store
+	cfg := smallConfig(m, &deferredSource{mk: func(env *sim.Env) Source {
+		store = mountStore(env, m, fastSpec())
+		return store
+	}})
+	runEpoch(t, cfg, 0)
+	_, _, _, bytesRead, _ := store.Device().Stats()
+	if bytesRead != m.TotalBytes() {
+		t.Fatalf("bytes read = %d, manifest = %d", bytesRead, m.TotalBytes())
+	}
+}
+
+func TestReadOpCountMatchesGranularity(t *testing.T) {
+	// With ReadSize R, each shard of size S costs ceil-ish S/R preads.
+	m := testManifest(t, 64, 4, 1_000_000)
+	var store *simstore.Store
+	cfg := smallConfig(m, &deferredSource{mk: func(env *sim.Env) Source {
+		store = mountStore(env, m, fastSpec())
+		return store
+	}})
+	cfg.ReadSize = 64 << 10
+	runEpoch(t, cfg, 0)
+	readOps, _, _, _, _ := store.Device().Stats()
+	var want int64
+	for i := range m.Shards {
+		want += (m.Shards[i].Size + int64(cfg.ReadSize) - 1) / int64(cfg.ReadSize)
+	}
+	if readOps != want {
+		t.Fatalf("read ops = %d, want %d", readOps, want)
+	}
+}
+
+func TestShardOrderReshufflesAcrossEpochs(t *testing.T) {
+	m := testManifest(t, 64, 16, 128_000)
+	var order0, order1 []string
+	record := func(dst *[]string) Source {
+		return sourceFunc(func(ctx context.Context, name string, p []byte, off int64) (int, error) {
+			if off == 0 {
+				*dst = append(*dst, name)
+			}
+			return len(p), nil
+		})
+	}
+	run := func(epoch int, src Source) {
+		env := sim.NewEnv(1)
+		defer env.Close()
+		cfg := smallConfig(m, src)
+		cfg.Readers = 1 // serial so the touch order is the shard order
+		env.Go("t", func(p *sim.Proc) {
+			ep, err := StartEpoch(env, cfg, epoch, 42)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			for {
+				if _, ok := ep.Next(p); !ok {
+					return
+				}
+			}
+		})
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run(0, record(&order0))
+	run(1, record(&order1))
+	if len(order0) != 16 || len(order1) != 16 {
+		t.Fatalf("orders: %d / %d shards", len(order0), len(order1))
+	}
+	same := true
+	for i := range order0 {
+		if order0[i] != order1[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("shard order identical across epochs")
+	}
+}
+
+// sourceFunc adapts a function to Source. The simulation still needs a
+// proc context but this source charges no time.
+type sourceFunc func(ctx context.Context, name string, p []byte, off int64) (int, error)
+
+func (f sourceFunc) ReadAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	return f(ctx, name, p, off)
+}
+
+func TestSameSeedSameOrder(t *testing.T) {
+	m := testManifest(t, 32, 8, 64_000)
+	collect := func() []string {
+		var order []string
+		env := sim.NewEnv(1)
+		defer env.Close()
+		cfg := smallConfig(m, sourceFunc(func(ctx context.Context, name string, p []byte, off int64) (int, error) {
+			if off == 0 {
+				order = append(order, name)
+			}
+			return len(p), nil
+		}))
+		cfg.Readers = 1
+		env.Go("t", func(p *sim.Proc) {
+			ep, _ := StartEpoch(env, cfg, 3, 1234)
+			for {
+				if _, ok := ep.Next(p); !ok {
+					return
+				}
+			}
+		})
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return order
+	}
+	a, b := collect(), collect()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed+epoch gave different shard orders")
+		}
+	}
+}
+
+func TestPreprocessChargesCPU(t *testing.T) {
+	m := testManifest(t, 100, 4, 200_000)
+	env := sim.NewEnv(1)
+	defer env.Close()
+	cpu := sim.NewResource(env, "cpu", 8)
+	store := mountStore(env, m, fastSpec())
+	cfg := smallConfig(m, store)
+	cfg.CPU = cpu
+	cfg.PreprocessPerImage = 10 * time.Millisecond
+	env.Go("t", func(p *sim.Proc) {
+		ep, err := StartEpoch(env, cfg, 0, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			if _, ok := ep.Next(p); !ok {
+				return
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	// 100 images × 10 ms = 1 core-second of work. Epoch wall time must
+	// be at least the critical path through 4 workers.
+	if env.Now() < sim.Time(250*time.Millisecond) {
+		t.Fatalf("epoch finished unrealistically fast: %v", env.Now().Duration())
+	}
+	if cpu.Utilization() <= 0 {
+		t.Fatal("CPU utilization not recorded")
+	}
+}
+
+func TestSlowerDeviceSlowerEpoch(t *testing.T) {
+	// The motivation experiment in miniature: the same pipeline over a
+	// Lustre-like device must take longer than over the SSD model.
+	m := testManifest(t, 256, 8, 4<<20)
+	run := func(spec simstore.DeviceSpec) sim.Time {
+		cfg := smallConfig(m, &deferredSource{mk: func(env *sim.Env) Source {
+			return mountStore(env, m, spec)
+		}})
+		cfg.ReadSize = 256 << 10
+		_, _, elapsed, _ := runEpoch(t, cfg, 0)
+		return elapsed
+	}
+	lustre := simstore.LustreSpec()
+	lustre.LatencySigma = 0
+	ssdTime, lustreTime := run(fastSpec()), run(lustre)
+	if lustreTime <= ssdTime {
+		t.Fatalf("lustre epoch (%v) not slower than ssd epoch (%v)",
+			lustreTime.Duration(), ssdTime.Duration())
+	}
+}
+
+func TestPrefetchBoundsBatchQueue(t *testing.T) {
+	m := testManifest(t, 512, 4, 1<<20)
+	env := sim.NewEnv(1)
+	defer env.Close()
+	store := mountStore(env, m, fastSpec())
+	cfg := smallConfig(m, store)
+	cfg.PrefetchBatches = 2
+	env.Go("slow-trainer", func(p *sim.Proc) {
+		ep, err := StartEpoch(env, cfg, 0, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			_, ok := ep.Next(p)
+			if !ok {
+				return
+			}
+			p.Sleep(50 * time.Millisecond) // trainer slower than pipeline
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourceErrorSurfaces(t *testing.T) {
+	m := testManifest(t, 32, 2, 64_000)
+	wantErr := errors.New("device on fire")
+	env := sim.NewEnv(1)
+	defer env.Close()
+	cfg := smallConfig(m, sourceFunc(func(ctx context.Context, name string, p []byte, off int64) (int, error) {
+		return 0, wantErr
+	}))
+	var gotRecords int
+	var pipelineErr error
+	env.Go("t", func(p *sim.Proc) {
+		ep, err := StartEpoch(env, cfg, 0, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			b, ok := ep.Next(p)
+			if !ok {
+				break
+			}
+			gotRecords += b.Records
+		}
+		pipelineErr = ep.Err()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(pipelineErr, wantErr) {
+		t.Fatalf("pipeline error = %v", pipelineErr)
+	}
+	if gotRecords != 0 {
+		t.Fatalf("records delivered despite failing source: %d", gotRecords)
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	m := testManifest(t, 8, 2, 16_000)
+	good := smallConfig(m, sourceFunc(func(context.Context, string, []byte, int64) (int, error) { return 0, nil }))
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mutations := []func(*Config){
+		func(c *Config) { c.Manifest = nil },
+		func(c *Config) { c.Source = nil },
+		func(c *Config) { c.Readers = 0 },
+		func(c *Config) { c.ReadSize = 0 },
+		func(c *Config) { c.GroupSize = 0 },
+		func(c *Config) { c.PreprocessWorkers = 0 },
+		func(c *Config) { c.BatchSize = 0 },
+		func(c *Config) { c.PrefetchBatches = 0 },
+	}
+	for i, mut := range mutations {
+		bad := good
+		mut(&bad)
+		if err := bad.Validate(); err == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestBufferBytesEstimate(t *testing.T) {
+	cfg := DefaultConfig()
+	b := cfg.BufferBytes(100_000)
+	if b <= 0 {
+		t.Fatal("non-positive buffer estimate")
+	}
+	bigger := cfg
+	bigger.PrefetchBatches *= 2
+	if bigger.BufferBytes(100_000) <= b {
+		t.Fatal("estimate must grow with prefetch depth")
+	}
+}
+
+func TestSelectShardsRestrictsEpoch(t *testing.T) {
+	m := testManifest(t, 64, 8, 128_000)
+	var touched []string
+	env := sim.NewEnv(1)
+	defer env.Close()
+	cfg := smallConfig(m, sourceFunc(func(ctx context.Context, name string, p []byte, off int64) (int, error) {
+		if off == 0 {
+			touched = append(touched, name)
+		}
+		return len(p), nil
+	}))
+	cfg.SelectShards = func(epoch, total int) []int {
+		if total != 8 {
+			t.Errorf("total = %d", total)
+		}
+		// Node 1 of 2: odd shards only.
+		var out []int
+		for i := 1; i < total; i += 2 {
+			out = append(out, i)
+		}
+		return out
+	}
+	records := 0
+	env.Go("trainer", func(p *sim.Proc) {
+		ep, err := StartEpoch(env, cfg, 0, 9)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			b, ok := ep.Next(p)
+			if !ok {
+				return
+			}
+			records += b.Records
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(touched) != 4 {
+		t.Fatalf("touched %d shards, want 4: %v", len(touched), touched)
+	}
+	want := map[string]bool{}
+	for i := 1; i < 8; i += 2 {
+		want[m.Shards[i].Name] = true
+	}
+	for _, name := range touched {
+		if !want[name] {
+			t.Fatalf("read shard outside the selection: %s", name)
+		}
+	}
+	// Half the shards → half the records.
+	half := 0
+	for i := 1; i < 8; i += 2 {
+		half += len(m.Shards[i].Records)
+	}
+	if records != half {
+		t.Fatalf("records = %d, want %d", records, half)
+	}
+}
+
+func TestSelectShardsEmptySubset(t *testing.T) {
+	m := testManifest(t, 16, 4, 32_000)
+	env := sim.NewEnv(1)
+	defer env.Close()
+	cfg := smallConfig(m, sourceFunc(func(context.Context, string, []byte, int64) (int, error) {
+		t.Error("source touched despite empty selection")
+		return 0, nil
+	}))
+	cfg.SelectShards = func(int, int) []int { return nil }
+	batches := 0
+	env.Go("trainer", func(p *sim.Proc) {
+		ep, err := StartEpoch(env, cfg, 0, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			if _, ok := ep.Next(p); !ok {
+				return
+			}
+			batches++
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if batches != 0 {
+		t.Fatalf("batches = %d from empty selection", batches)
+	}
+}

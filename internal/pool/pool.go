@@ -1,0 +1,189 @@
+// Package pool provides the background-worker abstraction behind
+// MONARCH's placement handler.
+//
+// The paper implements the placement handler over the CTPL C++ thread
+// pool: a fixed set of threads copying files between storage tiers
+// while the framework's reads proceed in the foreground. Here the same
+// middleware code runs in two modes, so the pool is an interface:
+//
+//   - GoPool runs tasks on real goroutines (the usable-library mode);
+//   - SimPool runs tasks as simulation processes so copies consume
+//     virtual time and contend for simulated devices.
+package pool
+
+import (
+	"context"
+	"sync"
+
+	"monarch/internal/sim"
+)
+
+// Task is one unit of background work. The context identifies the
+// executing worker; in sim mode it carries the worker's process.
+type Task func(ctx context.Context)
+
+// Executor runs tasks on a fixed-size worker set. Submit never blocks
+// on task execution (the queue is unbounded) so foreground reads are
+// never delayed by placement backlog.
+type Executor interface {
+	// Submit enqueues a task; it reports false if the executor is
+	// closed, in which case the task will not run.
+	Submit(t Task) bool
+	// Pending returns queued plus currently-running task count.
+	Pending() int
+	// Workers returns the worker count.
+	Workers() int
+	// Close stops intake. Queued tasks still run; Close does not wait.
+	Close()
+}
+
+// GoPool is an Executor backed by real goroutines.
+type GoPool struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   []Task
+	pending int
+	closed  bool
+	workers int
+	wg      sync.WaitGroup
+}
+
+// NewGoPool starts a pool with n workers.
+func NewGoPool(n int) *GoPool {
+	if n <= 0 {
+		panic("pool: worker count must be positive")
+	}
+	p := &GoPool{workers: n}
+	p.cond = sync.NewCond(&p.mu)
+	for i := 0; i < n; i++ {
+		p.wg.Add(1)
+		go p.worker()
+	}
+	return p
+}
+
+func (p *GoPool) worker() {
+	defer p.wg.Done()
+	ctx := context.Background()
+	for {
+		p.mu.Lock()
+		for len(p.queue) == 0 && !p.closed {
+			p.cond.Wait()
+		}
+		if len(p.queue) == 0 && p.closed {
+			p.mu.Unlock()
+			return
+		}
+		t := p.queue[0]
+		p.queue = p.queue[1:]
+		p.mu.Unlock()
+
+		t(ctx)
+
+		p.mu.Lock()
+		p.pending--
+		p.mu.Unlock()
+	}
+}
+
+// Submit implements Executor.
+func (p *GoPool) Submit(t Task) bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return false
+	}
+	p.queue = append(p.queue, t)
+	p.pending++
+	p.cond.Signal()
+	return true
+}
+
+// Pending implements Executor.
+func (p *GoPool) Pending() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pending
+}
+
+// Workers implements Executor.
+func (p *GoPool) Workers() int { return p.workers }
+
+// Close implements Executor and additionally waits for queued tasks to
+// drain, so callers can rely on quiescence after Close returns.
+func (p *GoPool) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		return
+	}
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	p.wg.Wait()
+}
+
+// SimPool is an Executor whose workers are simulation processes.
+type SimPool struct {
+	env     *sim.Env
+	queue   *sim.Queue[Task]
+	pending int
+	workers int
+	closed  bool
+}
+
+// NewSimPool spawns n daemon worker processes in env.
+func NewSimPool(env *sim.Env, name string, n int) *SimPool {
+	if n <= 0 {
+		panic("pool: worker count must be positive")
+	}
+	p := &SimPool{
+		env:     env,
+		queue:   sim.NewQueue[Task](env, name+"-tasks", 0),
+		workers: n,
+	}
+	for i := 0; i < n; i++ {
+		env.GoDaemon(name+"-worker", func(proc *sim.Proc) {
+			ctx := proc.Context()
+			for {
+				t, ok := p.queue.Get(proc)
+				if !ok {
+					return
+				}
+				t(ctx)
+				p.pending--
+			}
+		})
+	}
+	return p
+}
+
+// Submit implements Executor. It must be called from within the
+// simulation (any process or scheduler callback).
+func (p *SimPool) Submit(t Task) bool {
+	if p.closed {
+		return false
+	}
+	p.pending++
+	if !p.queue.TryPut(t) {
+		p.pending--
+		return false
+	}
+	return true
+}
+
+// Pending implements Executor.
+func (p *SimPool) Pending() int { return p.pending }
+
+// Workers implements Executor.
+func (p *SimPool) Workers() int { return p.workers }
+
+// Close implements Executor. Queued tasks still run; workers exit once
+// the queue drains (or when the environment is closed).
+func (p *SimPool) Close() {
+	if p.closed {
+		return
+	}
+	p.closed = true
+	p.queue.Close()
+}

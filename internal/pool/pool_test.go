@@ -1,0 +1,200 @@
+package pool
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"monarch/internal/sim"
+)
+
+func TestGoPoolRunsAllTasks(t *testing.T) {
+	p := NewGoPool(4)
+	var n atomic.Int64
+	for i := 0; i < 100; i++ {
+		if !p.Submit(func(context.Context) { n.Add(1) }) {
+			t.Fatal("submit refused")
+		}
+	}
+	p.Close()
+	if n.Load() != 100 {
+		t.Fatalf("ran %d tasks, want 100", n.Load())
+	}
+}
+
+func TestGoPoolParallelism(t *testing.T) {
+	p := NewGoPool(4)
+	defer p.Close()
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		p.Submit(func(context.Context) {
+			defer wg.Done()
+			c := cur.Add(1)
+			for {
+				old := peak.Load()
+				if c <= old || peak.CompareAndSwap(old, c) {
+					break
+				}
+			}
+			time.Sleep(10 * time.Millisecond)
+			cur.Add(-1)
+		})
+	}
+	wg.Wait()
+	if got := peak.Load(); got > 4 {
+		t.Fatalf("observed %d concurrent tasks with 4 workers", got)
+	}
+	if got := peak.Load(); got < 2 {
+		t.Fatalf("pool never ran tasks concurrently (peak %d)", got)
+	}
+}
+
+func TestGoPoolSubmitAfterCloseRefused(t *testing.T) {
+	p := NewGoPool(1)
+	p.Close()
+	if p.Submit(func(context.Context) {}) {
+		t.Fatal("submit after close should be refused")
+	}
+	p.Close() // idempotent
+}
+
+func TestGoPoolCloseDrainsQueue(t *testing.T) {
+	p := NewGoPool(1)
+	var n atomic.Int64
+	for i := 0; i < 50; i++ {
+		p.Submit(func(context.Context) {
+			time.Sleep(100 * time.Microsecond)
+			n.Add(1)
+		})
+	}
+	p.Close()
+	if n.Load() != 50 {
+		t.Fatalf("close lost tasks: %d of 50 ran", n.Load())
+	}
+}
+
+func TestGoPoolPending(t *testing.T) {
+	p := NewGoPool(1)
+	release := make(chan struct{})
+	p.Submit(func(context.Context) { <-release })
+	p.Submit(func(context.Context) {})
+	// One running + one queued.
+	deadline := time.After(time.Second)
+	for p.Pending() != 2 {
+		select {
+		case <-deadline:
+			t.Fatalf("pending = %d, want 2", p.Pending())
+		default:
+			time.Sleep(time.Millisecond)
+		}
+	}
+	close(release)
+	p.Close()
+	if p.Pending() != 0 {
+		t.Fatalf("pending = %d after close", p.Pending())
+	}
+}
+
+func TestGoPoolWorkers(t *testing.T) {
+	p := NewGoPool(6)
+	defer p.Close()
+	if p.Workers() != 6 {
+		t.Fatalf("workers = %d", p.Workers())
+	}
+}
+
+func TestGoPoolPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewGoPool(0)
+}
+
+func TestSimPoolRunsTasksInVirtualTime(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	p := NewSimPool(env, "placer", 2)
+	var done []sim.Time
+	env.Go("submitter", func(proc *sim.Proc) {
+		for i := 0; i < 4; i++ {
+			p.Submit(func(ctx context.Context) {
+				w := sim.MustProc(ctx)
+				w.Sleep(10 * time.Second)
+				done = append(done, env.Now())
+			})
+		}
+		// Wait for all tasks: poll pending.
+		for p.Pending() > 0 {
+			proc.Sleep(time.Second)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(done) != 4 {
+		t.Fatalf("ran %d tasks", len(done))
+	}
+	// 2 workers, 4 tasks of 10s: completions at 10,10,20,20.
+	if done[0] != sim.Time(10*time.Second) || done[3] != sim.Time(20*time.Second) {
+		t.Fatalf("completions: %v", done)
+	}
+}
+
+func TestSimPoolWorkerContextCarriesProc(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	p := NewSimPool(env, "p", 1)
+	ok := false
+	env.Go("s", func(proc *sim.Proc) {
+		p.Submit(func(ctx context.Context) {
+			_, ok = sim.ProcFromContext(ctx)
+		})
+		for p.Pending() > 0 {
+			proc.Sleep(time.Millisecond)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatal("worker context missing proc")
+	}
+}
+
+func TestSimPoolCloseStopsIntake(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	p := NewSimPool(env, "p", 1)
+	ran := 0
+	env.Go("s", func(proc *sim.Proc) {
+		p.Submit(func(context.Context) { ran++ })
+		p.Close()
+		if p.Submit(func(context.Context) { ran++ }) {
+			t.Error("submit after close accepted")
+		}
+		proc.Sleep(time.Second)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran != 1 {
+		t.Fatalf("ran = %d, want 1", ran)
+	}
+}
+
+func TestSimPoolPanicsOnBadSize(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewSimPool(env, "p", -1)
+}

@@ -1,0 +1,226 @@
+// Package ptloader models a PyTorch-style DataLoader on the simulation
+// clock — the paper's §VI portability direction ("we are integrating
+// our system with PyTorch").
+//
+// Its I/O pattern differs fundamentally from the TensorFlow pipeline in
+// internal/pipeline: a map-style dataset is driven by a *global sampler
+// that permutes individual record indices* each epoch, and a fixed set
+// of worker processes fetch assigned batches by issuing one positioned
+// read per record — small, random reads scattered across every shard,
+// instead of 256 KiB sequential streams within a few shards at a time.
+// Each worker fetches and transforms its samples serially, holding one
+// CPU core during the transform, exactly as a DataLoader worker process
+// does.
+//
+// Because the framework still addresses data as (file name, offset,
+// length), the same MONARCH ReadAt call serves both frameworks — which
+// is the paper's framework-agnosticism claim, and what the ext-pytorch
+// experiment validates.
+package ptloader
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"monarch/internal/dataset"
+	"monarch/internal/pipeline"
+	"monarch/internal/rng"
+	"monarch/internal/sim"
+	"monarch/internal/tfrecord"
+)
+
+// Config parameterises one DataLoader.
+type Config struct {
+	// Manifest is the dataset layout; records are addressed globally.
+	Manifest *dataset.Manifest
+	// Source serves record bytes (a backend or a MONARCH instance).
+	Source pipeline.Source
+	// Workers is num_workers.
+	Workers int
+	// BatchSize is records per batch.
+	BatchSize int
+	// PrefetchFactor is batches buffered per worker (PyTorch default 2).
+	PrefetchFactor int
+	// PreprocessPerImage is CPU-core time per record transform.
+	PreprocessPerImage time.Duration
+	// CPU is the node core pool (optional).
+	CPU *sim.Resource
+	// FetchGroup bounds how many records a worker reads back-to-back
+	// before charging their combined transform time; it only coarsens
+	// event granularity, not semantics. Default 16.
+	FetchGroup int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.Manifest == nil:
+		return fmt.Errorf("ptloader: nil manifest")
+	case c.Source == nil:
+		return fmt.Errorf("ptloader: nil source")
+	case c.Workers <= 0:
+		return fmt.Errorf("ptloader: Workers = %d", c.Workers)
+	case c.BatchSize <= 0:
+		return fmt.Errorf("ptloader: BatchSize = %d", c.BatchSize)
+	case c.PrefetchFactor <= 0:
+		return fmt.Errorf("ptloader: PrefetchFactor = %d", c.PrefetchFactor)
+	}
+	return nil
+}
+
+// DefaultConfig mirrors a typical DataLoader(num_workers=8,
+// prefetch_factor=2) setup.
+func DefaultConfig() Config {
+	return Config{
+		Workers:        8,
+		BatchSize:      256,
+		PrefetchFactor: 2,
+		FetchGroup:     16,
+	}
+}
+
+// recordRef flattens the manifest into a global index.
+type recordRef struct {
+	shard int
+	entry tfrecord.Entry
+}
+
+// Flatten builds the global record index once per dataset.
+func Flatten(man *dataset.Manifest) []recordRef {
+	refs := make([]recordRef, 0, man.NumRecords())
+	for si := range man.Shards {
+		for _, e := range man.Shards[si].Records {
+			refs = append(refs, recordRef{shard: si, entry: e})
+		}
+	}
+	return refs
+}
+
+// Epoch is one epoch of the loader; consume with Next.
+type Epoch struct {
+	out  *sim.Queue[pipeline.Batch]
+	errs []error
+}
+
+// StartEpoch spawns the sampler, workers and collator for one epoch.
+// refs must come from Flatten on cfg.Manifest (passed in so the caller
+// amortises the flattening across epochs).
+func StartEpoch(env *sim.Env, cfg Config, refs []recordRef, epoch int, seed uint64) (*Epoch, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	group := cfg.FetchGroup
+	if group <= 0 {
+		group = 16
+	}
+	e := &Epoch{
+		out: sim.NewQueue[pipeline.Batch](env, fmt.Sprintf("pt-out-e%d", epoch),
+			cfg.Workers*cfg.PrefetchFactor),
+	}
+
+	// The sampler: a fresh global permutation of record indices each
+	// epoch, split into batches handed to workers round-robin. We keep
+	// PyTorch's in-order collation: batch b is delivered before b+1, so
+	// one slow worker stalls the queue exactly as it does in PyTorch.
+	perm := rng.New(seed + uint64(epoch)*0x51ed).Perm(len(refs))
+	numBatches := (len(refs) + cfg.BatchSize - 1) / cfg.BatchSize
+
+	// Per-batch completion events let the in-order collator wait.
+	done := make([]*sim.Event, numBatches)
+	sizes := make([]int, numBatches)
+	for b := range done {
+		done[b] = sim.NewEvent(env)
+		lo := b * cfg.BatchSize
+		hi := lo + cfg.BatchSize
+		if hi > len(perm) {
+			hi = len(perm)
+		}
+		sizes[b] = hi - lo
+	}
+
+	for w := 0; w < cfg.Workers; w++ {
+		w := w
+		env.Go(fmt.Sprintf("pt-worker-%d-e%d", w, epoch), func(p *sim.Proc) {
+			ctx := p.Context()
+			buf := make([]byte, 1<<20)
+			for b := w; b < numBatches; b += cfg.Workers {
+				lo := b * cfg.BatchSize
+				if err := e.fetchBatch(ctx, p, cfg, refs, perm[lo:lo+sizes[b]], buf, group); err != nil {
+					e.errs = append(e.errs, err)
+				}
+				done[b].Fire()
+			}
+		})
+	}
+
+	env.Go(fmt.Sprintf("pt-collate-e%d", epoch), func(p *sim.Proc) {
+		for b := 0; b < numBatches; b++ {
+			done[b].Wait(p)
+			e.out.Put(p, pipeline.Batch{Records: sizes[b]})
+		}
+		e.out.Close()
+	})
+	return e, nil
+}
+
+// fetchBatch reads and transforms one batch's samples serially, the way
+// a DataLoader worker process does: positioned read per record, then
+// the transform on one core.
+func (e *Epoch) fetchBatch(ctx context.Context, p *sim.Proc, cfg Config,
+	refs []recordRef, idxs []int, buf []byte, group int) error {
+	pendingTransforms := 0
+	charge := func() {
+		if cfg.PreprocessPerImage <= 0 || pendingTransforms == 0 {
+			return
+		}
+		work := time.Duration(pendingTransforms) * cfg.PreprocessPerImage
+		if cfg.CPU != nil {
+			cfg.CPU.Acquire(p, 1)
+			p.Sleep(work)
+			cfg.CPU.Release(1)
+		} else {
+			p.Sleep(work)
+		}
+		pendingTransforms = 0
+	}
+	format := cfg.Manifest.Spec.Format
+	for _, ri := range idxs {
+		ref := refs[ri]
+		shard := &cfg.Manifest.Shards[ref.shard]
+		want := format.RecordEnd(ref.entry) - ref.entry.Offset
+		dst := buf
+		if want < int64(len(dst)) {
+			dst = dst[:want]
+		}
+		read := int64(0)
+		for read < want {
+			n, err := cfg.Source.ReadAt(ctx, shard.Name, dst, ref.entry.Offset+read)
+			if err != nil {
+				return fmt.Errorf("ptloader: %s record@%d: %w", shard.Name, ref.entry.Offset, err)
+			}
+			if n == 0 {
+				return fmt.Errorf("ptloader: %s truncated at %d", shard.Name, ref.entry.Offset+read)
+			}
+			read += int64(n)
+		}
+		pendingTransforms++
+		if pendingTransforms >= group {
+			charge()
+		}
+	}
+	charge()
+	return nil
+}
+
+// Next returns the next batch in sampler order; ok is false at epoch
+// end.
+func (e *Epoch) Next(p *sim.Proc) (pipeline.Batch, bool) { return e.out.Get(p) }
+
+// Err returns the first worker error, if any.
+func (e *Epoch) Err() error {
+	if len(e.errs) > 0 {
+		return e.errs[0]
+	}
+	return nil
+}

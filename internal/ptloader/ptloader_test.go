@@ -1,0 +1,322 @@
+package ptloader
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"monarch/internal/dataset"
+	"monarch/internal/pipeline"
+	"monarch/internal/sim"
+	"monarch/internal/simstore"
+)
+
+func testManifest(t *testing.T, images, shards int, total int64) *dataset.Manifest {
+	t.Helper()
+	m, err := dataset.Plan(dataset.Spec{
+		Name: "pt", NumImages: images, TotalBytes: total,
+		NumShards: shards, SizeSigma: 0.2, Seed: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func quietSSD() simstore.DeviceSpec {
+	s := simstore.SSDSpec()
+	s.LatencySigma = 0
+	return s
+}
+
+func smallConfig(m *dataset.Manifest, src pipeline.Source) Config {
+	cfg := DefaultConfig()
+	cfg.Manifest = m
+	cfg.Source = src
+	cfg.Workers = 4
+	cfg.BatchSize = 16
+	cfg.PreprocessPerImage = 50 * time.Microsecond
+	cfg.FetchGroup = 4
+	return cfg
+}
+
+// consume runs one epoch to completion inside a fresh env.
+func consume(t *testing.T, mk func(env *sim.Env) Config, epoch int) (records, batches int, end sim.Time) {
+	t.Helper()
+	env := sim.NewEnv(5)
+	defer env.Close()
+	cfg := mk(env)
+	refs := Flatten(cfg.Manifest)
+	env.Go("trainer", func(p *sim.Proc) {
+		ep, err := StartEpoch(env, cfg, refs, epoch, 77)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			b, ok := ep.Next(p)
+			if !ok {
+				break
+			}
+			records += b.Records
+			batches++
+		}
+		if err := ep.Err(); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return records, batches, env.Now()
+}
+
+func withStore(t *testing.T, m *dataset.Manifest) func(env *sim.Env) Config {
+	return func(env *sim.Env) Config {
+		st := simstore.NewStore(simstore.NewDevice(env, quietSSD()), "ssd", 0)
+		for i := range m.Shards {
+			st.AddFile(m.Shards[i].Name, m.Shards[i].Size)
+		}
+		return smallConfig(m, st)
+	}
+}
+
+func TestEpochDeliversEveryRecordOnce(t *testing.T) {
+	m := testManifest(t, 200, 8, 400_000)
+	records, batches, _ := consume(t, withStore(t, m), 0)
+	if records != 200 {
+		t.Fatalf("records = %d", records)
+	}
+	if batches != (200+15)/16 {
+		t.Fatalf("batches = %d", batches)
+	}
+}
+
+func TestFlattenCoversManifest(t *testing.T) {
+	m := testManifest(t, 100, 4, 200_000)
+	refs := Flatten(m)
+	if len(refs) != 100 {
+		t.Fatalf("refs = %d", len(refs))
+	}
+	perShard := map[int]int{}
+	for _, r := range refs {
+		perShard[r.shard]++
+	}
+	for si := range m.Shards {
+		if perShard[si] != len(m.Shards[si].Records) {
+			t.Fatalf("shard %d: %d refs, %d records", si, perShard[si], len(m.Shards[si].Records))
+		}
+	}
+}
+
+func TestAccessPatternIsRecordGrainedAndRandom(t *testing.T) {
+	m := testManifest(t, 128, 4, 512_000)
+	var offsets []int64
+	var names []string
+	env := sim.NewEnv(1)
+	defer env.Close()
+	cfg := smallConfig(m, sourceFunc(func(ctx context.Context, name string, p []byte, off int64) (int, error) {
+		names = append(names, name)
+		offsets = append(offsets, off)
+		return len(p), nil
+	}))
+	cfg.Workers = 1 // serialise so the trace order is the sampler order
+	refs := Flatten(m)
+	env.Go("t", func(p *sim.Proc) {
+		ep, err := StartEpoch(env, cfg, refs, 0, 3)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			if _, ok := ep.Next(p); !ok {
+				return
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(offsets) != 128 {
+		t.Fatalf("ops = %d, want one per record", len(offsets))
+	}
+	// The trace must NOT be sequential within a single shard stream:
+	// consecutive ops should frequently hop shards or jump backwards.
+	hops := 0
+	for i := 1; i < len(offsets); i++ {
+		if names[i] != names[i-1] || offsets[i] < offsets[i-1] {
+			hops++
+		}
+	}
+	if hops < len(offsets)/2 {
+		t.Fatalf("access looks sequential: only %d hops in %d ops", hops, len(offsets))
+	}
+}
+
+func TestEpochsReshuffle(t *testing.T) {
+	m := testManifest(t, 64, 2, 128_000)
+	trace := func(epoch int) []int64 {
+		var offs []int64
+		env := sim.NewEnv(1)
+		defer env.Close()
+		cfg := smallConfig(m, sourceFunc(func(ctx context.Context, name string, p []byte, off int64) (int, error) {
+			offs = append(offs, off)
+			return len(p), nil
+		}))
+		cfg.Workers = 1
+		refs := Flatten(m)
+		env.Go("t", func(p *sim.Proc) {
+			ep, _ := StartEpoch(env, cfg, refs, epoch, 3)
+			for {
+				if _, ok := ep.Next(p); !ok {
+					return
+				}
+			}
+		})
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return offs
+	}
+	a, b := trace(0), trace(1)
+	same := true
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("sampler order identical across epochs")
+	}
+}
+
+func TestInOrderCollation(t *testing.T) {
+	// Batches must arrive in sampler order even with many workers.
+	m := testManifest(t, 96, 4, 192_000)
+	env := sim.NewEnv(9)
+	defer env.Close()
+	st := simstore.NewStore(simstore.NewDevice(env, simstore.LustreSpec()), "lustre", 0)
+	for i := range m.Shards {
+		st.AddFile(m.Shards[i].Name, m.Shards[i].Size)
+	}
+	cfg := smallConfig(m, st)
+	cfg.Workers = 6
+	refs := Flatten(m)
+	var sizes []int
+	env.Go("t", func(p *sim.Proc) {
+		ep, err := StartEpoch(env, cfg, refs, 0, 1)
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		for {
+			b, ok := ep.Next(p)
+			if !ok {
+				return
+			}
+			sizes = append(sizes, b.Records)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sizes[:len(sizes)-1] {
+		if s != 16 {
+			t.Fatalf("batch %d size %d (only the last may be short)", i, s)
+		}
+	}
+}
+
+func TestWorkerErrorSurfaces(t *testing.T) {
+	m := testManifest(t, 32, 2, 64_000)
+	boom := errors.New("boom")
+	env := sim.NewEnv(1)
+	defer env.Close()
+	cfg := smallConfig(m, sourceFunc(func(context.Context, string, []byte, int64) (int, error) {
+		return 0, boom
+	}))
+	refs := Flatten(m)
+	var err error
+	env.Go("t", func(p *sim.Proc) {
+		ep, serr := StartEpoch(env, cfg, refs, 0, 1)
+		if serr != nil {
+			t.Error(serr)
+			return
+		}
+		for {
+			if _, ok := ep.Next(p); !ok {
+				break
+			}
+		}
+		err = ep.Err()
+	})
+	if e := env.Run(); e != nil {
+		t.Fatal(e)
+	}
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	m := testManifest(t, 8, 2, 16_000)
+	good := smallConfig(m, sourceFunc(func(context.Context, string, []byte, int64) (int, error) { return 0, nil }))
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, mut := range []func(*Config){
+		func(c *Config) { c.Manifest = nil },
+		func(c *Config) { c.Source = nil },
+		func(c *Config) { c.Workers = 0 },
+		func(c *Config) { c.BatchSize = 0 },
+		func(c *Config) { c.PrefetchFactor = 0 },
+	} {
+		bad := good
+		mut(&bad)
+		if bad.Validate() == nil {
+			t.Errorf("mutation %d not caught", i)
+		}
+	}
+}
+
+func TestCPUCharged(t *testing.T) {
+	m := testManifest(t, 64, 2, 128_000)
+	env := sim.NewEnv(1)
+	defer env.Close()
+	cpu := sim.NewResource(env, "cpu", 4)
+	st := simstore.NewStore(simstore.NewDevice(env, quietSSD()), "ssd", 0)
+	for i := range m.Shards {
+		st.AddFile(m.Shards[i].Name, m.Shards[i].Size)
+	}
+	cfg := smallConfig(m, st)
+	cfg.CPU = cpu
+	cfg.PreprocessPerImage = 10 * time.Millisecond
+	refs := Flatten(m)
+	env.Go("t", func(p *sim.Proc) {
+		ep, _ := StartEpoch(env, cfg, refs, 0, 1)
+		for {
+			if _, ok := ep.Next(p); !ok {
+				return
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if cpu.Utilization() <= 0 {
+		t.Fatal("CPU never charged")
+	}
+	// 64 records × 10 ms over ≤4 workers ≥ 160 ms of wall time.
+	if env.Now() < sim.Time(160*time.Millisecond) {
+		t.Fatalf("epoch too fast: %v", env.Now().Duration())
+	}
+}
+
+// sourceFunc adapts a function to pipeline.Source.
+type sourceFunc func(ctx context.Context, name string, p []byte, off int64) (int, error)
+
+func (f sourceFunc) ReadAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	return f(ctx, name, p, off)
+}

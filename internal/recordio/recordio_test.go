@@ -1,0 +1,200 @@
+package recordio
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+func TestPadAndRecordSize(t *testing.T) {
+	cases := map[int64]int64{0: 0, 1: 3, 2: 2, 3: 1, 4: 0, 5: 3, 100: 0}
+	for n, want := range cases {
+		if got := Pad(n); got != want {
+			t.Errorf("Pad(%d) = %d, want %d", n, got, want)
+		}
+	}
+	if RecordSize(5) != 8+5+3 {
+		t.Fatalf("RecordSize(5) = %d", RecordSize(5))
+	}
+}
+
+func TestWriterExactFraming(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	if err := w.Write([]byte("hello")); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	if int64(len(raw)) != RecordSize(5) {
+		t.Fatalf("size = %d", len(raw))
+	}
+	if binary.LittleEndian.Uint32(raw[:4]) != Magic {
+		t.Fatal("magic missing")
+	}
+	if binary.LittleEndian.Uint32(raw[4:8]) != 5 {
+		t.Fatal("length wrong")
+	}
+	if string(raw[8:13]) != "hello" {
+		t.Fatal("payload wrong")
+	}
+	if raw[13] != 0 || raw[14] != 0 || raw[15] != 0 {
+		t.Fatal("padding not zeroed")
+	}
+}
+
+func TestRoundtrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	records := [][]byte{[]byte("a"), {}, []byte("abcd"), bytes.Repeat([]byte{7}, 1000)}
+	for _, r := range records {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if w.Records() != 4 || w.Written() != int64(buf.Len()) {
+		t.Fatalf("records=%d written=%d buf=%d", w.Records(), w.Written(), buf.Len())
+	}
+	r := NewReader(&buf)
+	for i, want := range records {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("record %d mismatch", i)
+		}
+	}
+	if _, err := r.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestRoundtripProperty(t *testing.T) {
+	err := quick.Check(func(payloads [][]byte) bool {
+		var buf bytes.Buffer
+		w := NewWriter(&buf)
+		for _, p := range payloads {
+			if err := w.Write(p); err != nil {
+				return false
+			}
+		}
+		if err := w.Flush(); err != nil {
+			return false
+		}
+		idx, err := BuildIndex(buf.Bytes())
+		if err != nil || len(idx) != len(payloads) {
+			return false
+		}
+		r := NewReader(bytes.NewReader(buf.Bytes()))
+		for i, want := range payloads {
+			if r.Offset() != idx[i].Offset {
+				return false
+			}
+			got, err := r.Next()
+			if err != nil || !bytes.Equal(got, want) {
+				return false
+			}
+		}
+		_, err = r.Next()
+		return err == io.EOF
+	}, &quick.Config{MaxCount: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReaderDetectsBadMagic(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write([]byte("data"))
+	_ = w.Flush()
+	raw := buf.Bytes()
+	raw[0] ^= 0xFF
+	if _, err := NewReader(bytes.NewReader(raw)).Next(); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := BuildIndex(raw); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("index: %v", err)
+	}
+}
+
+func TestReaderDetectsTruncation(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	_ = w.Write([]byte("data-data"))
+	_ = w.Flush()
+	for _, cut := range []int{4, 10, buf.Len() - 1} {
+		if _, err := NewReader(bytes.NewReader(buf.Bytes()[:cut])).Next(); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if _, err := BuildIndex(buf.Bytes()[:cut]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("index cut %d: %v", cut, err)
+		}
+	}
+}
+
+func TestReaderRejectsMultiPart(t *testing.T) {
+	var raw [8]byte
+	binary.LittleEndian.PutUint32(raw[:4], Magic)
+	binary.LittleEndian.PutUint32(raw[4:], 1<<29) // cflag = 1, length 0
+	if _, err := NewReader(bytes.NewReader(raw[:])).Next(); !errors.Is(err, ErrMultiPart) {
+		t.Fatalf("got %v", err)
+	}
+	if _, err := BuildIndex(raw[:]); !errors.Is(err, ErrMultiPart) {
+		t.Fatalf("index: %v", err)
+	}
+}
+
+func TestWriterRejectsOversizedRecord(t *testing.T) {
+	w := NewWriter(io.Discard)
+	huge := make([]byte, 1<<29)
+	if err := w.Write(huge); !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestBuildIndexOffsets(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf)
+	sizes := []int{3, 0, 8, 5}
+	for _, n := range sizes {
+		if err := w.Write(make([]byte, n)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = w.Flush()
+	idx, err := BuildIndex(buf.Bytes())
+	if err != nil || len(idx) != 4 {
+		t.Fatalf("idx=%v err=%v", idx, err)
+	}
+	off := int64(0)
+	for i, e := range idx {
+		if e.Offset != off || e.Length != int64(sizes[i]) {
+			t.Fatalf("entry %d = %+v", i, e)
+		}
+		off = e.End()
+	}
+	if off != int64(buf.Len()) {
+		t.Fatalf("index ends at %d, stream is %d", off, buf.Len())
+	}
+}
+
+func BenchmarkWriter(b *testing.B) {
+	payload := make([]byte, 64<<10)
+	w := NewWriter(io.Discard)
+	b.SetBytes(int64(len(payload)))
+	for i := 0; i < b.N; i++ {
+		if err := w.Write(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,208 @@
+// Package report renders experiment results as aligned text tables,
+// ASCII bar charts (the stand-in for the paper's figures), and CSV.
+package report
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, columns ...string) *Table {
+	return &Table{Title: title, Columns: columns}
+}
+
+// Add appends a row; missing cells render empty, extras are dropped.
+func (t *Table) Add(cells ...string) {
+	row := make([]string, len(t.Columns))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// Addf appends a row of formatted values.
+func (t *Table) Addf(format string, cells ...any) {
+	parts := make([]string, len(cells))
+	for i, c := range cells {
+		parts[i] = fmt.Sprint(c)
+	}
+	_ = format // reserved; Add handles plain cells
+	t.Add(parts...)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		var b strings.Builder
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			b.WriteString(cell)
+			b.WriteString(strings.Repeat(" ", widths[i]-len(cell)))
+		}
+		fmt.Fprintf(w, "  %s\n", strings.TrimRight(b.String(), " "))
+	}
+	line(t.Columns)
+	sep := make([]string, len(t.Columns))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, row := range t.Rows {
+		line(row)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var b strings.Builder
+	t.Render(&b)
+	return b.String()
+}
+
+// WriteCSV emits the table (header + rows) as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// BarRow is one bar in a chart.
+type BarRow struct {
+	// Group labels a cluster of bars (e.g. "epoch 1"); repeated groups
+	// render once.
+	Group string
+	// Label names the bar (e.g. "vanilla-lustre").
+	Label string
+	// Value is the bar length; Err renders as "± err".
+	Value, Err float64
+	// Unit is appended to the value ("s", "%", "ops").
+	Unit string
+}
+
+// BarChart is a grouped horizontal bar chart — the textual equivalent
+// of the paper's per-epoch figures.
+type BarChart struct {
+	Title string
+	Rows  []BarRow
+	// Width is the maximum bar width in runes (default 40).
+	Width int
+}
+
+// NewBarChart creates an empty chart.
+func NewBarChart(title string) *BarChart { return &BarChart{Title: title, Width: 40} }
+
+// Add appends one bar.
+func (c *BarChart) Add(group, label string, value, err float64, unit string) {
+	c.Rows = append(c.Rows, BarRow{Group: group, Label: label, Value: value, Err: err, Unit: unit})
+}
+
+// Render writes the chart as text.
+func (c *BarChart) Render(w io.Writer) {
+	if c.Title != "" {
+		fmt.Fprintf(w, "%s\n", c.Title)
+	}
+	width := c.Width
+	if width <= 0 {
+		width = 40
+	}
+	var max float64
+	labelW, groupW := 0, 0
+	for _, r := range c.Rows {
+		if r.Value > max {
+			max = r.Value
+		}
+		if len(r.Label) > labelW {
+			labelW = len(r.Label)
+		}
+		if len(r.Group) > groupW {
+			groupW = len(r.Group)
+		}
+	}
+	if max <= 0 {
+		max = 1
+	}
+	prevGroup := "\x00"
+	for _, r := range c.Rows {
+		group := ""
+		if r.Group != prevGroup {
+			group = r.Group
+			prevGroup = r.Group
+		}
+		n := int(r.Value / max * float64(width))
+		if n < 1 && r.Value > 0 {
+			n = 1
+		}
+		bar := strings.Repeat("#", n)
+		errStr := ""
+		if r.Err > 0 {
+			errStr = fmt.Sprintf(" ± %.1f", r.Err)
+		}
+		fmt.Fprintf(w, "  %-*s %-*s %-*s %.1f%s%s\n",
+			groupW, group, labelW, r.Label, width, bar, r.Value, errStr, r.Unit)
+	}
+}
+
+// String renders the chart to a string.
+func (c *BarChart) String() string {
+	var b strings.Builder
+	c.Render(&b)
+	return b.String()
+}
+
+// Seconds formats a duration in seconds with one decimal.
+func Seconds(s float64) string { return fmt.Sprintf("%.1f s", s) }
+
+// Percent formats a ratio as a percentage.
+func Percent(r float64) string { return fmt.Sprintf("%.0f%%", 100*r) }
+
+// Count formats a large count with thousands separators.
+func Count(n int64) string {
+	s := fmt.Sprintf("%d", n)
+	if n < 0 {
+		return s
+	}
+	var b strings.Builder
+	for i, r := range s {
+		if i > 0 && (len(s)-i)%3 == 0 {
+			b.WriteByte(',')
+		}
+		b.WriteRune(r)
+	}
+	return b.String()
+}

@@ -1,0 +1,126 @@
+package report
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestTableRenderAligned(t *testing.T) {
+	tb := NewTable("Demo", "setup", "time")
+	tb.Add("vanilla-lustre", "401.7 s")
+	tb.Add("monarch", "270.3 s")
+	out := tb.String()
+	if !strings.Contains(out, "Demo") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	// Columns must align: "time" header column starts where values do.
+	hdrIdx := strings.Index(lines[1], "time")
+	rowIdx := strings.Index(lines[3], "401.7")
+	if hdrIdx != rowIdx {
+		t.Fatalf("misaligned: header at %d, value at %d\n%s", hdrIdx, rowIdx, out)
+	}
+}
+
+func TestTableShortAndLongRows(t *testing.T) {
+	tb := NewTable("", "a", "b")
+	tb.Add("only-one")
+	tb.Add("x", "y", "dropped-extra")
+	if len(tb.Rows[0]) != 2 || tb.Rows[0][1] != "" {
+		t.Fatalf("short row = %v", tb.Rows[0])
+	}
+	if len(tb.Rows[1]) != 2 {
+		t.Fatalf("long row = %v", tb.Rows[1])
+	}
+}
+
+func TestTableAddf(t *testing.T) {
+	tb := NewTable("", "n", "v")
+	tb.Addf("", 42, 3.5)
+	if tb.Rows[0][0] != "42" || tb.Rows[0][1] != "3.5" {
+		t.Fatalf("row = %v", tb.Rows[0])
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.Add("1", "two,with comma")
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.HasPrefix(got, "a,b\n") {
+		t.Fatalf("csv header: %q", got)
+	}
+	if !strings.Contains(got, `"two,with comma"`) {
+		t.Fatalf("csv quoting: %q", got)
+	}
+}
+
+func TestBarChartScalesToMax(t *testing.T) {
+	c := NewBarChart("Fig")
+	c.Width = 10
+	c.Add("e1", "a", 100, 5, " s")
+	c.Add("e1", "b", 50, 0, " s")
+	out := c.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("%q", out)
+	}
+	if strings.Count(lines[1], "#") != 10 {
+		t.Fatalf("max bar not full width: %q", lines[1])
+	}
+	if strings.Count(lines[2], "#") != 5 {
+		t.Fatalf("half bar wrong: %q", lines[2])
+	}
+	if !strings.Contains(lines[1], "± 5.0") {
+		t.Fatalf("error bar missing: %q", lines[1])
+	}
+	// Group label renders once.
+	if strings.Count(out, "e1") != 1 {
+		t.Fatalf("group repeated:\n%s", out)
+	}
+}
+
+func TestBarChartZeroValues(t *testing.T) {
+	c := NewBarChart("z")
+	c.Add("g", "zero", 0, 0, "")
+	out := c.String() // must not divide by zero
+	if !strings.Contains(out, "0.0") {
+		t.Fatalf("%q", out)
+	}
+}
+
+func TestBarChartTinyValueStillVisible(t *testing.T) {
+	c := NewBarChart("t")
+	c.Width = 10
+	c.Add("g", "big", 1000, 0, "")
+	c.Add("g", "tiny", 1, 0, "")
+	lines := strings.Split(strings.TrimRight(c.String(), "\n"), "\n")
+	if strings.Count(lines[2], "#") != 1 {
+		t.Fatalf("tiny bar invisible: %q", lines[2])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if Seconds(3.14159) != "3.1 s" {
+		t.Fatal(Seconds(3.14159))
+	}
+	if Percent(0.553) != "55%" {
+		t.Fatal(Percent(0.553))
+	}
+	cases := map[int64]string{
+		0: "0", 12: "12", 123: "123", 1234: "1,234",
+		798340: "798,340", 1234567: "1,234,567", -5: "-5",
+	}
+	for n, want := range cases {
+		if got := Count(n); got != want {
+			t.Errorf("Count(%d) = %q, want %q", n, got, want)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package rng provides a small, deterministic pseudo-random number
+// generator and the distributions used throughout the MONARCH
+// simulation substrate.
+//
+// Every simulated experiment must be exactly reproducible from a seed,
+// and independent streams (one per run, one per subsystem) must not
+// correlate. We therefore implement an explicit xoshiro256**
+// generator seeded through splitmix64 instead of relying on the global
+// math/rand state.
+package rng
+
+import "math"
+
+// Source is a deterministic xoshiro256** PRNG. The zero value is not
+// usable; construct with New.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed via splitmix64, which guarantees
+// a well-mixed non-zero internal state for any seed, including 0.
+func New(seed uint64) *Source {
+	var src Source
+	sm := seed
+	for i := range src.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		src.s[i] = z ^ (z >> 31)
+	}
+	return &src
+}
+
+// Split derives a new, statistically independent Source from s.
+// It advances s, so the order of Split calls matters for determinism.
+func (s *Source) Split() *Source {
+	return New(s.Uint64() ^ 0xd2b74407b1ce6e93)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next value in the stream.
+func (s *Source) Uint64() uint64 {
+	result := rotl(s.s[1]*5, 7) * 9
+	t := s.s[1] << 17
+	s.s[2] ^= s.s[0]
+	s.s[3] ^= s.s[1]
+	s.s[1] ^= s.s[2]
+	s.s[0] ^= s.s[3]
+	s.s[2] ^= t
+	s.s[3] = rotl(s.s[3], 45)
+	return result
+}
+
+// Int64N returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) Int64N(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int64N called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded sampling is overkill here;
+	// simple rejection keeps the implementation auditable.
+	max := uint64(n)
+	limit := (^uint64(0) / max) * max
+	for {
+		v := s.Uint64()
+		if v < limit {
+			return int64(v % max)
+		}
+	}
+}
+
+// IntN returns a uniform value in [0, n). It panics if n <= 0.
+func (s *Source) IntN(n int) int { return int(s.Int64N(int64(n))) }
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (s *Source) Float64() float64 {
+	return float64(s.Uint64()>>11) / (1 << 53)
+}
+
+// Uniform returns a uniform value in [lo, hi).
+func (s *Source) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*s.Float64()
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, using the Marsaglia polar method.
+func (s *Source) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*s.Float64() - 1
+		v := 2*s.Float64() - 1
+		q := u*u + v*v
+		if q > 0 && q < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(q)/q)
+		}
+	}
+}
+
+// LogNormal returns exp(N(mu, sigma)). Note mu and sigma are the
+// parameters of the underlying normal, not the resulting mean/stddev.
+func (s *Source) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(s.Normal(mu, sigma))
+}
+
+// LogNormalMean returns a lognormal sample whose *distribution mean* is
+// mean with multiplicative spread sigma (sigma of the underlying
+// normal). This is the form the device models use: "service time is on
+// average m with lognormal noise sigma".
+func (s *Source) LogNormalMean(mean, sigma float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	mu := math.Log(mean) - sigma*sigma/2
+	return s.LogNormal(mu, sigma)
+}
+
+// Exponential returns an exponentially distributed value with the given
+// mean (= 1/rate).
+func (s *Source) Exponential(mean float64) float64 {
+	for {
+		u := s.Float64()
+		if u > 0 {
+			return -mean * math.Log(u)
+		}
+	}
+}
+
+// Perm fills a permutation of [0, n) using Fisher-Yates.
+func (s *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := 1; i < n; i++ {
+		j := s.IntN(i + 1)
+		p[i] = p[j]
+		p[j] = i
+	}
+	return p
+}
+
+// Shuffle permutes the n elements addressed by swap in place.
+func (s *Source) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		j := s.IntN(i + 1)
+		swap(i, j)
+	}
+}

@@ -1,0 +1,209 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds produced %d identical values", same)
+	}
+}
+
+func TestZeroSeedUsable(t *testing.T) {
+	s := New(0)
+	if s.Uint64() == 0 && s.Uint64() == 0 && s.Uint64() == 0 {
+		t.Fatal("zero seed produced a degenerate stream")
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(7)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split stream correlates with parent: %d collisions", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 10000; i++ {
+		v := s.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", v)
+		}
+	}
+}
+
+func TestIntNBounds(t *testing.T) {
+	s := New(4)
+	err := quick.Check(func(n uint16) bool {
+		bound := int(n%1000) + 1
+		v := s.IntN(bound)
+		return v >= 0 && v < bound
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIntNPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for n <= 0")
+		}
+	}()
+	New(1).IntN(0)
+}
+
+func TestIntNCoversRange(t *testing.T) {
+	s := New(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		seen[s.IntN(8)] = true
+	}
+	if len(seen) != 8 {
+		t.Fatalf("IntN(8) hit only %d of 8 values in 1000 draws", len(seen))
+	}
+}
+
+func TestUniformMoments(t *testing.T) {
+	s := New(6)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Uniform(2, 6)
+	}
+	mean := sum / n
+	if math.Abs(mean-4) > 0.02 {
+		t.Fatalf("uniform(2,6) mean = %v, want ~4", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	s := New(8)
+	const n = 200000
+	var sum, sumSq float64
+	for i := 0; i < n; i++ {
+		v := s.Normal(10, 3)
+		sum += v
+		sumSq += v * v
+	}
+	mean := sum / n
+	variance := sumSq/n - mean*mean
+	if math.Abs(mean-10) > 0.05 {
+		t.Fatalf("normal mean = %v, want ~10", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-3) > 0.05 {
+		t.Fatalf("normal stddev = %v, want ~3", math.Sqrt(variance))
+	}
+}
+
+func TestLogNormalMeanParameterisation(t *testing.T) {
+	s := New(9)
+	const n = 400000
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.LogNormalMean(5, 0.5)
+	}
+	mean := sum / n
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("LogNormalMean(5, 0.5) sample mean = %v, want ~5", mean)
+	}
+}
+
+func TestLogNormalMeanZero(t *testing.T) {
+	if v := New(1).LogNormalMean(0, 0.5); v != 0 {
+		t.Fatalf("LogNormalMean(0, _) = %v, want 0", v)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	s := New(10)
+	const n = 400000
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := s.Exponential(2.5)
+		if v < 0 {
+			t.Fatalf("negative exponential sample %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-2.5) > 0.03 {
+		t.Fatalf("exponential mean = %v, want ~2.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	s := New(11)
+	err := quick.Check(func(n uint8) bool {
+		size := int(n % 64)
+		p := s.Perm(size)
+		if len(p) != size {
+			return false
+		}
+		seen := make([]bool, size)
+		for _, v := range p {
+			if v < 0 || v >= size || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShufflePreservesElements(t *testing.T) {
+	s := New(12)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	s.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	for _, v := range xs {
+		sum += v
+	}
+	if sum != 36 {
+		t.Fatalf("shuffle lost elements: sum = %d", sum)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.Uint64()
+	}
+}
+
+func BenchmarkLogNormalMean(b *testing.B) {
+	s := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = s.LogNormalMean(1, 0.4)
+	}
+}

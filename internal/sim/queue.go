@@ -1,0 +1,134 @@
+package sim
+
+// Queue is a bounded FIFO channel on virtual time. It models the
+// hand-off buffers of a data-loading pipeline: interleave outputs,
+// prefetch buffers, batch queues. A capacity of 0 means unbounded.
+type Queue[T any] struct {
+	env     *Env
+	name    string
+	cap     int
+	items   []T
+	closed  bool
+	getters []*Proc
+	putters []*Proc
+	puts    int
+	gets    int
+	// peakLen tracks the high-water mark for pipeline diagnostics.
+	peakLen int
+}
+
+// NewQueue creates a queue with the given capacity (0 = unbounded).
+func NewQueue[T any](env *Env, name string, capacity int) *Queue[T] {
+	if capacity < 0 {
+		panic("sim: negative queue capacity")
+	}
+	return &Queue[T]{env: env, name: name, cap: capacity}
+}
+
+// Len returns the number of buffered items.
+func (q *Queue[T]) Len() int { return len(q.items) }
+
+// PeakLen returns the high-water mark of the buffer.
+func (q *Queue[T]) PeakLen() int { return q.peakLen }
+
+// Puts returns the total number of items ever enqueued.
+func (q *Queue[T]) Puts() int { return q.puts }
+
+// Gets returns the total number of items ever dequeued.
+func (q *Queue[T]) Gets() int { return q.gets }
+
+// Closed reports whether Close has been called.
+func (q *Queue[T]) Closed() bool { return q.closed }
+
+func (q *Queue[T]) full() bool { return q.cap > 0 && len(q.items) >= q.cap }
+
+// Put enqueues v, blocking p while the queue is full. Putting into a
+// closed queue panics, as with Go channels.
+func (q *Queue[T]) Put(p *Proc, v T) {
+	for q.full() {
+		if q.closed {
+			panic("sim: put on closed queue " + q.name)
+		}
+		q.putters = append(q.putters, p)
+		p.park("queue put " + q.name)
+	}
+	if q.closed {
+		panic("sim: put on closed queue " + q.name)
+	}
+	q.items = append(q.items, v)
+	if len(q.items) > q.peakLen {
+		q.peakLen = len(q.items)
+	}
+	q.puts++
+	q.wakeOneGetter()
+}
+
+// TryPut enqueues without blocking; reports whether it succeeded.
+func (q *Queue[T]) TryPut(v T) bool {
+	if q.closed || q.full() {
+		return false
+	}
+	q.items = append(q.items, v)
+	if len(q.items) > q.peakLen {
+		q.peakLen = len(q.items)
+	}
+	q.puts++
+	q.wakeOneGetter()
+	return true
+}
+
+// Get dequeues the oldest item, blocking p while the queue is empty.
+// ok is false if and only if the queue is closed and drained.
+func (q *Queue[T]) Get(p *Proc) (v T, ok bool) {
+	for len(q.items) == 0 {
+		if q.closed {
+			return v, false
+		}
+		q.getters = append(q.getters, p)
+		p.park("queue get " + q.name)
+	}
+	v = q.items[0]
+	// Shift rather than reslice so the backing array does not pin
+	// already-consumed items; queues are short so O(n) is fine.
+	copy(q.items, q.items[1:])
+	q.items = q.items[:len(q.items)-1]
+	q.gets++
+	q.wakeOnePutter()
+	return v, true
+}
+
+// Close marks the queue closed and wakes all blocked getters. Items
+// already buffered remain retrievable.
+func (q *Queue[T]) Close() {
+	if q.closed {
+		return
+	}
+	q.closed = true
+	for _, p := range q.getters {
+		q.env.wake(p)
+	}
+	q.getters = nil
+	for _, p := range q.putters {
+		// Blocked putters will panic on resume, matching channel
+		// semantics for send-on-closed. In practice pipelines close
+		// queues only after their producers have finished.
+		q.env.wake(p)
+	}
+	q.putters = nil
+}
+
+func (q *Queue[T]) wakeOneGetter() {
+	if len(q.getters) > 0 {
+		p := q.getters[0]
+		q.getters = q.getters[1:]
+		q.env.wake(p)
+	}
+}
+
+func (q *Queue[T]) wakeOnePutter() {
+	if len(q.putters) > 0 {
+		p := q.putters[0]
+		q.putters = q.putters[1:]
+		q.env.wake(p)
+	}
+}

@@ -1,0 +1,231 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestQueueFIFO(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, "q", 0)
+	var got []int
+	env.Go("producer", func(p *Proc) {
+		for i := 1; i <= 5; i++ {
+			q.Put(p, i)
+		}
+		q.Close()
+	})
+	env.Go("consumer", func(p *Proc) {
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				return
+			}
+			got = append(got, v)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i+1 {
+			t.Fatalf("got = %v", got)
+		}
+	}
+	if len(got) != 5 {
+		t.Fatalf("len = %d", len(got))
+	}
+}
+
+func TestQueueBoundedBlocksProducer(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, "q", 2)
+	var thirdPutAt Time
+	env.Go("producer", func(p *Proc) {
+		q.Put(p, 1)
+		q.Put(p, 2)
+		q.Put(p, 3) // blocks until consumer gets one
+		thirdPutAt = env.Now()
+		q.Close()
+	})
+	env.Go("consumer", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		for {
+			if _, ok := q.Get(p); !ok {
+				return
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if thirdPutAt != Time(5*time.Second) {
+		t.Fatalf("third put completed at %v, want 5s", thirdPutAt.Duration())
+	}
+	if q.PeakLen() != 2 {
+		t.Fatalf("peak = %d, want 2", q.PeakLen())
+	}
+}
+
+func TestQueueGetBlocksUntilPut(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[string](env, "q", 0)
+	var gotAt Time
+	env.Go("consumer", func(p *Proc) {
+		v, ok := q.Get(p)
+		gotAt = env.Now()
+		if !ok || v != "x" {
+			t.Errorf("got %q/%v", v, ok)
+		}
+	})
+	env.Go("producer", func(p *Proc) {
+		p.Sleep(3 * time.Second)
+		q.Put(p, "x")
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if gotAt != Time(3*time.Second) {
+		t.Fatalf("got at %v", gotAt.Duration())
+	}
+}
+
+func TestQueueCloseDrainsBufferedItems(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, "q", 0)
+	var got []int
+	env.Go("p", func(p *Proc) {
+		q.Put(p, 1)
+		q.Put(p, 2)
+		q.Close()
+		for {
+			v, ok := q.Get(p)
+			if !ok {
+				break
+			}
+			got = append(got, v)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("drained %d items, want 2", len(got))
+	}
+}
+
+func TestQueueCloseReleasesBlockedGetters(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, "q", 0)
+	released := 0
+	for i := 0; i < 3; i++ {
+		env.Go("getter", func(p *Proc) {
+			if _, ok := q.Get(p); ok {
+				t.Error("expected ok=false from closed empty queue")
+			}
+			released++
+		})
+	}
+	env.Go("closer", func(p *Proc) {
+		p.Sleep(time.Second)
+		q.Close()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if released != 3 {
+		t.Fatalf("released = %d", released)
+	}
+}
+
+func TestQueuePutOnClosedPanics(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, "q", 0)
+	q.Close()
+	env.Go("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic")
+			}
+		}()
+		q.Put(p, 1)
+	})
+	defer func() { recover(); env.Close() }()
+	_ = env.Run()
+}
+
+func TestQueueTryPut(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, "q", 1)
+	env.Go("p", func(p *Proc) {
+		if !q.TryPut(1) {
+			t.Error("TryPut into empty bounded queue failed")
+		}
+		if q.TryPut(2) {
+			t.Error("TryPut into full queue succeeded")
+		}
+		q.Get(p)
+		if !q.TryPut(3) {
+			t.Error("TryPut after drain failed")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueueCounters(t *testing.T) {
+	env := NewEnv(1)
+	q := NewQueue[int](env, "q", 0)
+	env.Go("p", func(p *Proc) {
+		q.Put(p, 1)
+		q.Put(p, 2)
+		q.Get(p)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if q.Puts() != 2 || q.Gets() != 1 || q.Len() != 1 {
+		t.Fatalf("puts/gets/len = %d/%d/%d", q.Puts(), q.Gets(), q.Len())
+	}
+}
+
+func TestQueueMultipleProducersConsumers(t *testing.T) {
+	env := NewEnv(7)
+	q := NewQueue[int](env, "q", 4)
+	wg := NewWaitGroup(env)
+	const producers, items = 4, 50
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		env.Go("prod", func(p *Proc) {
+			defer wg.Done()
+			for j := 0; j < items; j++ {
+				p.Sleep(time.Duration(env.Rand().IntN(10)) * time.Millisecond)
+				q.Put(p, 1)
+			}
+		})
+	}
+	env.Go("closer", func(p *Proc) {
+		wg.Wait(p)
+		q.Close()
+	})
+	total := 0
+	for i := 0; i < 3; i++ {
+		env.Go("cons", func(p *Proc) {
+			for {
+				v, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				total += v
+				p.Sleep(time.Millisecond)
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if total != producers*items {
+		t.Fatalf("consumed %d, want %d", total, producers*items)
+	}
+}

@@ -1,0 +1,203 @@
+package sim
+
+import (
+	"fmt"
+
+	"monarch/internal/stats"
+)
+
+// Resource models a capacity-limited server (disk channels, CPU cores,
+// GPUs, metadata servers). Admission is strictly FIFO: a request never
+// overtakes an earlier one even if the earlier request needs more units.
+// This mirrors a device queue and keeps the simulation fair and
+// deterministic.
+type Resource struct {
+	env      *Env
+	name     string
+	capacity int
+	inUse    int
+	waiters  []resWaiter
+	util     *stats.Utilization
+}
+
+type resWaiter struct {
+	proc    *Proc
+	n       int
+	granted bool
+}
+
+// NewResource creates a resource with the given capacity. Utilisation is
+// tracked from the first acquisition.
+func NewResource(env *Env, name string, capacity int) *Resource {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("sim: resource %q capacity must be positive", name))
+	}
+	u := stats.NewUtilization(capacity)
+	u.Set(int64(env.Now()), 0)
+	return &Resource{env: env, name: name, capacity: capacity, util: u}
+}
+
+// Name returns the resource name.
+func (r *Resource) Name() string { return r.name }
+
+// Capacity returns the total number of units.
+func (r *Resource) Capacity() int { return r.capacity }
+
+// InUse returns the number of units currently held.
+func (r *Resource) InUse() int { return r.inUse }
+
+// Utilization returns the average fraction of capacity busy up to the
+// current virtual time.
+func (r *Resource) Utilization() float64 {
+	return r.util.Average(int64(r.env.Now()))
+}
+
+// Acquire blocks p until n units are available and FIFO order admits it.
+func (r *Resource) Acquire(p *Proc, n int) {
+	if n <= 0 || n > r.capacity {
+		panic(fmt.Sprintf("sim: acquire %d of %d from %q", n, r.capacity, r.name))
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.grant(n)
+		return
+	}
+	idx := len(r.waiters)
+	r.waiters = append(r.waiters, resWaiter{proc: p, n: n})
+	for {
+		p.park("acquiring " + r.name)
+		if r.waiterGranted(p, idx) {
+			return
+		}
+	}
+}
+
+// waiterGranted reports whether p's waiter entry (searched by identity,
+// index is only a starting hint) has been granted and removes it.
+func (r *Resource) waiterGranted(p *Proc, hint int) bool {
+	for i := range r.waiters {
+		if r.waiters[i].proc == p {
+			if !r.waiters[i].granted {
+				return false
+			}
+			r.waiters = append(r.waiters[:i], r.waiters[i+1:]...)
+			return true
+		}
+	}
+	panic("sim: woken waiter missing from " + r.name)
+}
+
+// TryAcquire acquires n units if immediately available, without queuing.
+func (r *Resource) TryAcquire(n int) bool {
+	if n <= 0 || n > r.capacity {
+		return false
+	}
+	if len(r.waiters) == 0 && r.inUse+n <= r.capacity {
+		r.grant(n)
+		return true
+	}
+	return false
+}
+
+// Release returns n units and admits as many queued waiters as now fit,
+// in FIFO order.
+func (r *Resource) Release(n int) {
+	if n <= 0 || n > r.inUse {
+		panic(fmt.Sprintf("sim: release %d with %d in use on %q", n, r.inUse, r.name))
+	}
+	r.inUse -= n
+	r.util.Set(int64(r.env.Now()), r.inUse)
+	for i := range r.waiters {
+		w := &r.waiters[i]
+		if w.granted {
+			continue
+		}
+		if r.inUse+w.n > r.capacity {
+			break // strict FIFO: do not let later small requests overtake
+		}
+		r.grant(w.n)
+		w.granted = true
+		r.env.wake(w.proc)
+	}
+}
+
+func (r *Resource) grant(n int) {
+	r.inUse += n
+	r.util.Set(int64(r.env.Now()), r.inUse)
+}
+
+// Use acquires n units, runs the process for duration d, and releases.
+// It is the common "serve a request" idiom for device models.
+func (r *Resource) Use(p *Proc, n int, fn func()) {
+	r.Acquire(p, n)
+	defer r.Release(n)
+	fn()
+}
+
+// WaitGroup mirrors sync.WaitGroup on virtual time.
+type WaitGroup struct {
+	env     *Env
+	count   int
+	waiters []*Proc
+}
+
+// NewWaitGroup returns an empty wait group.
+func NewWaitGroup(env *Env) *WaitGroup { return &WaitGroup{env: env} }
+
+// Add adjusts the counter by delta, waking waiters when it hits zero.
+func (wg *WaitGroup) Add(delta int) {
+	wg.count += delta
+	if wg.count < 0 {
+		panic("sim: negative WaitGroup counter")
+	}
+	if wg.count == 0 {
+		for _, p := range wg.waiters {
+			wg.env.wake(p)
+		}
+		wg.waiters = nil
+	}
+}
+
+// Done decrements the counter.
+func (wg *WaitGroup) Done() { wg.Add(-1) }
+
+// Wait parks p until the counter reaches zero.
+func (wg *WaitGroup) Wait(p *Proc) {
+	for wg.count > 0 {
+		wg.waiters = append(wg.waiters, p)
+		p.park("waitgroup")
+	}
+}
+
+// Event is a one-shot broadcast: processes Wait until someone Fires.
+type Event struct {
+	env     *Env
+	fired   bool
+	waiters []*Proc
+}
+
+// NewEvent returns an unfired event.
+func NewEvent(env *Env) *Event { return &Event{env: env} }
+
+// Fired reports whether Fire has been called.
+func (ev *Event) Fired() bool { return ev.fired }
+
+// Fire wakes all current and future waiters. Firing twice is a no-op.
+func (ev *Event) Fire() {
+	if ev.fired {
+		return
+	}
+	ev.fired = true
+	for _, p := range ev.waiters {
+		ev.env.wake(p)
+	}
+	ev.waiters = nil
+}
+
+// Wait parks p until the event fires; returns immediately if already
+// fired.
+func (ev *Event) Wait(p *Proc) {
+	for !ev.fired {
+		ev.waiters = append(ev.waiters, p)
+		p.park("event")
+	}
+}

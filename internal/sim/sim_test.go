@@ -1,0 +1,524 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSleepAdvancesClock(t *testing.T) {
+	env := NewEnv(1)
+	var woke Time
+	env.Go("sleeper", func(p *Proc) {
+		p.Sleep(5 * time.Second)
+		woke = env.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if woke != Time(5*time.Second) {
+		t.Fatalf("woke at %v, want 5s", woke.Duration())
+	}
+}
+
+func TestZeroAndNegativeSleep(t *testing.T) {
+	env := NewEnv(1)
+	steps := 0
+	env.Go("p", func(p *Proc) {
+		p.Sleep(0)
+		steps++
+		p.Sleep(-time.Second)
+		steps++
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if steps != 2 || env.Now() != 0 {
+		t.Fatalf("steps=%d now=%v", steps, env.Now())
+	}
+}
+
+func TestEventOrderingIsFIFOWithinTimestamp(t *testing.T) {
+	env := NewEnv(1)
+	var order []string
+	for _, name := range []string{"a", "b", "c"} {
+		name := name
+		env.Go(name, func(p *Proc) {
+			p.Sleep(time.Second)
+			order = append(order, name)
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(order, ""); got != "abc" {
+		t.Fatalf("order = %q, want abc", got)
+	}
+}
+
+func TestDeterministicAcrossRuns(t *testing.T) {
+	run := func() []string {
+		env := NewEnv(99)
+		defer env.Close()
+		var log []string
+		r := NewResource(env, "disk", 2)
+		for i := 0; i < 5; i++ {
+			i := i
+			env.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+				d := time.Duration(env.Rand().IntN(1000)) * time.Millisecond
+				p.Sleep(d)
+				r.Acquire(p, 1)
+				p.Sleep(100 * time.Millisecond)
+				r.Release(1)
+				log = append(log, fmt.Sprintf("w%d@%d", i, env.Now()))
+			})
+		}
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return log
+	}
+	a, b := run(), run()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("non-deterministic runs:\n%v\n%v", a, b)
+	}
+}
+
+func TestSleepUntilPastIsNow(t *testing.T) {
+	env := NewEnv(1)
+	env.Go("p", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		p.SleepUntil(Time(time.Second)) // in the past
+		if env.Now() != Time(2*time.Second) {
+			t.Errorf("now = %v", env.Now())
+		}
+		p.SleepUntil(Time(3 * time.Second))
+		if env.Now() != Time(3*time.Second) {
+			t.Errorf("now = %v after SleepUntil", env.Now())
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJoin(t *testing.T) {
+	env := NewEnv(1)
+	var joined Time
+	worker := env.Go("worker", func(p *Proc) { p.Sleep(7 * time.Second) })
+	env.Go("joiner", func(p *Proc) {
+		p.Join(worker)
+		joined = env.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if joined != Time(7*time.Second) {
+		t.Fatalf("joined at %v", joined.Duration())
+	}
+}
+
+func TestJoinFinishedProcReturnsImmediately(t *testing.T) {
+	env := NewEnv(1)
+	worker := env.Go("worker", func(p *Proc) {})
+	env.Go("joiner", func(p *Proc) {
+		p.Sleep(time.Second)
+		p.Join(worker) // worker long gone
+		if env.Now() != Time(time.Second) {
+			t.Errorf("join of finished proc advanced time to %v", env.Now())
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAfterCallback(t *testing.T) {
+	env := NewEnv(1)
+	var at Time
+	env.After(3*time.Second, func() { at = env.Now() })
+	env.Go("keepalive", func(p *Proc) { p.Sleep(5 * time.Second) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if at != Time(3*time.Second) {
+		t.Fatalf("callback at %v", at.Duration())
+	}
+}
+
+func TestDeadlockDetection(t *testing.T) {
+	env := NewEnv(1)
+	r := NewResource(env, "r", 1)
+	env.Go("hog", func(p *Proc) {
+		r.Acquire(p, 1)
+		// never releases, never finishes: waits on an event nobody fires
+		NewEvent(env).Wait(p)
+	})
+	env.Go("starved", func(p *Proc) { r.Acquire(p, 1) })
+	err := env.Run()
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("expected deadlock error, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "starved") {
+		t.Fatalf("deadlock report should name parked procs: %v", err)
+	}
+	env.Close()
+}
+
+func TestProcPanicPropagates(t *testing.T) {
+	env := NewEnv(1)
+	env.Go("bomber", func(p *Proc) {
+		p.Sleep(time.Second)
+		panic("boom")
+	})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatal("expected panic to propagate")
+		}
+		if !strings.Contains(fmt.Sprint(r), "bomber") || !strings.Contains(fmt.Sprint(r), "boom") {
+			t.Fatalf("panic lost context: %v", r)
+		}
+		env.Close()
+	}()
+	_ = env.Run()
+}
+
+func TestDaemonsDoNotBlockCompletion(t *testing.T) {
+	env := NewEnv(1)
+	ticks := 0
+	env.GoDaemon("ticker", func(p *Proc) {
+		for {
+			p.Sleep(time.Second)
+			ticks++
+		}
+	})
+	env.Go("main", func(p *Proc) { p.Sleep(3500 * time.Millisecond) })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ticks != 3 {
+		t.Fatalf("daemon ticked %d times, want 3", ticks)
+	}
+	env.Close()
+}
+
+func TestCloseTerminatesParkedProcs(t *testing.T) {
+	env := NewEnv(1)
+	env.GoDaemon("d", func(p *Proc) {
+		for {
+			p.Sleep(time.Hour)
+		}
+	})
+	env.Go("m", func(p *Proc) {})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	env.Close()
+	env.Close() // idempotent
+}
+
+func TestResourceFIFOAndCapacity(t *testing.T) {
+	env := NewEnv(1)
+	r := NewResource(env, "disk", 2)
+	var order []string
+	work := func(name string, hold time.Duration) {
+		env.Go(name, func(p *Proc) {
+			r.Acquire(p, 1)
+			order = append(order, name+"+")
+			p.Sleep(hold)
+			r.Release(1)
+			order = append(order, name+"-")
+		})
+	}
+	work("a", 10*time.Second)
+	work("b", 1*time.Second)
+	work("c", 1*time.Second) // must wait for b (capacity 2)
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	got := strings.Join(order, " ")
+	want := "a+ b+ b- c+ c- a-"
+	if got != want {
+		t.Fatalf("order = %q, want %q", got, want)
+	}
+}
+
+func TestResourceNoOvertaking(t *testing.T) {
+	env := NewEnv(1)
+	r := NewResource(env, "r", 4)
+	var order []string
+	env.Go("big-holder", func(p *Proc) {
+		r.Acquire(p, 3)
+		p.Sleep(10 * time.Second)
+		r.Release(3)
+	})
+	env.Go("wants-three", func(p *Proc) {
+		p.Sleep(time.Second)
+		r.Acquire(p, 3) // only 1 free: waits
+		order = append(order, "three")
+		r.Release(3)
+	})
+	env.Go("wants-one", func(p *Proc) {
+		p.Sleep(2 * time.Second)
+		r.Acquire(p, 1) // would fit, but FIFO forbids overtaking
+		order = append(order, "one")
+		r.Release(1)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "three,one" {
+		t.Fatalf("FIFO violated: %v", order)
+	}
+}
+
+func TestResourceTryAcquire(t *testing.T) {
+	env := NewEnv(1)
+	r := NewResource(env, "r", 1)
+	env.Go("p", func(p *Proc) {
+		if !r.TryAcquire(1) {
+			t.Error("first TryAcquire should succeed")
+		}
+		if r.TryAcquire(1) {
+			t.Error("second TryAcquire should fail")
+		}
+		r.Release(1)
+		if !r.TryAcquire(1) {
+			t.Error("TryAcquire after release should succeed")
+		}
+		r.Release(1)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceUtilization(t *testing.T) {
+	env := NewEnv(1)
+	r := NewResource(env, "gpu", 2)
+	env.Go("u", func(p *Proc) {
+		r.Acquire(p, 2)
+		p.Sleep(5 * time.Second)
+		r.Release(2)
+		p.Sleep(5 * time.Second)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Utilization(); got < 0.49 || got > 0.51 {
+		t.Fatalf("utilization = %v, want ~0.5", got)
+	}
+}
+
+func TestResourceUse(t *testing.T) {
+	env := NewEnv(1)
+	r := NewResource(env, "r", 1)
+	env.Go("p", func(p *Proc) {
+		r.Use(p, 1, func() {
+			if r.InUse() != 1 {
+				t.Error("resource not held inside Use")
+			}
+			p.Sleep(time.Second)
+		})
+		if r.InUse() != 0 {
+			t.Error("resource not released after Use")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResourceMisusePanics(t *testing.T) {
+	env := NewEnv(1)
+	r := NewResource(env, "r", 1)
+	env.Go("p", func(p *Proc) {
+		defer func() {
+			if recover() == nil {
+				t.Error("over-release should panic")
+			}
+		}()
+		r.Release(1)
+	})
+	defer func() { recover(); env.Close() }()
+	_ = env.Run()
+}
+
+func TestWaitGroup(t *testing.T) {
+	env := NewEnv(1)
+	wg := NewWaitGroup(env)
+	finished := 0
+	for i := 0; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		env.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			p.Sleep(time.Duration(i+1) * time.Second)
+			finished++
+			wg.Done()
+		})
+	}
+	env.Go("waiter", func(p *Proc) {
+		wg.Wait(p)
+		if finished != 3 {
+			t.Errorf("waiter released with %d finished", finished)
+		}
+		if env.Now() != Time(3*time.Second) {
+			t.Errorf("waiter released at %v", env.Now().Duration())
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitGroupAlreadyZero(t *testing.T) {
+	env := NewEnv(1)
+	wg := NewWaitGroup(env)
+	env.Go("p", func(p *Proc) {
+		wg.Wait(p) // returns immediately
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEventBroadcast(t *testing.T) {
+	env := NewEnv(1)
+	ev := NewEvent(env)
+	released := 0
+	for i := 0; i < 3; i++ {
+		env.Go(fmt.Sprintf("w%d", i), func(p *Proc) {
+			ev.Wait(p)
+			released++
+		})
+	}
+	env.Go("firer", func(p *Proc) {
+		p.Sleep(time.Second)
+		ev.Fire()
+		ev.Fire() // idempotent
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if released != 3 || !ev.Fired() {
+		t.Fatalf("released=%d fired=%v", released, ev.Fired())
+	}
+}
+
+func TestEventWaitAfterFire(t *testing.T) {
+	env := NewEnv(1)
+	ev := NewEvent(env)
+	ev.Fire()
+	env.Go("late", func(p *Proc) {
+		ev.Wait(p)
+		if env.Now() != 0 {
+			t.Error("late waiter should not block")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestContextCarriesProc(t *testing.T) {
+	env := NewEnv(1)
+	env.Go("p", func(p *Proc) {
+		ctx := p.Context()
+		got, ok := ProcFromContext(ctx)
+		if !ok || got != p {
+			t.Error("context did not round-trip the proc")
+		}
+		if MustProc(ctx) != p {
+			t.Error("MustProc mismatch")
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMustProcPanicsWithoutProc(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	MustProc(nilCtx())
+}
+
+func nilCtx() (ctx interface {
+	Value(any) any
+	Deadline() (time.Time, bool)
+	Done() <-chan struct{}
+	Err() error
+}) {
+	return backgroundCtx{}
+}
+
+type backgroundCtx struct{}
+
+func (backgroundCtx) Value(any) any               { return nil }
+func (backgroundCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (backgroundCtx) Done() <-chan struct{}       { return nil }
+func (backgroundCtx) Err() error                  { return nil }
+
+func TestTimeConversions(t *testing.T) {
+	tm := Time(1500 * time.Millisecond)
+	if tm.Seconds() != 1.5 {
+		t.Fatalf("Seconds = %v", tm.Seconds())
+	}
+	if tm.Duration() != 1500*time.Millisecond {
+		t.Fatalf("Duration = %v", tm.Duration())
+	}
+}
+
+func TestYield(t *testing.T) {
+	env := NewEnv(1)
+	var order []string
+	env.Go("a", func(p *Proc) {
+		order = append(order, "a1")
+		p.Yield()
+		order = append(order, "a2")
+	})
+	env.Go("b", func(p *Proc) { order = append(order, "b") })
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(order, ",") != "a1,b,a2" {
+		t.Fatalf("order = %v", order)
+	}
+}
+
+func BenchmarkSleepWakeCycle(b *testing.B) {
+	env := NewEnv(1)
+	env.Go("p", func(p *Proc) {
+		for i := 0; i < b.N; i++ {
+			p.Sleep(time.Microsecond)
+		}
+	})
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkResourceContention(b *testing.B) {
+	env := NewEnv(1)
+	r := NewResource(env, "r", 4)
+	per := b.N/8 + 1
+	for w := 0; w < 8; w++ {
+		env.Go(fmt.Sprintf("w%d", w), func(p *Proc) {
+			for i := 0; i < per; i++ {
+				r.Acquire(p, 1)
+				p.Sleep(time.Microsecond)
+				r.Release(1)
+			}
+		})
+	}
+	b.ResetTimer()
+	if err := env.Run(); err != nil {
+		b.Fatal(err)
+	}
+}

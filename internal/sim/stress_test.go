@@ -1,0 +1,153 @@
+package sim
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+// TestPropertyResourceInvariants drives a resource with randomised
+// workloads and checks that in-use never exceeds capacity and that the
+// busy-time integral stays within [0, 1].
+func TestPropertyResourceInvariants(t *testing.T) {
+	err := quick.Check(func(capRaw uint8, workers uint8, steps uint8, seed uint16) bool {
+		capacity := int(capRaw%8) + 1
+		nworkers := int(workers%12) + 1
+		nsteps := int(steps%20) + 1
+
+		env := NewEnv(uint64(seed))
+		defer env.Close()
+		r := NewResource(env, "r", capacity)
+		violated := false
+		for w := 0; w < nworkers; w++ {
+			env.Go(fmt.Sprintf("w%d", w), func(p *Proc) {
+				for s := 0; s < nsteps; s++ {
+					n := env.Rand().IntN(capacity) + 1
+					r.Acquire(p, n)
+					if r.InUse() > capacity || r.InUse() < n {
+						violated = true
+					}
+					p.Sleep(time.Duration(env.Rand().IntN(1000)) * time.Microsecond)
+					r.Release(n)
+				}
+			})
+		}
+		if err := env.Run(); err != nil {
+			t.Log(err)
+			return false
+		}
+		if violated {
+			return false
+		}
+		u := r.Utilization()
+		return u >= 0 && u <= 1.0000001 && r.InUse() == 0
+	}, &quick.Config{MaxCount: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStressManyProcesses runs a thousand interleaved processes over
+// shared queues and resources — a scaled-down version of what a
+// full-size experiment does — and checks conservation.
+func TestStressManyProcesses(t *testing.T) {
+	env := NewEnv(42)
+	defer env.Close()
+	const producers, itemsPer = 500, 20
+	q := NewQueue[int](env, "q", 32)
+	r := NewResource(env, "shared", 3)
+	wg := NewWaitGroup(env)
+	for i := 0; i < producers; i++ {
+		wg.Add(1)
+		env.Go(fmt.Sprintf("p%d", i), func(p *Proc) {
+			defer wg.Done()
+			for j := 0; j < itemsPer; j++ {
+				r.Acquire(p, 1)
+				p.Sleep(time.Duration(env.Rand().IntN(50)) * time.Microsecond)
+				r.Release(1)
+				q.Put(p, 1)
+			}
+		})
+	}
+	env.Go("closer", func(p *Proc) {
+		wg.Wait(p)
+		q.Close()
+	})
+	consumed := 0
+	for c := 0; c < 8; c++ {
+		env.Go(fmt.Sprintf("c%d", c), func(p *Proc) {
+			for {
+				v, ok := q.Get(p)
+				if !ok {
+					return
+				}
+				consumed += v
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if consumed != producers*itemsPer {
+		t.Fatalf("consumed %d, want %d", consumed, producers*itemsPer)
+	}
+}
+
+// TestStressDeterminismUnderChurn replays a chaotic workload twice and
+// requires identical final clocks — the core guarantee every experiment
+// rests on.
+func TestStressDeterminismUnderChurn(t *testing.T) {
+	run := func() Time {
+		env := NewEnv(99)
+		defer env.Close()
+		r := NewResource(env, "r", 2)
+		q := NewQueue[int](env, "q", 4)
+		ev := NewEvent(env)
+		for i := 0; i < 50; i++ {
+			i := i
+			env.Go(fmt.Sprintf("a%d", i), func(p *Proc) {
+				p.Sleep(time.Duration(env.Rand().IntN(5000)) * time.Microsecond)
+				r.Acquire(p, 1)
+				p.Sleep(time.Duration(env.Rand().IntN(500)) * time.Microsecond)
+				r.Release(1)
+				if i%7 == 0 {
+					ev.Fire()
+				}
+				q.Put(p, i)
+			})
+		}
+		env.Go("drain", func(p *Proc) {
+			ev.Wait(p)
+			for n := 0; n < 50; n++ {
+				q.Get(p)
+			}
+		})
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return env.Now()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("non-deterministic: %v vs %v", a.Duration(), b.Duration())
+	}
+}
+
+// TestManySequentialEnvsDoNotLeak builds and closes many environments
+// with daemons; if Close leaked goroutines this would blow up the
+// runtime (the count is asserted only loosely via completion).
+func TestManySequentialEnvsDoNotLeak(t *testing.T) {
+	for i := 0; i < 200; i++ {
+		env := NewEnv(uint64(i))
+		env.GoDaemon("d", func(p *Proc) {
+			for {
+				p.Sleep(time.Second)
+			}
+		})
+		env.Go("m", func(p *Proc) { p.Sleep(3 * time.Second) })
+		if err := env.Run(); err != nil {
+			t.Fatal(err)
+		}
+		env.Close()
+	}
+}

@@ -1,0 +1,154 @@
+package simstore
+
+import (
+	"errors"
+	"testing"
+
+	"monarch/internal/sim"
+	"monarch/internal/storage"
+)
+
+func TestDeviceAndStoreAccessors(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	spec := quietSpec()
+	d := NewDevice(env, spec)
+	if d.Spec().Name != spec.Name {
+		t.Fatal("Spec accessor")
+	}
+	if got := d.Utilization(); got != 0 {
+		t.Fatalf("untouched utilization = %v", got)
+	}
+	s := NewStore(d, "tier0", 1234)
+	if s.Device() != d || s.Name() != "tier0" || s.Capacity() != 1234 {
+		t.Fatal("store accessors")
+	}
+}
+
+func TestDevicePanicsOnBadConcurrency(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	spec := quietSpec()
+	spec.Channels = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewDevice(env, spec)
+}
+
+func TestStoreReadFileChargesFullSize(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	s := NewStore(NewDevice(env, quietSpec()), "s", 0)
+	s.AddFile("f", 2048)
+	env.Go("p", func(p *sim.Proc) {
+		data, err := s.ReadFile(p.Context(), "f")
+		if err != nil || len(data) != 2048 {
+			t.Errorf("len=%d err=%v", len(data), err)
+		}
+		if _, err := s.ReadFile(p.Context(), "ghost"); !errors.Is(err, storage.ErrNotExist) {
+			t.Errorf("ghost: %v", err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	_, _, _, br, _ := s.Device().Stats()
+	if br != 2048 {
+		t.Fatalf("bytes read = %d", br)
+	}
+}
+
+func TestStoreCopyFromReadFailureRollsBack(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	src := NewStore(NewDevice(env, quietSpec()), "pfs", 0)
+	src.AddFile("f", 1000)
+	faulty := storage.NewFaulty(src)
+	faulty.FailEveryNthRead(1)
+	dst := NewStore(NewDevice(env, quietSpec()), "ssd", 0)
+	env.Go("p", func(p *sim.Proc) {
+		if err := dst.CopyFrom(p.Context(), faulty, "f"); !errors.Is(err, storage.ErrInjected) {
+			t.Errorf("got %v", err)
+		}
+		if dst.Used() != 0 {
+			t.Errorf("reservation leaked: %d", dst.Used())
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreCopyFromReplacesExistingReservation(t *testing.T) {
+	// Re-copying a file that already exists must swap, not add, quota.
+	env := sim.NewEnv(1)
+	defer env.Close()
+	src := NewStore(NewDevice(env, quietSpec()), "pfs", 0)
+	src.AddFile("f", 600)
+	dst := NewStore(NewDevice(env, quietSpec()), "ssd", 1000)
+	env.Go("p", func(p *sim.Proc) {
+		ctx := p.Context()
+		if err := dst.CopyFrom(ctx, src, "f"); err != nil {
+			t.Error(err)
+			return
+		}
+		if err := dst.CopyFrom(ctx, src, "f"); err != nil {
+			t.Errorf("re-copy within quota failed: %v", err)
+		}
+		if dst.Used() != 600 {
+			t.Errorf("used = %d, want 600", dst.Used())
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreCopyFromRollbackRestoresOldVersion(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	src := NewStore(NewDevice(env, quietSpec()), "pfs", 0)
+	src.AddFile("f", 700)
+	faulty := storage.NewFaulty(src)
+	dst := NewStore(NewDevice(env, quietSpec()), "ssd", 0)
+	dst.AddFile("f", 300) // stale prior version
+	faulty.FailEveryNthRead(2)
+	env.Go("p", func(p *sim.Proc) {
+		// stat passes, first chunk read ok (chunk 4MiB > 700 so single
+		// read)... make the very first read fail instead.
+		faulty.FailEveryNthRead(1)
+		if err := dst.CopyFrom(p.Context(), faulty, "f"); err == nil {
+			t.Error("expected failure")
+		}
+		if dst.Used() != 300 {
+			t.Errorf("old version not restored: used=%d", dst.Used())
+		}
+		fi, err := dst.Stat(p.Context(), "f")
+		if err != nil || fi.Size != 300 {
+			t.Errorf("stat after rollback: %+v %v", fi, err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreCopyFromDefaultChunk(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	src := NewStore(NewDevice(env, quietSpec()), "pfs", 0)
+	src.AddFile("f", 100)
+	dst := NewStore(NewDevice(env, quietSpec()), "ssd", 0)
+	dst.CopyChunk = 0 // forces the internal default
+	env.Go("p", func(p *sim.Proc) {
+		if err := dst.CopyFrom(p.Context(), src, "f"); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,305 @@
+// Package simstore models HPC storage devices on the simulation clock:
+// a compute node's local SSD and a shared Lustre-like parallel file
+// system, the two tiers of the paper's evaluation. It also provides
+// Store, a storage.Backend over virtual (size-only) files that charges
+// device time for every operation, so the same MONARCH middleware code
+// that works on real directories runs unmodified inside experiments.
+package simstore
+
+import (
+	"math"
+	"time"
+
+	"monarch/internal/rng"
+	"monarch/internal/sim"
+)
+
+// DeviceSpec parameterises a device's service model. A request passes
+// two phases:
+//
+//  1. a setup phase (per-op latency) limited by Channels — this models
+//     queue depth / RPC concurrency and overlaps across requests;
+//  2. a transfer phase limited by Slots — while holding a slot the
+//     request pays PerOpCost plus bytes/Bandwidth. Aggregate device
+//     throughput is therefore Slots×Bandwidth, and small requests pay
+//     proportionally more per byte, which is exactly the effect that
+//     makes MONARCH's large background fetches cheaper per byte than
+//     the framework's 256 KiB preads.
+type DeviceSpec struct {
+	Name string
+	// Channels limits concurrently-admitted operations.
+	Channels int
+	// Slots limits concurrent transfers.
+	Slots int
+	// ReadLatency / WriteLatency are per-op setup latencies.
+	ReadLatency  time.Duration
+	WriteLatency time.Duration
+	// PerOpCost is server time charged per operation inside the slot.
+	PerOpCost time.Duration
+	// ReadBandwidth / WriteBandwidth are bytes/second while holding a
+	// transfer slot.
+	ReadBandwidth  float64
+	WriteBandwidth float64
+	// LatencySigma is the lognormal spread applied to the setup phase
+	// and per-op cost (0 = deterministic).
+	LatencySigma float64
+	// MetaLatency is the per-file cost of metadata operations (stat, or
+	// each directory entry during a listing).
+	MetaLatency time.Duration
+	// MetaSlots limits concurrent metadata operations (the MDS).
+	MetaSlots int
+	// Duplex gives writes their own transfer slots so reads and writes
+	// overlap (local SSD/RAM). Non-duplex devices serialise both
+	// directions through the same slots (the shared PFS pipe).
+	Duplex bool
+}
+
+// Frontera-flavoured presets; values are calibrated in
+// internal/experiments/calib.go's documentation and DESIGN.md §5.
+func SSDSpec() DeviceSpec {
+	return DeviceSpec{
+		Name:           "ssd",
+		Channels:       8,
+		Slots:          1,
+		ReadLatency:    80 * time.Microsecond,
+		WriteLatency:   60 * time.Microsecond,
+		PerOpCost:      10 * time.Microsecond,
+		ReadBandwidth:  480 * MiB,
+		WriteBandwidth: 400 * MiB,
+		LatencySigma:   0.05,
+		MetaLatency:    40 * time.Microsecond,
+		MetaSlots:      8,
+		Duplex:         true,
+	}
+}
+
+// LustreSpec models the shared PFS: higher latency, per-op server cost,
+// an aggregate per-client bandwidth cap, and a slow metadata server.
+func LustreSpec() DeviceSpec {
+	return DeviceSpec{
+		Name:           "lustre",
+		Channels:       32,
+		Slots:          1,
+		ReadLatency:    1200 * time.Microsecond,
+		WriteLatency:   1500 * time.Microsecond,
+		PerOpCost:      400 * time.Microsecond,
+		ReadBandwidth:  440 * MiB,
+		WriteBandwidth: 280 * MiB,
+		LatencySigma:   0.35,
+		MetaLatency:    8 * time.Millisecond,
+		MetaSlots:      4,
+	}
+}
+
+// RAMSpec models a memory-backed tier (the paper's §VI future-work
+// hierarchy level).
+func RAMSpec() DeviceSpec {
+	return DeviceSpec{
+		Name:           "ram",
+		Channels:       64,
+		Slots:          4,
+		ReadLatency:    2 * time.Microsecond,
+		WriteLatency:   2 * time.Microsecond,
+		PerOpCost:      time.Microsecond,
+		ReadBandwidth:  8 * GiB,
+		WriteBandwidth: 8 * GiB,
+		LatencySigma:   0.02,
+		MetaLatency:    time.Microsecond,
+		MetaSlots:      64,
+		Duplex:         true,
+	}
+}
+
+// Byte-size constants for specs.
+const (
+	KiB = float64(1 << 10)
+	MiB = float64(1 << 20)
+	GiB = float64(1 << 30)
+)
+
+// Device is a DeviceSpec instantiated in a simulation environment.
+type Device struct {
+	spec     DeviceSpec
+	env      *sim.Env
+	channels *sim.Resource
+	slots    *sim.Resource
+	wslots   *sim.Resource // write slots when Duplex; == slots otherwise
+	meta     *sim.Resource
+	rnd      *rng.Source
+	// interf scales service times; nil means no interference.
+	interf *Interference
+	// timeline, when set, bins moved bytes over virtual time.
+	timeline *Timeline
+
+	readOps, writeOps, metaOps int64
+	bytesRead, bytesWritten    int64
+}
+
+// NewDevice instantiates spec in env.
+func NewDevice(env *sim.Env, spec DeviceSpec) *Device {
+	if spec.Channels <= 0 || spec.Slots <= 0 || spec.MetaSlots <= 0 {
+		panic("simstore: device concurrency must be positive")
+	}
+	d := &Device{
+		spec:     spec,
+		env:      env,
+		channels: sim.NewResource(env, spec.Name+"-chan", spec.Channels),
+		slots:    sim.NewResource(env, spec.Name+"-xfer", spec.Slots),
+		meta:     sim.NewResource(env, spec.Name+"-meta", spec.MetaSlots),
+		rnd:      env.Rand().Split(),
+	}
+	if spec.Duplex {
+		d.wslots = sim.NewResource(env, spec.Name+"-wxfer", spec.Slots)
+	} else {
+		d.wslots = d.slots
+	}
+	return d
+}
+
+// SetInterference attaches an interference process (see Interference).
+func (d *Device) SetInterference(i *Interference) { d.interf = i }
+
+// Spec returns the device parameters.
+func (d *Device) Spec() DeviceSpec { return d.spec }
+
+// Utilization returns the mean busy fraction of the transfer slots.
+func (d *Device) Utilization() float64 { return d.slots.Utilization() }
+
+// Stats returns op and byte totals since construction.
+func (d *Device) Stats() (readOps, writeOps, metaOps, bytesRead, bytesWritten int64) {
+	return d.readOps, d.writeOps, d.metaOps, d.bytesRead, d.bytesWritten
+}
+
+func (d *Device) factor() float64 {
+	if d.interf == nil {
+		return 1
+	}
+	return d.interf.Factor()
+}
+
+func (d *Device) noisy(base time.Duration) time.Duration {
+	if base <= 0 {
+		return 0
+	}
+	v := float64(base)
+	if d.spec.LatencySigma > 0 {
+		v = d.rnd.LogNormalMean(v, d.spec.LatencySigma)
+	}
+	return time.Duration(v * d.factor())
+}
+
+func xferTime(bytes int64, bw float64) time.Duration {
+	if bytes <= 0 || bw <= 0 {
+		return 0
+	}
+	return time.Duration(float64(bytes) / bw * float64(time.Second))
+}
+
+func (d *Device) transfer(p *sim.Proc, slots *sim.Resource, setup time.Duration, bytes int64, bw float64) {
+	d.channels.Acquire(p, 1)
+	p.Sleep(d.noisy(setup))
+	slots.Acquire(p, 1)
+	d.channels.Release(1)
+	p.Sleep(d.noisy(d.spec.PerOpCost) + time.Duration(float64(xferTime(bytes, bw))*d.factor()))
+	slots.Release(1)
+}
+
+// Read charges one read of the given size to the calling process.
+func (d *Device) Read(p *sim.Proc, bytes int64) {
+	d.readOps++
+	d.bytesRead += bytes
+	if d.timeline != nil {
+		d.timeline.Add(d.env.Now(), bytes)
+	}
+	d.transfer(p, d.slots, d.spec.ReadLatency, bytes, d.spec.ReadBandwidth)
+}
+
+// Write charges one write of the given size.
+func (d *Device) Write(p *sim.Proc, bytes int64) {
+	d.writeOps++
+	d.bytesWritten += bytes
+	if d.timeline != nil {
+		d.timeline.Add(d.env.Now(), bytes)
+	}
+	d.transfer(p, d.wslots, d.spec.WriteLatency, bytes, d.spec.WriteBandwidth)
+}
+
+// MetaOp charges n metadata operations executed back-to-back (a stat,
+// or an n-entry directory scan).
+func (d *Device) MetaOp(p *sim.Proc, n int) {
+	if n <= 0 {
+		return
+	}
+	d.metaOps += int64(n)
+	d.meta.Acquire(p, 1)
+	for i := 0; i < n; i++ {
+		p.Sleep(d.noisy(d.spec.MetaLatency))
+	}
+	d.meta.Release(1)
+}
+
+// Interference models the slowly-varying load other jobs impose on the
+// shared PFS. A daemon resamples a multiplicative service-time factor
+// with a mean-reverting random walk in log space; vanilla-lustre's
+// throughput variability in the paper's Figures 1, 3 and 4 comes from
+// exactly this effect.
+type Interference struct {
+	factor float64
+}
+
+// InterferenceConfig parameterises the walk.
+type InterferenceConfig struct {
+	// Mean is the long-run average factor (1.0 = no average slowdown).
+	Mean float64
+	// Volatility is the per-step lognormal sigma of the walk.
+	Volatility float64
+	// Reversion in (0,1] pulls the factor back toward Mean each step.
+	Reversion float64
+	// Min and Max clamp the factor.
+	Min, Max float64
+	// Period is the resampling interval in virtual time.
+	Period time.Duration
+}
+
+// DefaultInterference matches the calibration in DESIGN.md: mild average
+// slowdown with occasional multi-x spikes.
+func DefaultInterference() InterferenceConfig {
+	return InterferenceConfig{
+		Mean:       1.02,
+		Volatility: 0.30,
+		Reversion:  0.15,
+		Min:        0.70,
+		Max:        4.0,
+		Period:     3 * time.Second,
+	}
+}
+
+// NewInterference starts the interference daemon in env.
+func NewInterference(env *sim.Env, cfg InterferenceConfig) *Interference {
+	if cfg.Period <= 0 {
+		panic("simstore: interference period must be positive")
+	}
+	itf := &Interference{factor: cfg.Mean}
+	src := env.Rand().Split()
+	env.GoDaemon("interference", func(p *sim.Proc) {
+		// log-space mean-reverting walk (Ornstein-Uhlenbeck flavoured).
+		logMean := math.Log(cfg.Mean)
+		x := logMean
+		for {
+			p.Sleep(cfg.Period)
+			x += cfg.Reversion*(logMean-x) + src.Normal(0, cfg.Volatility)
+			f := math.Exp(x)
+			if f < cfg.Min {
+				f = cfg.Min
+			}
+			if f > cfg.Max {
+				f = cfg.Max
+			}
+			itf.factor = f
+		}
+	})
+	return itf
+}
+
+// Factor returns the current service-time multiplier.
+func (i *Interference) Factor() float64 { return i.factor }

@@ -1,0 +1,472 @@
+package simstore
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"monarch/internal/sim"
+	"monarch/internal/storage"
+)
+
+// runSim executes fn as a single simulation process and returns the
+// final virtual time.
+func runSim(t *testing.T, seed uint64, fn func(p *sim.Proc, env *sim.Env)) sim.Time {
+	t.Helper()
+	env := sim.NewEnv(seed)
+	defer env.Close()
+	var end sim.Time
+	env.Go("test", func(p *sim.Proc) {
+		fn(p, env)
+		end = env.Now()
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	return end
+}
+
+// quiet returns a deterministic device spec with no noise, for exact
+// timing assertions.
+func quietSpec() DeviceSpec {
+	return DeviceSpec{
+		Name:           "quiet",
+		Channels:       4,
+		Slots:          1,
+		ReadLatency:    time.Millisecond,
+		WriteLatency:   2 * time.Millisecond,
+		PerOpCost:      0,
+		ReadBandwidth:  1 * MiB, // 1 MiB/s so timings are easy to compute
+		WriteBandwidth: 1 * MiB,
+		LatencySigma:   0,
+		MetaLatency:    10 * time.Millisecond,
+		MetaSlots:      2,
+	}
+}
+
+func TestDeviceReadTiming(t *testing.T) {
+	end := runSim(t, 1, func(p *sim.Proc, env *sim.Env) {
+		d := NewDevice(env, quietSpec())
+		d.Read(p, 1<<20) // 1 MiB at 1 MiB/s + 1 ms latency
+	})
+	want := sim.Time(time.Second + time.Millisecond)
+	if end != want {
+		t.Fatalf("read took %v, want %v", end.Duration(), want.Duration())
+	}
+}
+
+func TestDeviceWriteTiming(t *testing.T) {
+	end := runSim(t, 1, func(p *sim.Proc, env *sim.Env) {
+		d := NewDevice(env, quietSpec())
+		d.Write(p, 512<<10)
+	})
+	want := sim.Time(500*time.Millisecond + 2*time.Millisecond)
+	if end != want {
+		t.Fatalf("write took %v, want %v", end.Duration(), want.Duration())
+	}
+}
+
+func TestDevicePerOpCostChargedInSlot(t *testing.T) {
+	spec := quietSpec()
+	spec.PerOpCost = 100 * time.Millisecond
+	end := runSim(t, 1, func(p *sim.Proc, env *sim.Env) {
+		d := NewDevice(env, spec)
+		d.Read(p, 0) // pure overhead: latency + per-op cost
+	})
+	want := sim.Time(time.Millisecond + 100*time.Millisecond)
+	if end != want {
+		t.Fatalf("zero-byte read took %v, want %v", end.Duration(), want.Duration())
+	}
+}
+
+func TestDeviceSlotSerializesTransfers(t *testing.T) {
+	// Two concurrent 1 MiB reads with one slot must take ~2 s total:
+	// latencies overlap via channels, transfers serialize.
+	env := sim.NewEnv(1)
+	defer env.Close()
+	d := NewDevice(env, quietSpec())
+	for i := 0; i < 2; i++ {
+		env.Go("reader", func(p *sim.Proc) { d.Read(p, 1<<20) })
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(2*time.Second + time.Millisecond)
+	if env.Now() != want {
+		t.Fatalf("two reads finished at %v, want %v", env.Now().Duration(), want.Duration())
+	}
+}
+
+func TestDeviceAggregateThroughputScalesWithSlots(t *testing.T) {
+	spec := quietSpec()
+	spec.Slots = 2
+	env := sim.NewEnv(1)
+	defer env.Close()
+	d := NewDevice(env, spec)
+	for i := 0; i < 2; i++ {
+		env.Go("reader", func(p *sim.Proc) { d.Read(p, 1<<20) })
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	want := sim.Time(time.Second + time.Millisecond)
+	if env.Now() != want {
+		t.Fatalf("parallel reads finished at %v, want %v", env.Now().Duration(), want.Duration())
+	}
+}
+
+func TestDeviceSmallOpsPayMoreWithPerOpCost(t *testing.T) {
+	// The property MONARCH's full-file fetch exploits: moving the same
+	// bytes in fewer, larger ops is faster when per-op cost is nonzero.
+	spec := quietSpec()
+	spec.PerOpCost = 50 * time.Millisecond
+	small := runSim(t, 1, func(p *sim.Proc, env *sim.Env) {
+		d := NewDevice(env, spec)
+		for i := 0; i < 16; i++ {
+			d.Read(p, 64<<10)
+		}
+	})
+	large := runSim(t, 1, func(p *sim.Proc, env *sim.Env) {
+		d := NewDevice(env, spec)
+		d.Read(p, 1<<20)
+	})
+	if large >= small {
+		t.Fatalf("large read (%v) not faster than 16 small reads (%v)",
+			large.Duration(), small.Duration())
+	}
+}
+
+func TestDeviceMetaOpBatch(t *testing.T) {
+	end := runSim(t, 1, func(p *sim.Proc, env *sim.Env) {
+		d := NewDevice(env, quietSpec())
+		d.MetaOp(p, 5)
+	})
+	if end != sim.Time(50*time.Millisecond) {
+		t.Fatalf("5 meta ops took %v", end.Duration())
+	}
+}
+
+func TestDeviceStats(t *testing.T) {
+	runSim(t, 1, func(p *sim.Proc, env *sim.Env) {
+		d := NewDevice(env, quietSpec())
+		d.Read(p, 100)
+		d.Read(p, 50)
+		d.Write(p, 200)
+		d.MetaOp(p, 3)
+		r, w, m, br, bw := d.Stats()
+		if r != 2 || w != 1 || m != 3 || br != 150 || bw != 200 {
+			t.Errorf("stats = %d %d %d %d %d", r, w, m, br, bw)
+		}
+	})
+}
+
+func TestDeviceNoiseIsDeterministicPerSeed(t *testing.T) {
+	spec := LustreSpec()
+	run := func() sim.Time {
+		return runSim(t, 42, func(p *sim.Proc, env *sim.Env) {
+			d := NewDevice(env, spec)
+			for i := 0; i < 50; i++ {
+				d.Read(p, 256<<10)
+			}
+		})
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("same seed produced %v and %v", a.Duration(), b.Duration())
+	}
+}
+
+func TestInterferenceSlowsDevice(t *testing.T) {
+	spec := quietSpec()
+	base := runSim(t, 5, func(p *sim.Proc, env *sim.Env) {
+		d := NewDevice(env, spec)
+		for i := 0; i < 20; i++ {
+			d.Read(p, 1<<20)
+		}
+	})
+	slowed := runSim(t, 5, func(p *sim.Proc, env *sim.Env) {
+		d := NewDevice(env, spec)
+		cfg := DefaultInterference()
+		cfg.Mean = 2.0
+		cfg.Min = 1.5
+		d.SetInterference(NewInterference(env, cfg))
+		for i := 0; i < 20; i++ {
+			d.Read(p, 1<<20)
+		}
+	})
+	if float64(slowed) < 1.4*float64(base) {
+		t.Fatalf("interference too weak: base %v, slowed %v", base.Duration(), slowed.Duration())
+	}
+}
+
+func TestInterferenceFactorStaysClamped(t *testing.T) {
+	env := sim.NewEnv(9)
+	defer env.Close()
+	cfg := DefaultInterference()
+	itf := NewInterference(env, cfg)
+	bad := false
+	env.Go("watch", func(p *sim.Proc) {
+		for i := 0; i < 2000; i++ {
+			p.Sleep(cfg.Period)
+			f := itf.Factor()
+			if f < cfg.Min || f > cfg.Max {
+				bad = true
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if bad {
+		t.Fatal("interference factor escaped clamp")
+	}
+}
+
+func TestStoreReadAtRespectsVirtualSize(t *testing.T) {
+	runSim(t, 1, func(p *sim.Proc, env *sim.Env) {
+		s := NewStore(NewDevice(env, quietSpec()), "s", 0)
+		s.AddFile("f", 1000)
+		ctx := p.Context()
+		buf := make([]byte, 400)
+		if n, err := s.ReadAt(ctx, "f", buf, 0); n != 400 || err != nil {
+			t.Errorf("full window: n=%d err=%v", n, err)
+		}
+		if n, err := s.ReadAt(ctx, "f", buf, 900); n != 100 || err != nil {
+			t.Errorf("tail: n=%d err=%v", n, err)
+		}
+		if n, err := s.ReadAt(ctx, "f", buf, 2000); n != 0 || err != nil {
+			t.Errorf("past EOF: n=%d err=%v", n, err)
+		}
+		if _, err := s.ReadAt(ctx, "ghost", buf, 0); !errors.Is(err, storage.ErrNotExist) {
+			t.Errorf("ghost: %v", err)
+		}
+		if _, err := s.ReadAt(ctx, "f", buf, -1); err == nil {
+			t.Error("negative offset should fail")
+		}
+	})
+}
+
+func TestStoreQuotaAndReadOnly(t *testing.T) {
+	runSim(t, 1, func(p *sim.Proc, env *sim.Env) {
+		s := NewStore(NewDevice(env, quietSpec()), "s", 1000)
+		ctx := p.Context()
+		if err := s.WriteFile(ctx, "a", make([]byte, 600)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.WriteFile(ctx, "b", make([]byte, 600)); !errors.Is(err, storage.ErrNoSpace) {
+			t.Fatalf("quota: %v", err)
+		}
+		if s.Used() != 600 {
+			t.Fatalf("failed write leaked quota: used=%d", s.Used())
+		}
+		s.SetReadOnly(true)
+		if err := s.WriteFile(ctx, "c", make([]byte, 1)); !errors.Is(err, storage.ErrReadOnly) {
+			t.Fatalf("read-only: %v", err)
+		}
+		if err := s.Remove(ctx, "a"); !errors.Is(err, storage.ErrReadOnly) {
+			t.Fatalf("read-only remove: %v", err)
+		}
+	})
+}
+
+func TestStoreListAndStatChargeMetadataTime(t *testing.T) {
+	end := runSim(t, 1, func(p *sim.Proc, env *sim.Env) {
+		s := NewStore(NewDevice(env, quietSpec()), "s", 0)
+		for i := 0; i < 7; i++ {
+			s.AddFile(string(rune('a'+i)), 10)
+		}
+		infos, err := s.List(p.Context())
+		if err != nil || len(infos) != 7 {
+			t.Errorf("list: %d infos, err=%v", len(infos), err)
+		}
+		if infos[0].Name != "a" || infos[6].Name != "g" {
+			t.Errorf("list not sorted: %v", infos)
+		}
+	})
+	if end != sim.Time(70*time.Millisecond) {
+		t.Fatalf("7-entry list took %v, want 70ms", end.Duration())
+	}
+}
+
+func TestStoreRemoveFreesQuota(t *testing.T) {
+	runSim(t, 1, func(p *sim.Proc, env *sim.Env) {
+		s := NewStore(NewDevice(env, quietSpec()), "s", 100)
+		ctx := p.Context()
+		if err := s.WriteFile(ctx, "f", make([]byte, 100)); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Remove(ctx, "f"); err != nil {
+			t.Fatal(err)
+		}
+		if s.Used() != 0 {
+			t.Fatalf("used = %d", s.Used())
+		}
+		if _, err := s.Stat(ctx, "f"); !errors.Is(err, storage.ErrNotExist) {
+			t.Fatalf("stat removed: %v", err)
+		}
+	})
+}
+
+func TestStoreAddFileReplacesExisting(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	s := NewStore(NewDevice(env, quietSpec()), "s", 0)
+	s.AddFile("f", 100)
+	s.AddFile("f", 250)
+	if s.Used() != 250 {
+		t.Fatalf("used = %d, want 250", s.Used())
+	}
+}
+
+func TestStoreCopyFromChargesBothDevices(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	srcDev := NewDevice(env, quietSpec())
+	dstDev := NewDevice(env, quietSpec())
+	src := NewStore(srcDev, "pfs", 0)
+	dst := NewStore(dstDev, "ssd", 0)
+	src.AddFile("shard", 2<<20)
+	dst.CopyChunk = 1 << 20
+	env.Go("copier", func(p *sim.Proc) {
+		if err := dst.CopyFrom(p.Context(), src, "shard"); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Used() != 2<<20 {
+		t.Fatalf("dst used = %d", dst.Used())
+	}
+	rOps, _, _, br, _ := srcDev.Stats()
+	_, wOps, _, _, bw := dstDev.Stats()
+	if rOps != 2 || br != 2<<20 {
+		t.Fatalf("src: %d reads, %d bytes", rOps, br)
+	}
+	if wOps != 2 || bw != 2<<20 {
+		t.Fatalf("dst: %d writes, %d bytes", wOps, bw)
+	}
+	// Sequential copy: src stat (10ms) + 2×(read 1s+1ms) + 2×(write 1s+2ms)
+	want := sim.Time(10*time.Millisecond + 2*(time.Second+time.Millisecond) + 2*(time.Second+2*time.Millisecond))
+	if env.Now() != want {
+		t.Fatalf("copy took %v, want %v", env.Now().Duration(), want.Duration())
+	}
+}
+
+func TestStoreCopyFromCountsThroughInstrumentation(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	src := NewStore(NewDevice(env, quietSpec()), "pfs", 0)
+	src.AddFile("shard", 3<<20)
+	counted := storage.NewCounting(src)
+	dst := NewStore(NewDevice(env, quietSpec()), "ssd", 0)
+	dst.CopyChunk = 1 << 20
+	env.Go("copier", func(p *sim.Proc) {
+		if err := dst.CopyFrom(p.Context(), counted, "shard"); err != nil {
+			t.Error(err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	c := counted.Counts()
+	if c.Ops[storage.OpRead] != 3 || c.Ops[storage.OpStat] != 1 {
+		t.Fatalf("counts = %+v", c)
+	}
+	if c.BytesRead != 3<<20 {
+		t.Fatalf("bytes read = %d", c.BytesRead)
+	}
+}
+
+func TestStoreCopyFromQuotaRollback(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	src := NewStore(NewDevice(env, quietSpec()), "pfs", 0)
+	src.AddFile("big", 500)
+	dst := NewStore(NewDevice(env, quietSpec()), "ssd", 100)
+	env.Go("copier", func(p *sim.Proc) {
+		if err := dst.CopyFrom(p.Context(), src, "big"); !errors.Is(err, storage.ErrNoSpace) {
+			t.Errorf("expected quota error, got %v", err)
+		}
+		if dst.Used() != 0 {
+			t.Errorf("quota leaked: used=%d", dst.Used())
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreCopyFromMissingSource(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	src := NewStore(NewDevice(env, quietSpec()), "pfs", 0)
+	dst := NewStore(NewDevice(env, quietSpec()), "ssd", 0)
+	env.Go("copier", func(p *sim.Proc) {
+		if err := dst.CopyFrom(p.Context(), src, "ghost"); !errors.Is(err, storage.ErrNotExist) {
+			t.Errorf("got %v", err)
+		}
+		if _, err := dst.Stat(p.Context(), "ghost"); !errors.Is(err, storage.ErrNotExist) {
+			t.Errorf("phantom file created: %v", err)
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreConcurrentCopiesRespectQuota(t *testing.T) {
+	// Reservation must prevent concurrent copies from jointly
+	// overshooting the destination quota.
+	env := sim.NewEnv(1)
+	defer env.Close()
+	src := NewStore(NewDevice(env, quietSpec()), "pfs", 0)
+	for i := 0; i < 4; i++ {
+		src.AddFile(string(rune('a'+i)), 400)
+	}
+	dst := NewStore(NewDevice(env, quietSpec()), "ssd", 1000)
+	failures := 0
+	for i := 0; i < 4; i++ {
+		name := string(rune('a' + i))
+		env.Go("copier-"+name, func(p *sim.Proc) {
+			if err := dst.CopyFrom(p.Context(), src, name); err != nil {
+				if !errors.Is(err, storage.ErrNoSpace) {
+					t.Errorf("unexpected error: %v", err)
+				}
+				failures++
+			}
+		})
+	}
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if dst.Used() > 1000 {
+		t.Fatalf("quota overshot: %d", dst.Used())
+	}
+	if failures != 2 {
+		t.Fatalf("failures = %d, want 2 (800 of 1000 used)", failures)
+	}
+}
+
+func TestStoreBackendInterfaceCompliance(t *testing.T) {
+	var _ storage.Backend = (*Store)(nil)
+	var _ storage.Copier = (*Store)(nil)
+}
+
+func TestPresetSpecsSane(t *testing.T) {
+	for _, spec := range []DeviceSpec{SSDSpec(), LustreSpec(), RAMSpec()} {
+		if spec.Channels <= 0 || spec.Slots <= 0 || spec.MetaSlots <= 0 {
+			t.Errorf("%s: non-positive concurrency", spec.Name)
+		}
+		if spec.ReadBandwidth <= 0 || spec.WriteBandwidth <= 0 {
+			t.Errorf("%s: non-positive bandwidth", spec.Name)
+		}
+	}
+	// The whole paper depends on this ordering.
+	if !(RAMSpec().ReadBandwidth > SSDSpec().ReadBandwidth &&
+		SSDSpec().ReadBandwidth > LustreSpec().ReadBandwidth) {
+		t.Error("tier bandwidth ordering violated")
+	}
+	if SSDSpec().ReadLatency >= LustreSpec().ReadLatency {
+		t.Error("SSD latency should be below Lustre latency")
+	}
+}

@@ -1,0 +1,81 @@
+package simstore
+
+import (
+	"time"
+
+	"monarch/internal/sim"
+)
+
+// Timeline bins bytes moved through a device into fixed virtual-time
+// buckets, producing the throughput-over-time view behind the
+// trace-timeline experiment: vanilla-lustre holds a flat plateau for
+// the whole job, while MONARCH's PFS traffic collapses once placement
+// completes.
+type Timeline struct {
+	bucket  time.Duration
+	buckets []float64 // bytes per bucket
+}
+
+// NewTimeline creates a timeline with the given bucket width.
+func NewTimeline(bucket time.Duration) *Timeline {
+	if bucket <= 0 {
+		panic("simstore: timeline bucket must be positive")
+	}
+	return &Timeline{bucket: bucket}
+}
+
+// Add records bytes at virtual time t.
+func (tl *Timeline) Add(t sim.Time, bytes int64) {
+	idx := int(int64(t) / int64(tl.bucket))
+	for len(tl.buckets) <= idx {
+		tl.buckets = append(tl.buckets, 0)
+	}
+	tl.buckets[idx] += float64(bytes)
+}
+
+// Bucket returns the bucket width.
+func (tl *Timeline) Bucket() time.Duration { return tl.bucket }
+
+// Len returns the number of buckets touched so far.
+func (tl *Timeline) Len() int { return len(tl.buckets) }
+
+// Bytes returns the byte count of bucket i (0 beyond the recorded end).
+func (tl *Timeline) Bytes(i int) float64 {
+	if i < 0 || i >= len(tl.buckets) {
+		return 0
+	}
+	return tl.buckets[i]
+}
+
+// Rate returns bucket i's mean throughput in bytes/second.
+func (tl *Timeline) Rate(i int) float64 {
+	return tl.Bytes(i) / tl.bucket.Seconds()
+}
+
+// Total returns all recorded bytes.
+func (tl *Timeline) Total() float64 {
+	var t float64
+	for _, b := range tl.buckets {
+		t += b
+	}
+	return t
+}
+
+// MeanRate returns the mean throughput over buckets [lo, hi).
+func (tl *Timeline) MeanRate(lo, hi int) float64 {
+	if hi > len(tl.buckets) {
+		hi = len(tl.buckets)
+	}
+	if lo >= hi {
+		return 0
+	}
+	var sum float64
+	for i := lo; i < hi; i++ {
+		sum += tl.buckets[i]
+	}
+	return sum / (float64(hi-lo) * tl.bucket.Seconds())
+}
+
+// SetTimeline attaches a timeline that records every byte the device
+// moves (reads and writes combined), stamped at operation start.
+func (d *Device) SetTimeline(tl *Timeline) { d.timeline = tl }

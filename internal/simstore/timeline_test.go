@@ -1,0 +1,70 @@
+package simstore
+
+import (
+	"testing"
+	"time"
+
+	"monarch/internal/sim"
+)
+
+func TestTimelineBinning(t *testing.T) {
+	tl := NewTimeline(time.Second)
+	tl.Add(sim.Time(100*time.Millisecond), 10)
+	tl.Add(sim.Time(900*time.Millisecond), 5)
+	tl.Add(sim.Time(2500*time.Millisecond), 7)
+	if tl.Len() != 3 {
+		t.Fatalf("len = %d", tl.Len())
+	}
+	if tl.Bytes(0) != 15 || tl.Bytes(1) != 0 || tl.Bytes(2) != 7 {
+		t.Fatalf("buckets = %v %v %v", tl.Bytes(0), tl.Bytes(1), tl.Bytes(2))
+	}
+	if tl.Bytes(-1) != 0 || tl.Bytes(99) != 0 {
+		t.Fatal("out-of-range buckets should be 0")
+	}
+	if tl.Total() != 22 {
+		t.Fatalf("total = %v", tl.Total())
+	}
+	if tl.Rate(0) != 15 {
+		t.Fatalf("rate = %v", tl.Rate(0))
+	}
+	if got := tl.MeanRate(0, 3); got != 22.0/3 {
+		t.Fatalf("mean rate = %v", got)
+	}
+	if tl.MeanRate(5, 2) != 0 {
+		t.Fatal("degenerate range should be 0")
+	}
+	if tl.Bucket() != time.Second {
+		t.Fatal("bucket width lost")
+	}
+}
+
+func TestTimelinePanicsOnBadBucket(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewTimeline(0)
+}
+
+func TestDeviceFeedsTimeline(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	d := NewDevice(env, quietSpec())
+	tl := NewTimeline(time.Second)
+	d.SetTimeline(tl)
+	env.Go("p", func(p *sim.Proc) {
+		d.Read(p, 1000)
+		p.Sleep(2 * time.Second)
+		d.Write(p, 500)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if tl.Bytes(0) != 1000 {
+		t.Fatalf("bucket 0 = %v", tl.Bytes(0))
+	}
+	if tl.Total() != 1500 {
+		t.Fatalf("total = %v", tl.Total())
+	}
+}

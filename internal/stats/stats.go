@@ -1,0 +1,197 @@
+// Package stats provides the summary statistics used by the experiment
+// harness: streaming mean/variance (Welford), percentile summaries, and
+// a time-weighted utilisation integrator for resource-usage accounting.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Welford accumulates a streaming mean and variance. The zero value is
+// an empty accumulator ready for use.
+type Welford struct {
+	n    int
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add folds a value into the accumulator.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	delta := x - w.mean
+	w.mean += delta / float64(w.n)
+	w.m2 += delta * (x - w.mean)
+}
+
+// N returns the number of accumulated values.
+func (w *Welford) N() int { return w.n }
+
+// Mean returns the arithmetic mean, or 0 for an empty accumulator.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Min returns the smallest accumulated value, or 0 when empty.
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest accumulated value, or 0 when empty.
+func (w *Welford) Max() float64 { return w.max }
+
+// Variance returns the unbiased sample variance (n-1 denominator).
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// String formats the accumulator as "mean ± std (n=N)".
+func (w *Welford) String() string {
+	return fmt.Sprintf("%.2f ± %.2f (n=%d)", w.Mean(), w.StdDev(), w.n)
+}
+
+// Summary holds order statistics of a fixed sample.
+type Summary struct {
+	N             int
+	Mean, StdDev  float64
+	Min, Max      float64
+	P50, P90, P99 float64
+}
+
+// Summarize computes a Summary over xs. It does not modify xs.
+func Summarize(xs []float64) Summary {
+	var s Summary
+	s.N = len(xs)
+	if s.N == 0 {
+		return s
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	var w Welford
+	for _, x := range sorted {
+		w.Add(x)
+	}
+	s.Mean, s.StdDev = w.Mean(), w.StdDev()
+	s.Min, s.Max = sorted[0], sorted[len(sorted)-1]
+	s.P50 = Percentile(sorted, 0.50)
+	s.P90 = Percentile(sorted, 0.90)
+	s.P99 = Percentile(sorted, 0.99)
+	return s
+}
+
+// Percentile returns the p-quantile (0 <= p <= 1) of an already-sorted
+// slice using linear interpolation between closest ranks. It returns 0
+// for an empty slice.
+func Percentile(sorted []float64, p float64) float64 {
+	n := len(sorted)
+	switch {
+	case n == 0:
+		return 0
+	case n == 1:
+		return sorted[0]
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[n-1]
+	}
+	rank := p * float64(n-1)
+	lo := int(math.Floor(rank))
+	frac := rank - float64(lo)
+	return sorted[lo] + frac*(sorted[lo+1]-sorted[lo])
+}
+
+// Mean returns the arithmetic mean of xs, or 0 when empty.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 {
+	var w Welford
+	for _, x := range xs {
+		w.Add(x)
+	}
+	return w.StdDev()
+}
+
+// Utilization integrates "k units busy" over time so that resource
+// occupancy can be reported as an average percentage, the way the paper
+// reports CPU and GPU usage. Time is an opaque int64 (the simulator's
+// nanosecond clock).
+type Utilization struct {
+	capacity  int
+	last      int64
+	busy      int
+	busyInt   float64 // integral of busy units × ns
+	started   bool
+	startTime int64
+}
+
+// NewUtilization creates an integrator for a resource with the given
+// total capacity (e.g. 32 cores, 4 GPUs).
+func NewUtilization(capacity int) *Utilization {
+	if capacity <= 0 {
+		panic("stats: utilization capacity must be positive")
+	}
+	return &Utilization{capacity: capacity}
+}
+
+// Set records that `busy` units are in use from time t onward.
+func (u *Utilization) Set(t int64, busy int) {
+	if !u.started {
+		u.started = true
+		u.startTime = t
+		u.last = t
+		u.busy = busy
+		return
+	}
+	if t < u.last {
+		panic("stats: utilization time went backwards")
+	}
+	u.busyInt += float64(u.busy) * float64(t-u.last)
+	u.last = t
+	u.busy = busy
+}
+
+// Add adjusts the busy count by delta at time t.
+func (u *Utilization) Add(t int64, delta int) { u.Set(t, u.busy+delta) }
+
+// Average returns mean utilisation in [0,1] over [start, end]. The
+// currently-busy tail between the last event and end is included.
+func (u *Utilization) Average(end int64) float64 {
+	if !u.started || end <= u.startTime {
+		return 0
+	}
+	total := u.busyInt + float64(u.busy)*float64(end-u.last)
+	return total / (float64(u.capacity) * float64(end-u.startTime))
+}
+
+// Busy returns the instantaneous busy count.
+func (u *Utilization) Busy() int { return u.busy }
+
+// Capacity returns the configured capacity.
+func (u *Utilization) Capacity() int { return u.capacity }

@@ -1,0 +1,209 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestWelfordBasics(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.N() != 8 {
+		t.Fatalf("N = %d, want 8", w.N())
+	}
+	if !almostEqual(w.Mean(), 5, 1e-12) {
+		t.Fatalf("mean = %v, want 5", w.Mean())
+	}
+	// Population stddev of this classic example is 2; sample variance
+	// uses n-1: m2 = 32, so variance = 32/7.
+	if !almostEqual(w.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %v, want %v", w.Variance(), 32.0/7.0)
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %v/%v, want 2/9", w.Min(), w.Max())
+	}
+}
+
+func TestWelfordEmptyAndSingle(t *testing.T) {
+	var w Welford
+	if w.Mean() != 0 || w.Variance() != 0 || w.StdDev() != 0 {
+		t.Fatal("empty accumulator should report zeros")
+	}
+	w.Add(3.5)
+	if w.Mean() != 3.5 || w.Variance() != 0 {
+		t.Fatalf("single-value accumulator mean/var = %v/%v", w.Mean(), w.Variance())
+	}
+}
+
+func TestWelfordMatchesDirectComputation(t *testing.T) {
+	err := quick.Check(func(raw []int16) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var w Welford
+		var sum float64
+		for i, r := range raw {
+			xs[i] = float64(r)
+			w.Add(xs[i])
+			sum += xs[i]
+		}
+		mean := sum / float64(len(xs))
+		var m2 float64
+		for _, x := range xs {
+			m2 += (x - mean) * (x - mean)
+		}
+		variance := m2 / float64(len(xs)-1)
+		return almostEqual(w.Mean(), mean, 1e-6) && almostEqual(w.Variance(), variance, math.Max(1e-6, variance*1e-9))
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{5, 1, 3, 2, 4})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	if !almostEqual(s.Mean, 3, 1e-12) {
+		t.Fatalf("mean = %v", s.Mean)
+	}
+	if !almostEqual(s.P50, 3, 1e-12) {
+		t.Fatalf("p50 = %v, want 3", s.P50)
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.P99 != 0 {
+		t.Fatalf("empty summary not zero: %+v", s)
+	}
+}
+
+func TestSummarizeDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Summarize(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+}
+
+func TestPercentileInterpolation(t *testing.T) {
+	sorted := []float64{10, 20, 30, 40}
+	cases := []struct {
+		p    float64
+		want float64
+	}{
+		{0, 10}, {1, 40}, {0.5, 25}, {1.0 / 3.0, 20}, {-1, 10}, {2, 40},
+	}
+	for _, c := range cases {
+		if got := Percentile(sorted, c.p); !almostEqual(got, c.want, 1e-9) {
+			t.Errorf("Percentile(p=%v) = %v, want %v", c.p, got, c.want)
+		}
+	}
+}
+
+func TestPercentileDegenerate(t *testing.T) {
+	if Percentile(nil, 0.5) != 0 {
+		t.Fatal("empty percentile should be 0")
+	}
+	if Percentile([]float64{7}, 0.99) != 7 {
+		t.Fatal("single-element percentile should be the element")
+	}
+}
+
+func TestPercentileMonotone(t *testing.T) {
+	err := quick.Check(func(raw []uint8, a, b uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		for i, r := range raw {
+			xs[i] = float64(r)
+		}
+		s := Summarize(xs) // sorts a copy internally; re-sort here
+		_ = s
+		sorted := append([]float64(nil), xs...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j] < sorted[j-1]; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		pa, pb := float64(a)/255, float64(b)/255
+		if pa > pb {
+			pa, pb = pb, pa
+		}
+		return Percentile(sorted, pa) <= Percentile(sorted, pb)+1e-9
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAndStdDevHelpers(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("Mean(nil) should be 0")
+	}
+	if !almostEqual(Mean([]float64{1, 2, 3}), 2, 1e-12) {
+		t.Fatal("Mean([1 2 3]) != 2")
+	}
+	if !almostEqual(StdDev([]float64{2, 4, 4, 4, 5, 5, 7, 9}), math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatal("StdDev mismatch")
+	}
+}
+
+func TestUtilizationAverage(t *testing.T) {
+	u := NewUtilization(4)
+	u.Set(0, 4)  // 4 busy in [0, 10)
+	u.Set(10, 0) // idle in [10, 20)
+	if got := u.Average(20); !almostEqual(got, 0.5, 1e-12) {
+		t.Fatalf("average = %v, want 0.5", got)
+	}
+}
+
+func TestUtilizationAddAndTail(t *testing.T) {
+	u := NewUtilization(2)
+	u.Add(0, 1)
+	u.Add(5, 1) // 2 busy from t=5
+	// [0,5): 1 busy, [5,10]: 2 busy → integral = 5 + 10 = 15 of 20.
+	if got := u.Average(10); !almostEqual(got, 0.75, 1e-12) {
+		t.Fatalf("average = %v, want 0.75", got)
+	}
+	if u.Busy() != 2 || u.Capacity() != 2 {
+		t.Fatalf("busy/capacity = %d/%d", u.Busy(), u.Capacity())
+	}
+}
+
+func TestUtilizationEmpty(t *testing.T) {
+	u := NewUtilization(8)
+	if u.Average(100) != 0 {
+		t.Fatal("untouched utilization should average 0")
+	}
+}
+
+func TestUtilizationPanics(t *testing.T) {
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for non-positive capacity")
+			}
+		}()
+		NewUtilization(0)
+	}()
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("expected panic for time going backwards")
+			}
+		}()
+		u := NewUtilization(1)
+		u.Set(10, 1)
+		u.Set(5, 0)
+	}()
+}

@@ -1,0 +1,156 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestBackendNameAccessors(t *testing.T) {
+	m := NewMemFS("memname", 0)
+	if m.Name() != "memname" {
+		t.Fatal("memfs name")
+	}
+	dir := t.TempDir()
+	o, err := NewOSFS("osname", dir, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.Name() != "osname" || o.Root() != dir || o.Capacity() != 77 {
+		t.Fatal("osfs accessors")
+	}
+}
+
+func TestOSFSStatOnDirectoryEntry(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	o, err := NewOSFS("o", dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.WriteFile(ctx, "sub/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	// Stat of an existing file under a subdirectory.
+	fi, err := o.Stat(ctx, "sub/f")
+	if err != nil || fi.Size != 1 {
+		t.Fatalf("%+v %v", fi, err)
+	}
+	// Stat with an invalid name.
+	if _, err := o.Stat(ctx, "../escape"); err == nil {
+		t.Fatal("traversal accepted")
+	}
+}
+
+func TestOSFSWriteFileOverwriteAccounting(t *testing.T) {
+	ctx := context.Background()
+	o, err := NewOSFS("o", t.TempDir(), 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.WriteFile(ctx, "f", make([]byte, 80)); err != nil {
+		t.Fatal(err)
+	}
+	// Replace with a smaller file: quota must shrink accordingly.
+	if err := o.WriteFile(ctx, "f", make([]byte, 30)); err != nil {
+		t.Fatal(err)
+	}
+	if o.Used() != 30 {
+		t.Fatalf("used = %d", o.Used())
+	}
+	// Now a 60-byte sibling fits.
+	if err := o.WriteFile(ctx, "g", make([]byte, 60)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOSFSWriteFileUndoOnMkdirFailure(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	o, err := NewOSFS("o", dir, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Create a *file* where WriteFile will need a directory: MkdirAll
+	// fails and the quota reservation must roll back.
+	if err := o.WriteFile(ctx, "blocker", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	if err := o.WriteFile(ctx, "blocker/child", []byte("y")); err == nil {
+		t.Fatal("expected mkdir failure")
+	}
+	if o.Used() != 1 {
+		t.Fatalf("quota leaked: used = %d", o.Used())
+	}
+}
+
+func TestOSFSRemoveInvalidName(t *testing.T) {
+	o, err := NewOSFS("o", t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.Remove(context.Background(), "/abs"); err == nil {
+		t.Fatal("absolute name accepted")
+	}
+}
+
+func TestOSFSListSkipsNothingAndIsSorted(t *testing.T) {
+	ctx := context.Background()
+	dir := t.TempDir()
+	o, err := NewOSFS("o", dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"b/x", "a", "c/d/e"} {
+		if err := o.WriteFile(ctx, name, []byte("1")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	infos, err := o.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 3 || infos[0].Name != "a" || infos[1].Name != "b/x" || infos[2].Name != "c/d/e" {
+		t.Fatalf("%+v", infos)
+	}
+}
+
+func TestOSFSReadAtInvalidName(t *testing.T) {
+	o, err := NewOSFS("o", t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.ReadAt(context.Background(), "..", make([]byte, 1), 0); err == nil {
+		t.Fatal("parent traversal accepted")
+	}
+	if _, err := o.ReadFile(context.Background(), "/abs"); err == nil {
+		t.Fatal("absolute accepted")
+	}
+}
+
+func TestOSFSStatPermissionError(t *testing.T) {
+	if os.Geteuid() == 0 {
+		t.Skip("running as root: permission bits are not enforced")
+	}
+	ctx := context.Background()
+	dir := t.TempDir()
+	o, err := NewOSFS("o", dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := o.WriteFile(ctx, "locked/f", []byte("x")); err != nil {
+		t.Fatal(err)
+	}
+	locked := filepath.Join(dir, "locked")
+	if err := os.Chmod(locked, 0); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(locked, 0o755)
+	if _, err := o.Stat(ctx, "locked/f"); err == nil {
+		t.Fatal("expected permission error")
+	} else if errors.Is(err, ErrNotExist) {
+		t.Fatal("permission error misreported as not-exist")
+	}
+}

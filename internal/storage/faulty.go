@@ -1,0 +1,118 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"sync"
+)
+
+// ErrInjected is the error produced by a Faulty backend.
+var ErrInjected = errors.New("storage: injected fault")
+
+// Faulty wraps a Backend and fails selected operations. It exists for
+// failure-injection tests: MONARCH must degrade to serving from the PFS
+// when a tier write fails, never corrupt its metadata, and never lose a
+// read.
+type Faulty struct {
+	Backend
+
+	mu        sync.Mutex
+	failWrite int // fail every writes whose 1-based index is a multiple
+	failRead  int
+	writes    int
+	reads     int
+	broken    bool // when true, every op fails
+}
+
+// NewFaulty wraps b with no faults armed.
+func NewFaulty(b Backend) *Faulty { return &Faulty{Backend: b} }
+
+// FailEveryNthWrite makes every n-th WriteFile fail (n <= 0 disarms).
+func (f *Faulty) FailEveryNthWrite(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failWrite = n
+}
+
+// FailEveryNthRead makes every n-th read (ReadAt or ReadFile) fail.
+func (f *Faulty) FailEveryNthRead(n int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failRead = n
+}
+
+// Break makes every subsequent operation fail until Fix is called,
+// simulating a device that dropped off the node.
+func (f *Faulty) Break() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.broken = true
+}
+
+// Fix clears Break.
+func (f *Faulty) Fix() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.broken = false
+}
+
+func (f *Faulty) readFault() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.broken {
+		return ErrInjected
+	}
+	f.reads++
+	if f.failRead > 0 && f.reads%f.failRead == 0 {
+		return ErrInjected
+	}
+	return nil
+}
+
+func (f *Faulty) writeFault() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.broken {
+		return ErrInjected
+	}
+	f.writes++
+	if f.failWrite > 0 && f.writes%f.failWrite == 0 {
+		return ErrInjected
+	}
+	return nil
+}
+
+// ReadAt implements Backend.
+func (f *Faulty) ReadAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	if err := f.readFault(); err != nil {
+		return 0, err
+	}
+	return f.Backend.ReadAt(ctx, name, p, off)
+}
+
+// ReadFile implements Backend.
+func (f *Faulty) ReadFile(ctx context.Context, name string) ([]byte, error) {
+	if err := f.readFault(); err != nil {
+		return nil, err
+	}
+	return f.Backend.ReadFile(ctx, name)
+}
+
+// WriteFile implements Backend.
+func (f *Faulty) WriteFile(ctx context.Context, name string, data []byte) error {
+	if err := f.writeFault(); err != nil {
+		return err
+	}
+	return f.Backend.WriteFile(ctx, name, data)
+}
+
+// Stat implements Backend.
+func (f *Faulty) Stat(ctx context.Context, name string) (FileInfo, error) {
+	f.mu.Lock()
+	broken := f.broken
+	f.mu.Unlock()
+	if broken {
+		return FileInfo{}, ErrInjected
+	}
+	return f.Backend.Stat(ctx, name)
+}

@@ -1,0 +1,163 @@
+package storage
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// MemFS is an in-memory Backend. It stands in for a compute node's
+// local file system in unit tests and the quickstart example, and backs
+// the simulated devices (which add timing on top).
+type MemFS struct {
+	name     string
+	capacity int64
+
+	mu    sync.RWMutex
+	files map[string][]byte
+	used  int64
+	ro    bool
+}
+
+// NewMemFS creates an empty in-memory backend. capacity 0 = unlimited.
+func NewMemFS(name string, capacity int64) *MemFS {
+	return &MemFS{name: name, capacity: capacity, files: make(map[string][]byte)}
+}
+
+// SetReadOnly marks the backend read-only, as the paper requires for the
+// last hierarchy level (the PFS holding the dataset).
+func (m *MemFS) SetReadOnly(ro bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ro = ro
+}
+
+// Name implements Backend.
+func (m *MemFS) Name() string { return m.name }
+
+// Capacity implements Backend.
+func (m *MemFS) Capacity() int64 { return m.capacity }
+
+// Used implements Backend.
+func (m *MemFS) Used() int64 {
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	return m.used
+}
+
+// List implements Backend.
+func (m *MemFS) List(ctx context.Context) ([]FileInfo, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	infos := make([]FileInfo, 0, len(m.files))
+	for name, data := range m.files {
+		infos = append(infos, FileInfo{Name: name, Size: int64(len(data))})
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos, nil
+}
+
+// Stat implements Backend.
+func (m *MemFS) Stat(ctx context.Context, name string) (FileInfo, error) {
+	if err := ctxErr(ctx); err != nil {
+		return FileInfo{}, err
+	}
+	if err := ValidateName(name); err != nil {
+		return FileInfo{}, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.files[name]
+	if !ok {
+		return FileInfo{}, fmt.Errorf("%s: stat %q: %w", m.name, name, ErrNotExist)
+	}
+	return FileInfo{Name: name, Size: int64(len(data))}, nil
+}
+
+// ReadAt implements Backend.
+func (m *MemFS) ReadAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
+	if err := ValidateName(name); err != nil {
+		return 0, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%s: read %q: %w", m.name, name, ErrNotExist)
+	}
+	return ReadRange(data, p, off)
+}
+
+// ReadFile implements Backend.
+func (m *MemFS) ReadFile(ctx context.Context, name string) ([]byte, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	if err := ValidateName(name); err != nil {
+		return nil, err
+	}
+	m.mu.RLock()
+	defer m.mu.RUnlock()
+	data, ok := m.files[name]
+	if !ok {
+		return nil, fmt.Errorf("%s: read %q: %w", m.name, name, ErrNotExist)
+	}
+	out := make([]byte, len(data))
+	copy(out, data)
+	return out, nil
+}
+
+// WriteFile implements Backend.
+func (m *MemFS) WriteFile(ctx context.Context, name string, data []byte) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ro {
+		return fmt.Errorf("%s: write %q: %w", m.name, name, ErrReadOnly)
+	}
+	old := int64(len(m.files[name]))
+	newUsed := m.used - old + int64(len(data))
+	if m.capacity > 0 && newUsed > m.capacity {
+		return fmt.Errorf("%s: write %q (%d bytes, %d free): %w",
+			m.name, name, len(data), m.capacity-m.used, ErrNoSpace)
+	}
+	stored := make([]byte, len(data))
+	copy(stored, data)
+	m.files[name] = stored
+	m.used = newUsed
+	return nil
+}
+
+// Remove implements Backend.
+func (m *MemFS) Remove(ctx context.Context, name string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ro {
+		return fmt.Errorf("%s: remove %q: %w", m.name, name, ErrReadOnly)
+	}
+	data, ok := m.files[name]
+	if !ok {
+		return fmt.Errorf("%s: remove %q: %w", m.name, name, ErrNotExist)
+	}
+	m.used -= int64(len(data))
+	delete(m.files, name)
+	return nil
+}

@@ -1,0 +1,245 @@
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// OSFS is a Backend rooted at a real directory. It is what a production
+// deployment would point at an XFS mount on the compute node's SSD and
+// at the dataset directory on the PFS.
+type OSFS struct {
+	name     string
+	root     string
+	capacity int64
+
+	mu   sync.Mutex
+	used int64
+}
+
+// NewOSFS creates a backend rooted at dir, which must exist. The quota
+// (capacity 0 = unlimited) is enforced against bytes written through
+// this backend plus whatever List finds at construction time.
+func NewOSFS(name, dir string, capacity int64) (*OSFS, error) {
+	info, err := os.Stat(dir)
+	if err != nil {
+		return nil, fmt.Errorf("osfs %s: %w", name, err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("osfs %s: %s is not a directory", name, dir)
+	}
+	o := &OSFS{name: name, root: dir, capacity: capacity}
+	infos, err := o.List(context.Background())
+	if err != nil {
+		return nil, err
+	}
+	for _, fi := range infos {
+		o.used += fi.Size
+	}
+	return o, nil
+}
+
+// Name implements Backend.
+func (o *OSFS) Name() string { return o.name }
+
+// Root returns the directory this backend is rooted at.
+func (o *OSFS) Root() string { return o.root }
+
+// Capacity implements Backend.
+func (o *OSFS) Capacity() int64 { return o.capacity }
+
+// Used implements Backend.
+func (o *OSFS) Used() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.used
+}
+
+func (o *OSFS) path(name string) (string, error) {
+	if err := ValidateName(name); err != nil {
+		return "", err
+	}
+	return filepath.Join(o.root, filepath.FromSlash(name)), nil
+}
+
+// List implements Backend by walking the root recursively.
+func (o *OSFS) List(ctx context.Context) ([]FileInfo, error) {
+	var infos []FileInfo
+	err := filepath.WalkDir(o.root, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if cerr := ctxErr(ctx); cerr != nil {
+			return cerr
+		}
+		if d.IsDir() {
+			return nil
+		}
+		fi, err := d.Info()
+		if err != nil {
+			return err
+		}
+		rel, err := filepath.Rel(o.root, path)
+		if err != nil {
+			return err
+		}
+		infos = append(infos, FileInfo{Name: filepath.ToSlash(rel), Size: fi.Size()})
+		return nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("osfs %s: list: %w", o.name, err)
+	}
+	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
+	return infos, nil
+}
+
+// Stat implements Backend.
+func (o *OSFS) Stat(ctx context.Context, name string) (FileInfo, error) {
+	if err := ctxErr(ctx); err != nil {
+		return FileInfo{}, err
+	}
+	path, err := o.path(name)
+	if err != nil {
+		return FileInfo{}, err
+	}
+	fi, err := os.Stat(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return FileInfo{}, fmt.Errorf("%s: stat %q: %w", o.name, name, ErrNotExist)
+	}
+	if err != nil {
+		return FileInfo{}, err
+	}
+	return FileInfo{Name: name, Size: fi.Size()}, nil
+}
+
+// ReadAt implements Backend.
+func (o *OSFS) ReadAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
+	path, err := o.path(name)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.Open(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, fmt.Errorf("%s: read %q: %w", o.name, name, ErrNotExist)
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	n, err := f.ReadAt(p, off)
+	if err == io.EOF {
+		err = nil
+	}
+	return n, err
+}
+
+// ReadFile implements Backend.
+func (o *OSFS) ReadFile(ctx context.Context, name string) ([]byte, error) {
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
+	path, err := o.path(name)
+	if err != nil {
+		return nil, err
+	}
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil, fmt.Errorf("%s: read %q: %w", o.name, name, ErrNotExist)
+	}
+	return data, err
+}
+
+// WriteFile implements Backend. The write is atomic: data lands in a
+// temp file first and is renamed into place, so concurrent readers
+// never observe a torn file.
+func (o *OSFS) WriteFile(ctx context.Context, name string, data []byte) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	path, err := o.path(name)
+	if err != nil {
+		return err
+	}
+
+	o.mu.Lock()
+	var old int64
+	if fi, err := os.Stat(path); err == nil {
+		old = fi.Size()
+	}
+	newUsed := o.used - old + int64(len(data))
+	if o.capacity > 0 && newUsed > o.capacity {
+		o.mu.Unlock()
+		return fmt.Errorf("%s: write %q (%d bytes, %d free): %w",
+			o.name, name, len(data), o.capacity-o.used, ErrNoSpace)
+	}
+	o.used = newUsed
+	o.mu.Unlock()
+
+	undo := func() {
+		o.mu.Lock()
+		o.used = o.used - int64(len(data)) + old
+		o.mu.Unlock()
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		undo()
+		return err
+	}
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".monarch-*")
+	if err != nil {
+		undo()
+		return err
+	}
+	tmpName := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		undo()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		undo()
+		return err
+	}
+	if err := os.Rename(tmpName, path); err != nil {
+		os.Remove(tmpName)
+		undo()
+		return err
+	}
+	return nil
+}
+
+// Remove implements Backend.
+func (o *OSFS) Remove(ctx context.Context, name string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	path, err := o.path(name)
+	if err != nil {
+		return err
+	}
+	fi, err := os.Stat(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return fmt.Errorf("%s: remove %q: %w", o.name, name, ErrNotExist)
+	}
+	if err != nil {
+		return err
+	}
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	o.mu.Lock()
+	o.used -= fi.Size()
+	o.mu.Unlock()
+	return nil
+}

@@ -1,0 +1,126 @@
+// Package storage defines the backend abstraction MONARCH tiers are
+// built from, plus concrete in-memory and on-disk implementations and
+// instrumentation wrappers.
+//
+// A Backend is the paper's "storage backend" (the thing a storage
+// driver wraps): a flat namespace of files addressed by slash-separated
+// relative names. All methods take a context so that simulated backends
+// can charge virtual time to the calling simulation process; real
+// backends ignore it except for cancellation.
+package storage
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors returned by backends. Wrap with %w so errors.Is works
+// across instrumentation layers.
+var (
+	// ErrNotExist reports that the named file is absent.
+	ErrNotExist = errors.New("storage: file does not exist")
+	// ErrExist reports that the named file already exists.
+	ErrExist = errors.New("storage: file already exists")
+	// ErrNoSpace reports that a write would exceed the backend quota.
+	ErrNoSpace = errors.New("storage: no space left on backend")
+	// ErrReadOnly reports a mutation on a read-only backend.
+	ErrReadOnly = errors.New("storage: backend is read-only")
+)
+
+// FileInfo describes one file in a backend namespace.
+type FileInfo struct {
+	Name string // slash-separated relative path
+	Size int64  // bytes
+}
+
+// Backend is a flat file store. Implementations must be safe for
+// concurrent use: MONARCH's placement thread pool writes while the
+// framework reads.
+type Backend interface {
+	// Name identifies the backend in logs and stats ("ssd0", "lustre").
+	Name() string
+	// List returns every file, sorted by name.
+	List(ctx context.Context) ([]FileInfo, error)
+	// Stat returns metadata for one file.
+	Stat(ctx context.Context, name string) (FileInfo, error)
+	// ReadAt reads len(p) bytes at offset off; short reads at EOF return
+	// the count read and io.EOF semantics are not used — n < len(p) with
+	// nil error means the file ended.
+	ReadAt(ctx context.Context, name string, p []byte, off int64) (int, error)
+	// ReadFile returns the whole content of name.
+	ReadFile(ctx context.Context, name string) ([]byte, error)
+	// WriteFile atomically creates or replaces name with data. Returns
+	// ErrNoSpace if the quota would be exceeded.
+	WriteFile(ctx context.Context, name string, data []byte) error
+	// Remove deletes name, freeing its quota.
+	Remove(ctx context.Context, name string) error
+	// Capacity is the quota in bytes; 0 means unlimited.
+	Capacity() int64
+	// Used is the number of bytes currently stored.
+	Used() int64
+}
+
+// Copier is an optional Backend extension: a whole-file copy fast path.
+// MONARCH's placement handler prefers it when the destination tier
+// supports it — simulated stores use it to move files without
+// materialising contents; real backends may use it to stream instead of
+// buffering whole files.
+type Copier interface {
+	// CopyFrom copies name (fully) from src into the receiver.
+	CopyFrom(ctx context.Context, src Backend, name string) error
+}
+
+// Free returns the available quota of b, or a very large number when the
+// backend is unlimited.
+func Free(b Backend) int64 {
+	if b.Capacity() <= 0 {
+		return int64(1) << 62
+	}
+	return b.Capacity() - b.Used()
+}
+
+// ValidateName rejects names that escape the backend namespace. Backends
+// call it at every entry point.
+func ValidateName(name string) error {
+	if name == "" {
+		return fmt.Errorf("storage: empty file name")
+	}
+	if name[0] == '/' {
+		return fmt.Errorf("storage: absolute name %q", name)
+	}
+	// Reject path traversal; names are used as map keys and joined under
+	// roots for osfs.
+	for i := 0; i < len(name); i++ {
+		if name[i] != '.' {
+			continue
+		}
+		if (i == 0 || name[i-1] == '/') && i+1 < len(name) && name[i+1] == '.' &&
+			(i+2 == len(name) || name[i+2] == '/') {
+			return fmt.Errorf("storage: name %q contains parent traversal", name)
+		}
+	}
+	return nil
+}
+
+// ReadRange is a helper implementing ReadAt semantics over an in-memory
+// byte slice, shared by memfs and the simulated backends.
+func ReadRange(data []byte, p []byte, off int64) (int, error) {
+	if off < 0 {
+		return 0, fmt.Errorf("storage: negative offset %d", off)
+	}
+	if off >= int64(len(data)) {
+		return 0, nil
+	}
+	return copy(p, data[off:]), nil
+}
+
+// context cancellation helper shared by real backends.
+func ctxErr(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	default:
+		return nil
+	}
+}

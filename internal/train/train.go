@@ -1,0 +1,139 @@
+// Package train orchestrates simulated training runs: the node's
+// compute resources (CPU cores, GPUs), the per-epoch pipeline, and the
+// synchronous data-parallel training loop consuming batches.
+//
+// One Run reproduces one measurement of the paper's methodology: a
+// model trained for E epochs on one Frontera-like compute node, with
+// per-epoch elapsed times and whole-run CPU/GPU utilisation recorded.
+package train
+
+import (
+	"fmt"
+	"time"
+
+	"monarch/internal/models"
+	"monarch/internal/pipeline"
+	"monarch/internal/rng"
+	"monarch/internal/sim"
+)
+
+// NodeSpec describes the compute node. The default matches the paper's
+// testbed: two 16-core Xeons and four Quadro RTX 5000.
+type NodeSpec struct {
+	CPUCores int
+	GPUs     int
+}
+
+// Frontera returns the paper's node.
+func Frontera() NodeSpec { return NodeSpec{CPUCores: 32, GPUs: 4} }
+
+// Config describes one training run.
+type Config struct {
+	Model  models.Model
+	Node   NodeSpec
+	Epochs int
+	// Pipeline is the input-pipeline template; Source and Manifest must
+	// be set, CPU is filled in by Run. PreprocessPerImage defaults to
+	// the model's.
+	Pipeline pipeline.Config
+	// Seed drives shard shuffling and step-time noise.
+	Seed uint64
+	// OnEpochEnd, when set, fires after each epoch on the training
+	// process; the experiment harness snapshots per-epoch I/O counters
+	// here, and distributed runs use it as an epoch barrier (it may
+	// block in virtual time).
+	OnEpochEnd func(p *sim.Proc, epoch int)
+}
+
+// EpochResult is one epoch's measurement.
+type EpochResult struct {
+	Epoch    int
+	Duration time.Duration
+	Records  int
+	Batches  int
+}
+
+// Result is one run's measurement.
+type Result struct {
+	Epochs []EpochResult
+	// CPUUtil and GPUUtil are whole-run mean utilisations in [0,1], as
+	// the paper reports resource usage.
+	CPUUtil float64
+	GPUUtil float64
+	// Total is the summed epoch time.
+	Total time.Duration
+}
+
+// Run executes the training loop on the calling simulation process. It
+// must be invoked from inside a sim process (it blocks in virtual
+// time).
+func Run(p *sim.Proc, cfg Config) (Result, error) {
+	if err := cfg.Model.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Epochs <= 0 {
+		return Result{}, fmt.Errorf("train: epochs = %d", cfg.Epochs)
+	}
+	if cfg.Node.CPUCores <= 0 || cfg.Node.GPUs <= 0 {
+		return Result{}, fmt.Errorf("train: bad node spec %+v", cfg.Node)
+	}
+	env := p.Env()
+	cpu := sim.NewResource(env, "cpu", cfg.Node.CPUCores)
+	gpu := sim.NewResource(env, "gpu", cfg.Node.GPUs)
+	stepRnd := rng.New(cfg.Seed ^ 0xfeedface)
+
+	pcfg := cfg.Pipeline
+	pcfg.CPU = cpu
+	if pcfg.PreprocessPerImage == 0 {
+		pcfg.PreprocessPerImage = cfg.Model.PreprocessPerImage
+	}
+
+	var res Result
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		start := env.Now()
+		ep, err := pipeline.StartEpoch(env, pcfg, epoch, cfg.Seed)
+		if err != nil {
+			return Result{}, err
+		}
+		er := EpochResult{Epoch: epoch}
+		for {
+			b, ok := ep.Next(p)
+			if !ok {
+				break
+			}
+			er.Records += b.Records
+			er.Batches++
+			step(p, gpu, cfg.Model, stepRnd)
+		}
+		if err := ep.Err(); err != nil {
+			return Result{}, err
+		}
+		er.Duration = (env.Now() - start).Duration()
+		res.Epochs = append(res.Epochs, er)
+		res.Total += er.Duration
+		if cfg.OnEpochEnd != nil {
+			cfg.OnEpochEnd(p, epoch)
+		}
+	}
+	res.CPUUtil = cpu.Utilization()
+	res.GPUUtil = gpu.Utilization()
+	return res, nil
+}
+
+// step performs one synchronous data-parallel training step: all GPUs
+// are held for the busy fraction of the (noisy) step time, the
+// remainder models host-side synchronisation.
+func step(p *sim.Proc, gpu *sim.Resource, m models.Model, rnd *rng.Source) {
+	d := float64(m.StepTime)
+	if m.StepSigma > 0 {
+		d = rnd.LogNormalMean(d, m.StepSigma)
+	}
+	busy := time.Duration(d * m.GPUBusyFraction)
+	idle := time.Duration(d) - busy
+	gpu.Acquire(p, gpu.Capacity())
+	p.Sleep(busy)
+	gpu.Release(gpu.Capacity())
+	if idle > 0 {
+		p.Sleep(idle)
+	}
+}

@@ -1,0 +1,209 @@
+package train
+
+import (
+	"testing"
+	"time"
+
+	"monarch/internal/dataset"
+	"monarch/internal/models"
+	"monarch/internal/pipeline"
+	"monarch/internal/sim"
+	"monarch/internal/simstore"
+)
+
+// smallManifest plans a tiny dataset for fast runs.
+func smallManifest(t *testing.T, images, shards int, total int64) *dataset.Manifest {
+	t.Helper()
+	m, err := dataset.Plan(dataset.Spec{
+		Name: "t", NumImages: images, TotalBytes: total,
+		NumShards: shards, SizeSigma: 0.2, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// runTraining executes one run over a fresh env with a virtual store.
+func runTraining(t *testing.T, edit func(*Config), spec simstore.DeviceSpec) Result {
+	t.Helper()
+	man := smallManifest(t, 512, 8, 2<<20)
+	env := sim.NewEnv(11)
+	defer env.Close()
+	store := simstore.NewStore(simstore.NewDevice(env, spec), spec.Name, 0)
+	for i := range man.Shards {
+		store.AddFile(man.Shards[i].Name, man.Shards[i].Size)
+	}
+	pcfg := pipeline.DefaultConfig()
+	pcfg.Manifest = man
+	pcfg.Source = store
+	pcfg.Readers = 4
+	pcfg.ReadSize = 64 << 10
+	pcfg.GroupSize = 16
+	pcfg.PreprocessWorkers = 4
+	pcfg.BatchSize = 64
+	pcfg.PrefetchBatches = 4
+	pcfg.GroupQueueLen = 8
+
+	cfg := Config{
+		Model:    models.LeNet(),
+		Node:     NodeSpec{CPUCores: 8, GPUs: 4},
+		Epochs:   2,
+		Pipeline: pcfg,
+		Seed:     5,
+	}
+	if edit != nil {
+		edit(&cfg)
+	}
+	var res Result
+	var runErr error
+	env.Go("train", func(p *sim.Proc) {
+		res, runErr = Run(p, cfg)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	return res
+}
+
+func quietSSD() simstore.DeviceSpec {
+	s := simstore.SSDSpec()
+	s.LatencySigma = 0
+	return s
+}
+
+func TestRunDeliversAllEpochs(t *testing.T) {
+	res := runTraining(t, nil, quietSSD())
+	if len(res.Epochs) != 2 {
+		t.Fatalf("epochs = %d", len(res.Epochs))
+	}
+	for _, e := range res.Epochs {
+		if e.Records != 512 {
+			t.Fatalf("epoch %d records = %d, want 512", e.Epoch, e.Records)
+		}
+		if e.Batches != 8 {
+			t.Fatalf("epoch %d batches = %d, want 8", e.Epoch, e.Batches)
+		}
+		if e.Duration <= 0 {
+			t.Fatalf("epoch %d duration = %v", e.Epoch, e.Duration)
+		}
+	}
+	if res.Total != res.Epochs[0].Duration+res.Epochs[1].Duration {
+		t.Fatal("total != sum of epochs")
+	}
+}
+
+func TestUtilizationsRecorded(t *testing.T) {
+	res := runTraining(t, nil, quietSSD())
+	if res.CPUUtil <= 0 || res.CPUUtil > 1 {
+		t.Fatalf("cpu util = %v", res.CPUUtil)
+	}
+	if res.GPUUtil <= 0 || res.GPUUtil > 1 {
+		t.Fatalf("gpu util = %v", res.GPUUtil)
+	}
+}
+
+func TestComputeBoundModelDominatesStorage(t *testing.T) {
+	// A heavy model must show (a) nearly identical epoch times across
+	// devices and (b) high GPU utilisation — the paper's ResNet-50
+	// signature.
+	heavy := func(c *Config) {
+		c.Model = models.Model{
+			Name: "heavy", StepTime: 400 * time.Millisecond,
+			GPUBusyFraction: 0.9, PreprocessPerImage: 100 * time.Microsecond,
+		}
+	}
+	lustre := simstore.LustreSpec()
+	lustre.LatencySigma = 0
+	fast := runTraining(t, heavy, quietSSD())
+	slow := runTraining(t, heavy, lustre)
+	ratio := float64(slow.Total) / float64(fast.Total)
+	if ratio > 1.15 {
+		t.Fatalf("compute-bound run should not care about storage: ratio %v", ratio)
+	}
+	if fast.GPUUtil < 0.7 {
+		t.Fatalf("gpu util = %v, want high for compute-bound", fast.GPUUtil)
+	}
+}
+
+func TestIOBoundModelSpeedsUpWithFasterStorage(t *testing.T) {
+	light := func(c *Config) {
+		c.Model = models.Model{
+			Name: "light", StepTime: time.Millisecond,
+			GPUBusyFraction: 1, PreprocessPerImage: 10 * time.Microsecond,
+		}
+	}
+	lustre := simstore.LustreSpec()
+	lustre.LatencySigma = 0
+	fast := runTraining(t, light, quietSSD())
+	slow := runTraining(t, light, lustre)
+	if float64(slow.Total) < 1.3*float64(fast.Total) {
+		t.Fatalf("I/O-bound model not storage-sensitive: ssd %v vs lustre %v",
+			fast.Total, slow.Total)
+	}
+	// Faster storage must raise utilisation of the compute resources
+	// (the paper's §II-A resource-usage observation).
+	if fast.GPUUtil <= slow.GPUUtil {
+		t.Fatalf("gpu util did not improve with faster storage: %v vs %v",
+			fast.GPUUtil, slow.GPUUtil)
+	}
+}
+
+func TestOnEpochEndFires(t *testing.T) {
+	var epochs []int
+	runTraining(t, func(c *Config) {
+		c.OnEpochEnd = func(_ *sim.Proc, e int) { epochs = append(epochs, e) }
+	}, quietSSD())
+	if len(epochs) != 2 || epochs[0] != 0 || epochs[1] != 1 {
+		t.Fatalf("epoch callbacks: %v", epochs)
+	}
+}
+
+func TestDeterministicResults(t *testing.T) {
+	a := runTraining(t, nil, quietSSD())
+	b := runTraining(t, nil, quietSSD())
+	for i := range a.Epochs {
+		if a.Epochs[i].Duration != b.Epochs[i].Duration {
+			t.Fatalf("epoch %d durations differ: %v vs %v", i,
+				a.Epochs[i].Duration, b.Epochs[i].Duration)
+		}
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	man := smallManifest(t, 16, 2, 32_000)
+	store := simstore.NewStore(simstore.NewDevice(env, quietSSD()), "s", 0)
+	for i := range man.Shards {
+		store.AddFile(man.Shards[i].Name, man.Shards[i].Size)
+	}
+	pcfg := pipeline.DefaultConfig()
+	pcfg.Manifest = man
+	pcfg.Source = store
+	bad := []Config{
+		{Model: models.Model{}, Node: Frontera(), Epochs: 1, Pipeline: pcfg},
+		{Model: models.LeNet(), Node: Frontera(), Epochs: 0, Pipeline: pcfg},
+		{Model: models.LeNet(), Node: NodeSpec{}, Epochs: 1, Pipeline: pcfg},
+	}
+	env.Go("t", func(p *sim.Proc) {
+		for i, cfg := range bad {
+			if _, err := Run(p, cfg); err == nil {
+				t.Errorf("config %d should fail", i)
+			}
+		}
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFronteraNodeSpec(t *testing.T) {
+	n := Frontera()
+	if n.CPUCores != 32 || n.GPUs != 4 {
+		t.Fatalf("Frontera spec = %+v", n)
+	}
+}

@@ -1,0 +1,138 @@
+// Package monarch is a framework-agnostic middleware for hierarchical
+// storage management for deep-learning training jobs, reproducing
+// "MONARCH: Hierarchical Storage Management for Deep Learning
+// Frameworks" (Dantas et al., IEEE CLUSTER 2021).
+//
+// MONARCH sits between a DL framework's data loader and an ordered
+// hierarchy of storage backends — typically the compute node's local
+// SSD above the shared parallel file system (PFS) that holds the
+// dataset. A single ReadAt call replaces the framework's pread: reads
+// are served from whichever tier currently holds the file, and the
+// first read of each file schedules a background whole-file copy into
+// the highest tier with free space. No evictions ever happen: under
+// DL's random once-per-epoch access pattern, replacement would only
+// churn data between tiers.
+//
+// # Quick start
+//
+//	tier0, _ := monarch.NewOSFS("ssd", "/mnt/nvme/cache", 115<<30)
+//	pfs, _ := monarch.NewOSFS("lustre", "/lustre/datasets/imagenet", 0)
+//	m, _ := monarch.New(monarch.Config{
+//		Levels:        []monarch.Backend{tier0, pfs},
+//		Pool:          monarch.NewPool(6),
+//		FullFileFetch: true,
+//	})
+//	defer m.Close()
+//	_ = m.Init(ctx)                   // build the namespace from the PFS
+//	n, err := m.ReadAt(ctx, "train.tfrecord-00001-of-01600", buf, off)
+//
+// The packages under internal/ additionally contain the simulation
+// substrate (a deterministic discrete-event model of a Frontera-like
+// compute node, Lustre, and a TensorFlow-style input pipeline) that
+// regenerates every figure and table of the paper's evaluation; see
+// cmd/monarch-bench and EXPERIMENTS.md.
+package monarch
+
+import (
+	"monarch/internal/core"
+	"monarch/internal/pool"
+	"monarch/internal/storage"
+)
+
+// Core middleware types, re-exported from internal/core.
+type (
+	// Monarch is a middleware instance; see New.
+	Monarch = core.Monarch
+	// Config assembles a Monarch: the storage hierarchy (last level =
+	// the read-only PFS source), the placement pool, and the placement
+	// policy knobs.
+	Config = core.Config
+	// Stats is a snapshot of middleware counters.
+	Stats = core.Stats
+	// StagingMode selects placement timing (on first read vs before
+	// training).
+	StagingMode = core.StagingMode
+	// EvictionPolicy is the replacement hook used only by ablations;
+	// production configurations leave Config.Eviction nil.
+	EvictionPolicy = core.EvictionPolicy
+	// EventLog is a bounded ring of middleware events (placements,
+	// skips, fallbacks) for observability; attach via Config.Events.
+	EventLog = core.EventLog
+	// Event is one middleware occurrence.
+	Event = core.Event
+	// EventKind classifies events.
+	EventKind = core.EventKind
+)
+
+// Event kinds.
+const (
+	EventPlaced   = core.EventPlaced
+	EventSkipped  = core.EventSkipped
+	EventFailed   = core.EventFailed
+	EventEvicted  = core.EventEvicted
+	EventFallback = core.EventFallback
+)
+
+// NewEventLog creates an event ring holding up to capacity events.
+func NewEventLog(capacity int) *EventLog { return core.NewEventLog(capacity) }
+
+// Staging modes.
+const (
+	StageOnFirstRead = core.StageOnFirstRead
+	StagePreTraining = core.StagePreTraining
+)
+
+// Sentinel errors.
+var (
+	ErrNotInitialized = core.ErrNotInitialized
+	ErrUnknownFile    = core.ErrUnknownFile
+)
+
+// New validates cfg and assembles a middleware instance.
+func New(cfg Config) (*Monarch, error) { return core.New(cfg) }
+
+// NewLRU and NewFIFO build the eviction-ablation policies.
+var (
+	NewLRU  = core.NewLRU
+	NewFIFO = core.NewFIFO
+)
+
+// Storage backend types, re-exported from internal/storage.
+type (
+	// Backend is the flat file-store abstraction hierarchy levels wrap.
+	Backend = storage.Backend
+	// FileInfo describes one file of a backend namespace.
+	FileInfo = storage.FileInfo
+	// MemFS is an in-memory backend.
+	MemFS = storage.MemFS
+	// OSFS is a backend rooted at a real directory.
+	OSFS = storage.OSFS
+	// Counting wraps a backend with operation/byte counters.
+	Counting = storage.Counting
+)
+
+// Backend sentinel errors.
+var (
+	ErrNotExist = storage.ErrNotExist
+	ErrNoSpace  = storage.ErrNoSpace
+	ErrReadOnly = storage.ErrReadOnly
+)
+
+// NewMemFS creates an in-memory backend (capacity 0 = unlimited).
+func NewMemFS(name string, capacity int64) *MemFS { return storage.NewMemFS(name, capacity) }
+
+// NewOSFS creates a directory-rooted backend (capacity 0 = unlimited).
+func NewOSFS(name, dir string, capacity int64) (*OSFS, error) {
+	return storage.NewOSFS(name, dir, capacity)
+}
+
+// NewCounting wraps a backend with I/O counters — useful for measuring
+// the PFS pressure a training job produces.
+func NewCounting(b Backend) *Counting { return storage.NewCounting(b) }
+
+// Pool is the background placement executor interface.
+type Pool = pool.Executor
+
+// NewPool starts a goroutine-backed placement pool with n workers (the
+// paper uses 6).
+func NewPool(n int) Pool { return pool.NewGoPool(n) }

@@ -1,0 +1,146 @@
+package monarch_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"monarch"
+)
+
+// buildStack assembles a public-API middleware over memfs tiers with
+// nfiles of size bytes staged on the "PFS".
+func buildStack(t *testing.T, quota int64, nfiles, size int) (*monarch.Monarch, *monarch.MemFS, *monarch.Counting) {
+	t.Helper()
+	ctx := context.Background()
+	pfsRaw := monarch.NewMemFS("lustre", 0)
+	for i := 0; i < nfiles; i++ {
+		content := bytes.Repeat([]byte{byte(i + 1)}, size)
+		if err := pfsRaw.WriteFile(ctx, fmt.Sprintf("shard-%02d", i), content); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pfsRaw.SetReadOnly(true)
+	pfs := monarch.NewCounting(pfsRaw)
+	tier0 := monarch.NewMemFS("ssd", quota)
+	m, err := monarch.New(monarch.Config{
+		Levels:        []monarch.Backend{tier0, pfs},
+		Pool:          monarch.NewPool(4),
+		FullFileFetch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	return m, tier0, pfs
+}
+
+func waitIdle(t *testing.T, m *monarch.Monarch) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !m.Idle() {
+		if time.Now().After(deadline) {
+			t.Fatal("placements did not settle")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestPublicAPIEndToEnd(t *testing.T) {
+	ctx := context.Background()
+	m, tier0, pfs := buildStack(t, 0, 4, 4096)
+
+	if m.NumFiles() != 4 || m.Levels() != 2 {
+		t.Fatalf("namespace %d files, %d levels", m.NumFiles(), m.Levels())
+	}
+	buf := make([]byte, 512)
+	n, err := m.ReadAt(ctx, "shard-01", buf, 1024)
+	if err != nil || n != 512 || buf[0] != 2 {
+		t.Fatalf("read: n=%d err=%v b=%d", n, err, buf[0])
+	}
+	waitIdle(t, m)
+	if lvl, _ := m.LevelOf("shard-01"); lvl != 0 {
+		t.Fatalf("level = %d after placement", lvl)
+	}
+	if tier0.Used() != 4096 {
+		t.Fatalf("tier0 used = %d", tier0.Used())
+	}
+	before := pfs.Counts().DataOps()
+	for i := 0; i < 5; i++ {
+		if _, err := m.ReadAt(ctx, "shard-01", buf, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if pfs.Counts().DataOps() != before {
+		t.Fatal("promoted file still hit the PFS")
+	}
+	st := m.Stats()
+	if st.Placements != 1 || st.HitRatio() == 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+func TestPublicAPIErrors(t *testing.T) {
+	ctx := context.Background()
+	m, _, _ := buildStack(t, 0, 1, 16)
+	if _, err := m.ReadAt(ctx, "nope", make([]byte, 1), 0); !errors.Is(err, monarch.ErrUnknownFile) {
+		t.Fatalf("got %v", err)
+	}
+}
+
+func TestPublicAPIOverOSFS(t *testing.T) {
+	ctx := context.Background()
+	pfsDir, ssdDir := t.TempDir(), t.TempDir()
+	seed, err := monarch.NewOSFS("seed", pfsDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := bytes.Repeat([]byte{0xAA}, 8192)
+	if err := seed.WriteFile(ctx, "data/shard-0", want); err != nil {
+		t.Fatal(err)
+	}
+	pfs, err := monarch.NewOSFS("lustre", pfsDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier0, err := monarch.NewOSFS("ssd", ssdDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := monarch.New(monarch.Config{
+		Levels:        []monarch.Backend{tier0, pfs},
+		Pool:          monarch.NewPool(2),
+		FullFileFetch: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
+	got, err := m.ReadFull(ctx, "data/shard-0")
+	if err != nil || !bytes.Equal(got, want) {
+		t.Fatalf("read through middleware failed: %v", err)
+	}
+	waitIdle(t, m)
+	onDisk, err := tier0.ReadFile(ctx, "data/shard-0")
+	if err != nil || !bytes.Equal(onDisk, want) {
+		t.Fatalf("tier0 copy: %v", err)
+	}
+}
+
+func TestPublicEvictionPoliciesExposed(t *testing.T) {
+	if monarch.NewLRU().Name() != "lru" || monarch.NewFIFO().Name() != "fifo" {
+		t.Fatal("policy constructors broken")
+	}
+	if monarch.StageOnFirstRead.String() != "on-first-read" {
+		t.Fatal("staging constant broken")
+	}
+}
