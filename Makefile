@@ -12,11 +12,15 @@ build:
 vet:
 	$(GO) vet ./...
 
+# The default test run includes a short-mode race pass over the
+# concurrency-heavy packages, so data races in the read/placement/fault
+# paths fail fast without the cost of racing the full experiment sweep.
 test:
 	$(GO) test ./...
+	$(GO) test -race -short ./internal/core/ ./internal/pool/ ./internal/storage/
 
 race:
-	$(GO) test -race ./internal/core/ ./internal/pool/ ./internal/storage/ .
+	$(GO) test -race ./internal/core/... ./internal/pool/... ./internal/storage/... .
 
 cover:
 	$(GO) test -cover ./internal/... .

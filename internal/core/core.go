@@ -78,6 +78,14 @@ type Config struct {
 	// Eviction is nil for the paper's no-eviction policy, or an
 	// EvictionPolicy for the abl-eviction ablation.
 	Eviction EvictionPolicy
+	// Health tunes the per-tier circuit breaker that demotes entries
+	// off failing tiers and probes Down tiers for recovery. The zero
+	// value enables the breaker with defaults; set Health.Disabled for
+	// the pre-breaker behaviour.
+	Health HealthConfig
+	// Retry re-queues placements that failed transiently instead of
+	// marking the file unplaceable. The zero value disables retries.
+	Retry RetryPolicy
 	// Disabled turns Monarch into a pass-through to the source level
 	// (used by baselines that want the namespace but no tiering).
 	Disabled bool
@@ -95,6 +103,7 @@ type Monarch struct {
 	meta   *metadataContainer
 	stats  statsCollector
 	placer *placer
+	health *healthTracker
 }
 
 // ErrNotInitialized is returned by reads before Init has built the
@@ -124,6 +133,7 @@ func New(cfg Config) (*Monarch, error) {
 	m.meta = newMetadataContainer(len(m.levels))
 	m.stats.init(len(m.levels))
 	m.placer = newPlacer(m)
+	m.health = newHealthTracker(cfg.Health, len(m.levels)-1)
 	return m, nil
 }
 
@@ -166,6 +176,15 @@ func (m *Monarch) Close() {
 	}
 }
 
+// Shutdown cancels in-flight placements and stops the intake; unlike
+// Close it does not wait out long copies. Cancelled placements return
+// their files to the source state and are not counted as errors.
+func (m *Monarch) Shutdown() {
+	if m.cfg.Pool != nil {
+		m.cfg.Pool.Shutdown()
+	}
+}
+
 // ReadAt is the paper's Monarch.read: it serves len(p) bytes at offset
 // off of the named file from whichever tier currently holds it, and —
 // on the first read of a file — schedules its background placement
@@ -175,16 +194,37 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 	if err != nil {
 		return 0, err
 	}
+	src := m.source.level
 	lvl := e.currentLevel()
+	if !m.cfg.Disabled {
+		m.tickProbes()
+		if lvl != src && m.health.isDown(lvl) {
+			// The tier's breaker is open: route straight to the source
+			// and demote the entry so later reads skip this path too —
+			// one metadata update instead of a doomed attempt per read.
+			m.demote(e, lvl)
+			lvl = src
+		}
+	}
 	d := m.levels[lvl]
 	n, rerr := d.backend.ReadAt(ctx, name, p, off)
-	if rerr != nil && lvl != m.source.level {
+	if rerr != nil && lvl != src {
 		// A tier failed under us: fall back to the PFS, which always
-		// holds the dataset, and count the event.
+		// holds the dataset, count the event, and feed the breaker.
 		m.stats.fallbacks.Add(1)
 		m.cfg.Events.emit(Event{Kind: EventFallback, File: name, Level: lvl, Err: rerr})
+		if !m.cfg.Disabled {
+			if m.health.recordReadError(lvl) {
+				m.tierDown(lvl, rerr)
+			}
+			if m.health.isDown(lvl) {
+				m.demote(e, lvl)
+			}
+		}
 		d = m.source
 		n, rerr = d.backend.ReadAt(ctx, name, p, off)
+	} else if rerr == nil && lvl != src && !m.cfg.Disabled {
+		m.health.recordReadOK(lvl)
 	}
 	if rerr != nil {
 		return n, rerr

@@ -22,6 +22,18 @@ const (
 	// EventFallback: a read was re-served from the PFS after a tier
 	// failure.
 	EventFallback
+	// EventDemoted: the circuit breaker re-pointed a placed file at the
+	// source level because its tier is Down.
+	EventDemoted
+	// EventRetried: a transient placement failure was re-queued under
+	// Config.Retry.
+	EventRetried
+	// EventTierDown: a tier's circuit breaker opened after repeated
+	// errors.
+	EventTierDown
+	// EventTierUp: a recovery probe returned a Down tier to service;
+	// Bytes carries the number of entries made re-placeable.
+	EventTierUp
 )
 
 // String names the kind.
@@ -37,6 +49,14 @@ func (k EventKind) String() string {
 		return "evicted"
 	case EventFallback:
 		return "fallback"
+	case EventDemoted:
+		return "demoted"
+	case EventRetried:
+		return "retried"
+	case EventTierDown:
+		return "tier-down"
+	case EventTierUp:
+		return "tier-up"
 	default:
 		return "unknown"
 	}
@@ -66,6 +86,14 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d placement of %s failed: %v", e.Seq, e.File, e.Err)
 	case EventFallback:
 		return fmt.Sprintf("#%d read of %s fell back to the source level", e.Seq, e.File)
+	case EventDemoted:
+		return fmt.Sprintf("#%d demoted %s off level %d to the source level", e.Seq, e.File, e.Level)
+	case EventRetried:
+		return fmt.Sprintf("#%d placement of %s re-queued after level %d error: %v", e.Seq, e.File, e.Level, e.Err)
+	case EventTierDown:
+		return fmt.Sprintf("#%d tier %d down: %v", e.Seq, e.Level, e.Err)
+	case EventTierUp:
+		return fmt.Sprintf("#%d tier %d back in service (%d entries re-placeable)", e.Seq, e.Level, e.Bytes)
 	default:
 		return fmt.Sprintf("#%d %s %s", e.Seq, e.Kind, e.File)
 	}

@@ -19,10 +19,15 @@ const (
 	stateQueued
 	// statePlaced: the file lives on an upper tier.
 	statePlaced
-	// stateUnplaceable: every candidate tier was full; the file will be
-	// served from the PFS for the rest of the job (§III-A: placement
-	// stops once the local tiers run out of space).
+	// stateUnplaceable: every candidate tier was full (or a placement
+	// failed permanently); the file is served from the PFS until a tier
+	// recovery makes it re-placeable (§III-A: placement stops once the
+	// local tiers run out of space).
 	stateUnplaceable
+	// stateDemoted: the file was placed on a tier whose circuit breaker
+	// tripped; it is served from the source until the tier recovers and
+	// resetForReplacement sends it back through the placement pipeline.
+	stateDemoted
 )
 
 // fileEntry is the paper's "file info": size, name and current storage
@@ -32,15 +37,22 @@ type fileEntry struct {
 	name string
 	size int64
 
-	mu    sync.Mutex
-	level int
-	state placementState
+	mu      sync.Mutex
+	level   int
+	state   placementState
+	retries int // placement attempts beyond the first (observability)
 }
 
 func (e *fileEntry) currentLevel() int {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.level
+}
+
+func (e *fileEntry) currentState() placementState {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.state
 }
 
 // tryQueue transitions Source→Queued exactly once; it reports whether
@@ -77,6 +89,51 @@ func (e *fileEntry) markEvicted(sourceLevel int) {
 	defer e.mu.Unlock()
 	e.level = sourceLevel
 	e.state = stateSource
+}
+
+// markDemoted re-points a file placed on a tripped tier at the source
+// level; it reports whether the entry actually moved (false when a
+// concurrent demotion or placement already changed it).
+func (e *fileEntry) markDemoted(from, sourceLevel int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state != statePlaced || e.level != from {
+		return false
+	}
+	e.level = sourceLevel
+	e.state = stateDemoted
+	return true
+}
+
+// cancelQueued returns a queued entry to Source after a cancelled
+// placement, so a later access may schedule it again; a cancelled
+// placement is not a placement failure.
+func (e *fileEntry) cancelQueued() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state == stateQueued {
+		e.state = stateSource
+	}
+}
+
+// noteRetry counts one placement retry on the entry.
+func (e *fileEntry) noteRetry() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.retries++
+}
+
+// makeReplaceable sends a demoted or unplaceable entry back to Source
+// so its next access re-enters the placement pipeline; it reports
+// whether the entry changed.
+func (e *fileEntry) makeReplaceable() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state != stateDemoted && e.state != stateUnplaceable {
+		return false
+	}
+	e.state = stateSource
+	return true
 }
 
 // metadataContainer is the paper's virtual namespace module. It follows
@@ -132,6 +189,21 @@ func (c *metadataContainer) list() []storage.FileInfo {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// resetForReplacement makes every demoted or unplaceable entry
+// re-placeable after a tier recovery; it returns how many entries
+// changed.
+func (c *metadataContainer) resetForReplacement() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	n := 0
+	for _, e := range c.entries {
+		if e.makeReplaceable() {
+			n++
+		}
+	}
+	return n
 }
 
 // sortedEntries returns entries in name order (pre-staging order).

@@ -5,12 +5,15 @@ import (
 	"errors"
 	"sync/atomic"
 
+	"monarch/internal/pool"
 	"monarch/internal/storage"
 )
 
 // placer is the paper's placement handler: it owns the background
 // thread pool and the tier-selection algorithm (§III-A — descend the
-// hierarchy, first level with room wins; no eviction).
+// hierarchy, first level with room wins; no eviction). Beyond the
+// paper, it skips tiers whose circuit breaker is open and re-queues
+// transiently failed placements under Config.Retry.
 type placer struct {
 	m        *Monarch
 	inflight atomic.Int64
@@ -20,6 +23,21 @@ func newPlacer(m *Monarch) *placer { return &placer{m: m} }
 
 func (pl *placer) inFlight() int { return int(pl.inflight.Load()) }
 
+// submit runs task on the pool with in-flight accounting (placements,
+// retries, and recovery probes all count toward Idle); it reports
+// false when the pool is closed.
+func (pl *placer) submit(task pool.Task) bool {
+	pl.inflight.Add(1)
+	ok := pl.m.cfg.Pool.Submit(func(ctx context.Context) {
+		defer pl.inflight.Add(-1)
+		task(ctx)
+	})
+	if !ok {
+		pl.inflight.Add(-1)
+	}
+	return ok
+}
+
 // onAccess is called from the foreground read path. If this is the
 // file's first access it schedules a placement task; full, when
 // non-nil, is the complete file content the framework just read (the
@@ -28,50 +46,66 @@ func (pl *placer) onAccess(e *fileEntry, full []byte) {
 	if !e.tryQueue() {
 		return
 	}
-	pl.inflight.Add(1)
-	ok := pl.m.cfg.Pool.Submit(func(ctx context.Context) {
-		defer pl.inflight.Add(-1)
-		pl.place(ctx, e, full)
-	})
-	if !ok {
-		pl.inflight.Add(-1)
+	if !pl.submit(func(ctx context.Context) { pl.place(ctx, e, full, 1) }) {
 		e.markUnplaceable() // pool closed: no placement for this job
 	}
 }
 
-// place copies e into the first tier with room. The paper's policy
-// never evicts; the eviction ablations hook in through tryMakeRoom.
-func (pl *placer) place(ctx context.Context, e *fileEntry, full []byte) {
+// place copies e into the first healthy tier with room; attempt is
+// 1-based. The paper's policy never evicts; the eviction ablations hook
+// in through tryMakeRoom.
+func (pl *placer) place(ctx context.Context, e *fileEntry, full []byte, attempt int) {
 	m := pl.m
+	if ctx.Err() != nil {
+		e.cancelQueued() // shut down mid-queue: not a placement failure
+		return
+	}
 	for _, d := range m.levels[:len(m.levels)-1] {
+		if !m.health.placeable(d.level) {
+			continue // breaker open: never write into a dead tier
+		}
 		if storage.Free(d.backend) < e.size {
 			if !pl.tryMakeRoom(ctx, d, e.size) {
 				continue
 			}
 		}
-		if err := pl.copyInto(ctx, d, e, full); err != nil {
-			if errors.Is(err, storage.ErrNoSpace) {
-				// Lost a quota race with a concurrent placement; try
-				// the next level down.
-				continue
+		err := pl.copyInto(ctx, d, e, full)
+		if err == nil {
+			m.health.recordWriteOK(d.level)
+			e.markPlaced(d.level)
+			m.stats.placements.Add(1)
+			m.stats.placedBytes.Add(e.size)
+			m.cfg.Events.emit(Event{Kind: EventPlaced, File: e.name, Level: d.level, Bytes: e.size})
+			if m.cfg.Eviction != nil {
+				m.cfg.Eviction.OnPlaced(e.name, d.level)
 			}
-			if errors.Is(err, errFetchDisabled) {
-				m.stats.placementSkips.Add(1)
-				m.cfg.Events.emit(Event{Kind: EventSkipped, File: e.name, Level: -1})
-			} else {
-				m.stats.placementErrors.Add(1)
-				m.cfg.Events.emit(Event{Kind: EventFailed, File: e.name, Level: d.level, Err: err})
-			}
+			return
+		}
+		if errors.Is(err, storage.ErrNoSpace) {
+			// Lost a quota race with a concurrent placement; try the
+			// next level down.
+			continue
+		}
+		if errors.Is(err, errFetchDisabled) {
+			m.stats.placementSkips.Add(1)
+			m.cfg.Events.emit(Event{Kind: EventSkipped, File: e.name, Level: -1})
 			e.markUnplaceable()
 			return
 		}
-		e.markPlaced(d.level)
-		m.stats.placements.Add(1)
-		m.stats.placedBytes.Add(e.size)
-		m.cfg.Events.emit(Event{Kind: EventPlaced, File: e.name, Level: d.level, Bytes: e.size})
-		if m.cfg.Eviction != nil {
-			m.cfg.Eviction.OnPlaced(e.name, d.level)
+		if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+			e.cancelQueued() // cancelled copy: not a placement failure
+			return
 		}
+		// Operational failure: feed the breaker, then retry or give up.
+		if m.health.recordWriteError(d.level) {
+			m.tierDown(d.level, err)
+		}
+		if pl.retry(e, full, attempt, d.level, err) {
+			return
+		}
+		m.stats.placementErrors.Add(1)
+		m.cfg.Events.emit(Event{Kind: EventFailed, File: e.name, Level: d.level, Err: err})
+		e.markUnplaceable()
 		return
 	}
 	m.stats.placementSkips.Add(1)
@@ -79,10 +113,35 @@ func (pl *placer) place(ctx context.Context, e *fileEntry, full []byte) {
 	e.markUnplaceable()
 }
 
+// retry re-queues a transiently failed placement with backoff; it
+// reports whether the failure was handled (a retry was scheduled, or
+// the pool closed while scheduling it).
+func (pl *placer) retry(e *fileEntry, full []byte, attempt, level int, err error) bool {
+	m := pl.m
+	r := m.cfg.Retry
+	if !r.enabled() || attempt >= r.MaxAttempts || !r.transient(err) {
+		return false
+	}
+	e.noteRetry()
+	m.stats.retries.Add(1)
+	m.cfg.Events.emit(Event{Kind: EventRetried, File: e.name, Level: level, Err: err})
+	next := attempt + 1
+	if !pl.submit(func(ctx context.Context) {
+		r.wait(ctx, attempt)
+		pl.place(ctx, e, full, next)
+	}) {
+		e.markUnplaceable() // pool closed between failure and retry
+	}
+	return true
+}
+
 // copyInto moves the file content onto level d. Preference order:
 // reuse the foreground's full read, then the backend's whole-file copy
 // fast path, then an explicit read-modify-write through this process.
 func (pl *placer) copyInto(ctx context.Context, d *driver, e *fileEntry, full []byte) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	m := pl.m
 	src := m.source.backend
 	switch {
@@ -100,6 +159,9 @@ func (pl *placer) copyInto(ctx context.Context, d *driver, e *fileEntry, full []
 		}
 		data, err := src.ReadFile(ctx, e.name)
 		if err != nil {
+			return err
+		}
+		if err := ctx.Err(); err != nil {
 			return err
 		}
 		return d.backend.WriteFile(ctx, e.name, data)
@@ -158,7 +220,7 @@ func (m *Monarch) preStage(ctx context.Context) error {
 		if !e.tryQueue() {
 			continue
 		}
-		m.placer.place(ctx, e, nil)
+		m.placer.place(ctx, e, nil, 1)
 	}
 	return nil
 }

@@ -141,6 +141,132 @@ func TestPropertyInvariantsUnderRandomWorkloads(t *testing.T) {
 	}
 }
 
+// TestPropertyFaultWorkloadsConverge drives the enlarged placement
+// state machine (queue → retry → placed / demoted → re-placed) with
+// random read plans interleaved with Break/Fix toggles on tier 0 and
+// checks the fault-management invariants afterwards:
+//
+//  1. reads always return the source's bytes, broken tier or not;
+//  2. once the fault clears, the system converges: the tier returns to
+//     Healthy and every file ends up placed on tier 0 with full,
+//     correct content;
+//  3. no entry is left stuck in the queued state after quiescence;
+//  4. breaker accounting is coherent (every trip recovered, recoveries
+//     never exceed probes).
+func TestPropertyFaultWorkloadsConverge(t *testing.T) {
+	ctx := context.Background()
+	type workload struct {
+		NumFiles uint8
+		FileSize uint16
+		Plan     []uint16 // per element: read (and occasionally Break/Fix)
+	}
+	runCase := func(w workload) bool {
+		nfiles := int(w.NumFiles%8) + 1
+		fileSize := int(w.FileSize%1500) + 1
+
+		pfsRaw := storage.NewMemFS("pfs", 0)
+		contents := make(map[string][]byte, nfiles)
+		for i := 0; i < nfiles; i++ {
+			name := fmt.Sprintf("f%02d", i)
+			c := bytes.Repeat([]byte{byte(i + 1)}, fileSize)
+			contents[name] = c
+			if err := pfsRaw.WriteFile(ctx, name, c); err != nil {
+				t.Fatal(err)
+			}
+		}
+		pfsRaw.SetReadOnly(true)
+		faulty := storage.NewFaulty(storage.NewMemFS("t0", 0))
+		m, err := New(Config{
+			Levels:        []storage.Backend{faulty, pfsRaw},
+			Pool:          pool.NewGoPool(2),
+			FullFileFetch: true,
+			Health:        HealthConfig{ReadErrorThreshold: 2, WriteErrorThreshold: 2, ProbeAfterReads: 1},
+			Retry:         RetryPolicy{MaxAttempts: 2},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer m.Close()
+		if err := m.Init(ctx); err != nil {
+			t.Fatal(err)
+		}
+
+		buf := make([]byte, fileSize)
+		for _, step := range w.Plan {
+			switch {
+			case step%17 == 0:
+				faulty.Break()
+			case step%23 == 0:
+				faulty.Fix()
+			default:
+				name := fmt.Sprintf("f%02d", int(step)%nfiles)
+				n, err := m.ReadAt(ctx, name, buf, 0)
+				if err != nil || n != fileSize || !bytes.Equal(buf[:n], contents[name]) {
+					t.Logf("read %s under faults: n=%d err=%v", name, n, err)
+					return false
+				}
+			}
+		}
+
+		// Invariant 2: clear the fault and converge.
+		faulty.Fix()
+		deadline := time.Now().Add(10 * time.Second)
+		for {
+			for i := 0; i < nfiles; i++ {
+				name := fmt.Sprintf("f%02d", i)
+				if _, err := m.ReadAt(ctx, name, buf, 0); err != nil {
+					t.Logf("convergence read %s: %v", name, err)
+					return false
+				}
+			}
+			for !m.Idle() {
+				if time.Now().After(deadline) {
+					t.Log("placements stuck")
+					return false
+				}
+				time.Sleep(100 * time.Microsecond)
+			}
+			placed := 0
+			for i := 0; i < nfiles; i++ {
+				if lvl, _ := m.LevelOf(fmt.Sprintf("f%02d", i)); lvl == 0 {
+					placed++
+				}
+			}
+			if placed == nfiles && m.TierState(0) == TierHealthy {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Logf("never converged: placed=%d/%d state=%v", placed, nfiles, m.TierState(0))
+				return false
+			}
+		}
+		// Invariant 3: final states are Placed with correct tier content.
+		for i := 0; i < nfiles; i++ {
+			name := fmt.Sprintf("f%02d", i)
+			e, _ := m.meta.get(name)
+			if s := e.currentState(); s != statePlaced {
+				t.Logf("%s stuck in state %d", name, s)
+				return false
+			}
+			got, err := faulty.ReadFile(ctx, name)
+			if err != nil || !bytes.Equal(got, contents[name]) {
+				t.Logf("tier content of %s wrong: %v", name, err)
+				return false
+			}
+		}
+		// Invariant 4: coherent breaker accounting.
+		st := m.Stats()
+		if st.TierTrips != st.TierRecoveries || st.TierRecoveries > st.Probes {
+			t.Logf("incoherent breaker stats: %+v", st)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(runCase, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 // TestPropertyLevelOrderRespected checks that with generous quotas the
 // placement always lands on level 0, never skipping ahead.
 func TestPropertyLevelOrderRespected(t *testing.T) {

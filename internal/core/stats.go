@@ -27,7 +27,20 @@ type Stats struct {
 	Fallbacks int64
 	// Evictions counts files removed by an eviction-policy ablation.
 	Evictions int64
-	// InFlight is the number of queued or running placement tasks.
+	// Demotions counts entries re-pointed from a Down tier to the
+	// source level by the circuit breaker.
+	Demotions int64
+	// PlacementRetries counts placements re-queued after a transient
+	// failure (Config.Retry).
+	PlacementRetries int64
+	// TierTrips counts circuit-breaker openings (Healthy/Suspect→Down).
+	TierTrips int64
+	// TierRecoveries counts successful recovery probes (Down→Healthy).
+	TierRecoveries int64
+	// Probes counts recovery probes attempted against Down tiers.
+	Probes int64
+	// InFlight is the number of queued or running placement tasks
+	// (including retries and recovery probes).
 	InFlight int
 }
 
@@ -58,6 +71,11 @@ type statsCollector struct {
 	fullReadReuses  atomic.Int64
 	fallbacks       atomic.Int64
 	evictions       atomic.Int64
+	demotions       atomic.Int64
+	retries         atomic.Int64
+	tierTrips       atomic.Int64
+	tierRecoveries  atomic.Int64
+	probes          atomic.Int64
 }
 
 func (c *statsCollector) init(levels int) {
@@ -72,16 +90,21 @@ func (c *statsCollector) served(level int, bytes int64) {
 
 func (c *statsCollector) snapshot(inFlight int) Stats {
 	s := Stats{
-		ReadsServed:     make([]int64, len(c.readsServed)),
-		BytesServed:     make([]int64, len(c.bytesServed)),
-		Placements:      c.placements.Load(),
-		PlacedBytes:     c.placedBytes.Load(),
-		PlacementSkips:  c.placementSkips.Load(),
-		PlacementErrors: c.placementErrors.Load(),
-		FullReadReuses:  c.fullReadReuses.Load(),
-		Fallbacks:       c.fallbacks.Load(),
-		Evictions:       c.evictions.Load(),
-		InFlight:        inFlight,
+		ReadsServed:      make([]int64, len(c.readsServed)),
+		BytesServed:      make([]int64, len(c.bytesServed)),
+		Placements:       c.placements.Load(),
+		PlacedBytes:      c.placedBytes.Load(),
+		PlacementSkips:   c.placementSkips.Load(),
+		PlacementErrors:  c.placementErrors.Load(),
+		FullReadReuses:   c.fullReadReuses.Load(),
+		Fallbacks:        c.fallbacks.Load(),
+		Evictions:        c.evictions.Load(),
+		Demotions:        c.demotions.Load(),
+		PlacementRetries: c.retries.Load(),
+		TierTrips:        c.tierTrips.Load(),
+		TierRecoveries:   c.tierRecoveries.Load(),
+		Probes:           c.probes.Load(),
+		InFlight:         inFlight,
 	}
 	for i := range c.readsServed {
 		s.ReadsServed[i] = c.readsServed[i].Load()

@@ -35,6 +35,11 @@ type Executor interface {
 	Workers() int
 	// Close stops intake. Queued tasks still run; Close does not wait.
 	Close()
+	// Shutdown cancels the context handed to running and queued tasks,
+	// then stops intake. Tasks must notice cancellation and return
+	// quickly; a cancelled task is expected to treat the interruption
+	// as a no-op, not a failure.
+	Shutdown()
 }
 
 // GoPool is an Executor backed by real goroutines.
@@ -46,6 +51,8 @@ type GoPool struct {
 	closed  bool
 	workers int
 	wg      sync.WaitGroup
+	ctx     context.Context
+	cancel  context.CancelFunc
 }
 
 // NewGoPool starts a pool with n workers.
@@ -55,6 +62,7 @@ func NewGoPool(n int) *GoPool {
 	}
 	p := &GoPool{workers: n}
 	p.cond = sync.NewCond(&p.mu)
+	p.ctx, p.cancel = context.WithCancel(context.Background())
 	for i := 0; i < n; i++ {
 		p.wg.Add(1)
 		go p.worker()
@@ -64,7 +72,7 @@ func NewGoPool(n int) *GoPool {
 
 func (p *GoPool) worker() {
 	defer p.wg.Done()
-	ctx := context.Background()
+	ctx := p.ctx
 	for {
 		p.mu.Lock()
 		for len(p.queue) == 0 && !p.closed {
@@ -121,6 +129,16 @@ func (p *GoPool) Close() {
 	p.cond.Broadcast()
 	p.mu.Unlock()
 	p.wg.Wait()
+	p.cancel() // workers are gone; release the context
+}
+
+// Shutdown implements Executor: it cancels the worker context so
+// running and still-queued tasks see ctx.Done(), then closes the pool.
+// Like Close it returns once the workers drain — which is fast, since
+// every remaining task runs with a cancelled context.
+func (p *GoPool) Shutdown() {
+	p.cancel()
+	p.Close()
 }
 
 // SimPool is an Executor whose workers are simulation processes.
@@ -130,6 +148,10 @@ type SimPool struct {
 	pending int
 	workers int
 	closed  bool
+
+	mu        sync.Mutex
+	cancels   []context.CancelFunc
+	cancelled bool
 }
 
 // NewSimPool spawns n daemon worker processes in env.
@@ -144,7 +166,14 @@ func NewSimPool(env *sim.Env, name string, n int) *SimPool {
 	}
 	for i := 0; i < n; i++ {
 		env.GoDaemon(name+"-worker", func(proc *sim.Proc) {
-			ctx := proc.Context()
+			ctx, cancel := context.WithCancel(proc.Context())
+			defer cancel()
+			p.mu.Lock()
+			if p.cancelled {
+				cancel()
+			}
+			p.cancels = append(p.cancels, cancel)
+			p.mu.Unlock()
 			for {
 				t, ok := p.queue.Get(proc)
 				if !ok {
@@ -186,4 +215,18 @@ func (p *SimPool) Close() {
 	}
 	p.closed = true
 	p.queue.Close()
+}
+
+// Shutdown implements Executor: it cancels every worker's task context
+// and closes the pool. Queued tasks still run, but observe a cancelled
+// context and are expected to return immediately.
+func (p *SimPool) Shutdown() {
+	p.mu.Lock()
+	p.cancelled = true
+	cancels := append([]context.CancelFunc(nil), p.cancels...)
+	p.mu.Unlock()
+	for _, c := range cancels {
+		c()
+	}
+	p.Close()
 }

@@ -116,6 +116,70 @@ func TestGoPoolPanicsOnBadSize(t *testing.T) {
 	NewGoPool(0)
 }
 
+func TestGoPoolShutdownCancelsRunningTask(t *testing.T) {
+	p := NewGoPool(1)
+	started := make(chan struct{})
+	errc := make(chan error, 1)
+	p.Submit(func(ctx context.Context) {
+		close(started)
+		<-ctx.Done()
+		errc <- ctx.Err()
+	})
+	<-started
+	done := make(chan struct{})
+	go func() { p.Shutdown(); close(done) }()
+	select {
+	case err := <-errc:
+		if err == nil {
+			t.Fatal("running task saw nil ctx.Err after Shutdown")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("running task never saw cancellation")
+	}
+	<-done
+	if p.Submit(func(context.Context) {}) {
+		t.Fatal("submit after shutdown accepted")
+	}
+}
+
+func TestGoPoolShutdownCancelsQueuedTasks(t *testing.T) {
+	p := NewGoPool(1)
+	started := make(chan struct{})
+	p.Submit(func(ctx context.Context) {
+		close(started)
+		<-ctx.Done()
+	})
+	<-started
+	var sawCancelled atomic.Int64
+	for i := 0; i < 10; i++ {
+		p.Submit(func(ctx context.Context) {
+			if ctx.Err() != nil {
+				sawCancelled.Add(1)
+			}
+		})
+	}
+	p.Shutdown() // waits for the drain
+	if sawCancelled.Load() != 10 {
+		t.Fatalf("%d of 10 queued tasks saw a cancelled context", sawCancelled.Load())
+	}
+}
+
+func TestGoPoolCloseDoesNotCancelTasks(t *testing.T) {
+	p := NewGoPool(1)
+	var sawCancelled atomic.Bool
+	for i := 0; i < 5; i++ {
+		p.Submit(func(ctx context.Context) {
+			if ctx.Err() != nil {
+				sawCancelled.Store(true)
+			}
+		})
+	}
+	p.Close()
+	if sawCancelled.Load() {
+		t.Fatal("Close cancelled task contexts; only Shutdown may")
+	}
+}
+
 func TestSimPoolRunsTasksInVirtualTime(t *testing.T) {
 	env := sim.NewEnv(1)
 	defer env.Close()
@@ -185,6 +249,32 @@ func TestSimPoolCloseStopsIntake(t *testing.T) {
 	}
 	if ran != 1 {
 		t.Fatalf("ran = %d, want 1", ran)
+	}
+}
+
+func TestSimPoolShutdownCancelsTaskContext(t *testing.T) {
+	env := sim.NewEnv(1)
+	defer env.Close()
+	p := NewSimPool(env, "p", 1)
+	var errSeen error
+	env.Go("s", func(proc *sim.Proc) {
+		p.Submit(func(ctx context.Context) {
+			w := sim.MustProc(ctx)
+			w.Sleep(10 * time.Second) // still running when Shutdown fires
+			errSeen = ctx.Err()
+		})
+		proc.Sleep(time.Second)
+		p.Shutdown()
+		proc.Sleep(time.Minute)
+	})
+	if err := env.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if errSeen == nil {
+		t.Fatal("task context not cancelled by Shutdown")
+	}
+	if p.Submit(func(context.Context) {}) {
+		t.Fatal("submit after shutdown accepted")
 	}
 }
 

@@ -62,6 +62,14 @@ type (
 	Event = core.Event
 	// EventKind classifies events.
 	EventKind = core.EventKind
+	// HealthConfig tunes the per-tier circuit breaker (Config.Health).
+	HealthConfig = core.HealthConfig
+	// RetryPolicy re-queues transiently failed placements
+	// (Config.Retry).
+	RetryPolicy = core.RetryPolicy
+	// TierState is the circuit-breaker state of a hierarchy level; see
+	// Monarch.TierState.
+	TierState = core.TierState
 )
 
 // Event kinds.
@@ -71,6 +79,17 @@ const (
 	EventFailed   = core.EventFailed
 	EventEvicted  = core.EventEvicted
 	EventFallback = core.EventFallback
+	EventDemoted  = core.EventDemoted
+	EventRetried  = core.EventRetried
+	EventTierDown = core.EventTierDown
+	EventTierUp   = core.EventTierUp
+)
+
+// Tier circuit-breaker states.
+const (
+	TierHealthy = core.TierHealthy
+	TierSuspect = core.TierSuspect
+	TierDown    = core.TierDown
 )
 
 // NewEventLog creates an event ring holding up to capacity events.
