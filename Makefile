@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover bench repro repro-full examples fuzz clean
+.PHONY: all build test race vet cover bench bench-all repro repro-full examples fuzz clean
 
 all: build vet test
 
@@ -12,21 +12,30 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The default test run includes a short-mode race pass over the
-# concurrency-heavy packages, so data races in the read/placement/fault
-# paths fail fast without the cost of racing the full experiment sweep.
+# The default test run vets first, then includes a short-mode race pass
+# over the concurrency-heavy packages, so data races in the
+# read/placement/fault paths fail fast without the cost of racing the
+# full experiment sweep.
 test:
+	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -short ./internal/core/ ./internal/pool/ ./internal/storage/
 
 race:
-	$(GO) test -race ./internal/core/... ./internal/pool/... ./internal/storage/... .
+	$(GO) test -race ./internal/core/... ./internal/pool/... ./internal/storage/... \
+		./internal/sim/... ./internal/simstore/... .
 
 cover:
 	$(GO) test -cover ./internal/... .
 
-# One bench per paper table/figure plus package micro-benchmarks.
+# Core placement/read benchmarks (whole-file vs chunked), committed as
+# a JSON baseline so regressions show up in review.
 bench:
+	$(GO) test -bench='Placement|ReadAt|Metadata|Init' -benchmem -count=1 ./internal/core/ \
+		| $(GO) run ./cmd/monarch-benchjson -o BENCH_chunked.json
+
+# One bench per paper table/figure plus package micro-benchmarks.
+bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Regenerate every figure/table at the default reduced scale.
@@ -47,6 +56,8 @@ examples:
 fuzz:
 	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/tfrecord/
 	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/recordio/
+	$(GO) test -fuzz=FuzzReadAt -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzNamespace -fuzztime=30s ./internal/core/
 
 clean:
 	rm -f test_output.txt bench_output.txt

@@ -10,6 +10,8 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"os"
+	"path/filepath"
 	"testing"
 	"time"
 
@@ -181,6 +183,113 @@ func TestIntegrationPartialQuotaRealDisk(t *testing.T) {
 	}
 	if got := int(pfs.Counts().DataOps() - before); got != pfsReads {
 		t.Fatalf("epoch-2 PFS ops = %d, want %d", got, pfsReads)
+	}
+}
+
+func TestIntegrationChunkedRealDisk(t *testing.T) {
+	ctx := context.Background()
+	spec := dataset.Spec{
+		Name:       "ch",
+		NumImages:  120,
+		TotalBytes: 600_000,
+		NumShards:  6,
+		SizeSigma:  0.3,
+		Seed:       11,
+	}
+	pfsDir, ssdDir := t.TempDir(), t.TempDir()
+
+	seed, err := storage.NewOSFS("seed", pfsDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man, err := dataset.Materialize(ctx, seed, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pfs, err := monarch.NewOSFS("lustre", pfsDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier0, err := monarch.NewOSFS("ssd", ssdDir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := monarch.New(monarch.Config{
+		Levels:        []monarch.Backend{tier0, pfs},
+		Pool:          monarch.NewPool(6),
+		FullFileFetch: true,
+		ChunkSize:     32 << 10, // shards are ~100 KB → a handful of chunks each
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(m.Close)
+	if err := m.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Epoch 1: stream every record through the middleware with CRC
+	// verification while the chunked copies race the reads in the
+	// background. The first read of each shard is a small header read,
+	// so every placement takes the chunked path (OSFS Allocate/WriteAt
+	// on a real directory).
+	recID := 0
+	for _, shard := range man.Shards {
+		r := tfrecord.NewReader(io.NewSectionReader(
+			middlewareReaderAt{m: m, name: shard.Name, ctx: ctx}, 0, shard.Size))
+		for range shard.Records {
+			payload, err := r.Next()
+			if err != nil {
+				t.Fatalf("shard %s: %v", shard.Name, err)
+			}
+			if !bytes.Equal(payload, dataset.Payload(recID, len(payload))) {
+				t.Fatalf("record %d corrupted through middleware", recID)
+			}
+			recID++
+		}
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for !m.Idle() {
+		if time.Now().After(deadline) {
+			t.Fatal("placement did not quiesce")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	st := m.Stats()
+	if st.Placements != int64(spec.NumShards) {
+		t.Fatalf("placements = %d, want %d", st.Placements, spec.NumShards)
+	}
+	// Every shard exceeds one chunk, so chunked placement must have
+	// fanned out more chunk writes than files.
+	if st.ChunkPlacements <= st.Placements {
+		t.Fatalf("chunk placements = %d for %d placements — chunked path not taken",
+			st.ChunkPlacements, st.Placements)
+	}
+	// Partial hits depend on real-disk timing, but the counters must
+	// agree with each other.
+	if (st.PartialHits == 0) != (st.PartialHitBytes == 0) {
+		t.Fatalf("inconsistent partial-hit counters: %d hits, %d bytes",
+			st.PartialHits, st.PartialHitBytes)
+	}
+
+	// The chunk-assembled copies on the SSD directory are byte-identical
+	// to the PFS originals, and epoch 2 serves every shard from tier 0.
+	for _, shard := range man.Shards {
+		want, err := os.ReadFile(filepath.Join(pfsDir, shard.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := os.ReadFile(filepath.Join(ssdDir, shard.Name))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("shard %s differs between tiers after chunked placement", shard.Name)
+		}
+		if lvl, _ := m.LevelOf(shard.Name); lvl != 0 {
+			t.Fatalf("shard %s at level %d after placement", shard.Name, lvl)
+		}
 	}
 }
 

@@ -89,6 +89,109 @@ func BenchmarkReadAtParallel(b *testing.B) {
 	})
 }
 
+// benchPlacement measures end-to-end background placement of a small
+// dataset: trigger every file with a 1-byte read, then wait for the
+// copies to land. chunkSize 0 is the paper's whole-file path; a positive
+// chunkSize exercises the chunked fan-out (BENCH_chunked.json tracks
+// the two against each other).
+func benchPlacement(b *testing.B, chunkSize int64) {
+	ctx := context.Background()
+	const nfiles, fileSize = 16, 1 << 20
+	pfs := storage.NewMemFS("pfs", 0)
+	for i := 0; i < nfiles; i++ {
+		if err := pfs.WriteFile(ctx, fmt.Sprintf("f%04d", i),
+			bytes.Repeat([]byte{byte(i)}, fileSize)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	pfs.SetReadOnly(true)
+	b.SetBytes(nfiles * fileSize)
+	b.ReportAllocs()
+	b.ResetTimer()
+	buf := make([]byte, 1)
+	for i := 0; i < b.N; i++ {
+		gp := pool.NewGoPool(6)
+		m, err := New(Config{
+			Levels:        []storage.Backend{storage.NewMemFS("ssd", 0), pfs},
+			Pool:          gp,
+			FullFileFetch: true,
+			ChunkSize:     chunkSize,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := m.Init(ctx); err != nil {
+			b.Fatal(err)
+		}
+		for f := 0; f < nfiles; f++ {
+			if _, err := m.ReadAt(ctx, fmt.Sprintf("f%04d", f), buf, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		for !m.Idle() {
+			time.Sleep(50 * time.Microsecond)
+		}
+		m.Close()
+	}
+}
+
+func BenchmarkPlacementWholeFile(b *testing.B) { benchPlacement(b, 0) }
+
+func BenchmarkPlacementChunked(b *testing.B) { benchPlacement(b, 256<<10) }
+
+// BenchmarkReadAtMidCopy measures the read path with a chunked
+// placement pinned in flight: every read takes the chunk-bitmap probe
+// (chunksCover) before being served from the upper tier — the per-read
+// cost the mid-copy read-through feature adds.
+func BenchmarkReadAtMidCopy(b *testing.B) {
+	ctx := context.Background()
+	const fileSize, chunk = 256 << 10, 64 << 10
+	content := bytes.Repeat([]byte{7}, fileSize)
+	pfs := storage.NewMemFS("pfs", 0)
+	if err := pfs.WriteFile(ctx, "f", content); err != nil {
+		b.Fatal(err)
+	}
+	pfs.SetReadOnly(true)
+	tier0 := storage.NewMemFS("ssd", 0)
+	gp := pool.NewGoPool(1)
+	m, err := New(Config{
+		Levels:        []storage.Backend{tier0, pfs},
+		Pool:          gp,
+		FullFileFetch: true,
+		ChunkSize:     chunk,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(m.Close)
+	// Hand-arm the mid-copy state: namespace built, entry queued with
+	// every chunk resident, content staged on tier 0. No chunk job runs,
+	// so the placement never resolves and each read exercises the bitmap
+	// scan (a queued entry never re-schedules placement on access).
+	if err := tier0.Allocate(ctx, "f", fileSize); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := tier0.WriteAt(ctx, "f", content, 0); err != nil {
+		b.Fatal(err)
+	}
+	m.meta.populate([]storage.FileInfo{{Name: "f", Size: fileSize}}, 1)
+	e, _ := m.meta.get("f")
+	e.tryQueue()
+	e.beginChunks(0, chunk)
+	for i := 0; i < chunkCount(fileSize, chunk); i++ {
+		e.markChunk(i)
+	}
+	buf := make([]byte, chunk)
+	b.SetBytes(int64(len(buf)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.ReadAt(ctx, "f", buf, int64(i%4)*chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkMetadataLookup isolates the namespace lookup.
 func BenchmarkMetadataLookup(b *testing.B) {
 	m := benchStack(b, 1024, 64)

@@ -73,6 +73,15 @@ type Config struct {
 	// Disabling it (abl-fullfetch) copies only bytes the framework has
 	// already read — i.e. placement degenerates to per-range caching.
 	FullFileFetch bool
+	// ChunkSize, when positive, splits each background placement into
+	// fixed-size chunks fanned out across the pool; the read path then
+	// serves any range whose chunks have already landed from the upper
+	// tier while the rest of the copy is still in flight (mid-copy
+	// read-through). The destination tier must implement
+	// storage.RangeWriter or the placement silently falls back to a
+	// whole-file copy. Zero preserves the paper-faithful whole-file
+	// behaviour.
+	ChunkSize int64
 	// Staging selects placement timing; see StagingMode.
 	Staging StagingMode
 	// Eviction is nil for the paper's no-eviction policy, or an
@@ -121,6 +130,9 @@ func New(cfg Config) (*Monarch, error) {
 	}
 	if cfg.Pool == nil && !cfg.Disabled {
 		return nil, fmt.Errorf("monarch: placement pool required")
+	}
+	if cfg.ChunkSize < 0 {
+		return nil, fmt.Errorf("monarch: negative ChunkSize %d", cfg.ChunkSize)
 	}
 	m := &Monarch{cfg: cfg}
 	for i, b := range cfg.Levels {
@@ -196,6 +208,7 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 	}
 	src := m.source.level
 	lvl := e.currentLevel()
+	partial := false
 	if !m.cfg.Disabled {
 		m.tickProbes()
 		if lvl != src && m.health.isDown(lvl) {
@@ -204,6 +217,15 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 			// one metadata update instead of a doomed attempt per read.
 			m.demote(e, lvl)
 			lvl = src
+		}
+		if lvl == src && m.cfg.ChunkSize > 0 {
+			// Mid-copy read-through: a chunked placement may already
+			// hold every chunk this range touches. Serve it from the
+			// upper tier instead of adding PFS pressure.
+			if plvl, ok := e.chunksCover(off, int64(len(p))); ok && !m.health.isDown(plvl) {
+				lvl = plvl
+				partial = true
+			}
 		}
 	}
 	d := m.levels[lvl]
@@ -230,6 +252,11 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 		return n, rerr
 	}
 	m.stats.served(d.level, int64(n))
+	if partial && d.level != src {
+		m.stats.partialHits.Add(1)
+		m.stats.partialHitBytes.Add(int64(n))
+		m.cfg.Events.emit(Event{Kind: EventPartialHit, File: name, Level: d.level, Bytes: int64(n)})
+	}
 
 	if !m.cfg.Disabled && m.cfg.Staging == StageOnFirstRead {
 		// The §III-B flow: first access triggers placement. If the

@@ -34,6 +34,13 @@ const (
 	// EventTierUp: a recovery probe returned a Down tier to service;
 	// Bytes carries the number of entries made re-placeable.
 	EventTierUp
+	// EventChunkPlaced: one chunk of a chunked placement landed on an
+	// upper tier; Bytes carries the chunk length.
+	EventChunkPlaced
+	// EventPartialHit: a read was served from an upper tier while that
+	// file's chunked placement was still in flight; Bytes carries the
+	// bytes served.
+	EventPartialHit
 )
 
 // String names the kind.
@@ -57,6 +64,10 @@ func (k EventKind) String() string {
 		return "tier-down"
 	case EventTierUp:
 		return "tier-up"
+	case EventChunkPlaced:
+		return "chunk-placed"
+	case EventPartialHit:
+		return "partial-hit"
 	default:
 		return "unknown"
 	}
@@ -94,6 +105,10 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d tier %d down: %v", e.Seq, e.Level, e.Err)
 	case EventTierUp:
 		return fmt.Sprintf("#%d tier %d back in service (%d entries re-placeable)", e.Seq, e.Level, e.Bytes)
+	case EventChunkPlaced:
+		return fmt.Sprintf("#%d chunk of %s placed on level %d (%d bytes)", e.Seq, e.File, e.Level, e.Bytes)
+	case EventPartialHit:
+		return fmt.Sprintf("#%d read of %s served mid-copy from level %d (%d bytes)", e.Seq, e.File, e.Level, e.Bytes)
 	default:
 		return fmt.Sprintf("#%d %s %s", e.Seq, e.Kind, e.File)
 	}

@@ -32,7 +32,19 @@ const (
 
 // fileEntry is the paper's "file info": size, name and current storage
 // tier, guarded for concurrent access from the framework's reader
-// threads and the placement pool.
+// threads and the placement pool. Beyond the paper it carries a
+// chunk-presence bitmap while a chunked placement is in flight, so the
+// read path can serve already-copied ranges from the upper tier
+// mid-copy.
+//
+// Bitmap invariants:
+//   - chunkBits is non-nil exactly between beginChunks and
+//     markPlaced/clearChunks; outside that window reads never consult it;
+//   - bit i covers byte range [i*chunkSize, min((i+1)*chunkSize, size));
+//   - bits only go 0→1 while armed (markChunk), so a range observed
+//     covered stays covered until the whole placement resolves;
+//   - chunksLeft is the count of zero bits; it reaches 0 exactly when
+//     every chunk landed, at which point the owner calls markPlaced.
 type fileEntry struct {
 	name string
 	size int64
@@ -41,6 +53,13 @@ type fileEntry struct {
 	level   int
 	state   placementState
 	retries int // placement attempts beyond the first (observability)
+
+	// Chunked-placement residency (armed only while a chunked copy is
+	// in flight; nil in whole-file mode).
+	chunkSize  int64
+	chunkLevel int
+	chunkBits  []uint64
+	chunksLeft int
 }
 
 func (e *fileEntry) currentLevel() int {
@@ -67,12 +86,98 @@ func (e *fileEntry) tryQueue() bool {
 	return true
 }
 
-// markPlaced records a successful placement onto level.
+// markPlaced records a successful placement onto level and disarms any
+// chunk bitmap: once placed, the normal tier routing serves the file.
 func (e *fileEntry) markPlaced(level int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.level = level
 	e.state = statePlaced
+	e.chunkBits = nil
+	e.chunkSize = 0
+	e.chunksLeft = 0
+}
+
+// chunkCount returns how many chunk-size pieces cover size bytes.
+func chunkCount(size, chunk int64) int {
+	if size <= 0 || chunk <= 0 {
+		return 0
+	}
+	return int((size + chunk - 1) / chunk)
+}
+
+// beginChunks arms the chunk-presence bitmap for a chunked copy into
+// level, discarding any prior partial state (a retried placement starts
+// over).
+func (e *fileEntry) beginChunks(level int, chunk int64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	n := chunkCount(e.size, chunk)
+	e.chunkSize = chunk
+	e.chunkLevel = level
+	e.chunkBits = make([]uint64, (n+63)/64)
+	e.chunksLeft = n
+}
+
+// markChunk records chunk i resident; it reports whether i was the last
+// missing chunk, i.e. the copy is now complete. Marking an unarmed,
+// out-of-range, or already-set chunk is a no-op — the range check must
+// use the real chunk count, not the bitmap's word capacity, or phantom
+// indices in the last word's slack would drive chunksLeft negative and
+// complete the placement early.
+func (e *fileEntry) markChunk(i int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.chunkBits == nil || i < 0 || i >= chunkCount(e.size, e.chunkSize) {
+		return false
+	}
+	w, b := i/64, uint(i%64)
+	if e.chunkBits[w]&(1<<b) != 0 {
+		return false
+	}
+	e.chunkBits[w] |= 1 << b
+	e.chunksLeft--
+	return e.chunksLeft == 0
+}
+
+// clearChunks discards partial-copy state after a failed or cancelled
+// chunked placement; the entry falls back to source-only residency.
+func (e *fileEntry) clearChunks() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.chunkBits = nil
+	e.chunkSize = 0
+	e.chunksLeft = 0
+}
+
+// chunksCover reports whether every chunk overlapping [off, off+n)
+// (clamped to the file size) is already resident on the tier a chunked
+// placement is copying into, returning that level. It only answers
+// while the placement is in flight (stateQueued with an armed bitmap);
+// empty ranges are routed to the source like today.
+func (e *fileEntry) chunksCover(off, n int64) (int, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.chunkBits == nil || e.chunkSize <= 0 || e.state != stateQueued {
+		return 0, false
+	}
+	if off < 0 || off >= e.size {
+		return 0, false
+	}
+	end := off + n
+	if end > e.size {
+		end = e.size
+	}
+	if end <= off {
+		return 0, false
+	}
+	for i := off / e.chunkSize; i*e.chunkSize < end; i++ {
+		w, b := i/64, uint(i%64)
+		if e.chunkBits[w]&(1<<b) == 0 {
+			return 0, false
+		}
+	}
+	return e.chunkLevel, true
 }
 
 // markUnplaceable records that no tier had space.
@@ -80,6 +185,9 @@ func (e *fileEntry) markUnplaceable() {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.state = stateUnplaceable
+	e.chunkBits = nil
+	e.chunkSize = 0
+	e.chunksLeft = 0
 }
 
 // markEvicted sends the file back to the source level so a later access
@@ -114,6 +222,9 @@ func (e *fileEntry) cancelQueued() {
 	if e.state == stateQueued {
 		e.state = stateSource
 	}
+	e.chunkBits = nil
+	e.chunkSize = 0
+	e.chunksLeft = 0
 }
 
 // noteRetry counts one placement retry on the entry.

@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"errors"
+	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"monarch/internal/pool"
@@ -46,15 +48,17 @@ func (pl *placer) onAccess(e *fileEntry, full []byte) {
 	if !e.tryQueue() {
 		return
 	}
-	if !pl.submit(func(ctx context.Context) { pl.place(ctx, e, full, 1) }) {
+	if !pl.submit(func(ctx context.Context) { pl.place(ctx, e, full, 1, true) }) {
 		e.markUnplaceable() // pool closed: no placement for this job
 	}
 }
 
 // place copies e into the first healthy tier with room; attempt is
-// 1-based. The paper's policy never evicts; the eviction ablations hook
-// in through tryMakeRoom.
-func (pl *placer) place(ctx context.Context, e *fileEntry, full []byte, attempt int) {
+// 1-based. allowChunks permits the chunked fan-out (pre-staging keeps
+// it off: it must finish synchronously before training starts). The
+// paper's policy never evicts; the eviction ablations hook in through
+// tryMakeRoom.
+func (pl *placer) place(ctx context.Context, e *fileEntry, full []byte, attempt int, allowChunks bool) {
 	m := pl.m
 	if ctx.Err() != nil {
 		e.cancelQueued() // shut down mid-queue: not a placement failure
@@ -69,7 +73,7 @@ func (pl *placer) place(ctx context.Context, e *fileEntry, full []byte, attempt 
 				continue
 			}
 		}
-		err := pl.copyInto(ctx, d, e, full)
+		err := pl.copyInto(ctx, d, e, full, attempt, allowChunks)
 		if err == nil {
 			m.health.recordWriteOK(d.level)
 			e.markPlaced(d.level)
@@ -79,6 +83,11 @@ func (pl *placer) place(ctx context.Context, e *fileEntry, full []byte, attempt 
 			if m.cfg.Eviction != nil {
 				m.cfg.Eviction.OnPlaced(e.name, d.level)
 			}
+			return
+		}
+		if errors.Is(err, errChunksDelegated) {
+			// A chunk job now owns this placement; it finalises the
+			// entry, stats and events when the last chunk resolves.
 			return
 		}
 		if errors.Is(err, storage.ErrNoSpace) {
@@ -100,7 +109,7 @@ func (pl *placer) place(ctx context.Context, e *fileEntry, full []byte, attempt 
 		if m.health.recordWriteError(d.level) {
 			m.tierDown(d.level, err)
 		}
-		if pl.retry(e, full, attempt, d.level, err) {
+		if pl.retry(e, full, attempt, d.level, err, allowChunks) {
 			return
 		}
 		m.stats.placementErrors.Add(1)
@@ -116,7 +125,7 @@ func (pl *placer) place(ctx context.Context, e *fileEntry, full []byte, attempt 
 // retry re-queues a transiently failed placement with backoff; it
 // reports whether the failure was handled (a retry was scheduled, or
 // the pool closed while scheduling it).
-func (pl *placer) retry(e *fileEntry, full []byte, attempt, level int, err error) bool {
+func (pl *placer) retry(e *fileEntry, full []byte, attempt, level int, err error, allowChunks bool) bool {
 	m := pl.m
 	r := m.cfg.Retry
 	if !r.enabled() || attempt >= r.MaxAttempts || !r.transient(err) {
@@ -128,7 +137,7 @@ func (pl *placer) retry(e *fileEntry, full []byte, attempt, level int, err error
 	next := attempt + 1
 	if !pl.submit(func(ctx context.Context) {
 		r.wait(ctx, attempt)
-		pl.place(ctx, e, full, next)
+		pl.place(ctx, e, full, next, allowChunks)
 	}) {
 		e.markUnplaceable() // pool closed between failure and retry
 	}
@@ -136,9 +145,11 @@ func (pl *placer) retry(e *fileEntry, full []byte, attempt, level int, err error
 }
 
 // copyInto moves the file content onto level d. Preference order:
-// reuse the foreground's full read, then the backend's whole-file copy
-// fast path, then an explicit read-modify-write through this process.
-func (pl *placer) copyInto(ctx context.Context, d *driver, e *fileEntry, full []byte) error {
+// reuse the foreground's full read, then the chunked fan-out (when
+// configured and the tier supports range writes), then the backend's
+// whole-file copy fast path, then an explicit read-modify-write through
+// this process.
+func (pl *placer) copyInto(ctx context.Context, d *driver, e *fileEntry, full []byte, attempt int, allowChunks bool) error {
 	if err := ctx.Err(); err != nil {
 		return err
 	}
@@ -154,6 +165,16 @@ func (pl *placer) copyInto(ctx context.Context, d *driver, e *fileEntry, full []
 		// read in full, so a partial first read places nothing.
 		return errFetchDisabled
 	default:
+		if allowChunks && m.cfg.ChunkSize > 0 && e.size > 0 {
+			if rw, ok := d.backend.(storage.RangeWriter); ok {
+				err := pl.placeChunked(ctx, d, rw, e, attempt)
+				if !errors.Is(err, errors.ErrUnsupported) {
+					return err
+				}
+				// An instrumentation wrapper advertised range writes
+				// its inner backend lacks: fall back to whole-file.
+			}
+		}
 		if cp, ok := d.backend.(storage.Copier); ok {
 			return cp.CopyFrom(ctx, src, e.name)
 		}
@@ -166,6 +187,187 @@ func (pl *placer) copyInto(ctx context.Context, d *driver, e *fileEntry, full []
 		}
 		return d.backend.WriteFile(ctx, e.name, data)
 	}
+}
+
+// errChunksDelegated signals that a chunk job has taken ownership of
+// the placement: the calling place() must return without touching the
+// entry, because the job finalises success/failure asynchronously.
+var errChunksDelegated = errors.New("monarch: chunked placement in flight")
+
+// placeChunked allocates e at full size on d and fans its chunks out
+// across the pool: min(pool workers, chunk count) claim-loop workers
+// each pull the next unclaimed chunk, copy it, and flip its presence
+// bit — so the foreground can read completed ranges mid-copy. The
+// calling task itself becomes one of the workers (placement never
+// deadlocks on a saturated pool), and whichever worker exits last
+// finalises the placement. Returns errChunksDelegated once the job is
+// running, or the Allocate error (ErrNoSpace routes the caller to the
+// next level; errors.ErrUnsupported routes to the whole-file path).
+func (pl *placer) placeChunked(ctx context.Context, d *driver, rw storage.RangeWriter, e *fileEntry, attempt int) error {
+	if err := rw.Allocate(ctx, e.name, e.size); err != nil {
+		return err
+	}
+	chunk := pl.m.cfg.ChunkSize
+	e.beginChunks(d.level, chunk)
+	j := &chunkJob{
+		pl:      pl,
+		d:       d,
+		rw:      rw,
+		e:       e,
+		chunk:   chunk,
+		nchunks: int64(chunkCount(e.size, chunk)),
+		attempt: attempt,
+	}
+	fan := int64(pl.m.cfg.Pool.Workers())
+	if fan > j.nchunks {
+		fan = j.nchunks
+	}
+	j.workers.Store(1) // the calling task is worker zero
+	for i := int64(1); i < fan; i++ {
+		j.workers.Add(1)
+		if !pl.submit(j.run) {
+			j.workers.Add(-1) // pool closed: run with fewer workers
+		}
+	}
+	j.run(ctx)
+	return errChunksDelegated
+}
+
+// chunkJob is one file's in-flight chunked placement.
+type chunkJob struct {
+	pl      *placer
+	d       *driver
+	rw      storage.RangeWriter
+	e       *fileEntry
+	chunk   int64
+	nchunks int64
+	attempt int
+
+	next    atomic.Int64 // next chunk index to claim
+	done    atomic.Int64 // chunks copied successfully
+	workers atomic.Int64 // live claim-loop workers
+
+	mu        sync.Mutex
+	err       error // first operational failure
+	cancelled bool
+}
+
+func (j *chunkJob) fail(err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err == nil {
+		j.err = err
+	}
+}
+
+func (j *chunkJob) failed() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err != nil
+}
+
+func (j *chunkJob) cancel() {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.cancelled = true
+}
+
+// run is one claim-loop worker: it pulls unclaimed chunk indices until
+// they run out, the job fails, or the context is cancelled. The last
+// worker to exit finalises the placement.
+func (j *chunkJob) run(ctx context.Context) {
+	buf := make([]byte, j.chunk)
+	for !j.failed() {
+		if ctx.Err() != nil {
+			j.cancel()
+			break
+		}
+		i := j.next.Add(1) - 1
+		if i >= j.nchunks {
+			break
+		}
+		if err := j.copyChunk(ctx, i, buf); err != nil {
+			if ctx.Err() != nil || errors.Is(err, context.Canceled) {
+				j.cancel()
+			} else {
+				j.fail(err)
+			}
+			break
+		}
+	}
+	if j.workers.Add(-1) == 0 {
+		j.finish(ctx)
+	}
+}
+
+// copyChunk moves chunk i from the source into the destination tier
+// and, on success, flips its presence bit so the read path can serve it
+// immediately.
+func (j *chunkJob) copyChunk(ctx context.Context, i int64, buf []byte) error {
+	m := j.pl.m
+	off := i * j.chunk
+	want := j.e.size - off
+	if want > j.chunk {
+		want = j.chunk
+	}
+	n, err := m.source.backend.ReadAt(ctx, j.e.name, buf[:want], off)
+	if err != nil {
+		return err
+	}
+	if int64(n) < want {
+		return fmt.Errorf("monarch: chunk %d of %q: source truncated at %d/%d bytes",
+			i, j.e.name, off+int64(n), j.e.size)
+	}
+	if _, err := j.rw.WriteAt(ctx, j.e.name, buf[:want], off); err != nil {
+		return err
+	}
+	j.e.markChunk(int(i))
+	j.done.Add(1)
+	m.stats.chunkPlacements.Add(1)
+	m.cfg.Events.emit(Event{Kind: EventChunkPlaced, File: j.e.name, Level: j.d.level, Bytes: want})
+	return nil
+}
+
+// finish resolves the whole placement once the last worker exits:
+// success mirrors the whole-file bookkeeping; a failed chunk removes
+// the partial copy — demoting only this file — and classifies the
+// error through the same retry/breaker machinery as whole-file
+// placements; cancellation returns the entry to Source untouched.
+func (j *chunkJob) finish(ctx context.Context) {
+	m := j.pl.m
+	e, d := j.e, j.d
+	if j.done.Load() == j.nchunks {
+		m.health.recordWriteOK(d.level)
+		e.markPlaced(d.level)
+		m.stats.placements.Add(1)
+		m.stats.placedBytes.Add(e.size)
+		m.cfg.Events.emit(Event{Kind: EventPlaced, File: e.name, Level: d.level, Bytes: e.size})
+		if m.cfg.Eviction != nil {
+			m.cfg.Eviction.OnPlaced(e.name, d.level)
+		}
+		return
+	}
+	e.clearChunks()
+	j.mu.Lock()
+	err, cancelled := j.err, j.cancelled
+	j.mu.Unlock()
+	if err == nil && cancelled {
+		e.cancelQueued() // shutdown mid-copy: not a placement failure
+		return
+	}
+	// A chunk failed: drop the partial copy so the tier never serves a
+	// torn file, then feed the breaker and retry or give up — only this
+	// file is affected unless the breaker trips the whole tier.
+	_ = d.backend.Remove(ctx, e.name)
+	if m.health.recordWriteError(d.level) {
+		m.tierDown(d.level, err)
+	}
+	if j.pl.retry(e, nil, j.attempt, d.level, err, true) {
+		return
+	}
+	m.stats.placementErrors.Add(1)
+	m.cfg.Events.emit(Event{Kind: EventFailed, File: e.name, Level: d.level, Err: err})
+	e.markUnplaceable()
 }
 
 // errFetchDisabled marks placements skipped by the abl-fullfetch
@@ -214,13 +416,18 @@ func (pl *placer) evict(ctx context.Context, d *driver, name string) error {
 // preStage implements StagePreTraining: synchronously walk the
 // namespace in name order, placing every file until the upper tiers
 // fill. It runs on the caller (no thread pool) because the paper's
-// option i happens before training starts.
+// option i happens before training starts; for the same reason the
+// chunked fan-out is disabled here — every copy must have completed by
+// the time preStage returns. Cancelling the context aborts the walk.
 func (m *Monarch) preStage(ctx context.Context) error {
 	for _, e := range m.meta.sortedEntries() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 		if !e.tryQueue() {
 			continue
 		}
-		m.placer.place(ctx, e, nil, 1)
+		m.placer.place(ctx, e, nil, 1, false)
 	}
 	return nil
 }

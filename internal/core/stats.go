@@ -22,6 +22,15 @@ type Stats struct {
 	// FullReadReuses counts placements satisfied from content the
 	// framework had already read in full (§III-B).
 	FullReadReuses int64
+	// ChunkPlacements counts individual chunks written by chunked
+	// placements (Config.ChunkSize > 0).
+	ChunkPlacements int64
+	// PartialHits counts foreground reads served from an upper tier
+	// while that file's chunked placement was still in flight —
+	// ranges whose chunks had already landed. PartialHitBytes is the
+	// bytes they amount to.
+	PartialHits     int64
+	PartialHitBytes int64
 	// Fallbacks counts foreground reads re-served from the PFS after an
 	// upper tier failed.
 	Fallbacks int64
@@ -69,6 +78,9 @@ type statsCollector struct {
 	placementSkips  atomic.Int64
 	placementErrors atomic.Int64
 	fullReadReuses  atomic.Int64
+	chunkPlacements atomic.Int64
+	partialHits     atomic.Int64
+	partialHitBytes atomic.Int64
 	fallbacks       atomic.Int64
 	evictions       atomic.Int64
 	demotions       atomic.Int64
@@ -97,6 +109,9 @@ func (c *statsCollector) snapshot(inFlight int) Stats {
 		PlacementSkips:   c.placementSkips.Load(),
 		PlacementErrors:  c.placementErrors.Load(),
 		FullReadReuses:   c.fullReadReuses.Load(),
+		ChunkPlacements:  c.chunkPlacements.Load(),
+		PartialHits:      c.partialHits.Load(),
+		PartialHitBytes:  c.partialHitBytes.Load(),
 		Fallbacks:        c.fallbacks.Load(),
 		Evictions:        c.evictions.Load(),
 		Demotions:        c.demotions.Load(),

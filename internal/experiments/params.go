@@ -49,6 +49,11 @@ type Params struct {
 	PlacementThreads int
 	// CopyChunk is the background fetch request size.
 	CopyChunk int64
+	// PlacementChunk, when positive, enables MONARCH's chunked
+	// placement (core.Config.ChunkSize): background copies land
+	// chunk-by-chunk and reads of already-copied ranges hit the fast
+	// tier mid-copy. 0 keeps the paper-faithful whole-file copies.
+	PlacementChunk int64
 	// FullFileFetch toggles the §III-A optimisation (abl-fullfetch).
 	FullFileFetch bool
 	// PreStage switches MONARCH to placement option i (abl-staging).

@@ -156,6 +156,35 @@ func (s *Store) reserve(name string, size int64) error {
 	return nil
 }
 
+// Allocate implements storage.RangeWriter: it reserves quota at the
+// final size and charges one metadata op — creating the sparse file is
+// cheap; the data transfer is charged per WriteAt chunk.
+func (s *Store) Allocate(ctx context.Context, name string, size int64) error {
+	p := sim.MustProc(ctx)
+	s.dev.MetaOp(p, 1)
+	return s.reserve(name, size)
+}
+
+// WriteAt implements storage.RangeWriter, charging the device for the
+// chunk transfer. Quota was reserved at Allocate time, so only the
+// range bound is checked.
+func (s *Store) WriteAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	proc := sim.MustProc(ctx)
+	if s.readOnly {
+		return 0, fmt.Errorf("%s: write %q: %w", s.name, name, storage.ErrReadOnly)
+	}
+	size, ok := s.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%s: write %q: %w", s.name, name, storage.ErrNotExist)
+	}
+	if off < 0 || off+int64(len(p)) > size {
+		return 0, fmt.Errorf("%s: write %q: range [%d,%d) past allocated size %d",
+			s.name, name, off, off+int64(len(p)), size)
+	}
+	s.dev.Write(proc, int64(len(p)))
+	return len(p), nil
+}
+
 // Remove implements storage.Backend.
 func (s *Store) Remove(ctx context.Context, name string) error {
 	proc := sim.MustProc(ctx)

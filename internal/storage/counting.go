@@ -2,6 +2,8 @@ package storage
 
 import (
 	"context"
+	"errors"
+	"fmt"
 	"sync/atomic"
 )
 
@@ -134,4 +136,27 @@ func (c *Counting) WriteFile(ctx context.Context, name string, data []byte) erro
 func (c *Counting) Remove(ctx context.Context, name string) error {
 	c.ops[OpRemove].Add(1)
 	return c.Backend.Remove(ctx, name)
+}
+
+// Allocate implements RangeWriter when the wrapped backend does; the
+// allocation counts as a write op (no bytes moved yet).
+func (c *Counting) Allocate(ctx context.Context, name string, size int64) error {
+	rw, ok := c.Backend.(RangeWriter)
+	if !ok {
+		return fmt.Errorf("%s: allocate %q: %w", c.Backend.Name(), name, errors.ErrUnsupported)
+	}
+	c.ops[OpWrite].Add(1)
+	return rw.Allocate(ctx, name, size)
+}
+
+// WriteAt implements RangeWriter when the wrapped backend does.
+func (c *Counting) WriteAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	rw, ok := c.Backend.(RangeWriter)
+	if !ok {
+		return 0, fmt.Errorf("%s: write %q: %w", c.Backend.Name(), name, errors.ErrUnsupported)
+	}
+	c.ops[OpWrite].Add(1)
+	n, err := rw.WriteAt(ctx, name, p, off)
+	c.bytesWritten.Add(int64(n))
+	return n, err
 }

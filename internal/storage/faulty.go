@@ -3,6 +3,7 @@ package storage
 import (
 	"context"
 	"errors"
+	"fmt"
 	"math/rand"
 	"sync"
 )
@@ -170,6 +171,35 @@ func (f *Faulty) WriteFile(ctx context.Context, name string, data []byte) error 
 		return err
 	}
 	return f.Backend.WriteFile(ctx, name, data)
+}
+
+// Allocate implements RangeWriter when the wrapped backend does; the
+// allocation counts as a write op for fault purposes. Wrapping a
+// backend without range support yields errors.ErrUnsupported so
+// chunked placement can fall back to whole-file copies.
+func (f *Faulty) Allocate(ctx context.Context, name string, size int64) error {
+	rw, ok := f.Backend.(RangeWriter)
+	if !ok {
+		return fmt.Errorf("%s: allocate %q: %w", f.Backend.Name(), name, errors.ErrUnsupported)
+	}
+	if err := f.writeFault(); err != nil {
+		return err
+	}
+	return rw.Allocate(ctx, name, size)
+}
+
+// WriteAt implements RangeWriter when the wrapped backend does; each
+// chunk write goes through the write-fault check, so tests can fail a
+// single chunk of a multi-chunk placement.
+func (f *Faulty) WriteAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	rw, ok := f.Backend.(RangeWriter)
+	if !ok {
+		return 0, fmt.Errorf("%s: write %q: %w", f.Backend.Name(), name, errors.ErrUnsupported)
+	}
+	if err := f.writeFault(); err != nil {
+		return 0, err
+	}
+	return rw.WriteAt(ctx, name, p, off)
 }
 
 // Stat implements Backend; like every other read op it goes through the

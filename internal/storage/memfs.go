@@ -140,6 +140,62 @@ func (m *MemFS) WriteFile(ctx context.Context, name string, data []byte) error {
 	return nil
 }
 
+// Allocate implements RangeWriter: it reserves quota for name at size
+// bytes and creates it zero-filled, ready for concurrent WriteAt calls.
+func (m *MemFS) Allocate(ctx context.Context, name string, size int64) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	if size < 0 {
+		return fmt.Errorf("%s: allocate %q: negative size %d", m.name, name, size)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ro {
+		return fmt.Errorf("%s: allocate %q: %w", m.name, name, ErrReadOnly)
+	}
+	old := int64(len(m.files[name]))
+	newUsed := m.used - old + size
+	if m.capacity > 0 && newUsed > m.capacity {
+		return fmt.Errorf("%s: allocate %q (%d bytes, %d free): %w",
+			m.name, name, size, m.capacity-m.used, ErrNoSpace)
+	}
+	m.files[name] = make([]byte, size)
+	m.used = newUsed
+	return nil
+}
+
+// WriteAt implements RangeWriter. Writes must stay within the allocated
+// size.
+func (m *MemFS) WriteAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
+	if err := ValidateName(name); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("%s: write %q: negative offset %d", m.name, name, off)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.ro {
+		return 0, fmt.Errorf("%s: write %q: %w", m.name, name, ErrReadOnly)
+	}
+	data, ok := m.files[name]
+	if !ok {
+		return 0, fmt.Errorf("%s: write %q: %w", m.name, name, ErrNotExist)
+	}
+	if off+int64(len(p)) > int64(len(data)) {
+		return 0, fmt.Errorf("%s: write %q: range [%d,%d) past allocated size %d",
+			m.name, name, off, off+int64(len(p)), len(data))
+	}
+	return copy(data[off:], p), nil
+}
+
 // Remove implements Backend.
 func (m *MemFS) Remove(ctx context.Context, name string) error {
 	if err := ctxErr(ctx); err != nil {

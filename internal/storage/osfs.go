@@ -219,6 +219,95 @@ func (o *OSFS) WriteFile(ctx context.Context, name string, data []byte) error {
 	return nil
 }
 
+// Allocate implements RangeWriter: it reserves quota for name at size
+// bytes and creates it as a sparse file of that length, ready for
+// concurrent WriteAt calls. Unlike WriteFile there is no temp-rename
+// dance — chunked placement relies on readers seeing written ranges
+// mid-copy, and MONARCH only reads ranges it has already written.
+func (o *OSFS) Allocate(ctx context.Context, name string, size int64) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	if size < 0 {
+		return fmt.Errorf("%s: allocate %q: negative size %d", o.name, name, size)
+	}
+	path, err := o.path(name)
+	if err != nil {
+		return err
+	}
+
+	o.mu.Lock()
+	var old int64
+	if fi, err := os.Stat(path); err == nil {
+		old = fi.Size()
+	}
+	newUsed := o.used - old + size
+	if o.capacity > 0 && newUsed > o.capacity {
+		o.mu.Unlock()
+		return fmt.Errorf("%s: allocate %q (%d bytes, %d free): %w",
+			o.name, name, size, o.capacity-o.used, ErrNoSpace)
+	}
+	o.used = newUsed
+	o.mu.Unlock()
+
+	undo := func() {
+		o.mu.Lock()
+		o.used = o.used - size + old
+		o.mu.Unlock()
+	}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		undo()
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		undo()
+		return err
+	}
+	if err := f.Truncate(size); err != nil {
+		f.Close()
+		undo()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		undo()
+		return err
+	}
+	return nil
+}
+
+// WriteAt implements RangeWriter. The file must have been Allocated and
+// the range must stay within the allocated size.
+func (o *OSFS) WriteAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	if err := ctxErr(ctx); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("%s: write %q: negative offset %d", o.name, name, off)
+	}
+	path, err := o.path(name)
+	if err != nil {
+		return 0, err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0o644)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, fmt.Errorf("%s: write %q: %w", o.name, name, ErrNotExist)
+	}
+	if err != nil {
+		return 0, err
+	}
+	defer f.Close()
+	fi, err := f.Stat()
+	if err != nil {
+		return 0, err
+	}
+	if off+int64(len(p)) > fi.Size() {
+		return 0, fmt.Errorf("%s: write %q: range [%d,%d) past allocated size %d",
+			o.name, name, off, off+int64(len(p)), fi.Size())
+	}
+	return f.WriteAt(p, off)
+}
+
 // Remove implements Backend.
 func (o *OSFS) Remove(ctx context.Context, name string) error {
 	if err := ctxErr(ctx); err != nil {

@@ -61,6 +61,28 @@ type Backend interface {
 	Used() int64
 }
 
+// RangeWriter is an optional Backend extension enabling chunked
+// placement: a file is Allocated once at its final size (reserving
+// quota and creating the name with unspecified contents), then filled
+// by concurrent WriteAt calls. Readers may read any range that has
+// already been written while other ranges are still in flight — this
+// is what lets MONARCH serve partial hits mid-copy.
+//
+// Instrumentation wrappers (Faulty, Counting) forward these methods to
+// the wrapped backend and return an error satisfying
+// errors.Is(err, errors.ErrUnsupported) when it lacks them, so callers
+// can fall back to whole-file WriteFile.
+type RangeWriter interface {
+	// Allocate reserves quota for name at size bytes and creates (or
+	// replaces) it with unspecified contents. Returns ErrNoSpace when
+	// the quota cannot accommodate the file.
+	Allocate(ctx context.Context, name string, size int64) error
+	// WriteAt writes len(p) bytes at offset off into a previously
+	// Allocated file. Writes must stay within the allocated size; the
+	// backend rejects writes past it so quota accounting stays exact.
+	WriteAt(ctx context.Context, name string, p []byte, off int64) (int, error)
+}
+
 // Copier is an optional Backend extension: a whole-file copy fast path.
 // MONARCH's placement handler prefers it when the destination tier
 // supports it — simulated stores use it to move files without

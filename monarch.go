@@ -80,9 +80,11 @@ const (
 	EventEvicted  = core.EventEvicted
 	EventFallback = core.EventFallback
 	EventDemoted  = core.EventDemoted
-	EventRetried  = core.EventRetried
-	EventTierDown = core.EventTierDown
-	EventTierUp   = core.EventTierUp
+	EventRetried     = core.EventRetried
+	EventTierDown    = core.EventTierDown
+	EventTierUp      = core.EventTierUp
+	EventChunkPlaced = core.EventChunkPlaced
+	EventPartialHit  = core.EventPartialHit
 )
 
 // Tier circuit-breaker states.
@@ -128,6 +130,11 @@ type (
 	OSFS = storage.OSFS
 	// Counting wraps a backend with operation/byte counters.
 	Counting = storage.Counting
+	// RangeWriter is the optional backend extension chunked placement
+	// needs (Config.ChunkSize): Allocate a file at its final size, then
+	// fill it with concurrent WriteAt calls. MemFS and OSFS implement
+	// it; tiers without it fall back to whole-file copies.
+	RangeWriter = storage.RangeWriter
 )
 
 // Backend sentinel errors.
