@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover bench bench-all repro repro-full examples fuzz clean
+.PHONY: all build test race vet cover bench bench-all bench-obs repro repro-full examples fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -12,18 +12,20 @@ build:
 vet:
 	$(GO) vet ./...
 
-# The default test run vets first, then includes a short-mode race pass
-# over the concurrency-heavy packages, so data races in the
+# The default test run vets first, includes a short-mode race pass over
+# the concurrency-heavy packages (so data races in the
 # read/placement/fault paths fail fast without the cost of racing the
-# full experiment sweep.
+# full experiment sweep), and finishes with a brief fuzz smoke over the
+# committed corpora.
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race -short ./internal/core/ ./internal/pool/ ./internal/storage/
+	$(GO) test -race -short ./internal/core/ ./internal/pool/ ./internal/storage/ ./internal/obs/
+	$(MAKE) fuzz-smoke
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/pool/... ./internal/storage/... \
-		./internal/sim/... ./internal/simstore/... .
+		./internal/obs/... ./internal/sim/... ./internal/simstore/... .
 
 cover:
 	$(GO) test -cover ./internal/... .
@@ -37,6 +39,15 @@ bench:
 # One bench per paper table/figure plus package micro-benchmarks.
 bench-all:
 	$(GO) test -bench=. -benchmem ./...
+
+# Observability overhead guard: the instrumented mid-copy read path vs
+# its baseline, with the run's metrics snapshot embedded. The budget is
+# documented in DESIGN.md §8: instrumented ≤5% over baseline.
+bench-obs:
+	MONARCH_METRICS_OUT=$(CURDIR)/.bench-metrics.json \
+		$(GO) test -bench='ReadAtMidCopy|ReadAtInstrumented' -benchmem -count=1 ./internal/core/ \
+		| $(GO) run ./cmd/monarch-benchjson -o BENCH_obs.json -metrics .bench-metrics.json
+	rm -f .bench-metrics.json
 
 # Regenerate every figure/table at the default reduced scale.
 repro:
@@ -59,5 +70,13 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadAt -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzNamespace -fuzztime=30s ./internal/core/
 
+# A 10-second pass per fuzz target — enough to replay the committed
+# corpus and shake out shallow regressions on every `make test`.
+fuzz-smoke:
+	$(GO) test -run='^$$' -fuzz=FuzzReader -fuzztime=10s ./internal/tfrecord/
+	$(GO) test -run='^$$' -fuzz=FuzzReader -fuzztime=10s ./internal/recordio/
+	$(GO) test -run='^$$' -fuzz=FuzzReadAt -fuzztime=10s ./internal/core/
+	$(GO) test -run='^$$' -fuzz=FuzzNamespace -fuzztime=10s ./internal/core/
+
 clean:
-	rm -f test_output.txt bench_output.txt
+	rm -f test_output.txt bench_output.txt .bench-metrics.json

@@ -9,6 +9,11 @@
 // Usage:
 //
 //	go test -bench=. -benchmem ./internal/core/ | monarch-benchjson -o BENCH_chunked.json
+//
+// With -metrics, a metrics snapshot file (JSON, as written by the
+// instrumented benchmarks via MONARCH_METRICS_OUT or fetched from a
+// /metrics.json endpoint) is validated and embedded in the document, so
+// a bench baseline carries the counters behind its numbers.
 package main
 
 import (
@@ -19,6 +24,8 @@ import (
 	"os"
 	"strconv"
 	"strings"
+
+	"monarch/internal/obs"
 )
 
 // Result is one benchmark line.
@@ -32,17 +39,20 @@ type Result struct {
 }
 
 // Document is the file layout: the run's environment header plus every
-// benchmark result in run order.
+// benchmark result in run order, optionally with the metrics snapshot
+// the run produced.
 type Document struct {
-	Goos    string   `json:"goos,omitempty"`
-	Goarch  string   `json:"goarch,omitempty"`
-	Pkg     string   `json:"pkg,omitempty"`
-	CPU     string   `json:"cpu,omitempty"`
-	Results []Result `json:"results"`
+	Goos    string        `json:"goos,omitempty"`
+	Goarch  string        `json:"goarch,omitempty"`
+	Pkg     string        `json:"pkg,omitempty"`
+	CPU     string        `json:"cpu,omitempty"`
+	Results []Result      `json:"results"`
+	Metrics *obs.Snapshot `json:"metrics,omitempty"`
 }
 
 func main() {
 	out := flag.String("o", "", "write parsed results to this JSON file (required)")
+	metrics := flag.String("metrics", "", "embed this metrics snapshot JSON file in the document")
 	flag.Parse()
 	if *out == "" {
 		fmt.Fprintln(os.Stderr, "monarch-benchjson: -o file required")
@@ -77,6 +87,21 @@ func main() {
 	if len(doc.Results) == 0 {
 		fmt.Fprintln(os.Stderr, "monarch-benchjson: no benchmark lines found")
 		os.Exit(1)
+	}
+	if *metrics != "" {
+		// Read after stdin is drained: the snapshot file is written by
+		// the benchmark process feeding the pipe.
+		raw, err := os.ReadFile(*metrics)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "monarch-benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		var snap obs.Snapshot
+		if err := json.Unmarshal(raw, &snap); err != nil || len(snap.Metrics) == 0 {
+			fmt.Fprintf(os.Stderr, "monarch-benchjson: %s is not a metrics snapshot (err=%v)\n", *metrics, err)
+			os.Exit(1)
+		}
+		doc.Metrics = &snap
 	}
 	data, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -8,15 +8,24 @@
 //	monarch-inspect recordio <file>   # index an MXNet RecordIO shard
 //	monarch-inspect example <file>    # decode the first record's tf.Example
 //	monarch-inspect dataset <dir>     # summarise a shard directory
+//	monarch-inspect metrics <path|url> # summarise a metrics snapshot
+//
+// The metrics subcommand accepts either a JSON snapshot file (as
+// embedded in BENCH_obs.json or fetched from /metrics.json) or the base
+// URL of a running instance's metrics endpoint (Config.MetricsAddr).
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"sort"
 	"strings"
 
+	"monarch/internal/obs"
 	"monarch/internal/recordio"
 	"monarch/internal/stats"
 	"monarch/internal/storage"
@@ -26,7 +35,7 @@ import (
 
 func main() {
 	if len(os.Args) != 3 {
-		fatal(fmt.Errorf("usage: monarch-inspect {tfrecord <file> | recordio <file> | dataset <dir>}"))
+		fatal(fmt.Errorf("usage: monarch-inspect {tfrecord <file> | recordio <file> | dataset <dir> | metrics <path|url>}"))
 	}
 	var err error
 	switch os.Args[1] {
@@ -38,6 +47,8 @@ func main() {
 		err = inspectExample(os.Args[2])
 	case "dataset":
 		err = inspectDataset(os.Args[2])
+	case "metrics":
+		err = inspectMetrics(os.Args[2])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}
@@ -143,6 +154,62 @@ func inspectDataset(dir string) error {
 	}
 	fmt.Printf("%s: %d shards, %d bytes total, mean shard %d bytes\n",
 		dir, shards, total, total/int64(shards))
+	return nil
+}
+
+// inspectMetrics prints a metrics snapshot, from a JSON file or a live
+// endpoint. Histograms are summarised as count/sum; counters and gauges
+// print one line per series, in the registry's deterministic order.
+func inspectMetrics(src string) error {
+	var data []byte
+	var err error
+	if strings.HasPrefix(src, "http://") || strings.HasPrefix(src, "https://") {
+		url := src
+		if !strings.HasSuffix(url, "/metrics.json") {
+			url = strings.TrimSuffix(url, "/") + "/metrics.json"
+		}
+		resp, herr := http.Get(url)
+		if herr != nil {
+			return herr
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("%s: %s", url, resp.Status)
+		}
+		data, err = io.ReadAll(resp.Body)
+	} else {
+		data, err = os.ReadFile(src)
+	}
+	if err != nil {
+		return err
+	}
+	var snap obs.Snapshot
+	if err := json.Unmarshal(data, &snap); err != nil {
+		return fmt.Errorf("%s: not a metrics snapshot: %w", src, err)
+	}
+	if len(snap.Metrics) == 0 {
+		return fmt.Errorf("%s: snapshot holds no series", src)
+	}
+	for _, p := range snap.Metrics {
+		name := p.Name
+		if len(p.Labels) > 0 {
+			keys := make([]string, 0, len(p.Labels))
+			for k := range p.Labels {
+				keys = append(keys, k)
+			}
+			sort.Strings(keys)
+			pairs := make([]string, 0, len(keys))
+			for _, k := range keys {
+				pairs = append(pairs, fmt.Sprintf("%s=%q", k, p.Labels[k]))
+			}
+			name += "{" + strings.Join(pairs, ",") + "}"
+		}
+		if p.Histogram != nil {
+			fmt.Printf("%-64s count=%d sum=%g\n", name, p.Histogram.Count, p.Histogram.Sum)
+			continue
+		}
+		fmt.Printf("%-64s %g\n", name, *p.Value)
+	}
 	return nil
 }
 

@@ -3,10 +3,14 @@ package core
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
+	"os"
+	"sync/atomic"
 	"testing"
 	"time"
 
+	"monarch/internal/obs"
 	"monarch/internal/pool"
 	"monarch/internal/storage"
 )
@@ -139,11 +143,13 @@ func BenchmarkPlacementWholeFile(b *testing.B) { benchPlacement(b, 0) }
 
 func BenchmarkPlacementChunked(b *testing.B) { benchPlacement(b, 256<<10) }
 
-// BenchmarkReadAtMidCopy measures the read path with a chunked
-// placement pinned in flight: every read takes the chunk-bitmap probe
-// (chunksCover) before being served from the upper tier — the per-read
-// cost the mid-copy read-through feature adds.
-func BenchmarkReadAtMidCopy(b *testing.B) {
+// benchMidCopy measures the read path with a chunked placement pinned
+// in flight: every read takes the chunk-bitmap probe (chunksCover)
+// before being served from the upper tier — the per-read cost the
+// mid-copy read-through feature adds. cfgEdit lets the instrumented
+// variant attach observability consumers to the same stack; the built
+// instance is returned so callers can snapshot its registry.
+func benchMidCopy(b *testing.B, cfgEdit func(*Config)) *Monarch {
 	ctx := context.Background()
 	const fileSize, chunk = 256 << 10, 64 << 10
 	content := bytes.Repeat([]byte{7}, fileSize)
@@ -154,12 +160,16 @@ func BenchmarkReadAtMidCopy(b *testing.B) {
 	pfs.SetReadOnly(true)
 	tier0 := storage.NewMemFS("ssd", 0)
 	gp := pool.NewGoPool(1)
-	m, err := New(Config{
+	cfg := Config{
 		Levels:        []storage.Backend{tier0, pfs},
 		Pool:          gp,
 		FullFileFetch: true,
 		ChunkSize:     chunk,
-	})
+	}
+	if cfgEdit != nil {
+		cfgEdit(&cfg)
+	}
+	m, err := New(cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -187,6 +197,40 @@ func BenchmarkReadAtMidCopy(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := m.ReadAt(ctx, "f", buf, int64(i%4)*chunk); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return m
+}
+
+func BenchmarkReadAtMidCopy(b *testing.B) { benchMidCopy(b, nil) }
+
+// BenchmarkReadAtInstrumented is the overhead guard for the
+// observability layer: the identical mid-copy read path with this PR's
+// hot-path consumers attached — a span trace hook and a live metrics
+// endpoint. The budget (DESIGN.md §8) is ≤5% over
+// BenchmarkReadAtMidCopy; make bench-obs records both into
+// BENCH_obs.json. (An EventLog is deliberately not attached: its
+// bounded ring takes a mutex per partial-hit event, a pre-existing,
+// separately opt-in cost this guard would misattribute to the metrics
+// layer.)
+func BenchmarkReadAtInstrumented(b *testing.B) {
+	var spans atomic.Int64
+	m := benchMidCopy(b, func(c *Config) {
+		c.Trace = func(s obs.Span) { spans.Add(1) }
+		c.MetricsAddr = "127.0.0.1:0"
+	})
+	if spans.Load() == 0 {
+		b.Fatal("trace hook never fired")
+	}
+	// make bench-obs embeds the run's registry in BENCH_obs.json.
+	if path := os.Getenv("MONARCH_METRICS_OUT"); path != "" {
+		b.StopTimer()
+		data, err := json.MarshalIndent(m.Registry().Snapshot(), "", "  ")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 			b.Fatal(err)
 		}
 	}

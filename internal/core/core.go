@@ -27,7 +27,11 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"net"
+	"net/http"
+	"time"
 
+	"monarch/internal/obs"
 	"monarch/internal/pool"
 	"monarch/internal/storage"
 )
@@ -101,6 +105,17 @@ type Config struct {
 	// Events, when non-nil, receives placement/eviction/fallback events
 	// for observability. The log never blocks the data path.
 	Events *EventLog
+	// MetricsAddr, when non-empty, serves the instance's metrics
+	// registry over HTTP at this "host:port" (":0" picks a free port;
+	// see Monarch.MetricsURL). Endpoints: /metrics (Prometheus text),
+	// /metrics.json (JSON snapshot), /debug/vars (expvar-style map).
+	// The server starts in New and stops with Close/Shutdown.
+	MetricsAddr string
+	// Trace, when non-nil, receives typed spans from the read,
+	// placement, chunk-copy and probe paths. The hook runs
+	// synchronously on the instrumented path: it must be fast and must
+	// never block.
+	Trace obs.TraceHook
 }
 
 // Monarch is the middleware instance. All methods are safe for
@@ -113,6 +128,10 @@ type Monarch struct {
 	stats  statsCollector
 	placer *placer
 	health *healthTracker
+	inst   instruments
+
+	metricsLn  net.Listener
+	metricsSrv *http.Server
 }
 
 // ErrNotInitialized is returned by reads before Init has built the
@@ -143,9 +162,16 @@ func New(cfg Config) (*Monarch, error) {
 	}
 	m.source = m.levels[len(m.levels)-1]
 	m.meta = newMetadataContainer(len(m.levels))
-	m.stats.init(len(m.levels))
+	m.inst.reg = obs.NewRegistry()
+	m.stats.init(m.inst.reg, len(m.levels))
 	m.placer = newPlacer(m)
 	m.health = newHealthTracker(cfg.Health, len(m.levels)-1)
+	m.initObs()
+	if cfg.MetricsAddr != "" {
+		if err := m.startMetrics(); err != nil {
+			return nil, err
+		}
+	}
 	return m, nil
 }
 
@@ -183,6 +209,7 @@ func (m *Monarch) Idle() bool { return m.placer.inFlight() == 0 }
 // Close stops the placement intake. Queued placements still complete
 // (GoPool's Close additionally waits for them).
 func (m *Monarch) Close() {
+	m.stopMetrics()
 	if m.cfg.Pool != nil {
 		m.cfg.Pool.Close()
 	}
@@ -192,6 +219,7 @@ func (m *Monarch) Close() {
 // Close it does not wait out long copies. Cancelled placements return
 // their files to the source state and are not counted as errors.
 func (m *Monarch) Shutdown() {
+	m.stopMetrics()
 	if m.cfg.Pool != nil {
 		m.cfg.Pool.Shutdown()
 	}
@@ -202,8 +230,11 @@ func (m *Monarch) Shutdown() {
 // on the first read of a file — schedules its background placement
 // into the highest tier with free space.
 func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	start := time.Now()
 	e, err := m.lookup(name)
 	if err != nil {
+		m.inst.errRead.Inc()
+		m.span(obs.Span{Kind: obs.SpanRead, File: name, Tier: -1, Err: err, Duration: time.Since(start)})
 		return 0, err
 	}
 	src := m.source.level
@@ -234,7 +265,8 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 		// A tier failed under us: fall back to the PFS, which always
 		// holds the dataset, count the event, and feed the breaker.
 		m.stats.fallbacks.Add(1)
-		m.cfg.Events.emit(Event{Kind: EventFallback, File: name, Level: lvl, Err: rerr})
+		m.inst.errTierRead.Inc()
+		m.event(Event{Kind: EventFallback, File: name, Level: lvl, Err: rerr})
 		if !m.cfg.Disabled {
 			if m.health.recordReadError(lvl) {
 				m.tierDown(lvl, rerr)
@@ -249,14 +281,19 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 		m.health.recordReadOK(lvl)
 	}
 	if rerr != nil {
+		m.inst.errRead.Inc()
+		m.span(obs.Span{Kind: obs.SpanRead, File: name, Tier: d.level, Err: rerr, Duration: time.Since(start)})
 		return n, rerr
 	}
 	m.stats.served(d.level, int64(n))
 	if partial && d.level != src {
 		m.stats.partialHits.Add(1)
 		m.stats.partialHitBytes.Add(int64(n))
-		m.cfg.Events.emit(Event{Kind: EventPartialHit, File: name, Level: d.level, Bytes: int64(n)})
+		m.event(Event{Kind: EventPartialHit, File: name, Level: d.level, Bytes: int64(n)})
 	}
+	dur := time.Since(start)
+	m.inst.readLatency[d.level].Observe(dur.Seconds())
+	m.span(obs.Span{Kind: obs.SpanRead, File: name, Tier: d.level, Bytes: int64(n), Duration: dur})
 
 	if !m.cfg.Disabled && m.cfg.Staging == StageOnFirstRead {
 		// The §III-B flow: first access triggers placement. If the

@@ -41,6 +41,15 @@ const (
 	// file's chunked placement was still in flight; Bytes carries the
 	// bytes served.
 	EventPartialHit
+	// EventOpError: a best-effort side operation failed — partial-copy
+	// cleanup after a failed chunk job, an eviction victim's removal,
+	// or a probe's scratch-file cleanup. These paths used to drop their
+	// errors silently; now they surface here and in the
+	// monarch_errors_total metric.
+	EventOpError
+
+	// eventKinds counts the kinds above; keep it last.
+	eventKinds
 )
 
 // String names the kind.
@@ -68,6 +77,8 @@ func (k EventKind) String() string {
 		return "chunk-placed"
 	case EventPartialHit:
 		return "partial-hit"
+	case EventOpError:
+		return "op-error"
 	default:
 		return "unknown"
 	}
@@ -109,6 +120,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d chunk of %s placed on level %d (%d bytes)", e.Seq, e.File, e.Level, e.Bytes)
 	case EventPartialHit:
 		return fmt.Sprintf("#%d read of %s served mid-copy from level %d (%d bytes)", e.Seq, e.File, e.Level, e.Bytes)
+	case EventOpError:
+		return fmt.Sprintf("#%d best-effort operation on %s (level %d) failed: %v", e.Seq, e.File, e.Level, e.Err)
 	default:
 		return fmt.Sprintf("#%d %s %s", e.Seq, e.Kind, e.File)
 	}

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"monarch/internal/obs"
 	"monarch/internal/storage"
 )
 
@@ -331,7 +332,7 @@ func (m *Monarch) TierState(level int) TierState {
 // its next read.
 func (m *Monarch) tierDown(level int, err error) {
 	m.stats.tierTrips.Add(1)
-	m.cfg.Events.emit(Event{Kind: EventTierDown, Level: level, Err: err})
+	m.event(Event{Kind: EventTierDown, Level: level, Err: err})
 }
 
 // demote re-points an entry placed on a Down tier at the source level
@@ -339,7 +340,7 @@ func (m *Monarch) tierDown(level int, err error) {
 func (m *Monarch) demote(e *fileEntry, from int) {
 	if e.markDemoted(from, m.source.level) {
 		m.stats.demotions.Add(1)
-		m.cfg.Events.emit(Event{Kind: EventDemoted, File: e.name, Level: from, Bytes: e.size})
+		m.event(Event{Kind: EventDemoted, File: e.name, Level: from, Bytes: e.size})
 	}
 }
 
@@ -372,16 +373,27 @@ func (m *Monarch) submitProbe(level int) {
 // breaker closes and every demoted/unplaceable entry becomes
 // re-placeable, so the next epoch's reads restore the cached-tier pace.
 func (m *Monarch) runProbe(ctx context.Context, d *driver) {
+	start := time.Now()
 	m.stats.probes.Add(1)
-	err := probeBackend(ctx, d.backend)
+	err, cleanupErr := probeBackend(ctx, d.backend)
+	if cleanupErr != nil {
+		// The probe file lingering on a live tier is harmless but worth
+		// knowing about; this error used to be discarded.
+		m.inst.errCleanup.Inc()
+		m.event(Event{Kind: EventOpError, File: probeFile, Level: d.level, Err: cleanupErr})
+	}
 	if ctx.Err() != nil {
 		m.health.probeAborted(d.level)
 		return
 	}
+	if err != nil {
+		m.inst.errProbe.Inc()
+	}
+	m.span(obs.Span{Kind: obs.SpanTierProbe, Tier: d.level, Err: err, Duration: time.Since(start)})
 	if recovered := m.health.probeDone(d.level, err == nil); recovered {
 		n := m.meta.resetForReplacement()
 		m.stats.tierRecoveries.Add(1)
-		m.cfg.Events.emit(Event{Kind: EventTierUp, Level: d.level, Bytes: int64(n)})
+		m.event(Event{Kind: EventTierUp, Level: d.level, Bytes: int64(n)})
 	}
 }
 
@@ -393,18 +405,21 @@ const probeFile = ".monarch-probe"
 // probeBackend is the cheap liveness check: a one-byte write, removed
 // on success. Errors that prove the device responded (quota exhausted,
 // read-only, pre-existing file) count as alive — the tier can still
-// serve reads of previously placed data.
-func probeBackend(ctx context.Context, b storage.Backend) error {
-	err := b.WriteFile(ctx, probeFile, []byte{0})
+// serve reads of previously placed data. cleanupErr reports a failed
+// best-effort removal of the scratch file so the caller can surface it.
+func probeBackend(ctx context.Context, b storage.Backend) (err, cleanupErr error) {
+	err = b.WriteFile(ctx, probeFile, []byte{0})
 	switch {
 	case err == nil:
-		_ = b.Remove(ctx, probeFile) // best-effort cleanup
-		return nil
+		if rmErr := b.Remove(ctx, probeFile); rmErr != nil && !errors.Is(rmErr, storage.ErrNotExist) {
+			cleanupErr = rmErr
+		}
+		return nil, cleanupErr
 	case errors.Is(err, storage.ErrNoSpace),
 		errors.Is(err, storage.ErrReadOnly),
 		errors.Is(err, storage.ErrExist):
-		return nil
+		return nil, nil
 	default:
-		return err
+		return err, nil
 	}
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"sort"
 	"sync"
+	"time"
 
 	"monarch/internal/storage"
 )
@@ -49,10 +50,11 @@ type fileEntry struct {
 	name string
 	size int64
 
-	mu      sync.Mutex
-	level   int
-	state   placementState
-	retries int // placement attempts beyond the first (observability)
+	mu       sync.Mutex
+	level    int
+	state    placementState
+	retries  int       // placement attempts beyond the first (observability)
+	queuedAt time.Time // when the current placement was enqueued (latency spans)
 
 	// Chunked-placement residency (armed only while a chunked copy is
 	// in flight; nil in whole-file mode).
@@ -83,7 +85,16 @@ func (e *fileEntry) tryQueue() bool {
 		return false
 	}
 	e.state = stateQueued
+	e.queuedAt = time.Now()
 	return true
+}
+
+// queuedSince returns when the in-flight placement was enqueued; the
+// zero time if none is.
+func (e *fileEntry) queuedSince() time.Time {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.queuedAt
 }
 
 // markPlaced records a successful placement onto level and disarms any

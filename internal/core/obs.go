@@ -1,0 +1,188 @@
+package core
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"strconv"
+
+	"monarch/internal/obs"
+	"monarch/internal/pool"
+)
+
+// Error stages for the monarch_errors_total funnel. Every error the
+// middleware observes — including ones it previously dropped on
+// best-effort paths — increments exactly one stage.
+const (
+	// stageTierRead: an upper-tier read failed and the read fell back
+	// to the source.
+	stageTierRead = "tier-read"
+	// stageRead: a foreground read failed to the caller.
+	stageRead = "read"
+	// stagePlacement: a placement reached terminal failure.
+	stagePlacement = "placement"
+	// stageChunkCopy: one chunk copy of a chunked placement failed
+	// (counted once per failed job, by the first failing worker).
+	stageChunkCopy = "chunk-copy"
+	// stageProbe: a recovery probe found the tier still dead.
+	stageProbe = "probe"
+	// stageEvict: an eviction victim could not be removed.
+	stageEvict = "evict"
+	// stageCleanup: a best-effort removal failed (partial-copy cleanup
+	// after a failed chunk job, probe scratch file).
+	stageCleanup = "cleanup"
+)
+
+// instruments bundles the registry and every handle the middleware
+// updates outside the statsCollector: latency histograms, the error
+// funnel, and per-event-kind counters. All handles are created once in
+// initObs; hot paths only touch atomics.
+type instruments struct {
+	reg *obs.Registry
+
+	readLatency      []*obs.Histogram // per tier, successful foreground reads
+	placementLatency *obs.Histogram   // enqueue → placed, successful placements
+	chunkCopyLatency *obs.Histogram   // one chunk, source → destination tier
+
+	errTierRead  *obs.Counter
+	errRead      *obs.Counter
+	errPlacement *obs.Counter
+	errChunkCopy *obs.Counter
+	errProbe     *obs.Counter
+	errEvict     *obs.Counter
+	errCleanup   *obs.Counter
+
+	events [eventKinds]*obs.Counter
+}
+
+// initObs builds the registry view of the instance: histograms, error
+// counters, event counters, derived gauges (hit ratio, breaker state,
+// pool load), and the auto-instrumentation of levels that support it.
+// Called from New after stats, placer and health exist.
+func (m *Monarch) initObs() {
+	reg := m.inst.reg
+	for i := range m.levels {
+		m.inst.readLatency = append(m.inst.readLatency, reg.Histogram(
+			"monarch_read_latency_seconds",
+			"Latency of successful foreground reads, by serving level.",
+			nil, obs.L("tier", strconv.Itoa(i))))
+	}
+	m.inst.placementLatency = reg.Histogram("monarch_placement_latency_seconds",
+		"Enqueue-to-landed latency of successful placements (includes queue wait).", nil)
+	m.inst.chunkCopyLatency = reg.Histogram("monarch_chunk_copy_latency_seconds",
+		"Latency of individual chunk copies within chunked placements.", nil)
+
+	const errHelp = "Errors observed by the middleware, by pipeline stage."
+	m.inst.errTierRead = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stageTierRead))
+	m.inst.errRead = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stageRead))
+	m.inst.errPlacement = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stagePlacement))
+	m.inst.errChunkCopy = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stageChunkCopy))
+	m.inst.errProbe = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stageProbe))
+	m.inst.errEvict = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stageEvict))
+	m.inst.errCleanup = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stageCleanup))
+
+	for k := EventKind(0); k < eventKinds; k++ {
+		m.inst.events[k] = reg.Counter("monarch_events_total",
+			"Middleware events emitted, by kind.", obs.L("kind", k.String()))
+	}
+
+	reg.GaugeFunc("monarch_hit_ratio",
+		"Fraction of foreground reads served above the source level.",
+		m.stats.hitRatio)
+	reg.GaugeFunc("monarch_inflight_placements",
+		"Queued or running placement tasks, including retries and probes.",
+		func() float64 { return float64(m.placer.inFlight()) })
+	for i := 0; i < len(m.levels)-1; i++ {
+		lvl := i
+		reg.GaugeFunc("monarch_tier_breaker_state",
+			"Circuit-breaker state per tier: 0 healthy, 1 suspect, 2 down.",
+			func() float64 { return float64(m.health.state(lvl)) },
+			obs.L("tier", strconv.Itoa(lvl)))
+	}
+	if p := m.cfg.Pool; p != nil {
+		reg.GaugeFunc("monarch_pool_workers",
+			"Fixed worker count of the placement pool.",
+			func() float64 { return float64(p.Workers()) })
+		reg.GaugeFunc("monarch_pool_queue_depth",
+			"Placement tasks waiting for a worker.",
+			func() float64 {
+				if in, ok := p.(pool.Introspector); ok {
+					s := in.Stats()
+					return float64(s.Pending - s.Active)
+				}
+				return float64(p.Pending())
+			})
+		reg.GaugeFunc("monarch_pool_active_workers",
+			"Workers currently running a placement task.",
+			func() float64 {
+				if in, ok := p.(pool.Introspector); ok {
+					return float64(in.Stats().Active)
+				}
+				return 0
+			})
+	}
+	for i, d := range m.levels {
+		if in, ok := d.backend.(obs.Instrumentable); ok {
+			in.Instrument(reg, obs.L("tier", strconv.Itoa(i)))
+		}
+	}
+}
+
+// event is the single funnel every middleware event goes through: it
+// bumps the per-kind counter and forwards to the (possibly nil) event
+// log, so the log and the registry can never disagree about what
+// happened.
+func (m *Monarch) event(e Event) {
+	if k := int(e.Kind); k >= 0 && k < len(m.inst.events) {
+		m.inst.events[k].Inc()
+	}
+	m.cfg.Events.emit(e)
+}
+
+// span delivers a completed span to the Config.Trace hook, if any.
+func (m *Monarch) span(s obs.Span) {
+	if m.cfg.Trace != nil {
+		m.cfg.Trace(s)
+	}
+}
+
+// Registry exposes the instance's metrics registry, for embedding
+// snapshots (monarch-benchjson -metrics) or attaching custom sinks.
+func (m *Monarch) Registry() *obs.Registry { return m.inst.reg }
+
+// MetricsURL returns the base URL of the metrics endpoint, or "" when
+// Config.MetricsAddr is unset. With MetricsAddr ":0" this is how the
+// chosen port is discovered.
+func (m *Monarch) MetricsURL() string {
+	if m.metricsLn == nil {
+		return ""
+	}
+	return "http://" + m.metricsLn.Addr().String()
+}
+
+// startMetrics binds Config.MetricsAddr and serves the registry
+// (Prometheus text on /metrics, JSON snapshot on /metrics.json,
+// expvar-style map on /debug/vars).
+func (m *Monarch) startMetrics() error {
+	ln, err := net.Listen("tcp", m.cfg.MetricsAddr)
+	if err != nil {
+		return fmt.Errorf("monarch: metrics listener: %w", err)
+	}
+	m.metricsLn = ln
+	srv := &http.Server{Handler: m.inst.reg.Handler()}
+	m.metricsSrv = srv
+	// srv is captured locally: stopMetrics may nil the field before this
+	// goroutine is scheduled.
+	go func() { _ = srv.Serve(ln) }()
+	return nil
+}
+
+// stopMetrics shuts the metrics endpoint down; safe to call twice and
+// with no server running.
+func (m *Monarch) stopMetrics() {
+	if m.metricsSrv != nil {
+		_ = m.metricsSrv.Close()
+		m.metricsSrv = nil
+		m.metricsLn = nil
+	}
+}

@@ -6,7 +6,9 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"monarch/internal/obs"
 	"monarch/internal/pool"
 	"monarch/internal/storage"
 )
@@ -50,7 +52,63 @@ func (pl *placer) onAccess(e *fileEntry, full []byte) {
 	}
 	if !pl.submit(func(ctx context.Context) { pl.place(ctx, e, full, 1, true) }) {
 		e.markUnplaceable() // pool closed: no placement for this job
+		return
 	}
+	pl.m.span(obs.Span{Kind: obs.SpanPlacementEnqueue, File: e.name, Tier: -1, Bytes: e.size})
+}
+
+// placed records a successful placement of e onto d: metadata, stats,
+// the enqueue-to-landed latency histogram, the placement span, the
+// event, and the eviction hook — shared by the whole-file and chunked
+// paths so the two can never diverge in bookkeeping.
+func (pl *placer) placed(e *fileEntry, d *driver, attempt int, wroteBytes bool) {
+	m := pl.m
+	queued := e.queuedSince()
+	m.health.recordWriteOK(d.level)
+	e.markPlaced(d.level)
+	m.stats.placedOn(d.level, e.size)
+	if wroteBytes {
+		m.stats.writtenBytes[d.level].Add(e.size)
+	}
+	var dur time.Duration
+	if !queued.IsZero() {
+		dur = time.Since(queued)
+		m.inst.placementLatency.Observe(dur.Seconds())
+	}
+	m.span(obs.Span{Kind: obs.SpanPlacement, File: e.name, Tier: d.level, Bytes: e.size, Attempt: attempt, Duration: dur})
+	m.event(Event{Kind: EventPlaced, File: e.name, Level: d.level, Bytes: e.size})
+	if m.cfg.Eviction != nil {
+		m.cfg.Eviction.OnPlaced(e.name, d.level)
+	}
+}
+
+// placementSkipped records a terminal skip (no tier had room, or the
+// fetch ablation disabled copying).
+func (pl *placer) placementSkipped(e *fileEntry, cause error) {
+	m := pl.m
+	m.stats.placementSkips.Add(1)
+	m.span(obs.Span{Kind: obs.SpanPlacement, File: e.name, Tier: -1, Bytes: e.size, Err: cause,
+		Duration: sinceQueued(e)})
+	m.event(Event{Kind: EventSkipped, File: e.name, Level: -1})
+	e.markUnplaceable()
+}
+
+// placementFailed records a terminal operational failure on level.
+func (pl *placer) placementFailed(e *fileEntry, level, attempt int, err error) {
+	m := pl.m
+	m.stats.placementErrors.Add(1)
+	m.inst.errPlacement.Inc()
+	m.span(obs.Span{Kind: obs.SpanPlacement, File: e.name, Tier: level, Bytes: e.size,
+		Attempt: attempt, Err: err, Duration: sinceQueued(e)})
+	m.event(Event{Kind: EventFailed, File: e.name, Level: level, Err: err})
+	e.markUnplaceable()
+}
+
+func sinceQueued(e *fileEntry) time.Duration {
+	if q := e.queuedSince(); !q.IsZero() {
+		return time.Since(q)
+	}
+	return 0
 }
 
 // place copies e into the first healthy tier with room; attempt is
@@ -75,14 +133,7 @@ func (pl *placer) place(ctx context.Context, e *fileEntry, full []byte, attempt 
 		}
 		err := pl.copyInto(ctx, d, e, full, attempt, allowChunks)
 		if err == nil {
-			m.health.recordWriteOK(d.level)
-			e.markPlaced(d.level)
-			m.stats.placements.Add(1)
-			m.stats.placedBytes.Add(e.size)
-			m.cfg.Events.emit(Event{Kind: EventPlaced, File: e.name, Level: d.level, Bytes: e.size})
-			if m.cfg.Eviction != nil {
-				m.cfg.Eviction.OnPlaced(e.name, d.level)
-			}
+			pl.placed(e, d, attempt, true)
 			return
 		}
 		if errors.Is(err, errChunksDelegated) {
@@ -96,9 +147,7 @@ func (pl *placer) place(ctx context.Context, e *fileEntry, full []byte, attempt 
 			continue
 		}
 		if errors.Is(err, errFetchDisabled) {
-			m.stats.placementSkips.Add(1)
-			m.cfg.Events.emit(Event{Kind: EventSkipped, File: e.name, Level: -1})
-			e.markUnplaceable()
+			pl.placementSkipped(e, err)
 			return
 		}
 		if ctx.Err() != nil || errors.Is(err, context.Canceled) {
@@ -112,14 +161,10 @@ func (pl *placer) place(ctx context.Context, e *fileEntry, full []byte, attempt 
 		if pl.retry(e, full, attempt, d.level, err, allowChunks) {
 			return
 		}
-		m.stats.placementErrors.Add(1)
-		m.cfg.Events.emit(Event{Kind: EventFailed, File: e.name, Level: d.level, Err: err})
-		e.markUnplaceable()
+		pl.placementFailed(e, d.level, attempt, err)
 		return
 	}
-	m.stats.placementSkips.Add(1)
-	m.cfg.Events.emit(Event{Kind: EventSkipped, File: e.name, Level: -1})
-	e.markUnplaceable()
+	pl.placementSkipped(e, storage.ErrNoSpace)
 }
 
 // retry re-queues a transiently failed placement with backoff; it
@@ -133,7 +178,7 @@ func (pl *placer) retry(e *fileEntry, full []byte, attempt, level int, err error
 	}
 	e.noteRetry()
 	m.stats.retries.Add(1)
-	m.cfg.Events.emit(Event{Kind: EventRetried, File: e.name, Level: level, Err: err})
+	m.event(Event{Kind: EventRetried, File: e.name, Level: level, Err: err})
 	next := attempt + 1
 	if !pl.submit(func(ctx context.Context) {
 		r.wait(ctx, attempt)
@@ -257,6 +302,9 @@ func (j *chunkJob) fail(err error) {
 	defer j.mu.Unlock()
 	if j.err == nil {
 		j.err = err
+		// First failing worker charges the error funnel — exactly once
+		// per failed job, however many workers observe the failure.
+		j.pl.m.inst.errChunkCopy.Inc()
 	}
 }
 
@@ -305,6 +353,7 @@ func (j *chunkJob) run(ctx context.Context) {
 // immediately.
 func (j *chunkJob) copyChunk(ctx context.Context, i int64, buf []byte) error {
 	m := j.pl.m
+	start := time.Now()
 	off := i * j.chunk
 	want := j.e.size - off
 	if want > j.chunk {
@@ -324,7 +373,12 @@ func (j *chunkJob) copyChunk(ctx context.Context, i int64, buf []byte) error {
 	j.e.markChunk(int(i))
 	j.done.Add(1)
 	m.stats.chunkPlacements.Add(1)
-	m.cfg.Events.emit(Event{Kind: EventChunkPlaced, File: j.e.name, Level: j.d.level, Bytes: want})
+	m.stats.writtenBytes[j.d.level].Add(want)
+	dur := time.Since(start)
+	m.inst.chunkCopyLatency.Observe(dur.Seconds())
+	m.span(obs.Span{Kind: obs.SpanChunkCopy, File: j.e.name, Tier: j.d.level, Bytes: want,
+		Attempt: j.attempt, Duration: dur})
+	m.event(Event{Kind: EventChunkPlaced, File: j.e.name, Level: j.d.level, Bytes: want})
 	return nil
 }
 
@@ -337,14 +391,9 @@ func (j *chunkJob) finish(ctx context.Context) {
 	m := j.pl.m
 	e, d := j.e, j.d
 	if j.done.Load() == j.nchunks {
-		m.health.recordWriteOK(d.level)
-		e.markPlaced(d.level)
-		m.stats.placements.Add(1)
-		m.stats.placedBytes.Add(e.size)
-		m.cfg.Events.emit(Event{Kind: EventPlaced, File: e.name, Level: d.level, Bytes: e.size})
-		if m.cfg.Eviction != nil {
-			m.cfg.Eviction.OnPlaced(e.name, d.level)
-		}
+		// Chunk bytes were charged to the tier as they landed, so the
+		// shared bookkeeping must not add them again.
+		j.pl.placed(e, d, j.attempt, false)
 		return
 	}
 	e.clearChunks()
@@ -358,16 +407,17 @@ func (j *chunkJob) finish(ctx context.Context) {
 	// A chunk failed: drop the partial copy so the tier never serves a
 	// torn file, then feed the breaker and retry or give up — only this
 	// file is affected unless the breaker trips the whole tier.
-	_ = d.backend.Remove(ctx, e.name)
+	if rmErr := d.backend.Remove(ctx, e.name); rmErr != nil && !errors.Is(rmErr, storage.ErrNotExist) {
+		m.inst.errCleanup.Inc()
+		m.event(Event{Kind: EventOpError, File: e.name, Level: d.level, Err: rmErr})
+	}
 	if m.health.recordWriteError(d.level) {
 		m.tierDown(d.level, err)
 	}
 	if j.pl.retry(e, nil, j.attempt, d.level, err, true) {
 		return
 	}
-	m.stats.placementErrors.Add(1)
-	m.cfg.Events.emit(Event{Kind: EventFailed, File: e.name, Level: d.level, Err: err})
-	e.markUnplaceable()
+	j.pl.placementFailed(e, d.level, j.attempt, err)
 }
 
 // errFetchDisabled marks placements skipped by the abl-fullfetch
@@ -404,12 +454,16 @@ func (pl *placer) evict(ctx context.Context, d *driver, name string) error {
 		return errors.New("monarch: eviction victim missing from namespace")
 	}
 	if err := d.backend.Remove(ctx, name); err != nil {
+		// This error used to vanish into tryMakeRoom's boolean; record
+		// it so a wedged eviction path shows up on a scrape.
+		m.inst.errEvict.Inc()
+		m.event(Event{Kind: EventOpError, File: name, Level: d.level, Err: err})
 		return err
 	}
 	e.markEvicted(m.source.level)
 	m.cfg.Eviction.OnEvicted(name)
 	m.stats.evictions.Add(1)
-	m.cfg.Events.emit(Event{Kind: EventEvicted, File: name, Level: d.level, Bytes: e.size})
+	m.event(Event{Kind: EventEvicted, File: name, Level: d.level, Bytes: e.size})
 	return nil
 }
 

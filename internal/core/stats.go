@@ -1,10 +1,18 @@
 package core
 
-import "sync/atomic"
+import (
+	"strconv"
+
+	"monarch/internal/obs"
+)
 
 // Stats is a snapshot of the middleware's counters. Per-level slices
 // are indexed by hierarchy level; the last index is the PFS — the
 // experiments read "I/O pressure on the PFS" from that slot.
+//
+// Stats is a read-only view derived from the obs metrics registry: the
+// statsCollector's fields ARE registry counter handles, so a scrape of
+// the Prometheus endpoint and a Stats() call can never disagree.
 type Stats struct {
 	// ReadsServed / BytesServed count foreground reads by the level
 	// that served them.
@@ -69,61 +77,128 @@ func (s Stats) HitRatio() float64 {
 	return float64(upper) / float64(total)
 }
 
-// statsCollector is the live, concurrent form of Stats.
+// statsCollector is the live, concurrent form of Stats. Every field is
+// a handle into the instance's obs registry — there is exactly one
+// copy of each count, and Stats/the Prometheus endpoint/the JSON
+// snapshot are all views over it.
 type statsCollector struct {
-	readsServed     []atomic.Int64
-	bytesServed     []atomic.Int64
-	placements      atomic.Int64
-	placedBytes     atomic.Int64
-	placementSkips  atomic.Int64
-	placementErrors atomic.Int64
-	fullReadReuses  atomic.Int64
-	chunkPlacements atomic.Int64
-	partialHits     atomic.Int64
-	partialHitBytes atomic.Int64
-	fallbacks       atomic.Int64
-	evictions       atomic.Int64
-	demotions       atomic.Int64
-	retries         atomic.Int64
-	tierTrips       atomic.Int64
-	tierRecoveries  atomic.Int64
-	probes          atomic.Int64
+	readsServed []*obs.Counter
+	bytesServed []*obs.Counter
+	// writtenBytes counts placement bytes landing on each tier
+	// (registry-only: whole-file copies plus individual chunks, even
+	// chunks of a copy that later fails and is removed).
+	writtenBytes    []*obs.Counter
+	placements      *obs.Counter
+	placedBytes     *obs.Counter
+	placementSkips  *obs.Counter
+	placementErrors *obs.Counter
+	fullReadReuses  *obs.Counter
+	chunkPlacements *obs.Counter
+	partialHits     *obs.Counter
+	partialHitBytes *obs.Counter
+	fallbacks       *obs.Counter
+	evictions       *obs.Counter
+	demotions       *obs.Counter
+	retries         *obs.Counter
+	tierTrips       *obs.Counter
+	tierRecoveries  *obs.Counter
+	probes          *obs.Counter
 }
 
-func (c *statsCollector) init(levels int) {
-	c.readsServed = make([]atomic.Int64, levels)
-	c.bytesServed = make([]atomic.Int64, levels)
+func (c *statsCollector) init(reg *obs.Registry, levels int) {
+	for i := 0; i < levels; i++ {
+		tier := obs.L("tier", strconv.Itoa(i))
+		c.readsServed = append(c.readsServed, reg.Counter("monarch_tier_read_ops_total",
+			"Foreground reads served, by the hierarchy level that served them.", tier))
+		c.bytesServed = append(c.bytesServed, reg.Counter("monarch_tier_read_bytes_total",
+			"Foreground bytes served, by the hierarchy level that served them.", tier))
+		c.writtenBytes = append(c.writtenBytes, reg.Counter("monarch_tier_write_bytes_total",
+			"Placement bytes written into each hierarchy level (whole files and chunks).", tier))
+	}
+	c.placements = reg.Counter("monarch_placements_total",
+		"Files successfully moved to an upper tier.")
+	c.placedBytes = reg.Counter("monarch_placed_bytes_total",
+		"Bytes of successfully placed files.")
+	c.placementSkips = reg.Counter("monarch_placement_skips_total",
+		"Files left on the PFS because no tier had room or fetching was disabled.")
+	c.placementErrors = reg.Counter("monarch_placement_errors_total",
+		"Placements aborted by an operational failure.")
+	c.fullReadReuses = reg.Counter("monarch_full_read_reuses_total",
+		"Placements satisfied from content the framework had already read in full.")
+	c.chunkPlacements = reg.Counter("monarch_chunk_placements_total",
+		"Individual chunks written by chunked placements.")
+	c.partialHits = reg.Counter("monarch_partial_hits_total",
+		"Reads served from an upper tier while the file's chunked placement was in flight.")
+	c.partialHitBytes = reg.Counter("monarch_partial_hit_bytes_total",
+		"Bytes served by partial (mid-copy) hits.")
+	c.fallbacks = reg.Counter("monarch_fallbacks_total",
+		"Reads re-served from the PFS after an upper-tier failure.")
+	c.evictions = reg.Counter("monarch_evictions_total",
+		"Files removed by an eviction-policy ablation.")
+	c.demotions = reg.Counter("monarch_demotions_total",
+		"Entries re-pointed from a Down tier to the source level.")
+	c.retries = reg.Counter("monarch_placement_retries_total",
+		"Placements re-queued after a transient failure.")
+	c.tierTrips = reg.Counter("monarch_tier_trips_total",
+		"Circuit-breaker openings (Healthy/Suspect to Down).")
+	c.tierRecoveries = reg.Counter("monarch_tier_recoveries_total",
+		"Successful recovery probes (Down to Healthy).")
+	c.probes = reg.Counter("monarch_probes_total",
+		"Recovery probes attempted against Down tiers.")
 }
 
 func (c *statsCollector) served(level int, bytes int64) {
-	c.readsServed[level].Add(1)
+	c.readsServed[level].Inc()
 	c.bytesServed[level].Add(bytes)
+}
+
+// placedOn records a whole placement landing on level.
+func (c *statsCollector) placedOn(level int, bytes int64) {
+	c.placements.Inc()
+	c.placedBytes.Add(bytes)
+}
+
+// hitRatio is the live form of Stats.HitRatio, exposed as the
+// monarch_hit_ratio gauge.
+func (c *statsCollector) hitRatio() float64 {
+	var upper, total int64
+	for i, ctr := range c.readsServed {
+		n := ctr.Value()
+		total += n
+		if i < len(c.readsServed)-1 {
+			upper += n
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(upper) / float64(total)
 }
 
 func (c *statsCollector) snapshot(inFlight int) Stats {
 	s := Stats{
 		ReadsServed:      make([]int64, len(c.readsServed)),
 		BytesServed:      make([]int64, len(c.bytesServed)),
-		Placements:       c.placements.Load(),
-		PlacedBytes:      c.placedBytes.Load(),
-		PlacementSkips:   c.placementSkips.Load(),
-		PlacementErrors:  c.placementErrors.Load(),
-		FullReadReuses:   c.fullReadReuses.Load(),
-		ChunkPlacements:  c.chunkPlacements.Load(),
-		PartialHits:      c.partialHits.Load(),
-		PartialHitBytes:  c.partialHitBytes.Load(),
-		Fallbacks:        c.fallbacks.Load(),
-		Evictions:        c.evictions.Load(),
-		Demotions:        c.demotions.Load(),
-		PlacementRetries: c.retries.Load(),
-		TierTrips:        c.tierTrips.Load(),
-		TierRecoveries:   c.tierRecoveries.Load(),
-		Probes:           c.probes.Load(),
+		Placements:       c.placements.Value(),
+		PlacedBytes:      c.placedBytes.Value(),
+		PlacementSkips:   c.placementSkips.Value(),
+		PlacementErrors:  c.placementErrors.Value(),
+		FullReadReuses:   c.fullReadReuses.Value(),
+		ChunkPlacements:  c.chunkPlacements.Value(),
+		PartialHits:      c.partialHits.Value(),
+		PartialHitBytes:  c.partialHitBytes.Value(),
+		Fallbacks:        c.fallbacks.Value(),
+		Evictions:        c.evictions.Value(),
+		Demotions:        c.demotions.Value(),
+		PlacementRetries: c.retries.Value(),
+		TierTrips:        c.tierTrips.Value(),
+		TierRecoveries:   c.tierRecoveries.Value(),
+		Probes:           c.probes.Value(),
 		InFlight:         inFlight,
 	}
 	for i := range c.readsServed {
-		s.ReadsServed[i] = c.readsServed[i].Load()
-		s.BytesServed[i] = c.bytesServed[i].Load()
+		s.ReadsServed[i] = c.readsServed[i].Value()
+		s.BytesServed[i] = c.bytesServed[i].Value()
 	}
 	return s
 }

@@ -1,0 +1,70 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the registry over HTTP:
+//
+//	GET /metrics       Prometheus text exposition (scrape target)
+//	GET /metrics.json  JSON snapshot (consumed by monarch-inspect)
+//	GET /debug/vars    expvar-style flat map of counter/gauge values
+//
+// The handler evaluates func-backed metrics at request time, so a
+// scrape always reflects live queue depth and breaker state.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WritePrometheus(w)
+	})
+	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Vars())
+	})
+	return mux
+}
+
+// Vars flattens every counter and gauge into an expvar-style map keyed
+// by the series' exposition name (histograms are summarised as _count
+// and _sum). Keys are deterministic, values are evaluated live.
+func (r *Registry) Vars() map[string]float64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]float64)
+	for _, f := range r.sortedFamilies() {
+		for _, s := range f.sortedSeries() {
+			key := seriesKey(f.name, s.labels)
+			if s.h != nil {
+				out[seriesKey(f.name+"_count", s.labels)] = float64(s.h.Count())
+				out[seriesKey(f.name+"_sum", s.labels)] = s.h.Sum()
+				continue
+			}
+			out[key] = s.value()
+		}
+	}
+	return out
+}
+
+func seriesKey(name string, labels []Label) string {
+	if len(labels) == 0 {
+		return name
+	}
+	key := name + "{"
+	for i, l := range labels {
+		if i > 0 {
+			key += ","
+		}
+		key += l.Name + `="` + escapeLabel(l.Value) + `"`
+	}
+	return key + "}"
+}

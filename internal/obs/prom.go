@@ -1,0 +1,113 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4): `# HELP` / `# TYPE` headers per
+// family, one sample line per series, histograms as cumulative
+// `_bucket{le=...}` plus `_sum` and `_count`. Output order is
+// deterministic (name, then label signature), so the format is
+// golden-testable.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			bw.WriteString("# HELP ")
+			bw.WriteString(f.name)
+			bw.WriteByte(' ')
+			bw.WriteString(escapeHelp(f.help))
+			bw.WriteByte('\n')
+		}
+		bw.WriteString("# TYPE ")
+		bw.WriteString(f.name)
+		bw.WriteByte(' ')
+		bw.WriteString(f.typ.String())
+		bw.WriteByte('\n')
+		for _, s := range f.sortedSeries() {
+			if s.h != nil {
+				writeHistogram(bw, f.name, s)
+				continue
+			}
+			writeSample(bw, f.name, s.labels, "", s.value())
+		}
+	}
+	return bw.Flush()
+}
+
+func writeHistogram(bw *bufio.Writer, name string, s *series) {
+	var cum uint64
+	for i, b := range s.h.bounds {
+		cum += s.h.counts[i].Load()
+		writeSample(bw, name+"_bucket", s.labels, formatLE(b), float64(cum))
+	}
+	cum += s.h.counts[len(s.h.bounds)].Load()
+	writeSample(bw, name+"_bucket", s.labels, "+Inf", float64(cum))
+	writeSample(bw, name+"_sum", s.labels, "", s.h.Sum())
+	writeSample(bw, name+"_count", s.labels, "", float64(s.h.Count()))
+}
+
+// writeSample emits one line: name{labels[,le="?"]} value. le, when
+// non-empty, is appended as the histogram bucket bound.
+func writeSample(bw *bufio.Writer, name string, labels []Label, le string, v float64) {
+	bw.WriteString(name)
+	if len(labels) > 0 || le != "" {
+		bw.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(l.Name)
+			bw.WriteString(`="`)
+			bw.WriteString(escapeLabel(l.Value))
+			bw.WriteByte('"')
+		}
+		if le != "" {
+			if len(labels) > 0 {
+				bw.WriteByte(',')
+			}
+			bw.WriteString(`le="`)
+			bw.WriteString(le)
+			bw.WriteByte('"')
+		}
+		bw.WriteByte('}')
+	}
+	bw.WriteByte(' ')
+	bw.WriteString(formatValue(v))
+	bw.WriteByte('\n')
+}
+
+// formatValue renders integers without an exponent and everything else
+// in Go's shortest float form, matching common Prometheus client
+// output.
+func formatValue(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func formatLE(b float64) string {
+	if math.IsInf(b, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(b, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}

@@ -1,0 +1,64 @@
+package obs
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenRegistry builds a registry with every series shape the
+// exposition format has to render: plain and labelled counters, a
+// help-less gauge, a func-backed counter, a labelled histogram, and a
+// label value that needs escaping. All values are exact in binary so
+// the rendered text is bit-stable.
+func goldenRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("demo_files_total", "Per-file ops.", L("file", "a\"b\nc")).Inc()
+	h := r.Histogram("demo_latency_seconds", "Latency.", []float64{1, 4}, L("tier", "0"))
+	for _, v := range []float64{0.25, 0.5, 2, 8} {
+		h.Observe(v)
+	}
+	r.CounterFunc("demo_live_total", "Live.", func() int64 { return 42 })
+	r.Gauge("demo_queue_depth", "").Set(2.5)
+	r.Counter("demo_reads_total", "Reads per tier.", L("tier", "0")).Add(5)
+	r.Counter("demo_reads_total", "Reads per tier.", L("tier", "1")).Add(7)
+	return r
+}
+
+// TestPrometheusGolden locks the exposition format down byte-for-byte.
+// Regenerate with: go test ./internal/obs -run TestPrometheusGolden -update
+func TestPrometheusGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("exposition format drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+	// Rendering twice must be byte-identical (map iteration must not
+	// leak into the output order).
+	var buf2 bytes.Buffer
+	if err := goldenRegistry().WritePrometheus(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("two renders of identical state differ")
+	}
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"fmt"
+	"time"
+)
+
+// SpanKind classifies the typed spans MONARCH's hot paths emit. Spans
+// replace ad-hoc log prints: each covers one bounded operation on the
+// read → tier probe → placement enqueue → chunk copy pipeline, with its
+// duration and outcome attached.
+type SpanKind int
+
+const (
+	// SpanRead covers one foreground ReadAt, from namespace lookup to
+	// the bytes landing in the caller's buffer. Tier is the level that
+	// served it.
+	SpanRead SpanKind = iota
+	// SpanPlacementEnqueue marks a first access handing a file to the
+	// placement pool (duration zero: enqueue never blocks).
+	SpanPlacementEnqueue
+	// SpanPlacement covers one placement reaching a terminal state:
+	// placed (Err nil), skipped, or failed. Duration runs from enqueue
+	// to resolution, so it includes queue wait — the figure an operator
+	// needs to size the pool.
+	SpanPlacement
+	// SpanChunkCopy covers one chunk of a chunked placement moving from
+	// the source to the destination tier.
+	SpanChunkCopy
+	// SpanTierProbe covers one recovery probe of a Down tier.
+	SpanTierProbe
+)
+
+// String names the kind.
+func (k SpanKind) String() string {
+	switch k {
+	case SpanRead:
+		return "read"
+	case SpanPlacementEnqueue:
+		return "placement-enqueue"
+	case SpanPlacement:
+		return "placement"
+	case SpanChunkCopy:
+		return "chunk-copy"
+	case SpanTierProbe:
+		return "tier-probe"
+	default:
+		return "unknown"
+	}
+}
+
+// Span is one completed operation on an instrumented path. Spans are
+// delivered synchronously to the Config.Trace hook; hooks must be fast
+// and must not block, or they stall the path they observe.
+type Span struct {
+	Kind     SpanKind
+	File     string        // file involved ("" for tier-scoped spans)
+	Tier     int           // hierarchy level (-1 when not applicable)
+	Bytes    int64         // payload bytes moved, if any
+	Attempt  int           // 1-based placement attempt, if applicable
+	Err      error         // outcome; nil on success
+	Duration time.Duration // wall-clock duration (informational under simulation)
+}
+
+// String formats the span for logs.
+func (s Span) String() string {
+	out := s.Kind.String()
+	if s.File != "" {
+		out += " " + s.File
+	}
+	if s.Tier >= 0 {
+		out += fmt.Sprintf(" tier=%d", s.Tier)
+	}
+	if s.Bytes > 0 {
+		out += fmt.Sprintf(" bytes=%d", s.Bytes)
+	}
+	if s.Attempt > 0 {
+		out += fmt.Sprintf(" attempt=%d", s.Attempt)
+	}
+	out += fmt.Sprintf(" dur=%s", s.Duration)
+	if s.Err != nil {
+		out += fmt.Sprintf(" err=%q", s.Err)
+	}
+	return out
+}
+
+// TraceHook receives completed spans.
+type TraceHook func(Span)
+
+// Instrumentable is implemented by components (storage wrappers, pools)
+// that can register their own metrics into a registry; extra labels
+// identify the instance (e.g. its hierarchy tier).
+type Instrumentable interface {
+	Instrument(r *Registry, labels ...Label)
+}

@@ -22,6 +22,26 @@ import (
 // executing worker; in sim mode it carries the worker's process.
 type Task func(ctx context.Context)
 
+// Stats is a point-in-time view of an executor's load, exposed for the
+// observability layer (queue depth and worker utilisation gauges).
+type Stats struct {
+	// Workers is the fixed worker count.
+	Workers int
+	// Pending is queued plus currently-running tasks (same value as
+	// Executor.Pending).
+	Pending int
+	// Active is the number of workers currently running a task;
+	// Pending - Active is the queue depth.
+	Active int
+}
+
+// Introspector is an optional Executor extension reporting load. Both
+// GoPool and SimPool implement it; custom executors that do not are
+// observed through Pending alone.
+type Introspector interface {
+	Stats() Stats
+}
+
 // Executor runs tasks on a fixed-size worker set. Submit never blocks
 // on task execution (the queue is unbounded) so foreground reads are
 // never delayed by placement backlog.
@@ -48,6 +68,7 @@ type GoPool struct {
 	cond    *sync.Cond
 	queue   []Task
 	pending int
+	active  int
 	closed  bool
 	workers int
 	wg      sync.WaitGroup
@@ -84,12 +105,14 @@ func (p *GoPool) worker() {
 		}
 		t := p.queue[0]
 		p.queue = p.queue[1:]
+		p.active++
 		p.mu.Unlock()
 
 		t(ctx)
 
 		p.mu.Lock()
 		p.pending--
+		p.active--
 		p.mu.Unlock()
 	}
 }
@@ -116,6 +139,13 @@ func (p *GoPool) Pending() int {
 
 // Workers implements Executor.
 func (p *GoPool) Workers() int { return p.workers }
+
+// Stats implements Introspector.
+func (p *GoPool) Stats() Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return Stats{Workers: p.workers, Pending: p.pending, Active: p.active}
+}
 
 // Close implements Executor and additionally waits for queued tasks to
 // drain, so callers can rely on quiescence after Close returns.
@@ -146,6 +176,7 @@ type SimPool struct {
 	env     *sim.Env
 	queue   *sim.Queue[Task]
 	pending int
+	active  int
 	workers int
 	closed  bool
 
@@ -179,7 +210,9 @@ func NewSimPool(env *sim.Env, name string, n int) *SimPool {
 				if !ok {
 					return
 				}
+				p.active++
 				t(ctx)
+				p.active--
 				p.pending--
 			}
 		})
@@ -206,6 +239,12 @@ func (p *SimPool) Pending() int { return p.pending }
 
 // Workers implements Executor.
 func (p *SimPool) Workers() int { return p.workers }
+
+// Stats implements Introspector. Like Pending, it is only meaningful
+// from within the simulation, where execution is cooperative.
+func (p *SimPool) Stats() Stats {
+	return Stats{Workers: p.workers, Pending: p.pending, Active: p.active}
+}
 
 // Close implements Executor. Queued tasks still run; workers exit once
 // the queue drains (or when the environment is closed).

@@ -1,0 +1,51 @@
+package pool
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+var (
+	_ Introspector = (*GoPool)(nil)
+	_ Introspector = (*SimPool)(nil)
+)
+
+// TestGoPoolStats checks the load view the observability gauges are
+// built on: with 2 workers and 4 blocked tasks, Active saturates at the
+// worker count and Pending-Active is the queue depth.
+func TestGoPoolStats(t *testing.T) {
+	p := NewGoPool(2)
+	defer p.Close()
+	if s := p.Stats(); s.Workers != 2 || s.Pending != 0 || s.Active != 0 {
+		t.Fatalf("idle stats = %+v", s)
+	}
+
+	release := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		p.Submit(func(ctx context.Context) { <-release })
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		s := p.Stats()
+		if s.Active == 2 && s.Pending == 4 {
+			if depth := s.Pending - s.Active; depth != 2 {
+				t.Fatalf("queue depth = %d, want 2", depth)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never saturated: %+v", s)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	close(release)
+	deadline = time.Now().Add(5 * time.Second)
+	for p.Stats() != (Stats{Workers: 2}) {
+		if time.Now().After(deadline) {
+			t.Fatalf("stats never drained: %+v", p.Stats())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

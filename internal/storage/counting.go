@@ -5,6 +5,8 @@ import (
 	"errors"
 	"fmt"
 	"sync/atomic"
+
+	"monarch/internal/obs"
 )
 
 // OpKind enumerates the operation classes the counters distinguish.
@@ -93,6 +95,30 @@ func (c *Counting) Reset() {
 	c.bytesRead.Store(0)
 	c.bytesWritten.Store(0)
 }
+
+// Instrument implements obs.Instrumentable: it registers func-backed
+// counters that read the wrapper's live totals, so the registry view
+// and Counts() can never disagree (and Reset keeps working — the funcs
+// simply observe the zeroed atomics). The extra labels identify the
+// instance; core passes the hierarchy tier. Registering the same
+// wrapper into the same registry twice panics (duplicate series).
+func (c *Counting) Instrument(r *obs.Registry, labels ...Label) {
+	base := append([]Label{obs.L("backend", c.Backend.Name())}, labels...)
+	for k := OpKind(0); k < opKinds; k++ {
+		ctr := &c.ops[k]
+		r.CounterFunc("monarch_backend_ops_total",
+			"Operations issued to a storage backend, by operation class.",
+			ctr.Load, append(append([]Label(nil), base...), obs.L("op", k.String()))...)
+	}
+	r.CounterFunc("monarch_backend_read_bytes_total",
+		"Bytes read from a storage backend.", c.bytesRead.Load, base...)
+	r.CounterFunc("monarch_backend_write_bytes_total",
+		"Bytes written to a storage backend.", c.bytesWritten.Load, base...)
+}
+
+// Label aliases obs.Label so callers can pass instance labels without
+// importing obs directly.
+type Label = obs.Label
 
 // List implements Backend.
 func (c *Counting) List(ctx context.Context) ([]FileInfo, error) {

@@ -1,0 +1,61 @@
+package storage
+
+import (
+	"context"
+	"testing"
+
+	"monarch/internal/obs"
+)
+
+// TestCountingInstrument checks the obs bridge: the registered
+// func-backed series must track Counts() live — including across a
+// Reset, which the funcs observe rather than break.
+func TestCountingInstrument(t *testing.T) {
+	ctx := context.Background()
+	c := NewCounting(NewMemFS("pfs", 0))
+	reg := obs.NewRegistry()
+	c.Instrument(reg, obs.L("tier", "1"))
+
+	if err := c.WriteFile(ctx, "f", make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadFile(ctx, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Stat(ctx, "f"); err != nil {
+		t.Fatal(err)
+	}
+
+	base := []obs.Label{obs.L("backend", "pfs"), obs.L("tier", "1")}
+	snap := reg.Snapshot()
+	val := func(name string, extra ...obs.Label) int64 {
+		t.Helper()
+		v, ok := snap.Int(name, append(append([]obs.Label(nil), base...), extra...)...)
+		if !ok {
+			t.Fatalf("series %s missing", name)
+		}
+		return v
+	}
+	counts := c.Counts()
+	for k := OpKind(0); k < opKinds; k++ {
+		if got := val("monarch_backend_ops_total", obs.L("op", k.String())); got != counts.Ops[k] {
+			t.Errorf("ops{%s}: registry %d, Counts %d", k, got, counts.Ops[k])
+		}
+	}
+	if got := val("monarch_backend_read_bytes_total"); got != counts.BytesRead || got != 100 {
+		t.Errorf("read bytes: registry %d, Counts %d", got, counts.BytesRead)
+	}
+	if got := val("monarch_backend_write_bytes_total"); got != counts.BytesWritten || got != 100 {
+		t.Errorf("write bytes: registry %d, Counts %d", got, counts.BytesWritten)
+	}
+
+	// Reset zeroes the source atomics; the registry view follows.
+	c.Reset()
+	snap = reg.Snapshot()
+	if got := val("monarch_backend_read_bytes_total"); got != 0 {
+		t.Errorf("read bytes after Reset = %d", got)
+	}
+	if got := val("monarch_backend_ops_total", obs.L("op", "write")); got != 0 {
+		t.Errorf("write ops after Reset = %d", got)
+	}
+}

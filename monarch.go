@@ -35,6 +35,7 @@ package monarch
 
 import (
 	"monarch/internal/core"
+	"monarch/internal/obs"
 	"monarch/internal/pool"
 	"monarch/internal/storage"
 )
@@ -85,6 +86,33 @@ const (
 	EventTierUp      = core.EventTierUp
 	EventChunkPlaced = core.EventChunkPlaced
 	EventPartialHit  = core.EventPartialHit
+	EventOpError     = core.EventOpError
+)
+
+// Observability types, re-exported from internal/obs. A Monarch's
+// Registry() holds every counter, gauge and histogram the middleware
+// maintains; Config.MetricsAddr serves it over HTTP, and Config.Trace
+// receives typed Spans from the read/placement/probe paths.
+type (
+	// Registry is a metrics registry (see Monarch.Registry).
+	Registry = obs.Registry
+	// MetricsSnapshot is a point-in-time JSON-serialisable registry view.
+	MetricsSnapshot = obs.Snapshot
+	// Span is one completed operation on an instrumented path.
+	Span = obs.Span
+	// SpanKind classifies spans.
+	SpanKind = obs.SpanKind
+	// MetricLabel is one name/value dimension of a metric series.
+	MetricLabel = obs.Label
+)
+
+// Span kinds.
+const (
+	SpanRead             = obs.SpanRead
+	SpanPlacementEnqueue = obs.SpanPlacementEnqueue
+	SpanPlacement        = obs.SpanPlacement
+	SpanChunkCopy        = obs.SpanChunkCopy
+	SpanTierProbe        = obs.SpanTierProbe
 )
 
 // Tier circuit-breaker states.
