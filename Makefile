@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover bench bench-all bench-obs repro repro-full examples fuzz fuzz-smoke clean
+.PHONY: all build test race vet cover bench bench-all bench-obs trace-smoke repro repro-full examples fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -21,11 +21,12 @@ test:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -race -short ./internal/core/ ./internal/pool/ ./internal/storage/ ./internal/obs/
+	$(MAKE) trace-smoke
 	$(MAKE) fuzz-smoke
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/pool/... ./internal/storage/... \
-		./internal/obs/... ./internal/sim/... ./internal/simstore/... .
+		./internal/obs/... ./internal/sim/... ./internal/simstore/... ./internal/trace/... .
 
 cover:
 	$(GO) test -cover ./internal/... .
@@ -41,13 +42,26 @@ bench-all:
 	$(GO) test -bench=. -benchmem ./...
 
 # Observability overhead guard: the instrumented mid-copy read path vs
-# its baseline, with the run's metrics snapshot embedded. The budget is
-# documented in DESIGN.md §8: instrumented ≤5% over baseline.
+# its baseline, with the run's metrics snapshot embedded. The budgets
+# are documented in DESIGN.md §8/§9: instrumented ≤5% over baseline,
+# traced ≤5% over instrumented.
 bench-obs:
 	MONARCH_METRICS_OUT=$(CURDIR)/.bench-metrics.json \
-		$(GO) test -bench='ReadAtMidCopy|ReadAtInstrumented' -benchmem -count=1 ./internal/core/ \
+		$(GO) test -bench='ReadAtMidCopy|ReadAtInstrumented|ReadAtTraced' -benchmem -count=1 ./internal/core/ \
 		| $(GO) run ./cmd/monarch-benchjson -o BENCH_obs.json -metrics .bench-metrics.json
 	rm -f .bench-metrics.json
+
+# End-to-end trace pipeline smoke: capture a tiny run, analyze the
+# artifact, then replay it faithfully — monarch-bench exits non-zero if
+# the replay diverges from the capture's trailer.
+trace-smoke:
+	$(GO) build ./cmd/monarch-bench ./cmd/monarch-inspect
+	mkdir -p .trace-smoke
+	$(GO) run ./cmd/monarch-bench -capture .trace-smoke/smoke.bin -scale 0.015625 -epochs 2
+	$(GO) run ./cmd/monarch-inspect trace .trace-smoke/smoke.bin
+	$(GO) run ./cmd/monarch-bench -replay .trace-smoke/smoke.bin
+	$(GO) run ./cmd/monarch-bench -replay .trace-smoke/smoke.bin -replay-mode live
+	rm -rf .trace-smoke monarch-bench monarch-inspect
 
 # Regenerate every figure/table at the default reduced scale.
 repro:

@@ -13,6 +13,10 @@
 //	monarch-bench -scale 1 -runs 7    # the paper's full methodology
 //	monarch-bench -list               # show the experiment registry
 //	monarch-bench -csv out/           # also dump tables as CSV
+//	monarch-bench -capture t.jsonl    # capture an access trace of the
+//	                                  # standard workload at -scale
+//	monarch-bench -replay t.jsonl     # re-drive a captured trace
+//	                                  # (-replay-mode faithful|live)
 package main
 
 import (
@@ -25,6 +29,8 @@ import (
 	"time"
 
 	"monarch/internal/experiments"
+	"monarch/internal/trace"
+	"monarch/internal/trace/replay"
 )
 
 func main() {
@@ -39,6 +45,12 @@ func main() {
 		csvDir     = flag.String("csv", "", "directory to also write tables as CSV")
 		paramsIn   = flag.String("params", "", "JSON file overriding the calibrated parameters")
 		paramsDump = flag.String("dump-params", "", "write the effective parameters as JSON and exit")
+
+		capturePath = flag.String("capture", "", "capture the standard workload's access trace to this path and exit (.bin for binary)")
+		traceSample = flag.Int("trace-sample", 0, "with -capture, keep 1-in-N plain read hits (<=1 keeps all)")
+		replayPath  = flag.String("replay", "", "replay a captured access trace and exit")
+		replayMode  = flag.String("replay-mode", "faithful", "replay strategy: faithful (re-enact + verify) or live (rebuild the stack)")
+		replayWork  = flag.Int("replay-workers", 16, "replay worker processes")
 	)
 	flag.Parse()
 
@@ -72,6 +84,26 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote effective parameters to %s\n", *paramsDump)
+		return
+	}
+	if *replayPath != "" {
+		if err := runReplay(*replayPath, *replayMode, *replayWork, *seed); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if *capturePath != "" {
+		p.Runs = 1
+		p.TraceSample = *traceSample
+		start := time.Now()
+		r, err := experiments.CaptureTrace(p, *capturePath)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("captured %s/%s/%s at scale %g to %s (%d epochs, %d PFS data ops, %s)\n",
+			r.Setup, r.Model, r.Dataset, p.Scale, *capturePath,
+			len(r.PFSOpsPerEpoch), r.TotalPFSOps(), time.Since(start).Round(time.Millisecond))
+		fmt.Printf("analyze with: monarch-inspect trace %s\n", *capturePath)
 		return
 	}
 	p.Cache = experiments.NewCache()
@@ -110,6 +142,34 @@ func main() {
 	if failures > 0 {
 		fatal(fmt.Errorf("%d shape check(s) failed", failures))
 	}
+}
+
+// runReplay loads a captured trace and re-drives it. Faithful mode
+// verifies the replay's statistics against the capture's trailer and
+// fails the command on any mismatch.
+func runReplay(path, mode string, workers int, seed uint64) error {
+	t, err := trace.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	opts := replay.Options{Workers: workers, Seed: seed}
+	switch mode {
+	case "faithful":
+		opts.Mode = replay.Faithful
+	case "live":
+		opts.Mode = replay.Live
+	default:
+		return fmt.Errorf("unknown -replay-mode %q (want faithful or live)", mode)
+	}
+	rep, err := replay.Run(t, opts)
+	if err != nil {
+		return err
+	}
+	rep.RenderText(os.Stdout, t)
+	if len(rep.Mismatches) > 0 {
+		return fmt.Errorf("replay statistics diverge from the capture (%d counter(s))", len(rep.Mismatches))
+	}
+	return nil
 }
 
 func writeCSVs(dir, id string, o *experiments.Outcome) error {

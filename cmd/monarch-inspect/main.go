@@ -9,10 +9,17 @@
 //	monarch-inspect example <file>    # decode the first record's tf.Example
 //	monarch-inspect dataset <dir>     # summarise a shard directory
 //	monarch-inspect metrics <path|url> # summarise a metrics snapshot
+//	monarch-inspect trace [-json] <file> # per-epoch analytics of an access trace
 //
 // The metrics subcommand accepts either a JSON snapshot file (as
 // embedded in BENCH_obs.json or fetched from /metrics.json) or the base
 // URL of a running instance's metrics endpoint (Config.MetricsAddr).
+//
+// The trace subcommand reads an access trace captured with
+// monarch-bench -capture (JSONL or binary) and derives per-epoch PFS
+// operation counts and savings against a PFS-only baseline, per-file
+// access heatmaps, the tier-transition timeline and
+// time-to-first-local-hit; -json emits the full analysis as JSON.
 package main
 
 import (
@@ -31,11 +38,13 @@ import (
 	"monarch/internal/storage"
 	"monarch/internal/tfexample"
 	"monarch/internal/tfrecord"
+	"monarch/internal/trace"
+	"monarch/internal/trace/analyze"
 )
 
 func main() {
-	if len(os.Args) != 3 {
-		fatal(fmt.Errorf("usage: monarch-inspect {tfrecord <file> | recordio <file> | dataset <dir> | metrics <path|url>}"))
+	if len(os.Args) < 3 {
+		fatal(fmt.Errorf("usage: monarch-inspect {tfrecord <file> | recordio <file> | dataset <dir> | metrics <path|url> | trace [-json] <file>}"))
 	}
 	var err error
 	switch os.Args[1] {
@@ -49,12 +58,48 @@ func main() {
 		err = inspectDataset(os.Args[2])
 	case "metrics":
 		err = inspectMetrics(os.Args[2])
+	case "trace":
+		err = inspectTrace(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}
 	if err != nil {
 		fatal(err)
 	}
+}
+
+// inspectTrace analyzes an access trace: human tables by default,
+// the full analysis as JSON with -json.
+func inspectTrace(args []string) error {
+	asJSON := false
+	var path string
+	for _, a := range args {
+		switch {
+		case a == "-json" || a == "--json":
+			asJSON = true
+		case strings.HasPrefix(a, "-"):
+			return fmt.Errorf("trace: unknown flag %q", a)
+		case path != "":
+			return fmt.Errorf("trace: exactly one trace file expected")
+		default:
+			path = a
+		}
+	}
+	if path == "" {
+		return fmt.Errorf("usage: monarch-inspect trace [-json] <file>")
+	}
+	t, err := trace.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	a := analyze.Analyze(t, analyze.Options{})
+	if asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(a)
+	}
+	a.Render(os.Stdout, analyze.Options{})
+	return nil
 }
 
 func inspectShard(path string, mxnet bool) error {
@@ -205,7 +250,9 @@ func inspectMetrics(src string) error {
 			name += "{" + strings.Join(pairs, ",") + "}"
 		}
 		if p.Histogram != nil {
-			fmt.Printf("%-64s count=%d sum=%g\n", name, p.Histogram.Count, p.Histogram.Sum)
+			fmt.Printf("%-64s count=%d sum=%g p50=%g p95=%g p99=%g\n",
+				name, p.Histogram.Count, p.Histogram.Sum,
+				p.Histogram.P50, p.Histogram.P95, p.Histogram.P99)
 			continue
 		}
 		fmt.Printf("%-64s %g\n", name, *p.Value)

@@ -1,0 +1,85 @@
+package main
+
+import (
+	"encoding/json"
+	"net"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"monarch/internal/obs"
+)
+
+// deadURL reserves a port and closes it, so nothing is listening.
+func deadURL(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return "http://" + addr
+}
+
+func TestInspectMetricsDeadURL(t *testing.T) {
+	if err := inspectMetrics(deadURL(t)); err == nil {
+		t.Fatal("dead URL produced no error")
+	}
+}
+
+func TestInspectMetricsMissingFile(t *testing.T) {
+	if err := inspectMetrics(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file produced no error")
+	}
+}
+
+func TestInspectMetricsRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "garbage.json")
+	if err := os.WriteFile(path, []byte("not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := inspectMetrics(path); err == nil || !strings.Contains(err.Error(), "not a metrics snapshot") {
+		t.Fatalf("garbage file error = %v", err)
+	}
+	empty := filepath.Join(t.TempDir(), "empty.json")
+	if err := os.WriteFile(empty, []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := inspectMetrics(empty); err == nil || !strings.Contains(err.Error(), "no series") {
+		t.Fatalf("empty snapshot error = %v", err)
+	}
+}
+
+func TestInspectMetricsFromSnapshotFile(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("i_ops_total", "").Add(7)
+	r.Histogram("i_seconds", "", []float64{1, 10}).Observe(0.5)
+	data, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "snap.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := inspectMetrics(path); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInspectTraceArgErrors(t *testing.T) {
+	if err := inspectTrace(nil); err == nil {
+		t.Fatal("no args accepted")
+	}
+	if err := inspectTrace([]string{"-bogus", "f"}); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+	if err := inspectTrace([]string{"a", "b"}); err == nil {
+		t.Fatal("two paths accepted")
+	}
+	if err := inspectTrace([]string{filepath.Join(t.TempDir(), "nope.jsonl")}); err == nil {
+		t.Fatal("missing trace accepted")
+	}
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -233,6 +234,30 @@ func BenchmarkReadAtInstrumented(b *testing.B) {
 		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkReadAtTraced is the overhead guard for the access-trace
+// recorder: the instrumented mid-copy read path with the trace
+// recorder attached on top of the span hook and metrics endpoint. The
+// budget (DESIGN.md §9) is ≤5% over BenchmarkReadAtInstrumented — the
+// recorder's hot path is one atomic, a short mutex'd ring append and a
+// channel signal; encoding and file I/O stay on the drainer.
+func BenchmarkReadAtTraced(b *testing.B) {
+	var spans atomic.Int64
+	path := filepath.Join(b.TempDir(), "bench.bin")
+	m := benchMidCopy(b, func(c *Config) {
+		c.Trace = func(s obs.Span) { spans.Add(1) }
+		c.MetricsAddr = "127.0.0.1:0"
+		c.TracePath = path
+	})
+	b.StopTimer()
+	if spans.Load() == 0 {
+		b.Fatal("trace hook never fired")
+	}
+	st := m.Tracer().Stats()
+	if st.Recorded == 0 {
+		b.Fatal("recorder saw no events")
 	}
 }
 

@@ -29,11 +29,13 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sync"
 	"time"
 
 	"monarch/internal/obs"
 	"monarch/internal/pool"
 	"monarch/internal/storage"
+	"monarch/internal/trace"
 )
 
 // StagingMode selects when data placement happens (§III-A discusses
@@ -116,6 +118,27 @@ type Config struct {
 	// synchronously on the instrumented path: it must be fast and must
 	// never block.
 	Trace obs.TraceHook
+	// TracePath, when non-empty, streams an access trace to this file:
+	// one fixed-size event per read, placement, chunk copy, epoch mark
+	// and tier-state change (see internal/trace). A ".bin" suffix
+	// selects the compact binary encoding; anything else writes JSONL.
+	// The recorder closes (and writes its trailer) with Close/Shutdown.
+	TracePath string
+	// TraceSample records 1 in N plain read hits (≤1 records every
+	// read). Partial hits, fallbacks, errors, placements and state
+	// changes are never sampled out, so the trace stays in lock-step
+	// with the monarch_events_total counters.
+	TraceSample int
+	// TraceClock supplies the trace's monotonic nanosecond clock; the
+	// experiments pass the simulation clock so captured timestamps are
+	// virtual. Nil uses wall-monotonic time.
+	TraceClock func() int64
+	// TraceMeta is embedded verbatim in the trace header (scale,
+	// dataset name, copy-chunk size — whatever replays need).
+	TraceMeta map[string]string
+	// DisablePprof removes the net/http/pprof handlers that the
+	// MetricsAddr endpoint serves under /debug/pprof/ by default.
+	DisablePprof bool
 }
 
 // Monarch is the middleware instance. All methods are safe for
@@ -129,9 +152,14 @@ type Monarch struct {
 	placer *placer
 	health *healthTracker
 	inst   instruments
+	tracer *trace.Recorder
+	// spanHook fans spans out to the trace recorder and Config.Trace;
+	// nil when neither is configured.
+	spanHook obs.TraceHook
 
 	metricsLn  net.Listener
 	metricsSrv *http.Server
+	traceOnce  sync.Once
 }
 
 // ErrNotInitialized is returned by reads before Init has built the
@@ -167,8 +195,19 @@ func New(cfg Config) (*Monarch, error) {
 	m.placer = newPlacer(m)
 	m.health = newHealthTracker(cfg.Health, len(m.levels)-1)
 	m.initObs()
+	if cfg.TracePath != "" {
+		if err := m.startTrace(); err != nil {
+			return nil, err
+		}
+	}
+	var tracerHook obs.TraceHook
+	if m.tracer != nil {
+		tracerHook = m.tracer.HookSpan
+	}
+	m.spanHook = obs.MultiHook(tracerHook, cfg.Trace)
 	if cfg.MetricsAddr != "" {
 		if err := m.startMetrics(); err != nil {
+			m.closeTrace()
 			return nil, err
 		}
 	}
@@ -188,6 +227,13 @@ func (m *Monarch) Init(ctx context.Context) error {
 		return fmt.Errorf("monarch: init: %w", err)
 	}
 	m.meta.populate(infos, len(m.levels)-1)
+	if m.tracer != nil {
+		files := make([]trace.File, len(infos))
+		for i, fi := range infos {
+			files[i] = trace.File{Name: fi.Name, Size: fi.Size}
+		}
+		m.tracer.AddFiles(files)
+	}
 	if m.cfg.Staging == StagePreTraining && !m.cfg.Disabled {
 		return m.preStage(ctx)
 	}
@@ -207,12 +253,15 @@ func (m *Monarch) Stats() Stats { return m.stats.snapshot(m.placer.inFlight()) }
 func (m *Monarch) Idle() bool { return m.placer.inFlight() == 0 }
 
 // Close stops the placement intake. Queued placements still complete
-// (GoPool's Close additionally waits for them).
+// (GoPool's Close additionally waits for them). The trace recorder, if
+// any, flushes and writes its trailer after the pool drains, so the
+// trace's summary reflects final counters.
 func (m *Monarch) Close() {
 	m.stopMetrics()
 	if m.cfg.Pool != nil {
 		m.cfg.Pool.Close()
 	}
+	m.closeTrace()
 }
 
 // Shutdown cancels in-flight placements and stops the intake; unlike
@@ -223,6 +272,7 @@ func (m *Monarch) Shutdown() {
 	if m.cfg.Pool != nil {
 		m.cfg.Pool.Shutdown()
 	}
+	m.closeTrace()
 }
 
 // ReadAt is the paper's Monarch.read: it serves len(p) bytes at offset
@@ -234,12 +284,13 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 	e, err := m.lookup(name)
 	if err != nil {
 		m.inst.errRead.Inc()
-		m.span(obs.Span{Kind: obs.SpanRead, File: name, Tier: -1, Err: err, Duration: time.Since(start)})
+		m.span(obs.Span{Kind: obs.SpanRead, File: name, Tier: -1, Off: off, Err: err, Duration: time.Since(start)})
 		return 0, err
 	}
 	src := m.source.level
 	lvl := e.currentLevel()
 	partial := false
+	var flags obs.SpanFlags
 	if !m.cfg.Disabled {
 		m.tickProbes()
 		if lvl != src && m.health.isDown(lvl) {
@@ -266,6 +317,7 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 		// holds the dataset, count the event, and feed the breaker.
 		m.stats.fallbacks.Add(1)
 		m.inst.errTierRead.Inc()
+		flags |= obs.FlagFallback
 		m.event(Event{Kind: EventFallback, File: name, Level: lvl, Err: rerr})
 		if !m.cfg.Disabled {
 			if m.health.recordReadError(lvl) {
@@ -282,18 +334,19 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 	}
 	if rerr != nil {
 		m.inst.errRead.Inc()
-		m.span(obs.Span{Kind: obs.SpanRead, File: name, Tier: d.level, Err: rerr, Duration: time.Since(start)})
+		m.span(obs.Span{Kind: obs.SpanRead, File: name, Tier: d.level, Off: off, Flags: flags, Err: rerr, Duration: time.Since(start)})
 		return n, rerr
 	}
 	m.stats.served(d.level, int64(n))
 	if partial && d.level != src {
+		flags |= obs.FlagPartial
 		m.stats.partialHits.Add(1)
 		m.stats.partialHitBytes.Add(int64(n))
 		m.event(Event{Kind: EventPartialHit, File: name, Level: d.level, Bytes: int64(n)})
 	}
 	dur := time.Since(start)
 	m.inst.readLatency[d.level].Observe(dur.Seconds())
-	m.span(obs.Span{Kind: obs.SpanRead, File: name, Tier: d.level, Bytes: int64(n), Duration: dur})
+	m.span(obs.Span{Kind: obs.SpanRead, File: name, Tier: d.level, Off: off, Bytes: int64(n), Flags: flags, Duration: dur})
 
 	if !m.cfg.Disabled && m.cfg.Staging == StageOnFirstRead {
 		// The §III-B flow: first access triggers placement. If the

@@ -129,20 +129,23 @@ func (m *Monarch) initObs() {
 }
 
 // event is the single funnel every middleware event goes through: it
-// bumps the per-kind counter and forwards to the (possibly nil) event
-// log, so the log and the registry can never disagree about what
+// bumps the per-kind counter, forwards to the (possibly nil) event
+// log, and mirrors tier-state changes into the access trace — so the
+// log, the registry and the trace can never disagree about what
 // happened.
 func (m *Monarch) event(e Event) {
 	if k := int(e.Kind); k >= 0 && k < len(m.inst.events) {
 		m.inst.events[k].Inc()
 	}
 	m.cfg.Events.emit(e)
+	m.traceState(e)
 }
 
-// span delivers a completed span to the Config.Trace hook, if any.
+// span delivers a completed span to the configured consumers (the
+// trace recorder and the Config.Trace hook, fanned out by New).
 func (m *Monarch) span(s obs.Span) {
-	if m.cfg.Trace != nil {
-		m.cfg.Trace(s)
+	if m.spanHook != nil {
+		m.spanHook(s)
 	}
 }
 
@@ -169,7 +172,7 @@ func (m *Monarch) startMetrics() error {
 		return fmt.Errorf("monarch: metrics listener: %w", err)
 	}
 	m.metricsLn = ln
-	srv := &http.Server{Handler: m.inst.reg.Handler()}
+	srv := &http.Server{Handler: m.inst.reg.HandlerWith(obs.HandlerOpts{DisablePprof: m.cfg.DisablePprof})}
 	m.metricsSrv = srv
 	// srv is captured locally: stopMetrics may nil the field before this
 	// goroutine is scheduled.

@@ -60,8 +60,11 @@ func (pl *placer) onAccess(e *fileEntry, full []byte) {
 // placed records a successful placement of e onto d: metadata, stats,
 // the enqueue-to-landed latency histogram, the placement span, the
 // event, and the eviction hook — shared by the whole-file and chunked
-// paths so the two can never diverge in bookkeeping.
-func (pl *placer) placed(e *fileEntry, d *driver, attempt int, wroteBytes bool) {
+// paths so the two can never diverge in bookkeeping. reuse marks a
+// placement satisfied from the foreground's full read (no source
+// traffic), which the span advertises so trace consumers can account
+// PFS operations correctly.
+func (pl *placer) placed(e *fileEntry, d *driver, attempt int, wroteBytes, reuse bool) {
 	m := pl.m
 	queued := e.queuedSince()
 	m.health.recordWriteOK(d.level)
@@ -75,7 +78,11 @@ func (pl *placer) placed(e *fileEntry, d *driver, attempt int, wroteBytes bool) 
 		dur = time.Since(queued)
 		m.inst.placementLatency.Observe(dur.Seconds())
 	}
-	m.span(obs.Span{Kind: obs.SpanPlacement, File: e.name, Tier: d.level, Bytes: e.size, Attempt: attempt, Duration: dur})
+	var flags obs.SpanFlags
+	if reuse {
+		flags |= obs.FlagReuse
+	}
+	m.span(obs.Span{Kind: obs.SpanPlacement, File: e.name, Tier: d.level, Bytes: e.size, Attempt: attempt, Flags: flags, Duration: dur})
 	m.event(Event{Kind: EventPlaced, File: e.name, Level: d.level, Bytes: e.size})
 	if m.cfg.Eviction != nil {
 		m.cfg.Eviction.OnPlaced(e.name, d.level)
@@ -133,7 +140,10 @@ func (pl *placer) place(ctx context.Context, e *fileEntry, full []byte, attempt 
 		}
 		err := pl.copyInto(ctx, d, e, full, attempt, allowChunks)
 		if err == nil {
-			pl.placed(e, d, attempt, true)
+			// Mirrors copyInto's first case: a full foreground read was
+			// written straight through, with no source fetch.
+			reuse := full != nil && int64(len(full)) == e.size
+			pl.placed(e, d, attempt, true, reuse)
 			return
 		}
 		if errors.Is(err, errChunksDelegated) {
@@ -376,7 +386,7 @@ func (j *chunkJob) copyChunk(ctx context.Context, i int64, buf []byte) error {
 	m.stats.writtenBytes[j.d.level].Add(want)
 	dur := time.Since(start)
 	m.inst.chunkCopyLatency.Observe(dur.Seconds())
-	m.span(obs.Span{Kind: obs.SpanChunkCopy, File: j.e.name, Tier: j.d.level, Bytes: want,
+	m.span(obs.Span{Kind: obs.SpanChunkCopy, File: j.e.name, Tier: j.d.level, Off: off, Bytes: want,
 		Attempt: j.attempt, Duration: dur})
 	m.event(Event{Kind: EventChunkPlaced, File: j.e.name, Level: j.d.level, Bytes: want})
 	return nil
@@ -393,7 +403,7 @@ func (j *chunkJob) finish(ctx context.Context) {
 	if j.done.Load() == j.nchunks {
 		// Chunk bytes were charged to the tier as they landed, so the
 		// shared bookkeeping must not add them again.
-		j.pl.placed(e, d, j.attempt, false)
+		j.pl.placed(e, d, j.attempt, false, false)
 		return
 	}
 	e.clearChunks()

@@ -64,6 +64,15 @@ type Params struct {
 	// capacity in bytes before scaling (ext-multitier); 0 disables.
 	ExtraTierBytes int64
 
+	// TracePath, when set, captures the MONARCH setup's access trace
+	// (one file per run; multi-run sweeps should use Runs=1). The file
+	// records every read, placement and chunk copy on the simulated
+	// clock, replayable with monarch-bench -replay.
+	TracePath string
+	// TraceSample keeps 1-in-N plain read hits in the trace (≤1 keeps
+	// everything; event-worthy records are never sampled out).
+	TraceSample int
+
 	// Cache, when non-nil, memoises aggregates across experiments that
 	// rerun identical configurations.
 	Cache *Cache `json:"-"`

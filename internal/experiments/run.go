@@ -78,7 +78,13 @@ func RunOneModel(setup Setup, mdl models.Model, man *dataset.Manifest, p Params,
 	pcfg.Source = r.source
 
 	var prevOps, prevBytes int64
-	snapshot := func() {
+	snapshot := func(epoch int) {
+		if r.monarch != nil {
+			// Epoch boundary into the access trace (no-op without
+			// Params.TracePath) before the counters are cut, so the
+			// analyzer's per-epoch attribution matches the snapshots.
+			r.monarch.MarkTraceEpoch(epoch)
+		}
 		if r.pfs == nil {
 			res.PFSOpsPerEpoch = append(res.PFSOpsPerEpoch, 0)
 			res.PFSBytesPerEpoch = append(res.PFSBytesPerEpoch, 0)
@@ -113,7 +119,7 @@ func RunOneModel(setup Setup, mdl models.Model, man *dataset.Manifest, p Params,
 			Epochs:     p.Epochs,
 			Pipeline:   pcfg,
 			Seed:       seed,
-			OnEpochEnd: func(*sim.Proc, int) { snapshot() },
+			OnEpochEnd: func(_ *sim.Proc, epoch int) { snapshot(epoch + 1) },
 		})
 		if err != nil {
 			trainErr = err
@@ -134,6 +140,15 @@ func RunOneModel(setup Setup, mdl models.Model, man *dataset.Manifest, p Params,
 	if r.monarch != nil {
 		res.Monarch = r.monarch.Stats()
 		res.CachedBytes = res.Monarch.PlacedBytes
+		if tr := r.monarch.Tracer(); tr != nil {
+			// Record the measured PFS data-op count in the trailer so the
+			// trace analyzer can cross-check its derived total, then seal
+			// the trace file.
+			if r.pfs != nil {
+				tr.AddSummary(map[string]int64{"pfs_data_ops": r.pfs.Counts().DataOps()})
+			}
+			r.monarch.Close()
+		}
 	}
 	if cs, ok := r.source.(*cachingSource); ok {
 		res.CachedBytes = cs.cachedBytes()

@@ -115,14 +115,28 @@ func buildRig(env *sim.Env, setup Setup, man *dataset.Manifest, p Params) (*rig,
 		if p.PreStage {
 			staging = core.StagePreTraining
 		}
-		m, err := core.New(core.Config{
+		cfg := core.Config{
 			Levels:        tiers,
 			Pool:          pool.NewSimPool(env, "placer", p.PlacementThreads),
 			FullFileFetch: p.FullFileFetch,
 			ChunkSize:     p.PlacementChunk,
 			Staging:       staging,
 			Eviction:      evict,
-		})
+		}
+		if p.TracePath != "" {
+			cfg.TracePath = p.TracePath
+			cfg.TraceSample = p.TraceSample
+			// Trace timestamps follow the simulated clock, so a replay
+			// can re-drive the run deterministically.
+			cfg.TraceClock = func() int64 { return int64(env.Now()) }
+			cfg.TraceMeta = map[string]string{
+				"scale":             fmt.Sprintf("%g", p.Scale),
+				"dataset":           man.Spec.Name,
+				"copy_chunk":        fmt.Sprintf("%d", p.CopyChunk),
+				"placement_threads": fmt.Sprintf("%d", p.PlacementThreads),
+			}
+		}
+		m, err := core.New(cfg)
 		if err != nil {
 			return nil, err
 		}

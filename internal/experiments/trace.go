@@ -1,0 +1,21 @@
+package experiments
+
+import (
+	"monarch/internal/dataset"
+)
+
+// CaptureTrace executes one seeded MONARCH run of the standard
+// workload — lenet over the larger ds200 dataset, the configuration
+// the paper's I/O-savings claims are made on — with access-trace
+// capture enabled, writing the trace to path. The returned RunResult
+// carries the run's measured counters; the trace trailer additionally
+// records the PFS data-op count for the analyzer's cross-check.
+func CaptureTrace(p Params, path string) (RunResult, error) {
+	p.TracePath = path
+	_, ds200 := p.Datasets()
+	man, err := dataset.Plan(ds200)
+	if err != nil {
+		return RunResult{}, err
+	}
+	return RunOne(Monarch, "lenet", man, p, p.BaseSeed)
+}

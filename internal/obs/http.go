@@ -3,35 +3,72 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+	"net/http/pprof"
 )
+
+// HandlerOpts tunes the HTTP handler returned by HandlerWith.
+type HandlerOpts struct {
+	// DisablePprof drops the net/http/pprof handlers from the mux. By
+	// default they are served under /debug/pprof/ so a live instance can
+	// be profiled through the same port that exports its metrics.
+	DisablePprof bool
+}
 
 // Handler serves the registry over HTTP:
 //
 //	GET /metrics       Prometheus text exposition (scrape target)
 //	GET /metrics.json  JSON snapshot (consumed by monarch-inspect)
 //	GET /debug/vars    expvar-style flat map of counter/gauge values
+//	GET /debug/pprof/  runtime profiles (net/http/pprof)
 //
-// The handler evaluates func-backed metrics at request time, so a
-// scrape always reflects live queue depth and breaker state.
-func (r *Registry) Handler() http.Handler {
+// Non-GET requests get 405; the handler evaluates func-backed metrics
+// at request time, so a scrape always reflects live queue depth and
+// breaker state. Use HandlerWith to opt out of the pprof endpoints.
+func (r *Registry) Handler() http.Handler { return r.HandlerWith(HandlerOpts{}) }
+
+// HandlerWith is Handler with explicit options.
+func (r *Registry) HandlerWith(opts HandlerOpts) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("/metrics", getOnly(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = r.WritePrometheus(w)
-	})
-	mux.HandleFunc("/metrics.json", func(w http.ResponseWriter, _ *http.Request) {
+	}))
+	mux.HandleFunc("/metrics.json", getOnly(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.Snapshot())
-	})
-	mux.HandleFunc("/debug/vars", func(w http.ResponseWriter, _ *http.Request) {
+	}))
+	mux.HandleFunc("/debug/vars", getOnly(func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(r.Vars())
-	})
+	}))
+	if !opts.DisablePprof {
+		// The default pprof handlers hang off http.DefaultServeMux; wire
+		// them into this mux explicitly so instances never leak profiles
+		// onto servers that share the process.
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	return mux
+}
+
+// getOnly rejects non-GET/HEAD methods with 405: every endpoint here is
+// a read-only view, and a POST reaching it is a misconfigured scraper.
+func getOnly(h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, req *http.Request) {
+		if req.Method != http.MethodGet && req.Method != http.MethodHead {
+			w.Header().Set("Allow", "GET, HEAD")
+			http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+			return
+		}
+		h(w, req)
+	}
 }
 
 // Vars flattens every counter and gauge into an expvar-style map keyed

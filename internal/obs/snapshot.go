@@ -21,10 +21,48 @@ type MetricPoint struct {
 }
 
 // HistogramPoint is a histogram's cumulative buckets plus sum/count.
+// P50/P95/P99 are Prometheus-style estimates interpolated from the
+// cumulative buckets at snapshot time (0 while the histogram is empty);
+// they exist so JSON consumers get latency summaries without
+// re-implementing the bucket walk.
 type HistogramPoint struct {
 	Buckets []BucketPoint `json:"buckets"`
 	Sum     float64       `json:"sum"`
 	Count   uint64        `json:"count"`
+	P50     float64       `json:"p50"`
+	P95     float64       `json:"p95"`
+	P99     float64       `json:"p99"`
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the cumulative
+// buckets, interpolating linearly within the bucket that crosses the
+// target rank — the same estimate Prometheus' histogram_quantile
+// computes. Observations beyond the last finite bound clamp to that
+// bound (an unbounded bucket has no interpolable width). Returns 0 for
+// an empty histogram.
+func (h *HistogramPoint) Quantile(q float64) float64 {
+	if h == nil || h.Count == 0 || len(h.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(h.Count)
+	lastFinite := h.Buckets[len(h.Buckets)-1].LE
+	prevLE, prevCount := 0.0, uint64(0)
+	for _, b := range h.Buckets {
+		if float64(b.Count) >= rank && b.Count > prevCount {
+			frac := (rank - float64(prevCount)) / float64(b.Count-prevCount)
+			return prevLE + (b.LE-prevLE)*frac
+		}
+		prevLE, prevCount = b.LE, b.Count
+	}
+	// Rank falls in the implicit +Inf bucket: clamp to the largest
+	// finite bound.
+	return lastFinite
 }
 
 // BucketPoint is one cumulative bucket: observations <= LE (the final
@@ -56,6 +94,9 @@ func (r *Registry) Snapshot() Snapshot {
 					cum += s.h.counts[i].Load()
 					hp.Buckets = append(hp.Buckets, BucketPoint{LE: b, Count: cum})
 				}
+				hp.P50 = hp.Quantile(0.50)
+				hp.P95 = hp.Quantile(0.95)
+				hp.P99 = hp.Quantile(0.99)
 				p.Histogram = hp
 			} else {
 				v := s.value()

@@ -49,6 +49,25 @@ func (k SpanKind) String() string {
 	}
 }
 
+// SpanFlags qualify how an operation was served, beyond what Kind and
+// Tier capture. They exist so downstream consumers (the trace recorder
+// in particular) can classify hits without re-deriving middleware
+// state.
+type SpanFlags uint8
+
+const (
+	// FlagPartial marks a read served from an upper tier while that
+	// file's chunked placement was still in flight (mid-copy
+	// read-through).
+	FlagPartial SpanFlags = 1 << iota
+	// FlagFallback marks a read that failed on an upper tier and was
+	// re-served from the source level.
+	FlagFallback
+	// FlagReuse marks a placement satisfied by re-using the
+	// foreground's full read instead of fetching from the source.
+	FlagReuse
+)
+
 // Span is one completed operation on an instrumented path. Spans are
 // delivered synchronously to the Config.Trace hook; hooks must be fast
 // and must not block, or they stall the path they observe.
@@ -56,8 +75,10 @@ type Span struct {
 	Kind     SpanKind
 	File     string        // file involved ("" for tier-scoped spans)
 	Tier     int           // hierarchy level (-1 when not applicable)
+	Off      int64         // byte offset of the operation, if ranged
 	Bytes    int64         // payload bytes moved, if any
 	Attempt  int           // 1-based placement attempt, if applicable
+	Flags    SpanFlags     // hit qualifiers; see SpanFlags
 	Err      error         // outcome; nil on success
 	Duration time.Duration // wall-clock duration (informational under simulation)
 }
@@ -71,11 +92,23 @@ func (s Span) String() string {
 	if s.Tier >= 0 {
 		out += fmt.Sprintf(" tier=%d", s.Tier)
 	}
+	if s.Off > 0 {
+		out += fmt.Sprintf(" off=%d", s.Off)
+	}
 	if s.Bytes > 0 {
 		out += fmt.Sprintf(" bytes=%d", s.Bytes)
 	}
 	if s.Attempt > 0 {
 		out += fmt.Sprintf(" attempt=%d", s.Attempt)
+	}
+	if s.Flags&FlagPartial != 0 {
+		out += " partial"
+	}
+	if s.Flags&FlagFallback != 0 {
+		out += " fallback"
+	}
+	if s.Flags&FlagReuse != 0 {
+		out += " reuse"
 	}
 	out += fmt.Sprintf(" dur=%s", s.Duration)
 	if s.Err != nil {
@@ -86,6 +119,30 @@ func (s Span) String() string {
 
 // TraceHook receives completed spans.
 type TraceHook func(Span)
+
+// MultiHook fans one span stream out to several hooks, skipping nil
+// entries. It returns nil when no hook remains, so callers can keep
+// their usual `if hook != nil` fast path, and returns a lone survivor
+// directly to avoid a wrapper on the hot path.
+func MultiHook(hooks ...TraceHook) TraceHook {
+	live := hooks[:0:0]
+	for _, h := range hooks {
+		if h != nil {
+			live = append(live, h)
+		}
+	}
+	switch len(live) {
+	case 0:
+		return nil
+	case 1:
+		return live[0]
+	}
+	return func(s Span) {
+		for _, h := range live {
+			h(s)
+		}
+	}
+}
 
 // Instrumentable is implemented by components (storage wrappers, pools)
 // that can register their own metrics into a registry; extra labels

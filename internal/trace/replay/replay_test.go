@@ -1,0 +1,150 @@
+package replay
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"monarch/internal/trace"
+)
+
+// consistent builds a trace whose trailer matches what a faithful
+// replay must derive from its events, so the round-trip check passes.
+func consistent() *trace.Trace {
+	ev := func(t int64, k trace.Kind, c trace.Class, file uint32, tier int8, off, ln int64) trace.Event {
+		return trace.Event{T: t, Kind: k, Class: c, File: file, Tier: tier, Off: off, Len: ln}
+	}
+	return &trace.Trace{
+		Header: trace.Header{
+			Version: trace.Version,
+			Clock:   "virtual",
+			Sample:  1,
+			Source:  1,
+			Levels:  []trace.Level{{Name: "ssd", Capacity: 1 << 30}, {Name: "lustre"}},
+			Meta:    map[string]string{"copy_chunk": "100"},
+		},
+		Files: []trace.File{
+			{ID: 1, Name: "a", Size: 250},
+			{ID: 2, Name: "b", Size: 100},
+		},
+		Events: []trace.Event{
+			ev(1000, trace.KindRead, trace.ClassPFS, 1, 1, 0, 250),
+			ev(2000, trace.KindRead, trace.ClassPFS, 2, 1, 0, 100),
+			ev(3000, trace.KindChunkCopy, trace.ClassNone, 1, 0, 0, 100),
+			ev(4000, trace.KindChunkCopy, trace.ClassNone, 1, 0, 100, 100),
+			ev(5000, trace.KindChunkCopy, trace.ClassNone, 1, 0, 200, 50),
+			ev(6000, trace.KindPlacement, trace.ClassFetch, 1, 0, 0, 250),
+			ev(7000, trace.KindPlacement, trace.ClassFetch, 2, 0, 0, 100),
+			ev(8000, trace.KindEpoch, trace.ClassNone, 0, -1, 0, 1),
+			ev(9000, trace.KindRead, trace.ClassLocal, 1, 0, 0, 250),
+			ev(10000, trace.KindRead, trace.ClassPartial, 2, 0, 0, 100),
+		},
+		Summary: map[string]int64{
+			"reads_tier_0": 2, "bytes_tier_0": 350,
+			"reads_tier_1": 2, "bytes_tier_1": 350,
+			"partial_hits": 1, "partial_hit_bytes": 100,
+			"fallbacks":    0,
+			"pfs_data_ops": 6, // 2 source reads + 3 chunks + 1 whole-file fetch
+			"placements":   2, "placed_bytes": 350,
+			"chunk_placements": 3, "placement_skips": 0, "placement_errors": 0,
+		},
+		Stats: map[string]int64{"seen": 10, "recorded": 10, "dropped": 0},
+	}
+}
+
+func TestFaithfulRoundTrip(t *testing.T) {
+	tr := consistent()
+	rep, err := Run(tr, Options{Mode: Faithful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mismatches) != 0 {
+		t.Fatalf("mismatches: %v", rep.Mismatches)
+	}
+	if rep.ReadsServed[0] != 2 || rep.ReadsServed[1] != 2 ||
+		rep.BytesServed[0] != 350 || rep.BytesServed[1] != 350 {
+		t.Fatalf("reads/bytes = %v / %v", rep.ReadsServed, rep.BytesServed)
+	}
+	if rep.PFSOps != 6 || rep.Placements != 2 || rep.ChunkPlacements != 3 || rep.PartialHits != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Duration <= 0 {
+		t.Fatalf("virtual makespan = %v", rep.Duration)
+	}
+
+	var buf bytes.Buffer
+	rep.RenderText(&buf, tr)
+	if !strings.Contains(buf.String(), "match the capture exactly") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+}
+
+func TestFaithfulDetectsDivergence(t *testing.T) {
+	tr := consistent()
+	tr.Summary["pfs_data_ops"] = 99
+	rep, err := Run(tr, Options{Mode: Faithful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mismatches) != 1 || !strings.Contains(rep.Mismatches[0], "pfs_data_ops") {
+		t.Fatalf("mismatches = %v", rep.Mismatches)
+	}
+	var buf bytes.Buffer
+	rep.RenderText(&buf, tr)
+	if !strings.Contains(buf.String(), "MISMATCH") {
+		t.Fatalf("render does not surface the mismatch:\n%s", buf.String())
+	}
+}
+
+func TestSampledTraceSkipsReadChecks(t *testing.T) {
+	tr := consistent()
+	// Pretend half the plain hits were thinned: read counters no longer
+	// match, but the always-recorded placement stream still must.
+	tr.Header.Sample = 2
+	tr.Summary["reads_tier_0"] = 99999
+	rep, err := Run(tr, Options{Mode: Faithful})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Mismatches) != 0 {
+		t.Fatalf("sampled trace mismatches: %v", rep.Mismatches)
+	}
+}
+
+func TestReplayRejectsIncompleteTrace(t *testing.T) {
+	tr := consistent()
+	tr.Summary = nil
+	if _, err := Run(tr, Options{}); err == nil {
+		t.Fatal("incomplete trace accepted")
+	}
+	if _, err := Run(&trace.Trace{}, Options{}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestLiveReplayRebuildsStack(t *testing.T) {
+	rep, err := Run(consistent(), Options{Mode: Live, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Mode != "live" {
+		t.Fatalf("mode = %q", rep.Mode)
+	}
+	// All four foreground reads are re-issued; the rebuilt stack makes
+	// its own placement decisions over them.
+	var reads int64
+	for _, v := range rep.ReadsServed {
+		reads += v
+	}
+	if reads != 4 {
+		t.Fatalf("reads served = %v", rep.ReadsServed)
+	}
+	if rep.Placements != 2 {
+		t.Fatalf("placements = %d, want both files placed", rep.Placements)
+	}
+	var buf bytes.Buffer
+	rep.RenderText(&buf, consistent())
+	if !strings.Contains(buf.String(), "live") {
+		t.Fatalf("render:\n%s", buf.String())
+	}
+}

@@ -1,0 +1,247 @@
+// Package trace captures MONARCH access traces: one fixed-size event
+// per foreground read, per placement resolution, per chunk copy, per
+// epoch boundary and per tier-state change. A Recorder hooks the
+// middleware's span stream (obs.TraceHook) and streams events through a
+// bounded ring buffer to a JSONL or binary sink, so memory stays flat
+// however long the run and the hot path never blocks on I/O.
+//
+// The captured artifact is self-describing: a header carries the
+// hierarchy shape, clock kind and sampling rate; file-definition
+// records carry the namespace (names and sizes); a trailer carries the
+// run's final counters. The analyze subpackage derives per-epoch PFS
+// statistics from it, and the replay subpackage re-drives it through a
+// fresh simulated hierarchy.
+package trace
+
+import (
+	"math"
+	"time"
+
+	"monarch/internal/obs"
+)
+
+// Version is the trace format version written into headers.
+const Version = 1
+
+// Kind classifies trace events.
+type Kind uint8
+
+const (
+	// KindRead is one foreground ReadAt served by the middleware.
+	KindRead Kind = iota + 1
+	// KindPlacement is one placement reaching a terminal state.
+	KindPlacement
+	// KindChunkCopy is one chunk of a chunked placement landing.
+	KindChunkCopy
+	// KindEpoch marks an epoch boundary; Len carries the epoch number
+	// (1-based) of the epoch that just finished.
+	KindEpoch
+	// KindState is a tier-state change: demotion, eviction, a breaker
+	// opening or closing.
+	KindState
+)
+
+// String names the kind (the "k" field of the JSONL encoding).
+func (k Kind) String() string {
+	switch k {
+	case KindRead:
+		return "read"
+	case KindPlacement:
+		return "placement"
+	case KindChunkCopy:
+		return "chunk-copy"
+	case KindEpoch:
+		return "epoch"
+	case KindState:
+		return "state"
+	default:
+		return "unknown"
+	}
+}
+
+// Class qualifies an event within its kind: the hit class of a read,
+// the resolution of a placement, or the nature of a state change.
+type Class uint8
+
+const (
+	// ClassNone is the zero class (epoch markers, chunk copies).
+	ClassNone Class = iota
+
+	// ClassLocal: a read served entirely from an upper tier.
+	ClassLocal
+	// ClassPartial: a read served from an upper tier mid-copy, while
+	// the file's chunked placement was still in flight.
+	ClassPartial
+	// ClassPFS: a read served by the source (PFS) level.
+	ClassPFS
+	// ClassFallback: a read that failed on an upper tier and was
+	// re-served from the source.
+	ClassFallback
+	// ClassError: a read that failed to the caller.
+	ClassError
+
+	// ClassFetch: a placement that copied content from the source.
+	ClassFetch
+	// ClassReuse: a placement satisfied from the foreground's full
+	// read, with no source traffic.
+	ClassReuse
+	// ClassSkip: a placement skipped (no tier had room, or fetching
+	// was disabled).
+	ClassSkip
+	// ClassFail: a placement that failed terminally.
+	ClassFail
+
+	// ClassDemoted: the breaker re-pointed a placed file at the source.
+	ClassDemoted
+	// ClassEvicted: an eviction ablation removed a file from a tier.
+	ClassEvicted
+	// ClassTierDown: a tier's circuit breaker opened.
+	ClassTierDown
+	// ClassTierUp: a recovery probe returned a tier to service.
+	ClassTierUp
+)
+
+// String names the class (the "c" field of the JSONL encoding).
+func (c Class) String() string {
+	switch c {
+	case ClassNone:
+		return ""
+	case ClassLocal:
+		return "local"
+	case ClassPartial:
+		return "partial"
+	case ClassPFS:
+		return "pfs"
+	case ClassFallback:
+		return "fallback"
+	case ClassError:
+		return "error"
+	case ClassFetch:
+		return "fetch"
+	case ClassReuse:
+		return "reuse"
+	case ClassSkip:
+		return "skip"
+	case ClassFail:
+		return "fail"
+	case ClassDemoted:
+		return "demoted"
+	case ClassEvicted:
+		return "evicted"
+	case ClassTierDown:
+		return "tier-down"
+	case ClassTierUp:
+		return "tier-up"
+	default:
+		return "unknown"
+	}
+}
+
+// classFromString inverts Class.String; ok is false for unknown names.
+func classFromString(s string) (Class, bool) {
+	for c := ClassNone; c <= ClassTierUp; c++ {
+		if c.String() == s {
+			return c, true
+		}
+	}
+	return ClassNone, false
+}
+
+// kindFromString inverts Kind.String.
+func kindFromString(s string) (Kind, bool) {
+	for k := KindRead; k <= KindState; k++ {
+		if k.String() == s {
+			return k, true
+		}
+	}
+	return 0, false
+}
+
+// Event is one fixed-size trace record. T is nanoseconds since the
+// recorder started, on whatever clock the header declares (virtual
+// under simulation, wall-monotonic otherwise). File is an interned ID
+// resolved through the trace's file table (0 = no file). Off/Len carry
+// the byte range of reads and chunk copies; for placements Len is the
+// file size, for epoch markers it is the epoch number.
+type Event struct {
+	T     int64
+	File  uint32
+	Kind  Kind
+	Class Class
+	Tier  int8  // serving/target level; -1 when not applicable
+	Lat   uint8 // latency bucket index; see LatBucket
+	Off   int64
+	Len   int64
+}
+
+// File is one namespace entry of the traced hierarchy. IDs are dense
+// and start at 1, in first-seen order (namespace order for runs that
+// call Init before serving reads).
+type File struct {
+	ID   uint32 `json:"id"`
+	Name string `json:"name"`
+	Size int64  `json:"size"`
+}
+
+// Level describes one hierarchy level in the header, enough for a
+// replay to rebuild an equivalent stack.
+type Level struct {
+	Name     string `json:"name"`
+	Capacity int64  `json:"capacity"`
+}
+
+// Header is the trace's self-description, written first in both
+// encodings.
+type Header struct {
+	Version   int               `json:"monarch_trace"`
+	Clock     string            `json:"clock"`  // "wall" or "virtual"
+	Sample    int               `json:"sample"` // 1-in-N read sampling (<=1: every read)
+	Source    int               `json:"source"` // source (PFS) level index
+	ChunkSize int64             `json:"chunk_size,omitempty"`
+	Levels    []Level           `json:"levels"`
+	Meta      map[string]string `json:"meta,omitempty"`
+}
+
+// Trailer closes a complete trace: the run's final middleware counters
+// plus the recorder's own accounting, so consumers can tell a truncated
+// capture from a clean one.
+type Trailer struct {
+	Summary map[string]int64 `json:"summary"`
+	Trace   map[string]int64 `json:"trace"`
+}
+
+// latBoundsNS mirrors obs.LatencyBuckets in integer nanoseconds, so
+// the hot path buckets with int64 compares instead of float division.
+var latBoundsNS = func() [8]int64 {
+	var b [8]int64
+	if len(obs.LatencyBuckets) != len(b) {
+		panic("trace: latency bucket count drifted from obs.LatencyBuckets")
+	}
+	for i, s := range obs.LatencyBuckets {
+		b[i] = int64(s * 1e9)
+	}
+	return b
+}()
+
+// LatBucket maps a duration onto obs.LatencyBuckets: the index of the
+// first bound the duration fits under, or len(obs.LatencyBuckets) for
+// observations beyond the last bound. One byte per event buys the
+// analyzer latency histograms without storing nanosecond durations.
+func LatBucket(d time.Duration) uint8 {
+	ns := int64(d)
+	for i, b := range latBoundsNS {
+		if ns <= b {
+			return uint8(i)
+		}
+	}
+	return uint8(len(latBoundsNS))
+}
+
+// LatBucketBound returns the upper bound (seconds) of bucket i, or
+// +Inf for the overflow bucket.
+func LatBucketBound(i uint8) float64 {
+	if int(i) < len(obs.LatencyBuckets) {
+		return obs.LatencyBuckets[i]
+	}
+	return math.Inf(1)
+}
