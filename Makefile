@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover bench bench-all bench-obs trace-smoke repro repro-full examples fuzz fuzz-smoke clean
+.PHONY: all build test race vet cover bench bench-all bench-obs bench-peer trace-smoke peer-smoke repro repro-full examples fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -20,13 +20,15 @@ vet:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race -short ./internal/core/ ./internal/pool/ ./internal/storage/ ./internal/obs/
+	$(GO) test -race -short ./internal/core/ ./internal/pool/ ./internal/storage/ ./internal/obs/ ./internal/peernet/
 	$(MAKE) trace-smoke
+	$(MAKE) peer-smoke
 	$(MAKE) fuzz-smoke
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/pool/... ./internal/storage/... \
-		./internal/obs/... ./internal/sim/... ./internal/simstore/... ./internal/trace/... .
+		./internal/obs/... ./internal/sim/... ./internal/simstore/... ./internal/trace/... \
+		./internal/peernet/... .
 
 cover:
 	$(GO) test -cover ./internal/... .
@@ -50,6 +52,19 @@ bench-obs:
 		$(GO) test -bench='ReadAtMidCopy|ReadAtInstrumented|ReadAtTraced' -benchmem -count=1 ./internal/core/ \
 		| $(GO) run ./cmd/monarch-benchjson -o BENCH_obs.json -metrics .bench-metrics.json
 	rm -f .bench-metrics.json
+
+# Peer wire-protocol benchmarks over both transports (in-process pipe
+# isolates codec cost; loopback TCP adds the kernel socket path),
+# committed as a JSON baseline.
+bench-peer:
+	$(GO) test -bench='PeerRead|PeerStat' -benchmem -count=1 ./internal/peernet/ \
+		| $(GO) run ./cmd/monarch-benchjson -o BENCH_peer.json
+
+# Peer network smoke: two real servers over loopback TCP, a short
+# reshuffled sharded job, non-zero exit unless sibling caches served
+# reads.
+peer-smoke:
+	$(GO) run ./cmd/monarch-serve -selftest
 
 # End-to-end trace pipeline smoke: capture a tiny run, analyze the
 # artifact, then replay it faithfully — monarch-bench exits non-zero if
@@ -83,6 +98,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/recordio/
 	$(GO) test -fuzz=FuzzReadAt -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzNamespace -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzFrame -fuzztime=30s ./internal/peernet/
 
 # A 10-second pass per fuzz target — enough to replay the committed
 # corpus and shake out shallow regressions on every `make test`.
@@ -91,6 +107,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReader -fuzztime=10s ./internal/recordio/
 	$(GO) test -run='^$$' -fuzz=FuzzReadAt -fuzztime=10s ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzNamespace -fuzztime=10s ./internal/core/
+	$(GO) test -run='^$$' -fuzz=FuzzFrame -fuzztime=10s ./internal/peernet/
 
 clean:
 	rm -f test_output.txt bench_output.txt .bench-metrics.json

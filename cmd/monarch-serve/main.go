@@ -1,0 +1,140 @@
+// Command monarch-serve exposes a node's tier-0 cache directory to
+// sibling nodes over the peernet wire protocol, so their MONARCH
+// instances can slot this node's cache into their hierarchies as a
+// peer tier.
+//
+// Usage:
+//
+//	monarch-serve -root /mnt/ssd/monarch              # serve a cache dir
+//	monarch-serve -root DIR -addr :9077 -quota 64GiB-ish-bytes
+//	monarch-serve -root DIR -write                    # accept remote writes
+//	monarch-serve -root DIR -metrics :9078            # capacity gauges + pprof
+//	monarch-serve -selftest                           # 2-node loopback smoke
+//
+// The server is read-only by default: peers may READ/STAT/LIST/PING but
+// never mutate this node's cache (placement stays a local decision).
+// -selftest runs a self-contained two-node cluster over loopback TCP —
+// real servers, a reshuffled sharded job — and exits non-zero unless
+// sibling caches actually served reads; `make peer-smoke` wires it into
+// the test gauntlet.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"monarch/internal/experiments"
+	"monarch/internal/obs"
+	"monarch/internal/peernet"
+	"monarch/internal/storage"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":9077", "listen address for the peer wire protocol")
+		root     = flag.String("root", "", "cache directory to serve (required unless -selftest)")
+		quota    = flag.Int64("quota", 0, "capacity the store reports, in bytes (0 = unlimited)")
+		write    = flag.Bool("write", false, "accept remote WRITE/REMOVE (default read-only)")
+		metrics  = flag.String("metrics", "", "optional address serving /metrics for this store")
+		selftest = flag.Bool("selftest", false, "run a 2-node loopback smoke test and exit")
+	)
+	flag.Parse()
+
+	if *selftest {
+		os.Exit(runSelftest())
+	}
+	if *root == "" {
+		fmt.Fprintln(os.Stderr, "monarch-serve: -root is required (or use -selftest)")
+		os.Exit(2)
+	}
+	if err := serve(*addr, *root, *quota, *write, *metrics); err != nil {
+		fmt.Fprintln(os.Stderr, "monarch-serve:", err)
+		os.Exit(1)
+	}
+}
+
+func serve(addr, root string, quota int64, write bool, metricsAddr string) error {
+	store, err := storage.NewOSFS("tier0", root, quota)
+	if err != nil {
+		return err
+	}
+	srv, err := peernet.NewServer(peernet.ServerConfig{
+		Backend:    store,
+		AllowWrite: write,
+		Logf:       func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	mode := "read-only"
+	if write {
+		mode = "read-write"
+	}
+	fmt.Printf("monarch-serve: serving %s (%s) on %s\n", root, mode, ln.Addr())
+
+	if metricsAddr != "" {
+		reg := obs.NewRegistry()
+		reg.GaugeFunc("monarch_serve_capacity_bytes",
+			"Capacity the served store reports (0 = unlimited).",
+			func() float64 { return float64(store.Capacity()) })
+		reg.GaugeFunc("monarch_serve_used_bytes",
+			"Bytes currently held by the served store.",
+			func() float64 { return float64(store.Used()) })
+		mln, err := net.Listen("tcp", metricsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("monarch-serve: metrics on http://%s/metrics\n", mln.Addr())
+		go func() { _ = http.Serve(mln, reg.Handler()) }()
+	}
+
+	// Serve until SIGINT/SIGTERM, then close connections and drain.
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		fmt.Println("monarch-serve: shutting down")
+		srv.Close()
+	}()
+	return srv.Serve(ln)
+}
+
+// runSelftest spins up a 2-node cluster over loopback TCP — each node a
+// real peernet server plus a MONARCH instance routing non-owned reads
+// through its sibling — and verifies the peer network end to end.
+func runSelftest() int {
+	res, err := experiments.RunPeerLoopback(experiments.PeerRunConfig{
+		Nodes: 2, Files: 24, FileSize: 4096, Epochs: 3,
+		Mode:     experiments.ShardReshuffled,
+		UsePeers: true,
+		Seed:     42,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "monarch-serve selftest: FAIL:", err)
+		return 1
+	}
+	hits := res.PeerHits()
+	var misses, placements int64
+	for _, s := range res.Stats {
+		misses += s.PeerMisses
+		placements += s.Placements
+	}
+	fmt.Printf("monarch-serve selftest: 2 nodes, 24 shards, 3 reshuffled epochs over loopback TCP\n")
+	fmt.Printf("  peer hits %d, peer misses %d, placements %d, PFS data ops %d\n",
+		hits, misses, placements, res.PFSOps)
+	if hits == 0 {
+		fmt.Fprintln(os.Stderr, "monarch-serve selftest: FAIL: no reads were served by the sibling cache")
+		return 1
+	}
+	fmt.Println("monarch-serve selftest: OK")
+	return 0
+}

@@ -139,7 +139,31 @@ type Config struct {
 	// DisablePprof removes the net/http/pprof handlers that the
 	// MetricsAddr endpoint serves under /debug/pprof/ by default.
 	DisablePprof bool
+	// Peer wires a peer cache tier (a level serving sibling nodes'
+	// caches over the wire) into the read path; see PeerConfig.
+	Peer PeerConfig
 }
+
+// PeerConfig routes reads through a peer cache tier. With a consistent
+// ownership ring, every node caches only the files it owns and serves
+// them to siblings; reads of non-owned files go through the owner's
+// cache instead of hammering the PFS.
+type PeerConfig struct {
+	// Tier is the hierarchy index of the peer tier — the level whose
+	// backend serves sibling caches (a peernet.Tier). It must sit
+	// strictly between the top local tier and the source: 0 < Tier <
+	// len(Levels)-1. Zero disables peer routing (level 0 is the top
+	// local tier and can never be the peer tier).
+	Tier int
+	// Owns reports whether this node owns name on the ownership ring.
+	// Owned files are cached locally by the placement handler;
+	// non-owned reads route through the peer tier. Required when Tier
+	// is set.
+	Owns func(name string) bool
+}
+
+// enabled reports whether peer routing is configured.
+func (p PeerConfig) enabled() bool { return p.Tier != 0 }
 
 // Monarch is the middleware instance. All methods are safe for
 // concurrent use.
@@ -180,6 +204,15 @@ func New(cfg Config) (*Monarch, error) {
 	}
 	if cfg.ChunkSize < 0 {
 		return nil, fmt.Errorf("monarch: negative ChunkSize %d", cfg.ChunkSize)
+	}
+	if cfg.Peer.enabled() {
+		if cfg.Peer.Tier < 1 || cfg.Peer.Tier >= len(cfg.Levels)-1 {
+			return nil, fmt.Errorf("monarch: peer tier %d must sit between the top tier and the source (0 < tier < %d)",
+				cfg.Peer.Tier, len(cfg.Levels)-1)
+		}
+		if cfg.Peer.Owns == nil {
+			return nil, fmt.Errorf("monarch: peer routing requires an Owns function")
+		}
 	}
 	m := &Monarch{cfg: cfg}
 	for i, b := range cfg.Levels {
@@ -290,6 +323,7 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 	src := m.source.level
 	lvl := e.currentLevel()
 	partial := false
+	peer := false
 	var flags obs.SpanFlags
 	if !m.cfg.Disabled {
 		m.tickProbes()
@@ -309,14 +343,35 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 				partial = true
 			}
 		}
+		if lvl == src && m.cfg.Peer.enabled() && !m.cfg.Peer.Owns(name) &&
+			!m.health.isDown(m.cfg.Peer.Tier) {
+			// This node does not own the file: the owner's cache serves
+			// it over the peer network instead of the PFS.
+			lvl = m.cfg.Peer.Tier
+			peer = true
+		}
 	}
 	d := m.levels[lvl]
 	n, rerr := d.backend.ReadAt(ctx, name, p, off)
-	if rerr != nil && lvl != src {
+	if rerr != nil && peer && errors.Is(rerr, storage.ErrNotExist) {
+		// Clean peer miss: the owner has not cached the file yet. That
+		// is the protocol working, not a failure — no breaker feed, no
+		// fallback event; the source still holds the data.
+		m.stats.peerMisses.Add(1)
+		flags |= obs.FlagPeerMiss
+		peer = false
+		d = m.source
+		n, rerr = d.backend.ReadAt(ctx, name, p, off)
+	} else if rerr != nil && lvl != src {
 		// A tier failed under us: fall back to the PFS, which always
 		// holds the dataset, count the event, and feed the breaker.
 		m.stats.fallbacks.Add(1)
-		m.inst.errTierRead.Inc()
+		if peer {
+			m.inst.errPeer.Inc()
+			peer = false
+		} else {
+			m.inst.errTierRead.Inc()
+		}
 		flags |= obs.FlagFallback
 		m.event(Event{Kind: EventFallback, File: name, Level: lvl, Err: rerr})
 		if !m.cfg.Disabled {
@@ -344,14 +399,21 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 		m.stats.partialHitBytes.Add(int64(n))
 		m.event(Event{Kind: EventPartialHit, File: name, Level: d.level, Bytes: int64(n)})
 	}
+	if peer && d.level != src {
+		flags |= obs.FlagPeer
+		m.stats.peerHits.Add(1)
+		m.stats.peerHitBytes.Add(int64(n))
+	}
 	dur := time.Since(start)
 	m.inst.readLatency[d.level].Observe(dur.Seconds())
 	m.span(obs.Span{Kind: obs.SpanRead, File: name, Tier: d.level, Off: off, Bytes: int64(n), Flags: flags, Duration: dur})
 
-	if !m.cfg.Disabled && m.cfg.Staging == StageOnFirstRead {
+	if !m.cfg.Disabled && m.cfg.Staging == StageOnFirstRead && m.owns(name) {
 		// The §III-B flow: first access triggers placement. If the
 		// framework happened to read the whole file, hand the content
-		// to the placer so it can skip the source re-read.
+		// to the placer so it can skip the source re-read. Under peer
+		// routing, only owned files are cached locally — non-owned
+		// reads already went through the owner's cache.
 		var full []byte
 		if off == 0 && int64(n) == e.size {
 			full = append([]byte(nil), p[:n]...)
@@ -397,6 +459,12 @@ func (m *Monarch) LevelOf(name string) (int, error) {
 		return 0, err
 	}
 	return e.currentLevel(), nil
+}
+
+// owns reports whether this node should cache name locally. Without
+// peer routing every node owns the whole namespace.
+func (m *Monarch) owns(name string) bool {
+	return !m.cfg.Peer.enabled() || m.cfg.Peer.Owns(name)
 }
 
 func (m *Monarch) lookup(name string) (*fileEntry, error) {

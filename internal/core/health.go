@@ -408,6 +408,12 @@ const probeFile = ".monarch-probe"
 // serve reads of previously placed data. cleanupErr reports a failed
 // best-effort removal of the scratch file so the caller can surface it.
 func probeBackend(ctx context.Context, b storage.Backend) (err, cleanupErr error) {
+	// Backends with a native liveness check (the peer tier is read-only
+	// AND reports zero free space, so the write probe below would judge
+	// it alive without ever touching the network) answer directly.
+	if p, ok := b.(storage.Pinger); ok {
+		return p.Ping(ctx), nil
+	}
 	err = b.WriteFile(ctx, probeFile, []byte{0})
 	switch {
 	case err == nil:

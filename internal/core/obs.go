@@ -17,6 +17,9 @@ const (
 	// stageTierRead: an upper-tier read failed and the read fell back
 	// to the source.
 	stageTierRead = "tier-read"
+	// stagePeer: a peer-tier read failed (transport or remote error —
+	// NOT a clean miss) and the read fell back to the source.
+	stagePeer = "peer"
 	// stageRead: a foreground read failed to the caller.
 	stageRead = "read"
 	// stagePlacement: a placement reached terminal failure.
@@ -45,6 +48,7 @@ type instruments struct {
 	chunkCopyLatency *obs.Histogram   // one chunk, source → destination tier
 
 	errTierRead  *obs.Counter
+	errPeer      *obs.Counter
 	errRead      *obs.Counter
 	errPlacement *obs.Counter
 	errChunkCopy *obs.Counter
@@ -74,6 +78,7 @@ func (m *Monarch) initObs() {
 
 	const errHelp = "Errors observed by the middleware, by pipeline stage."
 	m.inst.errTierRead = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stageTierRead))
+	m.inst.errPeer = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stagePeer))
 	m.inst.errRead = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stageRead))
 	m.inst.errPlacement = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stagePlacement))
 	m.inst.errChunkCopy = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stageChunkCopy))

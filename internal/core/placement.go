@@ -130,6 +130,9 @@ func (pl *placer) place(ctx context.Context, e *fileEntry, full []byte, attempt 
 		return
 	}
 	for _, d := range m.levels[:len(m.levels)-1] {
+		if m.cfg.Peer.enabled() && d.level == m.cfg.Peer.Tier {
+			continue // the peer tier is a read-only view of siblings, never a destination
+		}
 		if !m.health.placeable(d.level) {
 			continue // breaker open: never write into a dead tier
 		}
@@ -487,6 +490,9 @@ func (m *Monarch) preStage(ctx context.Context) error {
 	for _, e := range m.meta.sortedEntries() {
 		if err := ctx.Err(); err != nil {
 			return err
+		}
+		if !m.owns(e.name) {
+			continue
 		}
 		if !e.tryQueue() {
 			continue

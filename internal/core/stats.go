@@ -39,6 +39,16 @@ type Stats struct {
 	// bytes they amount to.
 	PartialHits     int64
 	PartialHitBytes int64
+	// PeerHits counts foreground reads served by the peer cache tier —
+	// files this node does not own, read from their owner's cache over
+	// the wire. PeerHitBytes is the bytes they amount to.
+	PeerHits     int64
+	PeerHitBytes int64
+	// PeerMisses counts reads routed to the peer tier whose owner had
+	// not cached the file yet; the read was re-served from the source.
+	// A miss is protocol behaviour, not a failure: it feeds neither
+	// Fallbacks nor the tier breaker.
+	PeerMisses int64
 	// Fallbacks counts foreground reads re-served from the PFS after an
 	// upper tier failed.
 	Fallbacks int64
@@ -96,6 +106,9 @@ type statsCollector struct {
 	chunkPlacements *obs.Counter
 	partialHits     *obs.Counter
 	partialHitBytes *obs.Counter
+	peerHits        *obs.Counter
+	peerHitBytes    *obs.Counter
+	peerMisses      *obs.Counter
 	fallbacks       *obs.Counter
 	evictions       *obs.Counter
 	demotions       *obs.Counter
@@ -131,6 +144,12 @@ func (c *statsCollector) init(reg *obs.Registry, levels int) {
 		"Reads served from an upper tier while the file's chunked placement was in flight.")
 	c.partialHitBytes = reg.Counter("monarch_partial_hit_bytes_total",
 		"Bytes served by partial (mid-copy) hits.")
+	c.peerHits = reg.Counter("monarch_peer_hits_total",
+		"Reads served by the peer cache tier (non-owned files, read from their owner's cache).")
+	c.peerHitBytes = reg.Counter("monarch_peer_hit_bytes_total",
+		"Bytes served by peer cache hits.")
+	c.peerMisses = reg.Counter("monarch_peer_misses_total",
+		"Peer-routed reads whose owner had not cached the file; re-served from the source.")
 	c.fallbacks = reg.Counter("monarch_fallbacks_total",
 		"Reads re-served from the PFS after an upper-tier failure.")
 	c.evictions = reg.Counter("monarch_evictions_total",
@@ -187,6 +206,9 @@ func (c *statsCollector) snapshot(inFlight int) Stats {
 		ChunkPlacements:  c.chunkPlacements.Value(),
 		PartialHits:      c.partialHits.Value(),
 		PartialHitBytes:  c.partialHitBytes.Value(),
+		PeerHits:         c.peerHits.Value(),
+		PeerHitBytes:     c.peerHitBytes.Value(),
+		PeerMisses:       c.peerMisses.Value(),
 		Fallbacks:        c.fallbacks.Value(),
 		Evictions:        c.evictions.Value(),
 		Demotions:        c.demotions.Value(),

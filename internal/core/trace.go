@@ -66,6 +66,13 @@ func (m *Monarch) traceSummary() map[string]int64 {
 		"evictions":         s.Evictions,
 		"demotions":         s.Demotions,
 	}
+	if m.cfg.Peer.enabled() {
+		// Only with peer routing on: replays of single-node traces
+		// compare trailer keys and would see spurious zero-valued ones.
+		out["peer_hits"] = s.PeerHits
+		out["peer_hit_bytes"] = s.PeerHitBytes
+		out["peer_misses"] = s.PeerMisses
+	}
 	for i := range s.ReadsServed {
 		out["reads_tier_"+strconv.Itoa(i)] = s.ReadsServed[i]
 		out["bytes_tier_"+strconv.Itoa(i)] = s.BytesServed[i]

@@ -1,0 +1,503 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"monarch/internal/core"
+	"monarch/internal/peernet"
+	"monarch/internal/pool"
+	"monarch/internal/report"
+	"monarch/internal/rng"
+	"monarch/internal/storage"
+	"monarch/internal/trace"
+	"monarch/internal/trace/analyze"
+)
+
+// This file runs the peer-cache network for real: N in-process nodes,
+// each with its own tier-0 store served over loopback TCP by a
+// peernet.Server, a consistent-hash ownership ring, and a shared
+// read-only PFS. Unlike the simulator-based distributed experiments,
+// everything here moves actual bytes through actual sockets — the run
+// measures how many PFS data operations the peer network absorbs under
+// reshuffled data-parallel sharding.
+
+// PeerRunConfig parameterises one loopback peer-cache run.
+type PeerRunConfig struct {
+	// Nodes is the cluster size (>= 1).
+	Nodes int
+	// Files and FileSize shape the shared dataset: Files shards of
+	// FileSize bytes each, named data/shard-NNNN.rec.
+	Files    int
+	FileSize int
+	// Epochs is how many passes over the dataset each node makes.
+	Epochs int
+	// Mode assigns shards to nodes per epoch (ShardReshuffled is the
+	// scenario peer caching exists for).
+	Mode ShardingMode
+	// UsePeers wires the peer tier in; false runs the no-peer baseline
+	// with an otherwise identical hierarchy.
+	UsePeers bool
+	// SSDQuota bounds each node's tier-0 store (0 = unlimited).
+	SSDQuota int64
+	// Seed drives the per-epoch shard permutations.
+	Seed uint64
+	// Health tunes each node's tier breaker (zero value = defaults).
+	Health core.HealthConfig
+	// KillAfterEpoch, when >= 1, closes KillNode's peer server once
+	// that many epochs have completed: sibling reads of its files fail
+	// over to the PFS and their breakers demote the peer tier. The
+	// killed node keeps training — only its serving socket dies. Zero
+	// disables the fault.
+	KillNode       int
+	KillAfterEpoch int
+	// TracePath, when non-empty, captures node 0's access trace; the
+	// trailer records node 0's measured PFS data ops for the analyzer
+	// cross-check.
+	TracePath string
+}
+
+// PeerRunResult summarises one loopback run.
+type PeerRunResult struct {
+	// PFSOps is the total data-op count against the shared PFS;
+	// NodePFSOps splits it per node.
+	PFSOps     int64
+	NodePFSOps []int64
+	// Stats are each node's final middleware counters.
+	Stats []core.Stats
+	// PeerTierStates is each node's peer-tier breaker state at the end
+	// of the run (all TierHealthy when UsePeers is false).
+	PeerTierStates []core.TierState
+	// PeerStageErrors sums monarch_errors_total{stage="peer"} across
+	// nodes — peer transport/protocol failures, NOT clean misses.
+	PeerStageErrors int64
+}
+
+// PeerHits sums peer-cache hits across nodes.
+func (r *PeerRunResult) PeerHits() int64 {
+	var n int64
+	for _, s := range r.Stats {
+		n += s.PeerHits
+	}
+	return n
+}
+
+// peerBarrier is a cyclic barrier for real goroutines (the simulator's
+// WaitGroup does not apply here): all n participants block until the
+// last arrives, which first runs onRelease with the 0-based round just
+// completed.
+type peerBarrier struct {
+	mu        sync.Mutex
+	cond      *sync.Cond
+	n         int
+	arrived   int
+	round     int
+	onRelease func(round int)
+}
+
+func newPeerBarrier(n int, onRelease func(int)) *peerBarrier {
+	b := &peerBarrier{n: n, onRelease: onRelease}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *peerBarrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	round := b.round
+	b.arrived++
+	if b.arrived == b.n {
+		if b.onRelease != nil {
+			b.onRelease(round)
+		}
+		b.arrived = 0
+		b.round++
+		b.cond.Broadcast()
+		return
+	}
+	for round == b.round {
+		b.cond.Wait()
+	}
+}
+
+// peerShardContent is the deterministic content of shard i.
+func peerShardContent(i, size int) []byte {
+	return bytes.Repeat([]byte{byte(i%251 + 1)}, size)
+}
+
+// RunPeerLoopback executes one peer-cache run over real loopback TCP.
+func RunPeerLoopback(cfg PeerRunConfig) (*PeerRunResult, error) {
+	if cfg.Nodes < 1 || cfg.Files < 1 || cfg.FileSize < 1 || cfg.Epochs < 1 {
+		return nil, fmt.Errorf("experiments: bad peer config %+v", cfg)
+	}
+	ctx := context.Background()
+
+	// Shared dataset.
+	pfsRaw := storage.NewMemFS("lustre", 0)
+	names := make([]string, cfg.Files)
+	for i := range names {
+		names[i] = fmt.Sprintf("data/shard-%04d.rec", i)
+		if err := pfsRaw.WriteFile(ctx, names[i], peerShardContent(i, cfg.FileSize)); err != nil {
+			return nil, err
+		}
+	}
+	pfsRaw.SetReadOnly(true)
+
+	nodeIDs := make([]string, cfg.Nodes)
+	for i := range nodeIDs {
+		nodeIDs[i] = fmt.Sprintf("node%d", i)
+	}
+	ring, err := peernet.NewRing(nodeIDs, 0)
+	if err != nil {
+		return nil, err
+	}
+
+	// Per-node stores and, with peers on, one serving socket each. The
+	// servers must all be listening before any client dials.
+	ssds := make([]*storage.MemFS, cfg.Nodes)
+	pfss := make([]*storage.Counting, cfg.Nodes)
+	servers := make([]*peernet.Server, cfg.Nodes)
+	addrs := make([]string, cfg.Nodes)
+	for i := range ssds {
+		ssds[i] = storage.NewMemFS("ssd-"+nodeIDs[i], cfg.SSDQuota)
+		pfss[i] = storage.NewCounting(pfsRaw)
+		if cfg.UsePeers {
+			srv, err := peernet.NewServer(peernet.ServerConfig{Backend: ssds[i]})
+			if err != nil {
+				return nil, err
+			}
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				return nil, err
+			}
+			go srv.Serve(ln)
+			servers[i] = srv
+			addrs[i] = ln.Addr().String()
+			defer srv.Close()
+		}
+	}
+
+	monarchs := make([]*core.Monarch, cfg.Nodes)
+	tiers := make([]*peernet.Tier, cfg.Nodes)
+	for i := range monarchs {
+		levels := []storage.Backend{ssds[i], pfss[i]}
+		mcfg := core.Config{
+			Pool:          pool.NewGoPool(2),
+			FullFileFetch: true,
+			Health:        cfg.Health,
+		}
+		if cfg.UsePeers {
+			clients := make(map[string]*peernet.Client)
+			for j, id := range nodeIDs {
+				if j == i {
+					continue
+				}
+				c, err := peernet.NewClient(peernet.ClientConfig{
+					Name:    "peer:" + id,
+					Dial:    peernet.TCPDialer(addrs[j], 2*time.Second),
+					Timeout: 2 * time.Second,
+					Retries: 1,
+					Backoff: 5 * time.Millisecond,
+				})
+				if err != nil {
+					return nil, err
+				}
+				clients[id] = c
+			}
+			tier, err := peernet.NewTier("peers", nodeIDs[i], ring, clients)
+			if err != nil {
+				return nil, err
+			}
+			tiers[i] = tier
+			defer tier.Close()
+			levels = []storage.Backend{ssds[i], tier, pfss[i]}
+			mcfg.Peer = core.PeerConfig{
+				Tier: 1,
+				Owns: func(name string) bool { return ring.Owner(name) == nodeIDs[i] },
+			}
+		}
+		mcfg.Levels = levels
+		if i == 0 && cfg.TracePath != "" {
+			mcfg.TracePath = cfg.TracePath
+		}
+		m, err := core.New(mcfg)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.Init(ctx); err != nil {
+			m.Close()
+			return nil, err
+		}
+		monarchs[i] = m
+	}
+
+	// Epoch loop: each node reads its shard slice in full, waits for
+	// its placements to settle (so the next epoch sees warm owner
+	// caches), then joins the barrier. The last arriver of the kill
+	// epoch closes the victim's serving socket.
+	barrier := newPeerBarrier(cfg.Nodes, func(round int) {
+		if cfg.KillNode >= 0 && cfg.KillNode < cfg.Nodes &&
+			round+1 == cfg.KillAfterEpoch && servers[cfg.KillNode] != nil {
+			servers[cfg.KillNode].Close()
+		}
+	})
+	errs := make([]error, cfg.Nodes)
+	var wg sync.WaitGroup
+	for node := 0; node < cfg.Nodes; node++ {
+		node := node
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			m := monarchs[node]
+			buf := make([]byte, cfg.FileSize)
+			for epoch := 1; epoch <= cfg.Epochs; epoch++ {
+				for _, shard := range peerShardOrder(cfg.Mode, node, cfg.Nodes, cfg.Files, epoch, cfg.Seed) {
+					name := names[shard]
+					n, err := m.ReadAt(ctx, name, buf, 0)
+					if err != nil {
+						errs[node] = fmt.Errorf("node %d epoch %d %s: %w", node, epoch, name, err)
+						return
+					}
+					if n != cfg.FileSize || buf[0] != peerShardContent(shard, 1)[0] {
+						errs[node] = fmt.Errorf("node %d epoch %d %s: bad content (n=%d)", node, epoch, name, n)
+						return
+					}
+				}
+				if err := waitMonarchIdle(m, 10*time.Second); err != nil {
+					errs[node] = fmt.Errorf("node %d epoch %d: %w", node, epoch, err)
+					return
+				}
+				if node == 0 {
+					m.MarkTraceEpoch(epoch)
+				}
+				barrier.await()
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &PeerRunResult{
+		NodePFSOps:     make([]int64, cfg.Nodes),
+		Stats:          make([]core.Stats, cfg.Nodes),
+		PeerTierStates: make([]core.TierState, cfg.Nodes),
+	}
+	for i, m := range monarchs {
+		res.Stats[i] = m.Stats()
+		res.NodePFSOps[i] = pfss[i].Counts().DataOps()
+		res.PFSOps += res.NodePFSOps[i]
+		if cfg.UsePeers {
+			res.PeerTierStates[i] = m.TierState(1)
+		}
+		res.PeerStageErrors += int64(m.Registry().Vars()[`monarch_errors_total{stage="peer"}`])
+		if i == 0 && cfg.TracePath != "" {
+			if tr := m.Tracer(); tr != nil {
+				tr.AddSummary(map[string]int64{"pfs_data_ops": res.NodePFSOps[0]})
+			}
+		}
+		m.Close()
+	}
+	return res, nil
+}
+
+// peerShardOrder assigns shard indices to node for one epoch, mirroring
+// the simulator experiments' selector semantics.
+func peerShardOrder(mode ShardingMode, node, nodes, total, epoch int, seed uint64) []int {
+	var order []int
+	switch mode {
+	case ShardSticky:
+		for j := node; j < total; j += nodes {
+			order = append(order, j)
+		}
+	case ShardReshuffled:
+		perm := rng.New(seed + uint64(epoch)*0x9e3779b9).Perm(total)
+		for pos := node; pos < total; pos += nodes {
+			order = append(order, perm[pos])
+		}
+	default: // ShardNone: every node reads everything.
+		for j := 0; j < total; j++ {
+			order = append(order, j)
+		}
+	}
+	return order
+}
+
+// waitMonarchIdle blocks until background placements settle.
+func waitMonarchIdle(m *core.Monarch, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+	for !m.Idle() {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("placements did not quiesce within %s", timeout)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	return nil
+}
+
+// peerOwnedQuota sizes each node's tier-0 quota to its ownership share
+// of the dataset with a little headroom — the peer-cache premise that
+// the cluster's aggregate cache holds the dataset roughly once.
+func peerOwnedQuota(nodes, files, fileSize int) int64 {
+	ring, err := peernet.NewRing(nodeIDList(nodes), 0)
+	if err != nil {
+		return 0
+	}
+	counts := map[string]int64{}
+	for i := 0; i < files; i++ {
+		counts[ring.Owner(fmt.Sprintf("data/shard-%04d.rec", i))]++
+	}
+	var max int64
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	return (max + 2) * int64(fileSize)
+}
+
+func nodeIDList(n int) []string {
+	ids := make([]string, n)
+	for i := range ids {
+		ids[i] = fmt.Sprintf("node%d", i)
+	}
+	return ids
+}
+
+// derivedPFSOps reconstructs the PFS data-op count from one node's
+// monarch_ counters: source-served foreground reads plus one whole-file
+// fetch per placement that could not reuse a full foreground read.
+func derivedPFSOps(s core.Stats) int64 {
+	return s.ReadsServed[len(s.ReadsServed)-1] + s.Placements - s.FullReadReuses
+}
+
+// AnalyzePeerTrace loads and analyzes a trace captured by
+// RunPeerLoopback (node 0's view).
+func AnalyzePeerTrace(path string) (*analyze.Analysis, error) {
+	tr, err := trace.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return analyze.Analyze(tr, analyze.Options{}), nil
+}
+
+// extPeernet measures the peer cache network over real loopback TCP: 4
+// nodes under reshuffled sharding, quota sized to each node's ownership
+// share, against the identical no-peer baseline. The PFS-op totals are
+// cross-checked two independent ways: against each node's monarch_
+// counters and against the trace analyzer's derivation of node 0's
+// access trace.
+func extPeernet() Experiment {
+	return Experiment{
+		ID:    "ext-peernet",
+		Title: "Extension: peer cache network over loopback TCP",
+		Paper: "MONARCH leaves multi-node cache sharing as future work; " +
+			"this extension serves tier-0 caches between nodes over a wire protocol " +
+			"so reshuffled sharding stops flushing cache value every epoch.",
+		Run: func(p Params) (*Outcome, error) {
+			const (
+				nodes    = 4
+				files    = 48
+				fileSize = 4096
+				epochs   = 6
+			)
+			cfg := PeerRunConfig{
+				Nodes: nodes, Files: files, FileSize: fileSize, Epochs: epochs,
+				Mode:     ShardReshuffled,
+				SSDQuota: peerOwnedQuota(nodes, files, fileSize),
+				Seed:     p.BaseSeed,
+			}
+
+			base := cfg
+			base.UsePeers = false
+			baseline, err := RunPeerLoopback(base)
+			if err != nil {
+				return nil, err
+			}
+
+			tracePath, err := tempTracePath()
+			if err != nil {
+				return nil, err
+			}
+			defer os.Remove(tracePath)
+			withPeers := cfg
+			withPeers.UsePeers = true
+			withPeers.TracePath = tracePath
+			peers, err := RunPeerLoopback(withPeers)
+			if err != nil {
+				return nil, err
+			}
+
+			o := &Outcome{}
+			t := report.NewTable(
+				fmt.Sprintf("peer cache network: %d nodes, %d shards × %d B, %d reshuffled epochs (real TCP)",
+					nodes, files, fileSize, epochs),
+				"setup", "PFS ops", "peer hits", "peer misses", "placements")
+			var basePlace, peerPlace, peerMisses int64
+			for _, s := range baseline.Stats {
+				basePlace += s.Placements
+			}
+			for _, s := range peers.Stats {
+				peerPlace += s.Placements
+				peerMisses += s.PeerMisses
+			}
+			t.Add("no-peer baseline", report.Count(baseline.PFSOps), "0", "0", report.Count(basePlace))
+			t.Add("peer network", report.Count(peers.PFSOps), report.Count(peers.PeerHits()),
+				report.Count(peerMisses), report.Count(peerPlace))
+			o.Tables = append(o.Tables, t)
+
+			o.check("peer network cuts PFS data ops under reshuffled sharding",
+				peers.PFSOps < baseline.PFSOps,
+				"%d vs %d ops (%.1f%% saved)", peers.PFSOps, baseline.PFSOps,
+				100*reduction(float64(baseline.PFSOps), float64(peers.PFSOps)))
+			o.check("sibling caches actually served reads",
+				peers.PeerHits() > 0, "%d peer hits", peers.PeerHits())
+
+			var derived int64
+			for _, s := range peers.Stats {
+				derived += derivedPFSOps(s)
+			}
+			o.check("measured PFS ops match the monarch_ counters",
+				derived == peers.PFSOps,
+				"counters derive %d, PFS measured %d", derived, peers.PFSOps)
+
+			a, err := AnalyzePeerTrace(tracePath)
+			if err != nil {
+				return nil, err
+			}
+			o.check("trace analyzer agrees with node 0's measured PFS ops",
+				a.Complete && a.PFSOps == a.RecordedPFSOps,
+				"derived %d, recorded %d (complete=%v)", a.PFSOps, a.RecordedPFSOps, a.Complete)
+			o.check("node 0's trace saw peer traffic",
+				epochPeerHits(a) > 0, "%d peer-class reads", epochPeerHits(a))
+			return o, nil
+		},
+	}
+}
+
+func epochPeerHits(a *analyze.Analysis) int64 {
+	var n int64
+	for _, e := range a.Epochs {
+		n += e.Peer
+	}
+	return n
+}
+
+// tempTracePath returns a fresh .bin path for a short-lived capture.
+func tempTracePath() (string, error) {
+	f, err := os.CreateTemp("", "monarch-peer-*.bin")
+	if err != nil {
+		return "", err
+	}
+	path := f.Name()
+	f.Close()
+	return path, nil
+}

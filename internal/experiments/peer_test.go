@@ -1,0 +1,134 @@
+package experiments
+
+import (
+	"path/filepath"
+	"testing"
+
+	"monarch/internal/core"
+)
+
+// TestExtPeernetChecksPass runs the full loopback experiment — 4 nodes
+// over real TCP, peer network vs no-peer baseline — and requires every
+// cross-check to hold.
+func TestExtPeernetChecksPass(t *testing.T) {
+	o, err := extPeernet().Run(QuickParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed := o.Failed(); len(failed) > 0 {
+		t.Fatalf("checks failed: %v", failed)
+	}
+}
+
+// TestPeerLoopbackFaultInjection kills one node's serving socket after
+// the first epoch: the run must complete (PFS fallback), the survivors'
+// breakers must demote the peer tier, and the error counters plus the
+// trace's tier-state events must account for the failures.
+func TestPeerLoopbackFaultInjection(t *testing.T) {
+	tracePath := filepath.Join(t.TempDir(), "fault.bin")
+	res, err := RunPeerLoopback(PeerRunConfig{
+		Nodes: 4, Files: 32, FileSize: 2048, Epochs: 4,
+		Mode:     ShardReshuffled,
+		UsePeers: true,
+		SSDQuota: peerOwnedQuota(4, 32, 2048),
+		Seed:     7,
+		// One failed peer read trips the breaker: the victim's files are
+		// never served by anyone else, so waiting out the default
+		// threshold only adds noise.
+		Health:    core.HealthConfig{ReadErrorThreshold: 1},
+		KillNode:  1, KillAfterEpoch: 1,
+		TracePath: tracePath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Survivors that read a victim-owned file post-kill must have
+	// tripped; at minimum one node demoted its peer tier.
+	downs := 0
+	for i, st := range res.PeerTierStates {
+		if i == 1 {
+			// The killed node's own clients point at live siblings; its
+			// breaker state is not the subject here.
+			continue
+		}
+		if st == core.TierDown {
+			downs++
+		}
+	}
+	if downs == 0 {
+		t.Fatalf("no surviving node demoted the peer tier: %v", res.PeerTierStates)
+	}
+
+	if res.PeerStageErrors == 0 {
+		t.Fatal(`monarch_errors_total{stage="peer"} stayed zero through a dead peer`)
+	}
+	// Every peer-stage error is a fallback re-served from the PFS, and
+	// nothing else in this run can fall back — the two counters must
+	// agree exactly.
+	var fallbacks int64
+	for _, s := range res.Stats {
+		fallbacks += s.Fallbacks
+	}
+	if fallbacks != res.PeerStageErrors {
+		t.Fatalf("fallbacks %d != peer-stage errors %d", fallbacks, res.PeerStageErrors)
+	}
+
+	// Node 0's trace must carry the tier-down transition (threshold 1:
+	// its first post-kill read of a victim-owned file trips it).
+	a, err := AnalyzePeerTrace(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tierDowns := 0
+	for _, tr := range a.Transitions {
+		if tr.Kind == "tier-down" {
+			tierDowns++
+		}
+	}
+	if res.Stats[0].TierTrips > 0 && tierDowns == 0 {
+		t.Fatalf("node 0 tripped %d times but its trace has no tier-down event", res.Stats[0].TierTrips)
+	}
+	if res.Stats[0].TierTrips == 0 {
+		t.Fatalf("node 0 never tripped; pick a different seed so the assertion has teeth")
+	}
+	if !a.Complete {
+		t.Fatal("trace did not close cleanly")
+	}
+}
+
+// TestPeerLoopbackStickyShardingNeedsNoPeers pins the contrast case:
+// under sticky sharding each node re-reads its own cached shards, so
+// the peer tier sees essentially no traffic.
+func TestPeerLoopbackStickyShardingNeedsNoPeers(t *testing.T) {
+	res, err := RunPeerLoopback(PeerRunConfig{
+		Nodes: 2, Files: 16, FileSize: 1024, Epochs: 3,
+		Mode:     ShardSticky,
+		UsePeers: true,
+		Seed:     11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sticky assignment ignores ownership, so a node's shards may be
+	// owned elsewhere; but every shard is read by the same node each
+	// epoch. Non-owned shards are peer-routed each time (miss: the
+	// owner never reads them, so never caches them) — they still reach
+	// the PFS. Owned shards go local after epoch 1.
+	var local int64
+	for _, s := range res.Stats {
+		local += s.ReadsServed[0]
+	}
+	if local == 0 {
+		t.Fatal("sticky re-reads never hit the local tier")
+	}
+	if res.PeerHits() != 0 {
+		t.Fatalf("sticky sharding produced %d peer hits; owners never cache foreign-read shards", res.PeerHits())
+	}
+}
+
+func TestPeerRunConfigValidation(t *testing.T) {
+	if _, err := RunPeerLoopback(PeerRunConfig{}); err == nil {
+		t.Fatal("zero config accepted")
+	}
+}

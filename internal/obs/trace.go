@@ -66,6 +66,14 @@ const (
 	// FlagReuse marks a placement satisfied by re-using the
 	// foreground's full read instead of fetching from the source.
 	FlagReuse
+	// FlagPeer marks a read served by the peer cache tier: the bytes
+	// came from a sibling node over the wire, not from the PFS.
+	FlagPeer
+	// FlagPeerMiss marks a read that was routed to the peer tier, found
+	// the owner had not cached the file, and was re-served from the
+	// source. A clean miss — distinct from FlagFallback, which records a
+	// tier *failure*.
+	FlagPeerMiss
 )
 
 // Span is one completed operation on an instrumented path. Spans are
@@ -109,6 +117,12 @@ func (s Span) String() string {
 	}
 	if s.Flags&FlagReuse != 0 {
 		out += " reuse"
+	}
+	if s.Flags&FlagPeer != 0 {
+		out += " peer"
+	}
+	if s.Flags&FlagPeerMiss != 0 {
+		out += " peer-miss"
 	}
 	out += fmt.Sprintf(" dur=%s", s.Duration)
 	if s.Err != nil {

@@ -1,0 +1,106 @@
+package peernet_test
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"monarch/internal/peernet"
+	"monarch/internal/storage"
+)
+
+// benchServer seeds a MemFS with one file and serves it.
+func benchServer(b *testing.B, size int) *peernet.Server {
+	b.Helper()
+	mem := storage.NewMemFS("remote", 0)
+	data := make([]byte, size)
+	for i := range data {
+		data[i] = byte(i)
+	}
+	if err := mem.WriteFile(context.Background(), "bench.rec", data); err != nil {
+		b.Fatal(err)
+	}
+	srv, err := peernet.NewServer(peernet.ServerConfig{Backend: mem})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { srv.Close() })
+	return srv
+}
+
+// benchRead drives b.N whole-file reads through c and reports MB/s.
+func benchRead(b *testing.B, c *peernet.Client, size int) {
+	ctx := context.Background()
+	p := make([]byte, size)
+	b.SetBytes(int64(size))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n, err := c.ReadAt(ctx, "bench.rec", p, 0)
+		if err != nil || n != size {
+			b.Fatalf("read: n=%d err=%v", n, err)
+		}
+	}
+}
+
+// BenchmarkPeerRead measures one-request read latency/throughput over
+// both transports at dataset-shard-ish sizes.
+func BenchmarkPeerRead(b *testing.B) {
+	sizes := []int{4 << 10, 256 << 10, 4 << 20}
+
+	for _, size := range sizes {
+		size := size
+		b.Run(fmt.Sprintf("pipe/%dKB", size>>10), func(b *testing.B) {
+			srv := benchServer(b, size)
+			c, err := peernet.NewClient(peernet.ClientConfig{
+				Name: "peer:pipe",
+				Dial: peernet.PipeDialer(srv),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { c.Close() })
+			benchRead(b, c, size)
+		})
+
+		b.Run(fmt.Sprintf("tcp/%dKB", size>>10), func(b *testing.B) {
+			srv := benchServer(b, size)
+			ln, err := net.Listen("tcp", "127.0.0.1:0")
+			if err != nil {
+				b.Fatal(err)
+			}
+			go srv.Serve(ln)
+			c, err := peernet.NewClient(peernet.ClientConfig{
+				Name: "peer:tcp",
+				Dial: peernet.TCPDialer(ln.Addr().String(), time.Second),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { c.Close() })
+			benchRead(b, c, size)
+		})
+	}
+}
+
+// BenchmarkPeerStat measures the metadata round trip — the per-request
+// floor under the protocol.
+func BenchmarkPeerStat(b *testing.B) {
+	srv := benchServer(b, 1024)
+	c, err := peernet.NewClient(peernet.ClientConfig{
+		Name: "peer:pipe",
+		Dial: peernet.PipeDialer(srv),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(func() { c.Close() })
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.Stat(ctx, "bench.rec"); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,420 @@
+package peernet
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"monarch/internal/obs"
+	"monarch/internal/storage"
+)
+
+// Dialer opens one connection to a peer server. TCPDialer and
+// PipeDialer cover the two in-tree transports; tests can inject
+// failing dialers to exercise the retry path.
+type Dialer func(ctx context.Context) (net.Conn, error)
+
+// ClientConfig configures one peer client.
+type ClientConfig struct {
+	// Name is the backend name the client reports ("peer:node1").
+	Name string
+	// Dial opens connections to the peer.
+	Dial Dialer
+	// PoolSize caps idle connections kept for reuse (default 2).
+	PoolSize int
+	// Timeout bounds each request round trip (default 5s). A tighter
+	// caller deadline wins.
+	Timeout time.Duration
+	// Retries is how many times a request is retried after a
+	// *transport* failure — dial or I/O errors. Remote errors (a miss,
+	// a full quota) are definitive and never retried. Default 1.
+	Retries int
+	// Backoff is the delay before the first retry, doubling per
+	// attempt (default 10ms).
+	Backoff time.Duration
+}
+
+// Client speaks the frame protocol to one peer server and exposes it
+// as a storage.Backend, so a peer's cache composes into the hierarchy
+// exactly like a local tier. Safe for concurrent use: concurrent
+// requests each use their own pooled connection.
+type Client struct {
+	cfg ClientConfig
+
+	mu     sync.Mutex
+	idle   []net.Conn
+	closed bool
+
+	// Per-op wire attempts, transport errors and response bytes;
+	// exported through Instrument. The histogram pointer is nil until
+	// Instrument runs — the hot path loads it atomically.
+	reqs     [8]atomic.Int64 // indexed by op byte
+	transErr atomic.Int64
+	bytesIn  atomic.Int64
+	lat      atomic.Pointer[obs.Histogram]
+}
+
+// opNames label the per-op request counters.
+var opNames = map[byte]string{
+	OpPing:   "ping",
+	OpStat:   "stat",
+	OpList:   "list",
+	OpRead:   "read",
+	OpWrite:  "write",
+	OpRemove: "remove",
+	OpUsage:  "usage",
+}
+
+// NewClient validates cfg, applies defaults and builds a Client. No
+// connection is opened until the first request.
+func NewClient(cfg ClientConfig) (*Client, error) {
+	if cfg.Dial == nil {
+		return nil, fmt.Errorf("peernet: client needs a dialer")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "peer"
+	}
+	if cfg.PoolSize <= 0 {
+		cfg.PoolSize = 2
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	if cfg.Retries < 0 {
+		cfg.Retries = 0
+	} else if cfg.Retries == 0 {
+		cfg.Retries = 1
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 10 * time.Millisecond
+	}
+	return &Client{cfg: cfg}, nil
+}
+
+// Name implements storage.Backend.
+func (c *Client) Name() string { return c.cfg.Name }
+
+// Close drops all idle connections and fails future requests.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conn := range c.idle {
+		conn.Close()
+	}
+	c.idle = nil
+	return nil
+}
+
+// getConn pops an idle connection or dials a fresh one.
+func (c *Client) getConn(ctx context.Context) (net.Conn, error) {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil, fmt.Errorf("peernet: client %s is closed", c.cfg.Name)
+	}
+	if n := len(c.idle); n > 0 {
+		conn := c.idle[n-1]
+		c.idle = c.idle[:n-1]
+		c.mu.Unlock()
+		return conn, nil
+	}
+	c.mu.Unlock()
+	return c.cfg.Dial(ctx)
+}
+
+// putConn returns a healthy connection to the pool.
+func (c *Client) putConn(conn net.Conn) {
+	conn.SetDeadline(time.Time{})
+	c.mu.Lock()
+	if !c.closed && len(c.idle) < c.cfg.PoolSize {
+		c.idle = append(c.idle, conn)
+		c.mu.Unlock()
+		return
+	}
+	c.mu.Unlock()
+	conn.Close()
+}
+
+// do runs one request with per-attempt deadlines and transport-level
+// retry. It returns the remote status and response payload; callers
+// map non-OK statuses through remoteError.
+func (c *Client) do(ctx context.Context, op byte, payload []byte) (byte, []byte, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, nil, err
+	}
+	backoff := c.cfg.Backoff
+	var lastErr error
+	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return 0, nil, ctx.Err()
+			case <-time.After(backoff):
+			}
+			backoff *= 2
+		}
+		conn, err := c.getConn(ctx)
+		if err != nil {
+			c.transErr.Add(1)
+			lastErr = err
+			continue
+		}
+		status, resp, err := c.roundTrip(ctx, conn, op, payload)
+		if err != nil {
+			conn.Close()
+			c.transErr.Add(1)
+			lastErr = err
+			continue
+		}
+		c.putConn(conn)
+		return status, resp, nil
+	}
+	return 0, nil, fmt.Errorf("peernet: %s: request failed after %d attempts: %w",
+		c.cfg.Name, c.cfg.Retries+1, lastErr)
+}
+
+// roundTrip sends one frame and reads the response on conn.
+func (c *Client) roundTrip(ctx context.Context, conn net.Conn, op byte, payload []byte) (byte, []byte, error) {
+	deadline := time.Now().Add(c.cfg.Timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
+	if err := conn.SetDeadline(deadline); err != nil {
+		return 0, nil, err
+	}
+	c.reqs[op&0x07].Add(1)
+	start := time.Now()
+	if err := writeFrame(conn, op, payload); err != nil {
+		return 0, nil, err
+	}
+	status, resp, err := readFrame(conn)
+	if err != nil {
+		return 0, nil, err
+	}
+	if h := c.lat.Load(); h != nil {
+		h.Observe(time.Since(start).Seconds())
+	}
+	return status, resp, nil
+}
+
+// remoteError reconstructs the sentinel a non-OK status encodes, so
+// errors.Is(err, storage.ErrNotExist) works across the wire.
+func (c *Client) remoteError(status byte, resp []byte) error {
+	msg, _, perr := parseString(resp)
+	if perr != nil {
+		msg = "(no detail)"
+	}
+	switch status {
+	case StatusNotExist:
+		return fmt.Errorf("peernet: %s: %s: %w", c.cfg.Name, msg, storage.ErrNotExist)
+	case StatusExist:
+		return fmt.Errorf("peernet: %s: %s: %w", c.cfg.Name, msg, storage.ErrExist)
+	case StatusNoSpace:
+		return fmt.Errorf("peernet: %s: %s: %w", c.cfg.Name, msg, storage.ErrNoSpace)
+	case StatusReadOnly:
+		return fmt.Errorf("peernet: %s: %s: %w", c.cfg.Name, msg, storage.ErrReadOnly)
+	case StatusCanceled:
+		return fmt.Errorf("peernet: %s: %s: %w", c.cfg.Name, msg, context.Canceled)
+	case StatusInvalid, StatusInternal:
+		return fmt.Errorf("peernet: %s: remote error: %s", c.cfg.Name, msg)
+	default:
+		return fmt.Errorf("peernet: %s: unknown status 0x%02x", c.cfg.Name, status)
+	}
+}
+
+// Ping implements storage.Pinger: a liveness round trip the recovery
+// prober uses instead of its default write probe.
+func (c *Client) Ping(ctx context.Context) error {
+	status, resp, err := c.do(ctx, OpPing, nil)
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return c.remoteError(status, resp)
+	}
+	return nil
+}
+
+// Stat implements storage.Backend.
+func (c *Client) Stat(ctx context.Context, name string) (storage.FileInfo, error) {
+	if err := storage.ValidateName(name); err != nil {
+		return storage.FileInfo{}, err
+	}
+	status, resp, err := c.do(ctx, OpStat, appendString(nil, name))
+	if err != nil {
+		return storage.FileInfo{}, err
+	}
+	if status != StatusOK {
+		return storage.FileInfo{}, c.remoteError(status, resp)
+	}
+	size, _, err := parseI64(resp)
+	if err != nil {
+		return storage.FileInfo{}, err
+	}
+	return storage.FileInfo{Name: name, Size: size}, nil
+}
+
+// List implements storage.Backend.
+func (c *Client) List(ctx context.Context) ([]storage.FileInfo, error) {
+	status, resp, err := c.do(ctx, OpList, nil)
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusOK {
+		return nil, c.remoteError(status, resp)
+	}
+	entries, err := parseListResp(resp)
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]storage.FileInfo, len(entries))
+	for i, e := range entries {
+		infos[i] = storage.FileInfo{Name: e.name, Size: e.size}
+	}
+	return infos, nil
+}
+
+// ReadAt implements storage.Backend, splitting large windows into
+// maxData-sized wire requests.
+func (c *Client) ReadAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	if err := storage.ValidateName(name); err != nil {
+		return 0, err
+	}
+	if off < 0 {
+		return 0, fmt.Errorf("peernet: %s: negative offset %d", c.cfg.Name, off)
+	}
+	done := 0
+	for {
+		want := min(len(p)-done, maxData)
+		status, resp, err := c.do(ctx, OpRead,
+			appendReadReq(nil, name, off+int64(done), uint32(want)))
+		if err != nil {
+			return done, err
+		}
+		if status != StatusOK {
+			return done, c.remoteError(status, resp)
+		}
+		if len(resp) > want {
+			return done, fmt.Errorf("%w: READ returned %d bytes for a %d-byte request",
+				errMalformed, len(resp), want)
+		}
+		copy(p[done:], resp)
+		done += len(resp)
+		c.bytesIn.Add(int64(len(resp)))
+		if len(resp) < want || done == len(p) {
+			// Short response = EOF on the remote, matching local
+			// ReadAt semantics (n < len(p), nil error).
+			return done, nil
+		}
+	}
+}
+
+// ReadFile implements storage.Backend as Stat + ranged reads.
+func (c *Client) ReadFile(ctx context.Context, name string) ([]byte, error) {
+	fi, err := c.Stat(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	data := make([]byte, fi.Size)
+	n, err := c.ReadAt(ctx, name, data, 0)
+	if err != nil {
+		return nil, err
+	}
+	return data[:n], nil
+}
+
+// WriteFile implements storage.Backend. Servers reject it unless
+// started with AllowWrite.
+func (c *Client) WriteFile(ctx context.Context, name string, data []byte) error {
+	if err := storage.ValidateName(name); err != nil {
+		return err
+	}
+	payload := append(appendString(nil, name), data...)
+	status, resp, err := c.do(ctx, OpWrite, payload)
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return c.remoteError(status, resp)
+	}
+	return nil
+}
+
+// Remove implements storage.Backend.
+func (c *Client) Remove(ctx context.Context, name string) error {
+	if err := storage.ValidateName(name); err != nil {
+		return err
+	}
+	status, resp, err := c.do(ctx, OpRemove, appendString(nil, name))
+	if err != nil {
+		return err
+	}
+	if status != StatusOK {
+		return c.remoteError(status, resp)
+	}
+	return nil
+}
+
+// usage fetches the remote quota pair with a self-imposed deadline,
+// since Capacity/Used take no context.
+func (c *Client) usage() (capacity, used int64, err error) {
+	ctx, cancel := context.WithTimeout(context.Background(), c.cfg.Timeout)
+	defer cancel()
+	status, resp, err := c.do(ctx, OpUsage, nil)
+	if err != nil {
+		return 0, 0, err
+	}
+	if status != StatusOK {
+		return 0, 0, c.remoteError(status, resp)
+	}
+	return parseUsageResp(resp)
+}
+
+// Capacity implements storage.Backend; it reports 0 (unlimited) when
+// the peer cannot be reached — harmless, because peer tiers are never
+// placement destinations.
+func (c *Client) Capacity() int64 {
+	capacity, _, err := c.usage()
+	if err != nil {
+		return 0
+	}
+	return capacity
+}
+
+// Used implements storage.Backend.
+func (c *Client) Used() int64 {
+	_, used, err := c.usage()
+	if err != nil {
+		return 0
+	}
+	return used
+}
+
+// Instrument implements obs.Instrumentable: per-op request counters,
+// transport-error and byte totals, and a request latency histogram,
+// all labelled with the peer name.
+func (c *Client) Instrument(r *obs.Registry, labels ...obs.Label) {
+	base := append([]obs.Label{obs.L("peer", c.cfg.Name)}, labels...)
+	for op, name := range opNames {
+		ctr := &c.reqs[op&0x07]
+		r.CounterFunc("monarch_peer_requests_total",
+			"Wire requests sent to a peer cache server, by operation.",
+			ctr.Load, append(append([]obs.Label(nil), base...), obs.L("op", name))...)
+	}
+	r.CounterFunc("monarch_peer_transport_errors_total",
+		"Dial or I/O failures talking to a peer cache server (before retry).",
+		c.transErr.Load, base...)
+	r.CounterFunc("monarch_peer_read_bytes_total",
+		"Payload bytes received from a peer cache server by READ requests.",
+		c.bytesIn.Load, base...)
+	c.lat.Store(r.Histogram("monarch_peer_request_seconds",
+		"Round-trip latency of peer cache requests.",
+		obs.LatencyBuckets, base...))
+}
+
+// TransportErrors reports the number of dial/IO failures so far.
+func (c *Client) TransportErrors() int64 { return c.transErr.Load() }

@@ -1,0 +1,95 @@
+package peernet
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// Ring is a consistent-hash ownership ring: every file name maps to
+// exactly one node, all nodes agree on the mapping with no
+// coordination, and adding or removing a node only moves ~1/N of the
+// namespace. Each node projects `replicas` virtual points onto the
+// ring so ownership stays balanced even with few nodes.
+type Ring struct {
+	points []ringPoint
+	nodes  []string
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// DefaultReplicas is the virtual-point count used when NewRing is
+// given replicas <= 0. 64 keeps the max/min ownership skew under ~20%
+// for small clusters without making lookup tables large.
+const DefaultReplicas = 64
+
+// NewRing builds a ring over nodes. Node IDs must be unique and
+// non-empty; order does not matter (all nodes build identical rings
+// from the same membership set).
+func NewRing(nodes []string, replicas int) (*Ring, error) {
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("peernet: ring needs at least one node")
+	}
+	if replicas <= 0 {
+		replicas = DefaultReplicas
+	}
+	seen := make(map[string]bool, len(nodes))
+	r := &Ring{
+		points: make([]ringPoint, 0, len(nodes)*replicas),
+		nodes:  append([]string(nil), nodes...),
+	}
+	sort.Strings(r.nodes)
+	for _, node := range r.nodes {
+		if node == "" {
+			return nil, fmt.Errorf("peernet: empty node ID")
+		}
+		if seen[node] {
+			return nil, fmt.Errorf("peernet: duplicate node ID %q", node)
+		}
+		seen[node] = true
+		for i := 0; i < replicas; i++ {
+			r.points = append(r.points, ringPoint{
+				hash: hash64(fmt.Sprintf("%s#%d", node, i)),
+				node: node,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Ties (vanishingly rare) break by node so every ring built
+		// from the same membership agrees.
+		return r.points[i].node < r.points[j].node
+	})
+	return r, nil
+}
+
+// Owner returns the node that owns name: the first virtual point at or
+// after the name's hash, wrapping around the ring.
+func (r *Ring) Owner(name string) string {
+	h := hash64(name)
+	i := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= h
+	})
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// Nodes returns the membership, sorted.
+func (r *Ring) Nodes() []string {
+	return append([]string(nil), r.nodes...)
+}
+
+// hash64 is FNV-1a 64: cheap, allocation-free and stable across
+// processes (ownership must agree between nodes).
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}

@@ -1,0 +1,84 @@
+package peernet
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossOrderings(t *testing.T) {
+	a, err := NewRing([]string{"node0", "node1", "node2", "node3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing([]string{"node3", "node1", "node0", "node2"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		name := fmt.Sprintf("data/shard-%04d.rec", i)
+		if a.Owner(name) != b.Owner(name) {
+			t.Fatalf("rings disagree on %s: %s vs %s", name, a.Owner(name), b.Owner(name))
+		}
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"node0", "node1", "node2", "node3"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const files = 4000
+	for i := 0; i < files; i++ {
+		counts[r.Owner(fmt.Sprintf("data/shard-%05d.rec", i))]++
+	}
+	for _, n := range nodes {
+		share := float64(counts[n]) / files
+		if share < 0.10 || share > 0.45 {
+			t.Fatalf("node %s owns %.1f%% of the namespace: %v", n, 100*share, counts)
+		}
+	}
+}
+
+func TestRingSingleNodeOwnsEverything(t *testing.T) {
+	r, err := NewRing([]string{"only"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if got := r.Owner(fmt.Sprintf("f-%d", i)); got != "only" {
+			t.Fatalf("owner = %q", got)
+		}
+	}
+}
+
+func TestRingMembershipChangeMovesLittle(t *testing.T) {
+	before, _ := NewRing([]string{"node0", "node1", "node2", "node3"}, 0)
+	after, _ := NewRing([]string{"node0", "node1", "node2", "node3", "node4"}, 0)
+	const files = 2000
+	moved := 0
+	for i := 0; i < files; i++ {
+		name := fmt.Sprintf("data/shard-%05d.rec", i)
+		if before.Owner(name) != after.Owner(name) {
+			moved++
+		}
+	}
+	// Adding a fifth node should move roughly 1/5 of the keys; anything
+	// over half means the hash is not consistent.
+	if float64(moved)/files > 0.5 {
+		t.Fatalf("membership change moved %d/%d keys", moved, files)
+	}
+}
+
+func TestRingRejectsBadMembership(t *testing.T) {
+	if _, err := NewRing(nil, 0); err == nil {
+		t.Fatal("empty ring accepted")
+	}
+	if _, err := NewRing([]string{"a", "a"}, 0); err == nil {
+		t.Fatal("duplicate node accepted")
+	}
+	if _, err := NewRing([]string{""}, 0); err == nil {
+		t.Fatal("empty node ID accepted")
+	}
+}

@@ -1,0 +1,270 @@
+package peernet
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"monarch/internal/storage"
+)
+
+// ServerConfig configures one peer server.
+type ServerConfig struct {
+	// Backend is the store served to peers — the node's tier-0 cache.
+	Backend storage.Backend
+	// AllowWrite permits OpWrite/OpRemove. Off by default: the peer
+	// network is a read-only cache fabric, and a read-only server is
+	// what keeps a misbehaving peer from corrupting a sibling's tier.
+	AllowWrite bool
+	// Logf receives per-connection diagnostics; nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// Server exposes a storage.Backend to peers over the frame protocol.
+// One goroutine per connection; requests on a connection are processed
+// in order (pipelining is the client pool's job, not the stream's).
+type Server struct {
+	cfg ServerConfig
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// NewServer validates cfg and builds a Server.
+func NewServer(cfg ServerConfig) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, fmt.Errorf("peernet: server needs a backend")
+	}
+	return &Server{
+		cfg:       cfg,
+		listeners: make(map[net.Listener]struct{}),
+		conns:     make(map[net.Conn]struct{}),
+	}, nil
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Serve accepts connections on ln until the listener fails or the
+// server is closed; it blocks. Serve returns nil after Close.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		ln.Close()
+		return fmt.Errorf("peernet: server is closed")
+	}
+	s.listeners[ln] = struct{}{}
+	s.mu.Unlock()
+
+	defer func() {
+		s.mu.Lock()
+		delete(s.listeners, ln)
+		s.mu.Unlock()
+		ln.Close()
+	}()
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return nil
+		}
+		s.conns[conn] = struct{}{}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go func() {
+			defer s.wg.Done()
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// ServeConn serves one pre-established connection (the net.Pipe
+// transport) until it closes; it blocks. The connection is closed on
+// return.
+func (s *Server) ServeConn(conn net.Conn) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		conn.Close()
+		return
+	}
+	s.conns[conn] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	defer s.wg.Done()
+	s.serveConn(conn)
+}
+
+// serveConn runs the request loop.
+func (s *Server) serveConn(conn net.Conn) {
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+
+	br := bufio.NewReader(conn)
+	bw := bufio.NewWriter(conn)
+	for {
+		op, payload, err := readFrame(br)
+		if err != nil {
+			// A malformed frame may leave unread garbage mid-stream;
+			// drop the connection rather than guess at resync.
+			if errors.Is(err, errMalformed) {
+				s.logf("peernet: %s: dropping connection: %v", conn.RemoteAddr(), err)
+				writeFrame(bw, StatusInvalid, appendString(nil, err.Error()))
+				bw.Flush()
+			}
+			return
+		}
+		status, resp := s.handle(op, payload)
+		if err := writeFrame(bw, status, resp); err != nil {
+			return
+		}
+		if err := bw.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// handle dispatches one request and encodes the response.
+func (s *Server) handle(op byte, payload []byte) (status byte, resp []byte) {
+	ctx := context.Background()
+	b := s.cfg.Backend
+	switch op {
+	case OpPing:
+		return StatusOK, nil
+
+	case OpStat:
+		name, _, err := parseString(payload)
+		if err != nil {
+			return statusFromError(err)
+		}
+		fi, err := b.Stat(ctx, name)
+		if err != nil {
+			return statusFromError(err)
+		}
+		return StatusOK, binary.BigEndian.AppendUint64(nil, uint64(fi.Size))
+
+	case OpList:
+		infos, err := b.List(ctx)
+		if err != nil {
+			return statusFromError(err)
+		}
+		entries := make([]listEntry, len(infos))
+		for i, fi := range infos {
+			entries[i] = listEntry{name: fi.Name, size: fi.Size}
+		}
+		return StatusOK, appendListResp(nil, entries)
+
+	case OpRead:
+		rq, err := parseReadReq(payload)
+		if err != nil {
+			return statusFromError(err)
+		}
+		p := make([]byte, rq.n)
+		n, err := b.ReadAt(ctx, rq.name, p, rq.off)
+		if err != nil {
+			return statusFromError(err)
+		}
+		return StatusOK, p[:n]
+
+	case OpWrite:
+		if !s.cfg.AllowWrite {
+			return StatusReadOnly, appendString(nil, "peer server is read-only")
+		}
+		name, data, err := parseString(payload)
+		if err != nil {
+			return statusFromError(err)
+		}
+		if err := b.WriteFile(ctx, name, data); err != nil {
+			return statusFromError(err)
+		}
+		return StatusOK, nil
+
+	case OpRemove:
+		if !s.cfg.AllowWrite {
+			return StatusReadOnly, appendString(nil, "peer server is read-only")
+		}
+		name, _, err := parseString(payload)
+		if err != nil {
+			return statusFromError(err)
+		}
+		if err := b.Remove(ctx, name); err != nil {
+			return statusFromError(err)
+		}
+		return StatusOK, nil
+
+	case OpUsage:
+		return StatusOK, appendUsageResp(nil, b.Capacity(), b.Used())
+
+	default:
+		return StatusInvalid, appendString(nil, fmt.Sprintf("unknown op 0x%02x", op))
+	}
+}
+
+// statusFromError maps a backend (or decode) error onto the wire
+// status that will reconstruct the right sentinel client-side.
+func statusFromError(err error) (byte, []byte) {
+	msg := appendString(nil, err.Error())
+	switch {
+	case errors.Is(err, storage.ErrNotExist):
+		return StatusNotExist, msg
+	case errors.Is(err, storage.ErrExist):
+		return StatusExist, msg
+	case errors.Is(err, storage.ErrNoSpace):
+		return StatusNoSpace, msg
+	case errors.Is(err, storage.ErrReadOnly):
+		return StatusReadOnly, msg
+	case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+		return StatusCanceled, msg
+	case errors.Is(err, errMalformed):
+		return StatusInvalid, msg
+	default:
+		return StatusInternal, msg
+	}
+}
+
+// Close stops all listeners, closes every live connection and waits
+// for connection goroutines to drain. Safe to call more than once.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for ln := range s.listeners {
+		ln.Close()
+	}
+	for conn := range s.conns {
+		conn.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}

@@ -1,0 +1,164 @@
+package peernet
+
+import (
+	"context"
+	"fmt"
+	"sort"
+
+	"monarch/internal/obs"
+	"monarch/internal/storage"
+)
+
+// Tier aggregates the peer clients of one node into a single
+// storage.Backend that slots into the MONARCH hierarchy between local
+// SSD and the PFS. Reads route to the owner of the requested name on
+// the consistent-hash ring; names this node owns report ErrNotExist
+// (they are served by the local tier above, never the peer network).
+//
+// A Tier is deliberately hostile to placement: Capacity()==Used()==1
+// makes storage.Free report zero, so the placement handler skips it as
+// a destination without any peer-specific logic in core. Mutations
+// return ErrReadOnly for the same reason.
+type Tier struct {
+	name    string
+	self    string
+	ring    *Ring
+	clients map[string]*Client
+}
+
+// NewTier builds the peer tier for node self. clients must hold one
+// entry per *other* ring member (self excluded).
+func NewTier(name, self string, ring *Ring, clients map[string]*Client) (*Tier, error) {
+	if ring == nil {
+		return nil, fmt.Errorf("peernet: tier needs a ring")
+	}
+	found := false
+	for _, n := range ring.Nodes() {
+		if n == self {
+			found = true
+			continue
+		}
+		if clients[n] == nil {
+			return nil, fmt.Errorf("peernet: tier missing a client for ring member %q", n)
+		}
+	}
+	if !found {
+		return nil, fmt.Errorf("peernet: node %q is not a ring member", self)
+	}
+	if name == "" {
+		name = "peers"
+	}
+	return &Tier{name: name, self: self, ring: ring, clients: clients}, nil
+}
+
+// Name implements storage.Backend.
+func (t *Tier) Name() string { return t.name }
+
+// owner resolves the client serving name, or nil when this node owns
+// it.
+func (t *Tier) owner(name string) *Client {
+	o := t.ring.Owner(name)
+	if o == t.self {
+		return nil
+	}
+	return t.clients[o]
+}
+
+// Stat implements storage.Backend.
+func (t *Tier) Stat(ctx context.Context, name string) (storage.FileInfo, error) {
+	c := t.owner(name)
+	if c == nil {
+		return storage.FileInfo{}, fmt.Errorf("peernet: %q is owned locally: %w", name, storage.ErrNotExist)
+	}
+	return c.Stat(ctx, name)
+}
+
+// ReadAt implements storage.Backend.
+func (t *Tier) ReadAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	c := t.owner(name)
+	if c == nil {
+		return 0, fmt.Errorf("peernet: %q is owned locally: %w", name, storage.ErrNotExist)
+	}
+	return c.ReadAt(ctx, name, p, off)
+}
+
+// ReadFile implements storage.Backend.
+func (t *Tier) ReadFile(ctx context.Context, name string) ([]byte, error) {
+	c := t.owner(name)
+	if c == nil {
+		return nil, fmt.Errorf("peernet: %q is owned locally: %w", name, storage.ErrNotExist)
+	}
+	return c.ReadFile(ctx, name)
+}
+
+// List implements storage.Backend: the union of every peer's listing,
+// sorted by name.
+func (t *Tier) List(ctx context.Context) ([]storage.FileInfo, error) {
+	var all []storage.FileInfo
+	for _, node := range t.ring.Nodes() {
+		if node == t.self {
+			continue
+		}
+		infos, err := t.clients[node].List(ctx)
+		if err != nil {
+			return nil, err
+		}
+		all = append(all, infos...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].Name < all[j].Name })
+	return all, nil
+}
+
+// WriteFile implements storage.Backend; the peer tier is read-only.
+func (t *Tier) WriteFile(ctx context.Context, name string, data []byte) error {
+	return fmt.Errorf("peernet: %s: %w", t.name, storage.ErrReadOnly)
+}
+
+// Remove implements storage.Backend; the peer tier is read-only.
+func (t *Tier) Remove(ctx context.Context, name string) error {
+	return fmt.Errorf("peernet: %s: %w", t.name, storage.ErrReadOnly)
+}
+
+// Capacity and Used report a full 1-byte quota so storage.Free is
+// zero and placement never targets the peer tier.
+
+// Capacity implements storage.Backend.
+func (t *Tier) Capacity() int64 { return 1 }
+
+// Used implements storage.Backend.
+func (t *Tier) Used() int64 { return 1 }
+
+// Ping implements storage.Pinger: alive only when every peer answers.
+// Conservative on purpose — with a single breaker guarding the whole
+// tier, reporting "up" while one peer is dead would flap the tier on
+// every read routed to that peer. Per-peer breakers are future work.
+func (t *Tier) Ping(ctx context.Context) error {
+	for _, node := range t.ring.Nodes() {
+		if node == t.self {
+			continue
+		}
+		if err := t.clients[node].Ping(ctx); err != nil {
+			return fmt.Errorf("peernet: peer %s: %w", node, err)
+		}
+	}
+	return nil
+}
+
+// Instrument implements obs.Instrumentable by fanning out to every
+// client; each registers its own per-peer series.
+func (t *Tier) Instrument(r *obs.Registry, labels ...obs.Label) {
+	for _, node := range t.ring.Nodes() {
+		if node == t.self {
+			continue
+		}
+		t.clients[node].Instrument(r, labels...)
+	}
+}
+
+// Close closes every client.
+func (t *Tier) Close() error {
+	for _, c := range t.clients {
+		c.Close()
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+package peernet_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"monarch/internal/peernet"
+	"monarch/internal/storage"
+)
+
+// tierFixture builds a ring of n nodes, one MemFS + server per node,
+// and returns node 0's Tier plus every node's store. Servers for nodes
+// listed in dead are closed immediately.
+func tierFixture(t *testing.T, n int, dead ...int) (*peernet.Tier, *peernet.Ring, []*storage.MemFS) {
+	t.Helper()
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("node%d", i)
+	}
+	ring, err := peernet.NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stores := make([]*storage.MemFS, n)
+	clients := make(map[string]*peernet.Client)
+	for i := 1; i < n; i++ {
+		stores[i] = storage.NewMemFS(nodes[i], 0)
+		srv, err := peernet.NewServer(peernet.ServerConfig{Backend: stores[i]})
+		if err != nil {
+			t.Fatal(err)
+		}
+		closed := false
+		for _, d := range dead {
+			if d == i {
+				srv.Close()
+				closed = true
+			}
+		}
+		if !closed {
+			t.Cleanup(func() { srv.Close() })
+		}
+		c, err := peernet.NewClient(peernet.ClientConfig{
+			Name:    "peer:" + nodes[i],
+			Dial:    peernet.PipeDialer(srv),
+			Retries: 1,
+			Backoff: time.Millisecond,
+			Timeout: time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		clients[nodes[i]] = c
+	}
+	stores[0] = storage.NewMemFS(nodes[0], 0)
+	tier, err := peernet.NewTier("peers", nodes[0], ring, clients)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tier, ring, stores
+}
+
+func TestTierRoutesToOwner(t *testing.T) {
+	ctx := context.Background()
+	tier, ring, stores := tierFixture(t, 4)
+	nodes := ring.Nodes()
+	idx := map[string]int{}
+	for i, n := range nodes {
+		idx[n] = i
+	}
+
+	// Seed every node's store with a file it owns, plus note one file
+	// owned by node0 itself.
+	var selfOwned string
+	perOwner := map[string]string{}
+	for i := 0; len(perOwner) < 3 || selfOwned == ""; i++ {
+		name := fmt.Sprintf("data/shard-%04d.rec", i)
+		owner := ring.Owner(name)
+		if owner == "node0" {
+			if selfOwned == "" {
+				selfOwned = name
+			}
+			continue
+		}
+		if _, ok := perOwner[owner]; ok {
+			continue
+		}
+		perOwner[owner] = name
+		if err := stores[idx[owner]].WriteFile(ctx, name, []byte("from "+owner)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	for owner, name := range perOwner {
+		data, err := tier.ReadFile(ctx, name)
+		if err != nil || string(data) != "from "+owner {
+			t.Fatalf("read %s from %s: %q err=%v", name, owner, data, err)
+		}
+		fi, err := tier.Stat(ctx, name)
+		if err != nil || fi.Size != int64(len("from "+owner)) {
+			t.Fatalf("stat %s: %+v err=%v", name, fi, err)
+		}
+	}
+
+	// Files this node owns are not the peer network's to serve.
+	if _, err := tier.ReadFile(ctx, selfOwned); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("self-owned read: %v, want ErrNotExist", err)
+	}
+}
+
+func TestTierMissIsNotExist(t *testing.T) {
+	ctx := context.Background()
+	tier, ring, _ := tierFixture(t, 2)
+	// Find a name node1 owns but never cached.
+	for i := 0; ; i++ {
+		name := fmt.Sprintf("uncached-%d", i)
+		if ring.Owner(name) == "node1" {
+			if _, err := tier.ReadFile(ctx, name); !errors.Is(err, storage.ErrNotExist) {
+				t.Fatalf("peer miss: %v, want ErrNotExist", err)
+			}
+			return
+		}
+	}
+}
+
+func TestTierIsReadOnlyAndFull(t *testing.T) {
+	ctx := context.Background()
+	tier, _, _ := tierFixture(t, 2)
+	if err := tier.WriteFile(ctx, "f", []byte("x")); !errors.Is(err, storage.ErrReadOnly) {
+		t.Fatalf("write: %v", err)
+	}
+	if err := tier.Remove(ctx, "f"); !errors.Is(err, storage.ErrReadOnly) {
+		t.Fatalf("remove: %v", err)
+	}
+	// Zero free space is what keeps the placement handler from ever
+	// choosing the peer tier as a destination.
+	if free := storage.Free(tier); free != 0 {
+		t.Fatalf("free = %d, want 0", free)
+	}
+}
+
+func TestTierPingRequiresAllPeers(t *testing.T) {
+	ctx := context.Background()
+	t.Run("AllAlive", func(t *testing.T) {
+		tier, _, _ := tierFixture(t, 3)
+		if err := tier.Ping(ctx); err != nil {
+			t.Fatalf("ping with live peers: %v", err)
+		}
+	})
+	t.Run("OneDead", func(t *testing.T) {
+		tier, _, _ := tierFixture(t, 3, 2)
+		if err := tier.Ping(ctx); err == nil {
+			t.Fatal("ping with a dead peer succeeded")
+		}
+	})
+}
+
+func TestTierList(t *testing.T) {
+	ctx := context.Background()
+	tier, _, stores := tierFixture(t, 3)
+	if err := stores[1].WriteFile(ctx, "bb", make([]byte, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := stores[2].WriteFile(ctx, "aa", make([]byte, 1)); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := tier.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infos) != 2 || infos[0].Name != "aa" || infos[1].Name != "bb" {
+		t.Fatalf("merged list = %+v", infos)
+	}
+}
+
+func TestTierValidatesMembership(t *testing.T) {
+	ring, _ := peernet.NewRing([]string{"a", "b"}, 0)
+	if _, err := peernet.NewTier("p", "a", ring, nil); err == nil {
+		t.Fatal("tier without client for ring member accepted")
+	}
+	if _, err := peernet.NewTier("p", "zz", ring, nil); err == nil {
+		t.Fatal("tier for non-member node accepted")
+	}
+}

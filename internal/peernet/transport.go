@@ -1,0 +1,34 @@
+package peernet
+
+import (
+	"context"
+	"net"
+	"time"
+)
+
+// TCPDialer returns a Dialer for a peer server's TCP address. The
+// dial timeout is separate from the client's per-request Timeout (a
+// caller deadline still wins if tighter).
+func TCPDialer(addr string, timeout time.Duration) Dialer {
+	if timeout <= 0 {
+		timeout = 5 * time.Second
+	}
+	return func(ctx context.Context) (net.Conn, error) {
+		dctx, cancel := context.WithTimeout(ctx, timeout)
+		defer cancel()
+		var d net.Dialer
+		return d.DialContext(dctx, "tcp", addr)
+	}
+}
+
+// PipeDialer returns a Dialer that connects to srv in-process through
+// net.Pipe — no sockets, fully deterministic, and the whole frame
+// codec still runs. Each dial spawns one server-side goroutine, which
+// exits when either end closes (or srv is closed).
+func PipeDialer(srv *Server) Dialer {
+	return func(ctx context.Context) (net.Conn, error) {
+		client, server := net.Pipe()
+		go srv.ServeConn(server)
+		return client, nil
+	}
+}

@@ -1,25 +1,29 @@
-package storage
+package storage_test
 
 import (
 	"bytes"
 	"context"
 	"errors"
 	"fmt"
-	"sync"
 	"testing"
 	"testing/quick"
+
+	"monarch/internal/storage"
+	"monarch/internal/storage/storagetest"
 )
 
 // backendFactories builds each Backend implementation fresh for the
-// shared conformance suite.
-func backendFactories(t *testing.T) map[string]func(capacity int64) Backend {
-	return map[string]func(int64) Backend{
-		"memfs": func(capacity int64) Backend {
-			return NewMemFS("mem", capacity)
+// shared conformance suite (which lives in storagetest so other
+// implementations — the peernet client in particular — run the same
+// contract).
+func backendFactories(t *testing.T) map[string]storagetest.Factory {
+	return map[string]storagetest.Factory{
+		"memfs": func(capacity int64) storage.Backend {
+			return storage.NewMemFS("mem", capacity)
 		},
-		"osfs": func(capacity int64) Backend {
+		"osfs": func(capacity int64) storage.Backend {
 			dir := t.TempDir()
-			o, err := NewOSFS("os", dir, capacity)
+			o, err := storage.NewOSFS("os", dir, capacity)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -31,177 +35,9 @@ func backendFactories(t *testing.T) map[string]func(capacity int64) Backend {
 func TestBackendConformance(t *testing.T) {
 	for name, mk := range backendFactories(t) {
 		t.Run(name, func(t *testing.T) {
-			runBackendConformance(t, mk)
+			storagetest.RunConformance(t, mk)
 		})
 	}
-}
-
-func runBackendConformance(t *testing.T, mk func(int64) Backend) {
-	ctx := context.Background()
-
-	t.Run("WriteReadRoundtrip", func(t *testing.T) {
-		b := mk(0)
-		content := []byte("hello tier zero")
-		if err := b.WriteFile(ctx, "a/b/file.rec", content); err != nil {
-			t.Fatal(err)
-		}
-		got, err := b.ReadFile(ctx, "a/b/file.rec")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(got, content) {
-			t.Fatalf("roundtrip mismatch: %q", got)
-		}
-	})
-
-	t.Run("ReadAtWindows", func(t *testing.T) {
-		b := mk(0)
-		content := []byte("0123456789")
-		if err := b.WriteFile(ctx, "f", content); err != nil {
-			t.Fatal(err)
-		}
-		p := make([]byte, 4)
-		n, err := b.ReadAt(ctx, "f", p, 3)
-		if err != nil || n != 4 || string(p) != "3456" {
-			t.Fatalf("mid read: n=%d err=%v p=%q", n, err, p)
-		}
-		n, err = b.ReadAt(ctx, "f", p, 8) // short read at EOF
-		if err != nil || n != 2 || string(p[:n]) != "89" {
-			t.Fatalf("tail read: n=%d err=%v p=%q", n, err, p[:n])
-		}
-		n, err = b.ReadAt(ctx, "f", p, 100) // past EOF
-		if err != nil || n != 0 {
-			t.Fatalf("past-EOF read: n=%d err=%v", n, err)
-		}
-	})
-
-	t.Run("StatAndList", func(t *testing.T) {
-		b := mk(0)
-		if err := b.WriteFile(ctx, "z.rec", make([]byte, 7)); err != nil {
-			t.Fatal(err)
-		}
-		if err := b.WriteFile(ctx, "a.rec", make([]byte, 3)); err != nil {
-			t.Fatal(err)
-		}
-		fi, err := b.Stat(ctx, "z.rec")
-		if err != nil || fi.Size != 7 || fi.Name != "z.rec" {
-			t.Fatalf("stat: %+v err=%v", fi, err)
-		}
-		infos, err := b.List(ctx)
-		if err != nil {
-			t.Fatal(err)
-		}
-		if len(infos) != 2 || infos[0].Name != "a.rec" || infos[1].Name != "z.rec" {
-			t.Fatalf("list not sorted or wrong: %+v", infos)
-		}
-	})
-
-	t.Run("MissingFileErrors", func(t *testing.T) {
-		b := mk(0)
-		if _, err := b.Stat(ctx, "ghost"); !errors.Is(err, ErrNotExist) {
-			t.Fatalf("stat ghost: %v", err)
-		}
-		if _, err := b.ReadFile(ctx, "ghost"); !errors.Is(err, ErrNotExist) {
-			t.Fatalf("read ghost: %v", err)
-		}
-		if _, err := b.ReadAt(ctx, "ghost", make([]byte, 1), 0); !errors.Is(err, ErrNotExist) {
-			t.Fatalf("readat ghost: %v", err)
-		}
-		if err := b.Remove(ctx, "ghost"); !errors.Is(err, ErrNotExist) {
-			t.Fatalf("remove ghost: %v", err)
-		}
-	})
-
-	t.Run("QuotaEnforcement", func(t *testing.T) {
-		b := mk(10)
-		if err := b.WriteFile(ctx, "small", make([]byte, 6)); err != nil {
-			t.Fatal(err)
-		}
-		err := b.WriteFile(ctx, "big", make([]byte, 5))
-		if !errors.Is(err, ErrNoSpace) {
-			t.Fatalf("expected ErrNoSpace, got %v", err)
-		}
-		// Overwrite within quota must work: replacing 6 bytes with 9.
-		if err := b.WriteFile(ctx, "small", make([]byte, 9)); err != nil {
-			t.Fatalf("overwrite within quota: %v", err)
-		}
-		if b.Used() != 9 {
-			t.Fatalf("used = %d, want 9", b.Used())
-		}
-	})
-
-	t.Run("RemoveFreesQuota", func(t *testing.T) {
-		b := mk(10)
-		if err := b.WriteFile(ctx, "f", make([]byte, 10)); err != nil {
-			t.Fatal(err)
-		}
-		if err := b.Remove(ctx, "f"); err != nil {
-			t.Fatal(err)
-		}
-		if b.Used() != 0 {
-			t.Fatalf("used = %d after remove", b.Used())
-		}
-		if err := b.WriteFile(ctx, "g", make([]byte, 10)); err != nil {
-			t.Fatalf("write after remove: %v", err)
-		}
-	})
-
-	t.Run("NameValidation", func(t *testing.T) {
-		b := mk(0)
-		for _, bad := range []string{"", "/abs", "../escape", "a/../../b", ".."} {
-			if err := b.WriteFile(ctx, bad, []byte("x")); err == nil {
-				t.Errorf("write %q should fail", bad)
-			}
-			if _, err := b.ReadFile(ctx, bad); err == nil {
-				t.Errorf("read %q should fail", bad)
-			}
-		}
-		// Legitimate dotted names must pass.
-		for _, good := range []string{"a.b", "dir/.hidden", "dir/..double", "x/y..z"} {
-			if err := b.WriteFile(ctx, good, []byte("x")); err != nil {
-				t.Errorf("write %q failed: %v", good, err)
-			}
-		}
-	})
-
-	t.Run("ConcurrentReadersAndWriters", func(t *testing.T) {
-		b := mk(0)
-		if err := b.WriteFile(ctx, "shared", bytes.Repeat([]byte{7}, 1024)); err != nil {
-			t.Fatal(err)
-		}
-		var wg sync.WaitGroup
-		for i := 0; i < 8; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				p := make([]byte, 128)
-				for j := 0; j < 50; j++ {
-					if _, err := b.ReadAt(ctx, "shared", p, int64(j%8)*128); err != nil {
-						t.Error(err)
-						return
-					}
-					name := fmt.Sprintf("w-%d-%d", i, j)
-					if err := b.WriteFile(ctx, name, p); err != nil {
-						t.Error(err)
-						return
-					}
-				}
-			}(i)
-		}
-		wg.Wait()
-	})
-
-	t.Run("CanceledContext", func(t *testing.T) {
-		b := mk(0)
-		cctx, cancel := context.WithCancel(ctx)
-		cancel()
-		if err := b.WriteFile(cctx, "f", []byte("x")); !errors.Is(err, context.Canceled) {
-			t.Fatalf("write with canceled ctx: %v", err)
-		}
-		if _, err := b.List(cctx); !errors.Is(err, context.Canceled) {
-			t.Fatalf("list with canceled ctx: %v", err)
-		}
-	})
 }
 
 func TestBackendPropertyRoundtrip(t *testing.T) {
@@ -243,13 +79,13 @@ func TestBackendPropertyRoundtrip(t *testing.T) {
 func TestValidateName(t *testing.T) {
 	valid := []string{"a", "a/b", "a.txt", "dir/.hidden", "a..b", "..a", "a.."}
 	for _, n := range valid {
-		if err := ValidateName(n); err != nil {
+		if err := storage.ValidateName(n); err != nil {
 			t.Errorf("ValidateName(%q) = %v, want nil", n, err)
 		}
 	}
 	invalid := []string{"", "/a", "..", "../x", "a/..", "a/../b", "a/.."}
 	for _, n := range invalid {
-		if err := ValidateName(n); err == nil {
+		if err := storage.ValidateName(n); err == nil {
 			t.Errorf("ValidateName(%q) = nil, want error", n)
 		}
 	}
@@ -258,45 +94,45 @@ func TestValidateName(t *testing.T) {
 func TestReadRange(t *testing.T) {
 	data := []byte("abcdef")
 	p := make([]byte, 3)
-	if n, err := ReadRange(data, p, 0); n != 3 || err != nil || string(p) != "abc" {
+	if n, err := storage.ReadRange(data, p, 0); n != 3 || err != nil || string(p) != "abc" {
 		t.Fatalf("n=%d err=%v p=%q", n, err, p)
 	}
-	if n, _ := ReadRange(data, p, 5); n != 1 || p[0] != 'f' {
+	if n, _ := storage.ReadRange(data, p, 5); n != 1 || p[0] != 'f' {
 		t.Fatalf("tail: n=%d", n)
 	}
-	if n, _ := ReadRange(data, p, 6); n != 0 {
+	if n, _ := storage.ReadRange(data, p, 6); n != 0 {
 		t.Fatalf("at EOF: n=%d", n)
 	}
-	if _, err := ReadRange(data, p, -1); err == nil {
+	if _, err := storage.ReadRange(data, p, -1); err == nil {
 		t.Fatal("negative offset should error")
 	}
 }
 
 func TestFree(t *testing.T) {
-	b := NewMemFS("m", 100)
+	b := storage.NewMemFS("m", 100)
 	if err := b.WriteFile(context.Background(), "f", make([]byte, 30)); err != nil {
 		t.Fatal(err)
 	}
-	if Free(b) != 70 {
-		t.Fatalf("Free = %d", Free(b))
+	if storage.Free(b) != 70 {
+		t.Fatalf("Free = %d", storage.Free(b))
 	}
-	unlimited := NewMemFS("u", 0)
-	if Free(unlimited) < 1<<61 {
+	unlimited := storage.NewMemFS("u", 0)
+	if storage.Free(unlimited) < 1<<61 {
 		t.Fatal("unlimited backend should report huge free space")
 	}
 }
 
 func TestMemFSReadOnly(t *testing.T) {
 	ctx := context.Background()
-	m := NewMemFS("pfs", 0)
+	m := storage.NewMemFS("pfs", 0)
 	if err := m.WriteFile(ctx, "dataset", []byte("x")); err != nil {
 		t.Fatal(err)
 	}
 	m.SetReadOnly(true)
-	if err := m.WriteFile(ctx, "new", []byte("y")); !errors.Is(err, ErrReadOnly) {
+	if err := m.WriteFile(ctx, "new", []byte("y")); !errors.Is(err, storage.ErrReadOnly) {
 		t.Fatalf("write on read-only: %v", err)
 	}
-	if err := m.Remove(ctx, "dataset"); !errors.Is(err, ErrReadOnly) {
+	if err := m.Remove(ctx, "dataset"); !errors.Is(err, storage.ErrReadOnly) {
 		t.Fatalf("remove on read-only: %v", err)
 	}
 	if _, err := m.ReadFile(ctx, "dataset"); err != nil {
@@ -306,7 +142,7 @@ func TestMemFSReadOnly(t *testing.T) {
 
 func TestMemFSReadFileReturnsCopy(t *testing.T) {
 	ctx := context.Background()
-	m := NewMemFS("m", 0)
+	m := storage.NewMemFS("m", 0)
 	if err := m.WriteFile(ctx, "f", []byte("abc")); err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +156,7 @@ func TestMemFSReadFileReturnsCopy(t *testing.T) {
 
 func TestMemFSWriteFileCopiesInput(t *testing.T) {
 	ctx := context.Background()
-	m := NewMemFS("m", 0)
+	m := storage.NewMemFS("m", 0)
 	buf := []byte("abc")
 	if err := m.WriteFile(ctx, "f", buf); err != nil {
 		t.Fatal(err)
@@ -333,21 +169,21 @@ func TestMemFSWriteFileCopiesInput(t *testing.T) {
 }
 
 func TestOSFSRejectsMissingRoot(t *testing.T) {
-	if _, err := NewOSFS("x", "/definitely/not/here", 0); err == nil {
+	if _, err := storage.NewOSFS("x", "/definitely/not/here", 0); err == nil {
 		t.Fatal("expected error for missing root")
 	}
 }
 
 func TestOSFSCountsPreexistingFiles(t *testing.T) {
 	dir := t.TempDir()
-	seed, err := NewOSFS("seed", dir, 0)
+	seed, err := storage.NewOSFS("seed", dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := seed.WriteFile(context.Background(), "pre", make([]byte, 42)); err != nil {
 		t.Fatal(err)
 	}
-	reopened, err := NewOSFS("re", dir, 0)
+	reopened, err := storage.NewOSFS("re", dir, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

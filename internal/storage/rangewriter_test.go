@@ -1,12 +1,13 @@
-package storage
+package storage_test
 
 import (
-	"bytes"
 	"context"
 	"errors"
 	"strings"
-	"sync"
 	"testing"
+
+	"monarch/internal/storage"
+	"monarch/internal/storage/storagetest"
 )
 
 // TestRangeWriterConformance runs the Allocate/WriteAt contract against
@@ -17,174 +18,14 @@ import (
 func TestRangeWriterConformance(t *testing.T) {
 	for name, mk := range backendFactories(t) {
 		t.Run(name, func(t *testing.T) {
-			runRangeWriterConformance(t, mk)
+			storagetest.RunRangeWriterConformance(t, mk)
 		})
 	}
 }
 
-func runRangeWriterConformance(t *testing.T, mk func(int64) Backend) {
-	ctx := context.Background()
-	asRW := func(t *testing.T, b Backend) RangeWriter {
-		t.Helper()
-		rw, ok := b.(RangeWriter)
-		if !ok {
-			t.Fatalf("%s does not implement RangeWriter", b.Name())
-		}
-		return rw
-	}
-
-	t.Run("AllocateReservesQuotaAndZeroFills", func(t *testing.T) {
-		b := mk(100)
-		rw := asRW(t, b)
-		if err := rw.Allocate(ctx, "f", 64); err != nil {
-			t.Fatal(err)
-		}
-		if got := b.Used(); got != 64 {
-			t.Fatalf("used = %d after allocate, want 64", got)
-		}
-		fi, err := b.Stat(ctx, "f")
-		if err != nil || fi.Size != 64 {
-			t.Fatalf("stat: %+v err=%v, want size 64", fi, err)
-		}
-		data, err := b.ReadFile(ctx, "f")
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !bytes.Equal(data, make([]byte, 64)) {
-			t.Fatalf("allocated file not zero-filled: %v", data)
-		}
-	})
-
-	t.Run("AllocateOverQuota", func(t *testing.T) {
-		b := mk(10)
-		rw := asRW(t, b)
-		if err := rw.Allocate(ctx, "big", 11); !errors.Is(err, ErrNoSpace) {
-			t.Fatalf("over-quota allocate: %v, want ErrNoSpace", err)
-		}
-		if got := b.Used(); got != 0 {
-			t.Fatalf("failed allocate leaked quota: used = %d", got)
-		}
-	})
-
-	t.Run("AllocateNegativeSize", func(t *testing.T) {
-		rw := asRW(t, mk(0))
-		if err := rw.Allocate(ctx, "f", -1); err == nil {
-			t.Fatal("negative-size allocate succeeded")
-		}
-	})
-
-	t.Run("AllocateReplacesExisting", func(t *testing.T) {
-		b := mk(100)
-		rw := asRW(t, b)
-		if err := b.WriteFile(ctx, "f", make([]byte, 40)); err != nil {
-			t.Fatal(err)
-		}
-		if err := rw.Allocate(ctx, "f", 16); err != nil {
-			t.Fatal(err)
-		}
-		if got := b.Used(); got != 16 {
-			t.Fatalf("used = %d after re-allocate, want 16", got)
-		}
-	})
-
-	t.Run("WriteAtFillsRanges", func(t *testing.T) {
-		b := mk(0)
-		rw := asRW(t, b)
-		if err := rw.Allocate(ctx, "f", 10); err != nil {
-			t.Fatal(err)
-		}
-		if n, err := rw.WriteAt(ctx, "f", []byte("456"), 4); err != nil || n != 3 {
-			t.Fatalf("writeat: n=%d err=%v", n, err)
-		}
-		// The written range is readable while the rest is still zero —
-		// the mid-copy read-through contract.
-		p := make([]byte, 3)
-		if n, err := b.ReadAt(ctx, "f", p, 4); err != nil || n != 3 || string(p) != "456" {
-			t.Fatalf("mid-copy read: n=%d err=%v p=%q", n, err, p)
-		}
-		if n, err := rw.WriteAt(ctx, "f", []byte("0123"), 0); err != nil || n != 4 {
-			t.Fatalf("writeat head: n=%d err=%v", n, err)
-		}
-		if n, err := rw.WriteAt(ctx, "f", []byte("789"), 7); err != nil || n != 3 {
-			t.Fatalf("writeat tail: n=%d err=%v", n, err)
-		}
-		data, err := b.ReadFile(ctx, "f")
-		if err != nil || string(data) != "0123456789" {
-			t.Fatalf("assembled file = %q err=%v", data, err)
-		}
-		if got := b.Used(); got != 10 {
-			t.Fatalf("used = %d after fills, want 10 (WriteAt must not re-charge quota)", got)
-		}
-	})
-
-	t.Run("WriteAtMissingFile", func(t *testing.T) {
-		rw := asRW(t, mk(0))
-		if _, err := rw.WriteAt(ctx, "ghost", []byte("x"), 0); !errors.Is(err, ErrNotExist) {
-			t.Fatalf("writeat ghost: %v, want ErrNotExist", err)
-		}
-	})
-
-	t.Run("WriteAtOutOfBounds", func(t *testing.T) {
-		rw := asRW(t, mk(0))
-		if err := rw.Allocate(ctx, "f", 8); err != nil {
-			t.Fatal(err)
-		}
-		if _, err := rw.WriteAt(ctx, "f", []byte("xx"), 7); err == nil {
-			t.Fatal("write past allocated size succeeded")
-		}
-		if _, err := rw.WriteAt(ctx, "f", []byte("x"), -1); err == nil {
-			t.Fatal("negative-offset write succeeded")
-		}
-	})
-
-	t.Run("ConcurrentChunkFill", func(t *testing.T) {
-		b := mk(0)
-		rw := asRW(t, b)
-		const chunk, nchunks = 128, 16
-		want := make([]byte, chunk*nchunks)
-		for i := range want {
-			want[i] = byte(i * 31)
-		}
-		if err := rw.Allocate(ctx, "f", int64(len(want))); err != nil {
-			t.Fatal(err)
-		}
-		var wg sync.WaitGroup
-		errc := make(chan error, nchunks)
-		for i := 0; i < nchunks; i++ {
-			wg.Add(1)
-			go func(i int) {
-				defer wg.Done()
-				off := int64(i * chunk)
-				_, err := rw.WriteAt(ctx, "f", want[off:off+chunk], off)
-				errc <- err
-			}(i)
-		}
-		wg.Wait()
-		close(errc)
-		for err := range errc {
-			if err != nil {
-				t.Fatal(err)
-			}
-		}
-		data, err := b.ReadFile(ctx, "f")
-		if err != nil || !bytes.Equal(data, want) {
-			t.Fatalf("concurrent fill mismatch (err=%v)", err)
-		}
-	})
-
-	t.Run("ContextCancelled", func(t *testing.T) {
-		rw := asRW(t, mk(0))
-		cctx, cancel := context.WithCancel(ctx)
-		cancel()
-		if err := rw.Allocate(cctx, "f", 4); !errors.Is(err, context.Canceled) {
-			t.Fatalf("allocate with cancelled ctx: %v", err)
-		}
-	})
-}
-
 // noRange hides the optional interfaces of a Backend so wrapper
 // fallback paths can be exercised.
-type noRange struct{ Backend }
+type noRange struct{ storage.Backend }
 
 // TestWrapperRangeWriterPassthrough pins down the instrumentation
 // wrappers' RangeWriter behaviour: forwarding when the inner backend
@@ -194,8 +35,8 @@ func TestWrapperRangeWriterPassthrough(t *testing.T) {
 	ctx := context.Background()
 
 	t.Run("CountingForwardsAndCounts", func(t *testing.T) {
-		inner := NewMemFS("mem", 0)
-		c := NewCounting(inner)
+		inner := storage.NewMemFS("mem", 0)
+		c := storage.NewCounting(inner)
 		if err := c.Allocate(ctx, "f", 8); err != nil {
 			t.Fatal(err)
 		}
@@ -206,13 +47,13 @@ func TestWrapperRangeWriterPassthrough(t *testing.T) {
 		if counts.BytesWritten != 4 {
 			t.Fatalf("bytes written = %d, want 4 (allocate moves no bytes)", counts.BytesWritten)
 		}
-		if counts.Ops[OpWrite] != 2 {
-			t.Fatalf("write ops = %d, want 2 (allocate + writeat)", counts.Ops[OpWrite])
+		if counts.Ops[storage.OpWrite] != 2 {
+			t.Fatalf("write ops = %d, want 2 (allocate + writeat)", counts.Ops[storage.OpWrite])
 		}
 	})
 
 	t.Run("CountingUnsupportedInner", func(t *testing.T) {
-		c := NewCounting(noRange{NewMemFS("mem", 0)})
+		c := storage.NewCounting(noRange{storage.NewMemFS("mem", 0)})
 		if err := c.Allocate(ctx, "f", 8); !errors.Is(err, errors.ErrUnsupported) {
 			t.Fatalf("allocate over bare backend: %v, want ErrUnsupported", err)
 		}
@@ -222,8 +63,8 @@ func TestWrapperRangeWriterPassthrough(t *testing.T) {
 	})
 
 	t.Run("FaultyInjectsOnChunkWrites", func(t *testing.T) {
-		inner := NewMemFS("mem", 0)
-		f := NewFaulty(inner)
+		inner := storage.NewMemFS("mem", 0)
+		f := storage.NewFaulty(inner)
 		if err := f.Allocate(ctx, "f", 8); err != nil {
 			t.Fatal(err)
 		}
@@ -238,7 +79,7 @@ func TestWrapperRangeWriterPassthrough(t *testing.T) {
 	})
 
 	t.Run("FaultyUnsupportedInner", func(t *testing.T) {
-		f := NewFaulty(noRange{NewMemFS("mem", 0)})
+		f := storage.NewFaulty(noRange{storage.NewMemFS("mem", 0)})
 		if err := f.Allocate(ctx, "f", 8); !errors.Is(err, errors.ErrUnsupported) {
 			t.Fatalf("allocate over bare backend: %v, want ErrUnsupported", err)
 		}
@@ -248,21 +89,21 @@ func TestWrapperRangeWriterPassthrough(t *testing.T) {
 	})
 
 	t.Run("ReadOnlyBackendRejects", func(t *testing.T) {
-		m := NewMemFS("mem", 0)
+		m := storage.NewMemFS("mem", 0)
 		if err := m.Allocate(ctx, "f", 4); err != nil {
 			t.Fatal(err)
 		}
 		m.SetReadOnly(true)
-		if err := m.Allocate(ctx, "g", 4); !errors.Is(err, ErrReadOnly) {
+		if err := m.Allocate(ctx, "g", 4); !errors.Is(err, storage.ErrReadOnly) {
 			t.Fatalf("allocate on read-only: %v", err)
 		}
-		if _, err := m.WriteAt(ctx, "f", []byte("x"), 0); !errors.Is(err, ErrReadOnly) {
+		if _, err := m.WriteAt(ctx, "f", []byte("x"), 0); !errors.Is(err, storage.ErrReadOnly) {
 			t.Fatalf("writeat on read-only: %v", err)
 		}
 	})
 
 	t.Run("InvalidName", func(t *testing.T) {
-		m := NewMemFS("mem", 0)
+		m := storage.NewMemFS("mem", 0)
 		if err := m.Allocate(ctx, "../escape", 4); err == nil ||
 			!strings.Contains(err.Error(), "name") {
 			t.Fatalf("allocate with traversal name: %v", err)

@@ -83,6 +83,16 @@ type RangeWriter interface {
 	WriteAt(ctx context.Context, name string, p []byte, off int64) (int, error)
 }
 
+// Pinger is an optional Backend extension: a cheap liveness check that
+// does not mutate the backend. Recovery probes prefer it over the
+// default one-byte write probe — a networked tier (the peer cache) is
+// read-only from the prober's point of view, so a write probe would
+// report it alive without ever touching the wire.
+type Pinger interface {
+	// Ping reports nil when the backend is able to serve requests.
+	Ping(ctx context.Context) error
+}
+
 // Copier is an optional Backend extension: a whole-file copy fast path.
 // MONARCH's placement handler prefers it when the destination tier
 // supports it — simulated stores use it to move files without

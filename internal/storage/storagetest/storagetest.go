@@ -1,0 +1,358 @@
+// Package storagetest exports the storage.Backend conformance suite so
+// every implementation — in-tree (MemFS, OSFS) and out-of-tree (the
+// peernet client, which serves the same interface over a wire) — is
+// held to one contract. Tests construct backends through a factory so
+// each subtest gets a fresh store at a chosen capacity.
+package storagetest
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"monarch/internal/storage"
+)
+
+// Factory builds a fresh backend with the given capacity (0 =
+// unlimited) for one subtest.
+type Factory func(capacity int64) storage.Backend
+
+// RunConformance drives the base Backend contract against mk: roundtrip
+// fidelity, ReadAt window semantics, sorted listings, sentinel errors,
+// quota accounting, name validation, concurrency safety and context
+// cancellation.
+func RunConformance(t *testing.T, mk Factory) {
+	ctx := context.Background()
+
+	t.Run("WriteReadRoundtrip", func(t *testing.T) {
+		b := mk(0)
+		content := []byte("hello tier zero")
+		if err := b.WriteFile(ctx, "a/b/file.rec", content); err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.ReadFile(ctx, "a/b/file.rec")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, content) {
+			t.Fatalf("roundtrip mismatch: %q", got)
+		}
+	})
+
+	t.Run("ReadAtWindows", func(t *testing.T) {
+		b := mk(0)
+		content := []byte("0123456789")
+		if err := b.WriteFile(ctx, "f", content); err != nil {
+			t.Fatal(err)
+		}
+		p := make([]byte, 4)
+		n, err := b.ReadAt(ctx, "f", p, 3)
+		if err != nil || n != 4 || string(p) != "3456" {
+			t.Fatalf("mid read: n=%d err=%v p=%q", n, err, p)
+		}
+		n, err = b.ReadAt(ctx, "f", p, 8) // short read at EOF
+		if err != nil || n != 2 || string(p[:n]) != "89" {
+			t.Fatalf("tail read: n=%d err=%v p=%q", n, err, p[:n])
+		}
+		n, err = b.ReadAt(ctx, "f", p, 100) // past EOF
+		if err != nil || n != 0 {
+			t.Fatalf("past-EOF read: n=%d err=%v", n, err)
+		}
+	})
+
+	t.Run("StatAndList", func(t *testing.T) {
+		b := mk(0)
+		if err := b.WriteFile(ctx, "z.rec", make([]byte, 7)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.WriteFile(ctx, "a.rec", make([]byte, 3)); err != nil {
+			t.Fatal(err)
+		}
+		fi, err := b.Stat(ctx, "z.rec")
+		if err != nil || fi.Size != 7 || fi.Name != "z.rec" {
+			t.Fatalf("stat: %+v err=%v", fi, err)
+		}
+		infos, err := b.List(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(infos) != 2 || infos[0].Name != "a.rec" || infos[1].Name != "z.rec" {
+			t.Fatalf("list not sorted or wrong: %+v", infos)
+		}
+	})
+
+	t.Run("MissingFileErrors", func(t *testing.T) {
+		b := mk(0)
+		if _, err := b.Stat(ctx, "ghost"); !errors.Is(err, storage.ErrNotExist) {
+			t.Fatalf("stat ghost: %v", err)
+		}
+		if _, err := b.ReadFile(ctx, "ghost"); !errors.Is(err, storage.ErrNotExist) {
+			t.Fatalf("read ghost: %v", err)
+		}
+		if _, err := b.ReadAt(ctx, "ghost", make([]byte, 1), 0); !errors.Is(err, storage.ErrNotExist) {
+			t.Fatalf("readat ghost: %v", err)
+		}
+		if err := b.Remove(ctx, "ghost"); !errors.Is(err, storage.ErrNotExist) {
+			t.Fatalf("remove ghost: %v", err)
+		}
+	})
+
+	t.Run("QuotaEnforcement", func(t *testing.T) {
+		b := mk(10)
+		if err := b.WriteFile(ctx, "small", make([]byte, 6)); err != nil {
+			t.Fatal(err)
+		}
+		err := b.WriteFile(ctx, "big", make([]byte, 5))
+		if !errors.Is(err, storage.ErrNoSpace) {
+			t.Fatalf("expected ErrNoSpace, got %v", err)
+		}
+		// Overwrite within quota must work: replacing 6 bytes with 9.
+		if err := b.WriteFile(ctx, "small", make([]byte, 9)); err != nil {
+			t.Fatalf("overwrite within quota: %v", err)
+		}
+		if b.Used() != 9 {
+			t.Fatalf("used = %d, want 9", b.Used())
+		}
+	})
+
+	t.Run("RemoveFreesQuota", func(t *testing.T) {
+		b := mk(10)
+		if err := b.WriteFile(ctx, "f", make([]byte, 10)); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Remove(ctx, "f"); err != nil {
+			t.Fatal(err)
+		}
+		if b.Used() != 0 {
+			t.Fatalf("used = %d after remove", b.Used())
+		}
+		if err := b.WriteFile(ctx, "g", make([]byte, 10)); err != nil {
+			t.Fatalf("write after remove: %v", err)
+		}
+	})
+
+	t.Run("NameValidation", func(t *testing.T) {
+		b := mk(0)
+		for _, bad := range []string{"", "/abs", "../escape", "a/../../b", ".."} {
+			if err := b.WriteFile(ctx, bad, []byte("x")); err == nil {
+				t.Errorf("write %q should fail", bad)
+			}
+			if _, err := b.ReadFile(ctx, bad); err == nil {
+				t.Errorf("read %q should fail", bad)
+			}
+		}
+		// Legitimate dotted names must pass.
+		for _, good := range []string{"a.b", "dir/.hidden", "dir/..double", "x/y..z"} {
+			if err := b.WriteFile(ctx, good, []byte("x")); err != nil {
+				t.Errorf("write %q failed: %v", good, err)
+			}
+		}
+	})
+
+	t.Run("ConcurrentReadersAndWriters", func(t *testing.T) {
+		b := mk(0)
+		if err := b.WriteFile(ctx, "shared", bytes.Repeat([]byte{7}, 1024)); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for i := 0; i < 8; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				p := make([]byte, 128)
+				for j := 0; j < 50; j++ {
+					if _, err := b.ReadAt(ctx, "shared", p, int64(j%8)*128); err != nil {
+						t.Error(err)
+						return
+					}
+					name := fmt.Sprintf("w-%d-%d", i, j)
+					if err := b.WriteFile(ctx, name, p); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}(i)
+		}
+		wg.Wait()
+	})
+
+	t.Run("CanceledContext", func(t *testing.T) {
+		b := mk(0)
+		cctx, cancel := context.WithCancel(ctx)
+		cancel()
+		if err := b.WriteFile(cctx, "f", []byte("x")); !errors.Is(err, context.Canceled) {
+			t.Fatalf("write with canceled ctx: %v", err)
+		}
+		if _, err := b.List(cctx); !errors.Is(err, context.Canceled) {
+			t.Fatalf("list with canceled ctx: %v", err)
+		}
+	})
+}
+
+// RunRangeWriterConformance drives the Allocate/WriteAt contract against
+// every backend mk produces; each must implement storage.RangeWriter.
+// Chunked placement depends on these semantics: reserve-then-fill quota
+// accounting, in-bounds enforcement, and readers seeing written ranges
+// mid-copy.
+func RunRangeWriterConformance(t *testing.T, mk Factory) {
+	ctx := context.Background()
+	asRW := func(t *testing.T, b storage.Backend) storage.RangeWriter {
+		t.Helper()
+		rw, ok := b.(storage.RangeWriter)
+		if !ok {
+			t.Fatalf("%s does not implement RangeWriter", b.Name())
+		}
+		return rw
+	}
+
+	t.Run("AllocateReservesQuotaAndZeroFills", func(t *testing.T) {
+		b := mk(100)
+		rw := asRW(t, b)
+		if err := rw.Allocate(ctx, "f", 64); err != nil {
+			t.Fatal(err)
+		}
+		if got := b.Used(); got != 64 {
+			t.Fatalf("used = %d after allocate, want 64", got)
+		}
+		fi, err := b.Stat(ctx, "f")
+		if err != nil || fi.Size != 64 {
+			t.Fatalf("stat: %+v err=%v, want size 64", fi, err)
+		}
+		data, err := b.ReadFile(ctx, "f")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(data, make([]byte, 64)) {
+			t.Fatalf("allocated file not zero-filled: %v", data)
+		}
+	})
+
+	t.Run("AllocateOverQuota", func(t *testing.T) {
+		b := mk(10)
+		rw := asRW(t, b)
+		if err := rw.Allocate(ctx, "big", 11); !errors.Is(err, storage.ErrNoSpace) {
+			t.Fatalf("over-quota allocate: %v, want ErrNoSpace", err)
+		}
+		if got := b.Used(); got != 0 {
+			t.Fatalf("failed allocate leaked quota: used = %d", got)
+		}
+	})
+
+	t.Run("AllocateNegativeSize", func(t *testing.T) {
+		rw := asRW(t, mk(0))
+		if err := rw.Allocate(ctx, "f", -1); err == nil {
+			t.Fatal("negative-size allocate succeeded")
+		}
+	})
+
+	t.Run("AllocateReplacesExisting", func(t *testing.T) {
+		b := mk(100)
+		rw := asRW(t, b)
+		if err := b.WriteFile(ctx, "f", make([]byte, 40)); err != nil {
+			t.Fatal(err)
+		}
+		if err := rw.Allocate(ctx, "f", 16); err != nil {
+			t.Fatal(err)
+		}
+		if got := b.Used(); got != 16 {
+			t.Fatalf("used = %d after re-allocate, want 16", got)
+		}
+	})
+
+	t.Run("WriteAtFillsRanges", func(t *testing.T) {
+		b := mk(0)
+		rw := asRW(t, b)
+		if err := rw.Allocate(ctx, "f", 10); err != nil {
+			t.Fatal(err)
+		}
+		if n, err := rw.WriteAt(ctx, "f", []byte("456"), 4); err != nil || n != 3 {
+			t.Fatalf("writeat: n=%d err=%v", n, err)
+		}
+		// The written range is readable while the rest is still zero —
+		// the mid-copy read-through contract.
+		p := make([]byte, 3)
+		if n, err := b.ReadAt(ctx, "f", p, 4); err != nil || n != 3 || string(p) != "456" {
+			t.Fatalf("mid-copy read: n=%d err=%v p=%q", n, err, p)
+		}
+		if n, err := rw.WriteAt(ctx, "f", []byte("0123"), 0); err != nil || n != 4 {
+			t.Fatalf("writeat head: n=%d err=%v", n, err)
+		}
+		if n, err := rw.WriteAt(ctx, "f", []byte("789"), 7); err != nil || n != 3 {
+			t.Fatalf("writeat tail: n=%d err=%v", n, err)
+		}
+		data, err := b.ReadFile(ctx, "f")
+		if err != nil || string(data) != "0123456789" {
+			t.Fatalf("assembled file = %q err=%v", data, err)
+		}
+		if got := b.Used(); got != 10 {
+			t.Fatalf("used = %d after fills, want 10 (WriteAt must not re-charge quota)", got)
+		}
+	})
+
+	t.Run("WriteAtMissingFile", func(t *testing.T) {
+		rw := asRW(t, mk(0))
+		if _, err := rw.WriteAt(ctx, "ghost", []byte("x"), 0); !errors.Is(err, storage.ErrNotExist) {
+			t.Fatalf("writeat ghost: %v, want ErrNotExist", err)
+		}
+	})
+
+	t.Run("WriteAtOutOfBounds", func(t *testing.T) {
+		rw := asRW(t, mk(0))
+		if err := rw.Allocate(ctx, "f", 8); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rw.WriteAt(ctx, "f", []byte("xx"), 7); err == nil {
+			t.Fatal("write past allocated size succeeded")
+		}
+		if _, err := rw.WriteAt(ctx, "f", []byte("x"), -1); err == nil {
+			t.Fatal("negative-offset write succeeded")
+		}
+	})
+
+	t.Run("ConcurrentChunkFill", func(t *testing.T) {
+		b := mk(0)
+		rw := asRW(t, b)
+		const chunk, nchunks = 128, 16
+		want := make([]byte, chunk*nchunks)
+		for i := range want {
+			want[i] = byte(i * 31)
+		}
+		if err := rw.Allocate(ctx, "f", int64(len(want))); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		errc := make(chan error, nchunks)
+		for i := 0; i < nchunks; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				off := int64(i * chunk)
+				_, err := rw.WriteAt(ctx, "f", want[off:off+chunk], off)
+				errc <- err
+			}(i)
+		}
+		wg.Wait()
+		close(errc)
+		for err := range errc {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		data, err := b.ReadFile(ctx, "f")
+		if err != nil || !bytes.Equal(data, want) {
+			t.Fatalf("concurrent fill mismatch (err=%v)", err)
+		}
+	})
+
+	t.Run("ContextCancelled", func(t *testing.T) {
+		rw := asRW(t, mk(0))
+		cctx, cancel := context.WithCancel(ctx)
+		cancel()
+		if err := rw.Allocate(cctx, "f", 4); !errors.Is(err, context.Canceled) {
+			t.Fatalf("allocate with cancelled ctx: %v", err)
+		}
+	})
+}

@@ -36,9 +36,16 @@ type Epoch struct {
 	Partial  int64 `json:"partial"`
 	PFS      int64 `json:"pfs"`
 	Fallback int64 `json:"fallback"`
+	// Peer counts reads served by a sibling node's cache over the peer
+	// network — no PFS traffic. PeerMiss counts peer-routed reads the
+	// owner had not cached: they were re-served from the PFS and count
+	// toward PFSOps.
+	Peer     int64 `json:"peer,omitempty"`
+	PeerMiss int64 `json:"peer_miss,omitempty"`
 	Errors   int64 `json:"errors"`
 
 	BytesLocal int64 `json:"bytes_local"`
+	BytesPeer  int64 `json:"bytes_peer,omitempty"`
 	BytesPFS   int64 `json:"bytes_pfs"`
 
 	Fetches     int64 `json:"fetches"`
@@ -210,6 +217,12 @@ func Analyze(t *trace.Trace, opts Options) *Analysis {
 			case trace.ClassFallback:
 				cur.Fallback++
 				cur.BytesPFS += ev.Len
+			case trace.ClassPeer:
+				cur.Peer++
+				cur.BytesPeer += ev.Len
+			case trace.ClassPeerMiss:
+				cur.PeerMiss++
+				cur.BytesPFS += ev.Len
 			}
 			if (ev.Class == trace.ClassLocal || ev.Class == trace.ClassPartial) &&
 				a.TimeToFirstLocalHit < 0 {
@@ -257,7 +270,7 @@ func Analyze(t *trace.Trace, opts Options) *Analysis {
 		epochs = epochs[:n-1]
 	}
 	for _, e := range epochs {
-		e.PFSOps = e.PFS + e.Fallback + e.BackgroundOps
+		e.PFSOps = e.PFS + e.Fallback + e.PeerMiss + e.BackgroundOps
 		e.BaselineOps = e.Reads
 		if e.BaselineOps > 0 {
 			e.Savings = 1 - float64(e.PFSOps)/float64(e.BaselineOps)
@@ -319,13 +332,29 @@ func (a *Analysis) Render(w io.Writer, opts Options) {
 	if !a.Complete {
 		fmt.Fprintf(w, "WARNING: no trailer — the capture did not close cleanly\n")
 	}
-	fmt.Fprintf(w, "\nper-epoch PFS operations (baseline: every read goes to the PFS)\n")
-	fmt.Fprintf(w, "%-6s %9s %9s %9s %9s %9s %9s %9s %9s %8s\n",
-		"epoch", "reads", "local", "partial", "pfs", "fallback", "bg-ops", "pfs-ops", "baseline", "savings")
+	hasPeer := false
 	for _, e := range a.Epochs {
-		fmt.Fprintf(w, "%-6d %9d %9d %9d %9d %9d %9d %9d %9d %7.1f%%\n",
-			e.Epoch, e.Reads, e.Local, e.Partial, e.PFS, e.Fallback,
-			e.BackgroundOps, e.PFSOps, e.BaselineOps, 100*e.Savings)
+		if e.Peer > 0 || e.PeerMiss > 0 {
+			hasPeer = true
+		}
+	}
+	fmt.Fprintf(w, "\nper-epoch PFS operations (baseline: every read goes to the PFS)\n")
+	if hasPeer {
+		fmt.Fprintf(w, "%-6s %9s %9s %9s %9s %9s %9s %9s %9s %9s %9s %8s\n",
+			"epoch", "reads", "local", "partial", "peer", "p-miss", "pfs", "fallback", "bg-ops", "pfs-ops", "baseline", "savings")
+		for _, e := range a.Epochs {
+			fmt.Fprintf(w, "%-6d %9d %9d %9d %9d %9d %9d %9d %9d %9d %9d %7.1f%%\n",
+				e.Epoch, e.Reads, e.Local, e.Partial, e.Peer, e.PeerMiss, e.PFS, e.Fallback,
+				e.BackgroundOps, e.PFSOps, e.BaselineOps, 100*e.Savings)
+		}
+	} else {
+		fmt.Fprintf(w, "%-6s %9s %9s %9s %9s %9s %9s %9s %9s %8s\n",
+			"epoch", "reads", "local", "partial", "pfs", "fallback", "bg-ops", "pfs-ops", "baseline", "savings")
+		for _, e := range a.Epochs {
+			fmt.Fprintf(w, "%-6d %9d %9d %9d %9d %9d %9d %9d %9d %7.1f%%\n",
+				e.Epoch, e.Reads, e.Local, e.Partial, e.PFS, e.Fallback,
+				e.BackgroundOps, e.PFSOps, e.BaselineOps, 100*e.Savings)
+		}
 	}
 	fmt.Fprintf(w, "total: %d PFS ops vs %d baseline → %.1f%% saved\n",
 		a.PFSOps, a.BaselineOps, 100*a.Savings)

@@ -139,6 +139,47 @@ func TestAnalyzeNoEpochMarkers(t *testing.T) {
 	}
 }
 
+// TestAnalyzePeerClasses: peer hits cost no PFS op; peer misses were
+// re-served from the PFS and must count toward PFSOps.
+func TestAnalyzePeerClasses(t *testing.T) {
+	ev := func(t int64, c trace.Class, ln int64) trace.Event {
+		return trace.Event{T: t, Kind: trace.KindRead, Class: c, File: 1, Tier: 1, Len: ln}
+	}
+	tr := &trace.Trace{
+		Header: trace.Header{
+			Version: trace.Version, Clock: "virtual", Sample: 1, Source: 2,
+			Levels: []trace.Level{{Name: "ssd"}, {Name: "peers"}, {Name: "lustre"}},
+		},
+		Files: []trace.File{{ID: 1, Name: "remote/a", Size: 100}},
+		Events: []trace.Event{
+			ev(10, trace.ClassPeerMiss, 100), // owner not caught up yet → PFS served
+			ev(20, trace.ClassPeer, 100),     // owner's cache served it
+			ev(30, trace.ClassPeer, 100),
+		},
+		Summary: map[string]int64{"pfs_data_ops": 1},
+	}
+	a := Analyze(tr, Options{})
+	e := a.Epochs[0]
+	if e.Reads != 3 || e.Peer != 2 || e.PeerMiss != 1 {
+		t.Fatalf("epoch = %+v", e)
+	}
+	if e.BytesPeer != 200 || e.BytesPFS != 100 {
+		t.Fatalf("bytes peer %d pfs %d", e.BytesPeer, e.BytesPFS)
+	}
+	if a.PFSOps != 1 || a.BaselineOps != 3 {
+		t.Fatalf("pfs ops %d baseline %d", a.PFSOps, a.BaselineOps)
+	}
+	if a.PFSOps != a.RecordedPFSOps {
+		t.Fatalf("cross-check: derived %d, recorded %d", a.PFSOps, a.RecordedPFSOps)
+	}
+	var buf bytes.Buffer
+	a.Render(&buf, Options{})
+	out := buf.String()
+	if !strings.Contains(out, "peer") || !strings.Contains(out, "p-miss") {
+		t.Fatalf("peer columns missing from render:\n%s", out)
+	}
+}
+
 func TestRenderMentionsKeyFigures(t *testing.T) {
 	var buf bytes.Buffer
 	Analyze(synthetic(), Options{}).Render(&buf, Options{})

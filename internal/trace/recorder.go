@@ -188,6 +188,10 @@ func (r *Recorder) HookSpan(s obs.Span) {
 			class = ClassFallback
 		case s.Flags&obs.FlagPartial != 0:
 			class = ClassPartial
+		case s.Flags&obs.FlagPeerMiss != 0:
+			class = ClassPeerMiss
+		case s.Flags&obs.FlagPeer != 0:
+			class = ClassPeer
 		case s.Tier == r.cfg.Source:
 			class = ClassPFS
 		}

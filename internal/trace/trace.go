@@ -99,6 +99,17 @@ const (
 	ClassTierDown
 	// ClassTierUp: a recovery probe returned a tier to service.
 	ClassTierUp
+
+	// ClassPeer: a read served by the peer cache tier — the bytes came
+	// from a sibling node's tier-0 store over the wire, not the PFS.
+	// (Appended after the tier-state classes so the numeric values of
+	// earlier classes — and with them existing binary traces — are
+	// unchanged.)
+	ClassPeer
+	// ClassPeerMiss: a read routed to the peer tier whose owner had not
+	// cached the file; it was re-served from the source. Unlike
+	// ClassFallback this is a clean miss, not a failure.
+	ClassPeerMiss
 )
 
 // String names the class (the "c" field of the JSONL encoding).
@@ -132,6 +143,10 @@ func (c Class) String() string {
 		return "tier-down"
 	case ClassTierUp:
 		return "tier-up"
+	case ClassPeer:
+		return "peer"
+	case ClassPeerMiss:
+		return "peer-miss"
 	default:
 		return "unknown"
 	}
@@ -139,7 +154,7 @@ func (c Class) String() string {
 
 // classFromString inverts Class.String; ok is false for unknown names.
 func classFromString(s string) (Class, bool) {
-	for c := ClassNone; c <= ClassTierUp; c++ {
+	for c := ClassNone; c <= ClassPeerMiss; c++ {
 		if c.String() == s {
 			return c, true
 		}

@@ -34,8 +34,11 @@
 package monarch
 
 import (
+	"time"
+
 	"monarch/internal/core"
 	"monarch/internal/obs"
+	"monarch/internal/peernet"
 	"monarch/internal/pool"
 	"monarch/internal/storage"
 )
@@ -71,6 +74,9 @@ type (
 	// TierState is the circuit-breaker state of a hierarchy level; see
 	// Monarch.TierState.
 	TierState = core.TierState
+	// PeerConfig mounts a hierarchy level as the peer tier — a
+	// read-only view of sibling nodes' caches (Config.Peer).
+	PeerConfig = core.PeerConfig
 )
 
 // Event kinds.
@@ -163,6 +169,10 @@ type (
 	// fill it with concurrent WriteAt calls. MemFS and OSFS implement
 	// it; tiers without it fall back to whole-file copies.
 	RangeWriter = storage.RangeWriter
+	// Pinger is the optional backend extension the circuit breaker's
+	// recovery probe prefers over a write probe — read-only tiers (a
+	// PeerTier) can only prove liveness this way.
+	Pinger = storage.Pinger
 )
 
 // Backend sentinel errors.
@@ -183,6 +193,57 @@ func NewOSFS(name, dir string, capacity int64) (*OSFS, error) {
 // NewCounting wraps a backend with I/O counters — useful for measuring
 // the PFS pressure a training job produces.
 func NewCounting(b Backend) *Counting { return storage.NewCounting(b) }
+
+// Peer cache network, re-exported from internal/peernet: each node
+// runs a PeerServer over its tier-0 cache (or the monarch-serve
+// daemon), and mounts its siblings as a PeerTier via Config.Peer. See
+// the README's two-node walkthrough and DESIGN.md §10.
+type (
+	// PeerServer exposes a Backend to sibling nodes over the peernet
+	// wire protocol (read-only unless PeerServerConfig.AllowWrite).
+	PeerServer = peernet.Server
+	// PeerServerConfig configures a PeerServer.
+	PeerServerConfig = peernet.ServerConfig
+	// PeerClient speaks the wire protocol to one sibling and exposes
+	// its cache as a Backend.
+	PeerClient = peernet.Client
+	// PeerClientConfig configures a PeerClient (pooling, deadlines,
+	// transport retries).
+	PeerClientConfig = peernet.ClientConfig
+	// PeerDialer opens connections for a PeerClient.
+	PeerDialer = peernet.Dialer
+	// PeerRing is the consistent-hash ownership ring every node
+	// derives identically from the member list.
+	PeerRing = peernet.Ring
+	// PeerTier aggregates sibling clients into the read-only Backend
+	// that Config.Peer.Tier points at.
+	PeerTier = peernet.Tier
+)
+
+// NewPeerServer validates cfg and builds a PeerServer; call Serve with
+// a listener.
+func NewPeerServer(cfg PeerServerConfig) (*PeerServer, error) { return peernet.NewServer(cfg) }
+
+// NewPeerClient builds a client for one sibling. No connection is
+// opened until the first request.
+func NewPeerClient(cfg PeerClientConfig) (*PeerClient, error) { return peernet.NewClient(cfg) }
+
+// NewPeerRing builds the ownership ring over the node names
+// (replicas 0 = default virtual-node count).
+func NewPeerRing(nodes []string, replicas int) (*PeerRing, error) {
+	return peernet.NewRing(nodes, replicas)
+}
+
+// NewPeerTier aggregates clients (keyed by node name, self excluded)
+// behind the ring into one read-only backend.
+func NewPeerTier(name, self string, ring *PeerRing, clients map[string]*PeerClient) (*PeerTier, error) {
+	return peernet.NewTier(name, self, ring, clients)
+}
+
+// PeerTCPDialer dials a sibling's monarch-serve address.
+func PeerTCPDialer(addr string, timeout time.Duration) PeerDialer {
+	return peernet.TCPDialer(addr, timeout)
+}
 
 // Pool is the background placement executor interface.
 type Pool = pool.Executor

@@ -1,0 +1,114 @@
+package monarch_test
+
+// The README's two-node walkthrough, runnable: node A serves its
+// tier-0 cache over real loopback TCP, node B mounts it as a peer
+// tier through the public facade, and a read of a non-owned file is
+// served by the sibling's cache instead of the PFS.
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"testing"
+	"time"
+
+	"monarch"
+)
+
+func TestPublicAPIPeerNetwork(t *testing.T) {
+	ctx := context.Background()
+	nodes := []string{"nodeA", "nodeB"}
+	ring, err := monarch.NewPeerRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pick one file owned by each node so both routes are exercised.
+	var ownedByA, ownedByB string
+	for i := 0; ownedByA == "" || ownedByB == ""; i++ {
+		name := fmt.Sprintf("shard-%04d", i)
+		if ring.Owner(name) == "nodeA" && ownedByA == "" {
+			ownedByA = name
+		}
+		if ring.Owner(name) == "nodeB" && ownedByB == "" {
+			ownedByB = name
+		}
+	}
+	payload := []byte("peer-served bytes")
+	pfs := monarch.NewMemFS("lustre", 0)
+	for _, name := range []string{ownedByA, ownedByB} {
+		if err := pfs.WriteFile(ctx, name, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Node A: a tier-0 cache holding its owned file, served to peers
+	// (the monarch-serve daemon is this, wrapped around OSFS).
+	ssdA := monarch.NewMemFS("ssdA", 0)
+	if err := ssdA.WriteFile(ctx, ownedByA, payload); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := monarch.NewPeerServer(monarch.PeerServerConfig{Backend: ssdA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(ln) }()
+	defer srv.Close()
+
+	// Node B: local SSD above the peer tier above the PFS.
+	clientA, err := monarch.NewPeerClient(monarch.PeerClientConfig{
+		Name: "peer:nodeA",
+		Dial: monarch.PeerTCPDialer(ln.Addr().String(), time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers, err := monarch.NewPeerTier("peers", "nodeB", ring, map[string]*monarch.PeerClient{"nodeA": clientA})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := monarch.New(monarch.Config{
+		Levels: []monarch.Backend{monarch.NewMemFS("ssdB", 0), peers, pfs},
+		Pool:   monarch.NewPool(2),
+		Peer: monarch.PeerConfig{
+			Tier: 1,
+			Owns: func(name string) bool { return ring.Owner(name) == "nodeB" },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Non-owned file: node A's cache serves it over the wire.
+	buf := make([]byte, len(payload))
+	if _, err := m.ReadAt(ctx, ownedByA, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(buf) != string(payload) {
+		t.Fatalf("peer read returned %q", buf)
+	}
+	s := m.Stats()
+	if s.PeerHits != 1 || s.PeerHitBytes != int64(len(payload)) {
+		t.Fatalf("expected 1 peer hit of %d bytes, got %+v", len(payload), s)
+	}
+	if s.ReadsServed[len(s.ReadsServed)-1] != 0 {
+		t.Fatal("peer-served read still touched the PFS")
+	}
+
+	// Owned file: never peer-routed, served from the PFS and cached
+	// locally like any single-node read.
+	if _, err := m.ReadAt(ctx, ownedByB, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Stats(); got.PeerHits != 1 || got.PeerMisses != 0 {
+		t.Fatalf("owned read was peer-routed: %+v", got)
+	}
+}
