@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover bench bench-all bench-obs bench-peer trace-smoke peer-smoke repro repro-full examples fuzz fuzz-smoke clean
+.PHONY: all build test race vet cover bench bench-all bench-obs bench-peer trace-smoke peer-smoke chaos-smoke repro repro-full examples fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -23,12 +23,13 @@ test:
 	$(GO) test -race -short ./internal/core/ ./internal/pool/ ./internal/storage/ ./internal/obs/ ./internal/peernet/
 	$(MAKE) trace-smoke
 	$(MAKE) peer-smoke
+	$(MAKE) chaos-smoke
 	$(MAKE) fuzz-smoke
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/pool/... ./internal/storage/... \
 		./internal/obs/... ./internal/sim/... ./internal/simstore/... ./internal/trace/... \
-		./internal/peernet/... .
+		./internal/peernet/... ./internal/experiments/... .
 
 cover:
 	$(GO) test -cover ./internal/... .
@@ -66,6 +67,13 @@ bench-peer:
 peer-smoke:
 	$(GO) run ./cmd/monarch-serve -selftest
 
+# Churn drill: 6 replicated nodes with gossip membership, one killed
+# mid-run and rejoined two epochs later. Non-zero exit unless the kill
+# cost zero PFS fallbacks, both membership convergences landed, and no
+# goroutines leaked.
+chaos-smoke:
+	$(GO) run ./cmd/monarch-serve -chaos
+
 # End-to-end trace pipeline smoke: capture a tiny run, analyze the
 # artifact, then replay it faithfully — monarch-bench exits non-zero if
 # the replay diverges from the capture's trailer.
@@ -99,6 +107,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReadAt -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzNamespace -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzFrame -fuzztime=30s ./internal/peernet/
+	$(GO) test -fuzz=FuzzHeartbeat -fuzztime=30s ./internal/peernet/
 
 # A 10-second pass per fuzz target — enough to replay the committed
 # corpus and shake out shallow regressions on every `make test`.

@@ -9,14 +9,30 @@
 //	monarch-serve -root DIR -addr :9077 -quota 64GiB-ish-bytes
 //	monarch-serve -root DIR -write                    # accept remote writes
 //	monarch-serve -root DIR -metrics :9078            # capacity gauges + pprof
+//	monarch-serve -root DIR -self node0 \
+//	    -peers node1=host1:9077,node2=host2:9077     # gossip membership
 //	monarch-serve -selftest                           # 2-node loopback smoke
+//	monarch-serve -chaos                              # kill/rejoin chaos smoke
 //
 // The server is read-only by default: peers may READ/STAT/LIST/PING but
 // never mutate this node's cache (placement stays a local decision).
+//
+// With -self and -peers the node joins the gossip membership: it
+// heartbeats every sibling over the same wire protocol (views ride
+// PING frames), answers inbound heartbeats with its own view, logs
+// liveness transitions, and exposes per-peer state gauges on -metrics.
+// -replicas records the replica-set width R the cluster's rings run
+// with (consumers derive ownership from OwnersOf(name, R); every node
+// must agree on R).
+//
 // -selftest runs a self-contained two-node cluster over loopback TCP —
 // real servers, a reshuffled sharded job — and exits non-zero unless
 // sibling caches actually served reads; `make peer-smoke` wires it into
-// the test gauntlet.
+// the test gauntlet. -chaos runs the churn drill: a 6-node replicated
+// cluster with gossip membership, one node killed mid-run and rejoined
+// two epochs later, exiting non-zero unless the kill cost zero PFS
+// fallbacks, both convergences landed, and no goroutines leaked;
+// `make chaos-smoke` wires it in.
 package main
 
 import (
@@ -26,7 +42,10 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
+	"strings"
 	"syscall"
+	"time"
 
 	"monarch/internal/experiments"
 	"monarch/internal/obs"
@@ -37,51 +56,151 @@ import (
 func main() {
 	var (
 		addr     = flag.String("addr", ":9077", "listen address for the peer wire protocol")
-		root     = flag.String("root", "", "cache directory to serve (required unless -selftest)")
+		root     = flag.String("root", "", "cache directory to serve (required unless -selftest/-chaos)")
 		quota    = flag.Int64("quota", 0, "capacity the store reports, in bytes (0 = unlimited)")
 		write    = flag.Bool("write", false, "accept remote WRITE/REMOVE (default read-only)")
 		metrics  = flag.String("metrics", "", "optional address serving /metrics for this store")
 		selftest = flag.Bool("selftest", false, "run a 2-node loopback smoke test and exit")
+		chaos    = flag.Bool("chaos", false, "run the kill/rejoin chaos smoke test and exit")
+
+		self     = flag.String("self", "", "this node's ring ID (enables gossip membership with -peers)")
+		peers    = flag.String("peers", "", "comma-separated sibling servers, id=host:port each")
+		replicas = flag.Int("replicas", 1, "replica-set width R the cluster's ownership rings use")
+		hbEvery  = flag.Duration("heartbeat", 250*time.Millisecond, "gossip heartbeat interval")
+		suspect  = flag.Duration("suspect-after", time.Second, "silence before a peer turns Suspect")
+		dead     = flag.Duration("dead-after", 3*time.Second, "silence before a peer turns Dead")
 	)
 	flag.Parse()
 
 	if *selftest {
 		os.Exit(runSelftest())
 	}
+	if *chaos {
+		os.Exit(runChaos())
+	}
 	if *root == "" {
-		fmt.Fprintln(os.Stderr, "monarch-serve: -root is required (or use -selftest)")
+		fmt.Fprintln(os.Stderr, "monarch-serve: -root is required (or use -selftest/-chaos)")
 		os.Exit(2)
 	}
-	if err := serve(*addr, *root, *quota, *write, *metrics); err != nil {
+	cfg := serveConfig{
+		addr: *addr, root: *root, quota: *quota, write: *write, metrics: *metrics,
+		self: *self, peers: *peers, replicas: *replicas,
+		heartbeat: *hbEvery, suspectAfter: *suspect, deadAfter: *dead,
+	}
+	if err := serve(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "monarch-serve:", err)
 		os.Exit(1)
 	}
 }
 
-func serve(addr, root string, quota int64, write bool, metricsAddr string) error {
-	store, err := storage.NewOSFS("tier0", root, quota)
+type serveConfig struct {
+	addr, root              string
+	quota                   int64
+	write                   bool
+	metrics                 string
+	self, peers             string
+	replicas                int
+	heartbeat               time.Duration
+	suspectAfter, deadAfter time.Duration
+}
+
+// parsePeers decodes the -peers flag: comma-separated id=host:port.
+func parsePeers(spec string) (ids []string, addrs map[string]string, err error) {
+	addrs = map[string]string{}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		id, addr, ok := strings.Cut(part, "=")
+		if !ok || id == "" || addr == "" {
+			return nil, nil, fmt.Errorf("bad -peers entry %q (want id=host:port)", part)
+		}
+		if _, dup := addrs[id]; dup {
+			return nil, nil, fmt.Errorf("duplicate peer id %q in -peers", id)
+		}
+		ids = append(ids, id)
+		addrs[id] = addr
+	}
+	return ids, addrs, nil
+}
+
+func serve(cfg serveConfig) error {
+	store, err := storage.NewOSFS("tier0", cfg.root, cfg.quota)
 	if err != nil {
 		return err
 	}
+	if cfg.replicas < 1 {
+		return fmt.Errorf("-replicas must be >= 1, got %d", cfg.replicas)
+	}
+
+	// Gossip membership: requires both -self and -peers.
+	var mem *peernet.Membership
+	var hb *peernet.Heartbeater
+	if (cfg.self == "") != (cfg.peers == "") {
+		return fmt.Errorf("-self and -peers must be set together")
+	}
+	if cfg.self != "" {
+		ids, addrs, err := parsePeers(cfg.peers)
+		if err != nil {
+			return err
+		}
+		mem, err = peernet.NewMembership(peernet.MembershipConfig{
+			Self:         cfg.self,
+			Peers:        ids,
+			SuspectAfter: cfg.suspectAfter,
+			DeadAfter:    cfg.deadAfter,
+			OnChange: func(peer string, from, to peernet.PeerState) {
+				fmt.Printf("monarch-serve: peer %s %s -> %s\n", peer, from, to)
+			},
+		})
+		if err != nil {
+			return err
+		}
+		clients := map[string]*peernet.Client{}
+		for _, id := range ids {
+			c, err := peernet.NewClient(peernet.ClientConfig{
+				Name: "peer:" + id,
+				Dial: peernet.TCPDialer(addrs[id], cfg.heartbeat),
+			})
+			if err != nil {
+				return err
+			}
+			defer c.Close()
+			clients[id] = c
+		}
+		hb, err = peernet.NewHeartbeater(mem, clients, cfg.heartbeat)
+		if err != nil {
+			return err
+		}
+	}
+
 	srv, err := peernet.NewServer(peernet.ServerConfig{
 		Backend:    store,
-		AllowWrite: write,
+		AllowWrite: cfg.write,
+		Membership: mem,
 		Logf:       func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
 	})
 	if err != nil {
 		return err
 	}
-	ln, err := net.Listen("tcp", addr)
+	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
 		return err
 	}
 	mode := "read-only"
-	if write {
+	if cfg.write {
 		mode = "read-write"
 	}
-	fmt.Printf("monarch-serve: serving %s (%s) on %s\n", root, mode, ln.Addr())
+	fmt.Printf("monarch-serve: serving %s (%s) on %s\n", cfg.root, mode, ln.Addr())
+	if mem != nil {
+		fmt.Printf("monarch-serve: gossip as %s with %d peers, R=%d, heartbeat %v (suspect %v, dead %v)\n",
+			cfg.self, len(mem.Snapshot()), cfg.replicas, cfg.heartbeat, cfg.suspectAfter, cfg.deadAfter)
+		hb.Start()
+		defer hb.Stop()
+	}
 
-	if metricsAddr != "" {
+	if cfg.metrics != "" {
 		reg := obs.NewRegistry()
 		reg.GaugeFunc("monarch_serve_capacity_bytes",
 			"Capacity the served store reports (0 = unlimited).",
@@ -89,7 +208,13 @@ func serve(addr, root string, quota int64, write bool, metricsAddr string) error
 		reg.GaugeFunc("monarch_serve_used_bytes",
 			"Bytes currently held by the served store.",
 			func() float64 { return float64(store.Used()) })
-		mln, err := net.Listen("tcp", metricsAddr)
+		reg.GaugeFunc("monarch_serve_replicas",
+			"Replica-set width R the cluster's ownership rings run with.",
+			func() float64 { return float64(cfg.replicas) })
+		if mem != nil {
+			mem.Instrument(reg)
+		}
+		mln, err := net.Listen("tcp", cfg.metrics)
 		if err != nil {
 			return err
 		}
@@ -136,5 +261,69 @@ func runSelftest() int {
 		return 1
 	}
 	fmt.Println("monarch-serve selftest: OK")
+	return 0
+}
+
+// runChaos is the churn drill behind `make chaos-smoke`: a 6-node
+// replicated cluster (R=2) with gossip membership, one node's serving
+// socket killed after epoch 2 and rejoined after epoch 4. Replication
+// must absorb the kill — zero PFS fallbacks, zero peer-stage errors —
+// both convergence times must land, and the run must not leak
+// goroutines (counted directly; no external leak-check dependency).
+func runChaos() int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "monarch-serve chaos: FAIL: "+format+"\n", args...)
+		return 1
+	}
+	before := runtime.NumGoroutine()
+	res, err := experiments.RunPeerLoopback(experiments.PeerRunConfig{
+		Nodes: 6, Files: 48, FileSize: 2048, Epochs: 6,
+		Mode:       experiments.ShardReshuffled,
+		UsePeers:   true,
+		Replicas:   2,
+		Membership: true,
+		Seed:       23,
+		KillNode:   2, KillAfterEpoch: 2, RejoinAfterEpoch: 4,
+	})
+	if err != nil {
+		return fail("%v", err)
+	}
+	fmt.Printf("monarch-serve chaos: 6 nodes R=2, kill node 2 after epoch 2, rejoin after epoch 4\n")
+	fmt.Printf("  peer hits %d, fallbacks %d, peer-stage errors %d, PFS data ops %d\n",
+		res.PeerHits(), res.Fallbacks(), res.PeerStageErrors, res.PFSOps)
+	fmt.Printf("  dead converged in %v, rejoin converged in %v\n",
+		res.KillConvergence, res.RejoinConvergence)
+	if res.PeerHits() == 0 {
+		return fail("no reads were served by sibling caches")
+	}
+	if res.Fallbacks() != 0 {
+		return fail("%d PFS fallbacks; replication must absorb a single kill", res.Fallbacks())
+	}
+	if res.PeerStageErrors != 0 {
+		return fail("%d peer-stage errors surfaced through the replica set", res.PeerStageErrors)
+	}
+	if res.KillConvergence <= 0 {
+		return fail("views never converged on the dead peer (%v)", res.KillConvergence)
+	}
+	if res.RejoinConvergence <= 0 {
+		return fail("views never converged on the rejoin (%v)", res.RejoinConvergence)
+	}
+
+	// Goroutine-leak check: servers, heartbeaters and per-connection
+	// handlers must all be gone. Conn teardown is asynchronous, so poll
+	// briefly before declaring a leak.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+2 {
+			fmt.Printf("  goroutines %d before, %d after\n", before, g)
+			break
+		}
+		if time.Now().After(deadline) {
+			return fail("goroutine leak: %d before the run, %d still alive 5s after",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	fmt.Println("monarch-serve chaos: OK")
 	return 0
 }

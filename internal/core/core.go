@@ -352,7 +352,14 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 		}
 	}
 	d := m.levels[lvl]
-	n, rerr := d.backend.ReadAt(ctx, name, p, off)
+	rctx := ctx
+	var ann *obs.ReadAnnotation
+	if peer {
+		// Backend.ReadAt has no flag channel, so the peer tier reports
+		// how it served (a hedged read) through a context annotation.
+		rctx, ann = obs.WithReadAnnotation(ctx)
+	}
+	n, rerr := d.backend.ReadAt(rctx, name, p, off)
 	if rerr != nil && peer && errors.Is(rerr, storage.ErrNotExist) {
 		// Clean peer miss: the owner has not cached the file yet. That
 		// is the protocol working, not a failure — no breaker feed, no
@@ -403,6 +410,10 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 		flags |= obs.FlagPeer
 		m.stats.peerHits.Add(1)
 		m.stats.peerHitBytes.Add(int64(n))
+		if ann.Flags()&obs.FlagHedged != 0 {
+			flags |= obs.FlagHedged
+			m.stats.peerHedges.Add(1)
+		}
 	}
 	dur := time.Since(start)
 	m.inst.readLatency[d.level].Observe(dur.Seconds())

@@ -247,6 +247,25 @@ func (h *healthTracker) recordError(level int, read bool) (tripped bool) {
 	return false
 }
 
+// forceDown opens level's breaker unconditionally; it reports whether
+// this call performed the Healthy/Suspect→Down transition (false when
+// the level is untracked or already Down).
+func (h *healthTracker) forceDown(level int) bool {
+	t := h.tier(level)
+	if t == nil {
+		return false
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if TierState(t.state.Load()) == TierDown {
+		return false
+	}
+	t.state.Store(int32(TierDown))
+	t.readErrs, t.writeErrs = 0, 0
+	t.sinceProbe, t.probing = 0, false
+	return true
+}
+
 // recordReadOK closes the consecutive-read-error window after a
 // successful read. Healthy tiers take the lock-free fast path: errors
 // always move the state to Suspect first, so Healthy implies zero
@@ -325,6 +344,38 @@ func (h *healthTracker) probeAborted(level int) { h.probeDone(level, false) }
 // TierHealthy.
 func (m *Monarch) TierState(level int) TierState {
 	return m.health.state(level)
+}
+
+// ReportTierError feeds an externally observed failure of level into
+// its circuit breaker, exactly as if a foreground read had failed
+// there. Cluster machinery uses it to translate out-of-band evidence —
+// a peer marked Dead by gossip membership, say — into breaker pressure
+// without waiting for reads to fail one by one. Errors accumulate
+// toward ReadErrorThreshold, so isolated reports only move the tier to
+// Suspect; repeated reports trip it.
+func (m *Monarch) ReportTierError(level int, err error) {
+	if level < 0 || level >= len(m.levels) || level == m.source.level {
+		return
+	}
+	if tripped := m.health.recordReadError(level); tripped {
+		m.tierDown(level, err)
+	}
+}
+
+// ForceTierDown opens level's breaker immediately, skipping the
+// consecutive-error window. It is the demotion path for definitive
+// evidence: when membership declares every replica of a peer tier Dead,
+// counting to the threshold would just burn doomed reads. Recovery
+// still goes through the normal probe cycle, so a rejoining cluster
+// closes the breaker the same way a repaired device does. The source
+// level and untracked levels are never forced.
+func (m *Monarch) ForceTierDown(level int, err error) {
+	if level < 0 || level >= len(m.levels) || level == m.source.level {
+		return
+	}
+	if m.health.forceDown(level) {
+		m.tierDown(level, err)
+	}
 }
 
 // tierDown records a breaker trip: stats, event, and nothing else — the

@@ -558,3 +558,63 @@ func TestTierStateAndEventStrings(t *testing.T) {
 		}
 	}
 }
+
+// TestExternalBreakerFeeds exercises the gossip glue: an external
+// health signal (a peer marked Dead by the membership view) counts
+// toward the read-error threshold via ReportTierError, and
+// ForceTierDown opens the breaker immediately when no peer is live.
+func TestExternalBreakerFeeds(t *testing.T) {
+	f := newHealthFixture(t, 1, 64, nil) // ReadErrorThreshold: 2
+	extErr := errors.New("gossip: peer marked dead")
+
+	// One report is demotion pressure — Suspect, not a trip.
+	f.m.ReportTierError(0, extErr)
+	if st := f.m.TierState(0); st != TierSuspect {
+		t.Fatalf("one external report left the tier %v, want suspect", st)
+	}
+	// The second consecutive report crosses the threshold.
+	f.m.ReportTierError(0, extErr)
+	if st := f.m.TierState(0); st != TierDown {
+		t.Fatalf("threshold external reports left the tier %v", st)
+	}
+	downs := 0
+	for _, e := range f.log.Events() {
+		if e.Kind == EventTierDown {
+			downs++
+		}
+	}
+	if downs != 1 {
+		t.Fatalf("%d tier-down events, want 1", downs)
+	}
+
+	// Out-of-range and source levels are ignored, not panics: the PFS
+	// must never be demotable by external feeds.
+	f.m.ReportTierError(-1, extErr)
+	f.m.ReportTierError(99, extErr)
+	f.m.ReportTierError(1, extErr) // level 1 is the source
+	f.m.ForceTierDown(1, extErr)
+	if st := f.m.TierState(1); st != TierHealthy {
+		t.Fatalf("source tier demoted externally: %v", st)
+	}
+}
+
+func TestForceTierDownImmediateAndIdempotent(t *testing.T) {
+	f := newHealthFixture(t, 1, 64, nil)
+	extErr := errors.New("gossip: no live peers")
+	f.m.ForceTierDown(0, extErr)
+	if st := f.m.TierState(0); st != TierDown {
+		t.Fatalf("forced trip left the tier %v", st)
+	}
+	// A second force on an open breaker is a no-op — no duplicate
+	// demotion event, no probe-state churn.
+	f.m.ForceTierDown(0, extErr)
+	downs := 0
+	for _, e := range f.log.Events() {
+		if e.Kind == EventTierDown {
+			downs++
+		}
+	}
+	if downs != 1 {
+		t.Fatalf("%d tier-down events after double force, want 1", downs)
+	}
+}

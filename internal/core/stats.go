@@ -49,6 +49,10 @@ type Stats struct {
 	// A miss is protocol behaviour, not a failure: it feeds neither
 	// Fallbacks nor the tier breaker.
 	PeerMisses int64
+	// PeerHedges counts peer hits served under a hedge: the primary
+	// replica exceeded its adaptive latency threshold, so the read
+	// raced a second replica and took the first answer.
+	PeerHedges int64
 	// Fallbacks counts foreground reads re-served from the PFS after an
 	// upper tier failed.
 	Fallbacks int64
@@ -109,6 +113,7 @@ type statsCollector struct {
 	peerHits        *obs.Counter
 	peerHitBytes    *obs.Counter
 	peerMisses      *obs.Counter
+	peerHedges      *obs.Counter
 	fallbacks       *obs.Counter
 	evictions       *obs.Counter
 	demotions       *obs.Counter
@@ -150,6 +155,8 @@ func (c *statsCollector) init(reg *obs.Registry, levels int) {
 		"Bytes served by peer cache hits.")
 	c.peerMisses = reg.Counter("monarch_peer_misses_total",
 		"Peer-routed reads whose owner had not cached the file; re-served from the source.")
+	c.peerHedges = reg.Counter("monarch_peer_hedged_reads_total",
+		"Peer hits served under a hedge: a second replica raced a slow primary.")
 	c.fallbacks = reg.Counter("monarch_fallbacks_total",
 		"Reads re-served from the PFS after an upper-tier failure.")
 	c.evictions = reg.Counter("monarch_evictions_total",
@@ -209,6 +216,7 @@ func (c *statsCollector) snapshot(inFlight int) Stats {
 		PeerHits:         c.peerHits.Value(),
 		PeerHitBytes:     c.peerHitBytes.Value(),
 		PeerMisses:       c.peerMisses.Value(),
+		PeerHedges:       c.peerHedges.Value(),
 		Fallbacks:        c.fallbacks.Value(),
 		Evictions:        c.evictions.Value(),
 		Demotions:        c.demotions.Value(),

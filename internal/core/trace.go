@@ -72,6 +72,7 @@ func (m *Monarch) traceSummary() map[string]int64 {
 		out["peer_hits"] = s.PeerHits
 		out["peer_hit_bytes"] = s.PeerHitBytes
 		out["peer_misses"] = s.PeerMisses
+		out["peer_hedges"] = s.PeerHedges
 	}
 	for i := range s.ReadsServed {
 		out["reads_tier_"+strconv.Itoa(i)] = s.ReadsServed[i]

@@ -30,7 +30,7 @@ func TestPeerLoopbackFaultInjection(t *testing.T) {
 		Nodes: 4, Files: 32, FileSize: 2048, Epochs: 4,
 		Mode:     ShardReshuffled,
 		UsePeers: true,
-		SSDQuota: peerOwnedQuota(4, 32, 2048),
+		SSDQuota: peerOwnedQuota(4, 32, 2048, 1),
 		Seed:     7,
 		// One failed peer read trips the breaker: the victim's files are
 		// never served by anyone else, so waiting out the default

@@ -130,6 +130,57 @@ func (h *Histogram) Observe(v float64) {
 	}
 }
 
+// NewHistogram builds a standalone histogram with the given upper
+// bounds (nil defaults to LatencyBuckets) — for components that need a
+// distribution before (or without) a registry, like the peer client's
+// always-on latency record behind hedged-read thresholds. Registering
+// the same name via Registry.Histogram yields an independent series;
+// standalone histograms are private to their owner.
+func NewHistogram(buckets []float64) *Histogram {
+	if buckets == nil {
+		buckets = LatencyBuckets
+	}
+	bounds := append([]float64(nil), buckets...)
+	sort.Float64s(bounds)
+	return &Histogram{
+		bounds: bounds,
+		counts: make([]atomic.Uint64, len(bounds)+1),
+	}
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) from the live bucket
+// counts, interpolating linearly within the crossing bucket — the same
+// estimate Snapshot's HistogramPoint.Quantile reports, computed
+// without building a snapshot. Observations beyond the last finite
+// bound clamp to it; an empty histogram reports 0.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	count := h.count.Load()
+	if count == 0 || len(h.bounds) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(count)
+	prevLE, cum := 0.0, uint64(0)
+	for i, le := range h.bounds {
+		prev := cum
+		cum += h.counts[i].Load()
+		if float64(cum) >= rank && cum > prev {
+			frac := (rank - float64(prev)) / float64(cum-prev)
+			return prevLE + (le-prevLE)*frac
+		}
+		prevLE = le
+	}
+	return h.bounds[len(h.bounds)-1]
+}
+
 // Count returns the number of observations.
 func (h *Histogram) Count() uint64 {
 	if h == nil {

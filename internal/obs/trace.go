@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"context"
 	"fmt"
 	"time"
 )
@@ -74,6 +75,10 @@ const (
 	// source. A clean miss — distinct from FlagFallback, which records a
 	// tier *failure*.
 	FlagPeerMiss
+	// FlagHedged marks a peer read whose primary replica blew past the
+	// adaptive latency threshold, so a hedge request raced the next
+	// replica (whichever answered first served the bytes).
+	FlagHedged
 )
 
 // Span is one completed operation on an instrumented path. Spans are
@@ -124,6 +129,9 @@ func (s Span) String() string {
 	if s.Flags&FlagPeerMiss != 0 {
 		out += " peer-miss"
 	}
+	if s.Flags&FlagHedged != 0 {
+		out += " hedged"
+	}
 	out += fmt.Sprintf(" dur=%s", s.Duration)
 	if s.Err != nil {
 		out += fmt.Sprintf(" err=%q", s.Err)
@@ -163,4 +171,44 @@ func MultiHook(hooks ...TraceHook) TraceHook {
 // identify the instance (e.g. its hierarchy tier).
 type Instrumentable interface {
 	Instrument(r *Registry, labels ...Label)
+}
+
+// readAnnKey keys a *ReadAnnotation in a context.
+type readAnnKey struct{}
+
+// ReadAnnotation is a flag backchannel from a backend to the span its
+// read runs under. storage.Backend.ReadAt returns only (n, err), so a
+// backend that wants to qualify how it served — the peer tier marking
+// a hedged read — sets flags here; the middleware ORs them into the
+// read span before emitting it. Writes happen before the backend call
+// returns and reads after, on the caller's goroutine, so no locking.
+type ReadAnnotation struct {
+	flags SpanFlags
+}
+
+// Annotate marks the operation with f.
+func (a *ReadAnnotation) Annotate(f SpanFlags) {
+	if a != nil {
+		a.flags |= f
+	}
+}
+
+// Flags returns the accumulated flags.
+func (a *ReadAnnotation) Flags() SpanFlags {
+	if a == nil {
+		return 0
+	}
+	return a.flags
+}
+
+// WithReadAnnotation derives a context carrying a fresh annotation.
+func WithReadAnnotation(ctx context.Context) (context.Context, *ReadAnnotation) {
+	a := &ReadAnnotation{}
+	return context.WithValue(ctx, readAnnKey{}, a), a
+}
+
+// ReadAnnotationFrom extracts the annotation, or nil.
+func ReadAnnotationFrom(ctx context.Context) *ReadAnnotation {
+	a, _ := ctx.Value(readAnnKey{}).(*ReadAnnotation)
+	return a
 }

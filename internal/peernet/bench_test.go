@@ -104,3 +104,71 @@ func BenchmarkPeerStat(b *testing.B) {
 		}
 	}
 }
+
+// BenchmarkPeerReadHedged prices the hedging machinery on the healthy
+// path: a 2-replica tier reading through fast pipe transports, hedging
+// armed. "off" is the same tier with hedging disabled, so the diff is
+// the pure cost of arming a hedge timer per read (the unhealthy path —
+// a hedge actually firing — is priced by the experiment, not a
+// microbenchmark).
+func BenchmarkPeerReadHedged(b *testing.B) {
+	const size = 256 << 10
+	build := func(b *testing.B, hedge bool) *peernet.Tier {
+		ring, err := peernet.NewRing([]string{"self", "node1", "node2"}, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		clients := map[string]*peernet.Client{}
+		data := make([]byte, size)
+		for i := range data {
+			data[i] = byte(i)
+		}
+		for _, node := range []string{"node1", "node2"} {
+			mem := storage.NewMemFS(node, 0)
+			if err := mem.WriteFile(context.Background(), "bench.rec", data); err != nil {
+				b.Fatal(err)
+			}
+			srv, err := peernet.NewServer(peernet.ServerConfig{Backend: mem})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { srv.Close() })
+			c, err := peernet.NewClient(peernet.ClientConfig{
+				Name: "peer:" + node,
+				Dial: peernet.PipeDialer(srv),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.Cleanup(func() { c.Close() })
+			clients[node] = c
+		}
+		tier, err := peernet.NewTierWithConfig(peernet.TierConfig{
+			Self: "self", Ring: ring, Clients: clients, Replicas: 2,
+			Hedge: peernet.HedgeConfig{Enabled: hedge, MinSamples: 1},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return tier
+	}
+
+	for _, mode := range []struct {
+		name  string
+		hedge bool
+	}{{"off", false}, {"on", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			tier := build(b, mode.hedge)
+			ctx := context.Background()
+			p := make([]byte, size)
+			b.SetBytes(size)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				n, err := tier.ReadAt(ctx, "bench.rec", p, 0)
+				if err != nil || n != size {
+					b.Fatalf("read: n=%d err=%v", n, err)
+				}
+			}
+		})
+	}
+}

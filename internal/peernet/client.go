@@ -2,7 +2,9 @@ package peernet
 
 import (
 	"context"
+	"errors"
 	"fmt"
+	"math/rand"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -11,6 +13,11 @@ import (
 	"monarch/internal/obs"
 	"monarch/internal/storage"
 )
+
+// ErrClientClosed is returned by every operation on a closed Client.
+// Close also fails in-flight requests with it: their connections are
+// closed under them and the retry loop refuses to redial.
+var ErrClientClosed = errors.New("peernet: client is closed")
 
 // Dialer opens one connection to a peer server. TCPDialer and
 // PipeDialer cover the two in-tree transports; tests can inject
@@ -25,15 +32,20 @@ type ClientConfig struct {
 	Dial Dialer
 	// PoolSize caps idle connections kept for reuse (default 2).
 	PoolSize int
-	// Timeout bounds each request round trip (default 5s). A tighter
-	// caller deadline wins.
+	// Timeout bounds each request end to end — every attempt and every
+	// retry backoff must fit inside it (default 5s). A tighter caller
+	// deadline wins.
 	Timeout time.Duration
 	// Retries is how many times a request is retried after a
 	// *transport* failure — dial or I/O errors. Remote errors (a miss,
 	// a full quota) are definitive and never retried. Default 1.
 	Retries int
-	// Backoff is the delay before the first retry, doubling per
-	// attempt (default 10ms).
+	// Backoff seeds the retry delay: it doubles per attempt and each
+	// sleep is jittered by a uniform factor in [0.5, 1.5), so retries
+	// from many nodes hitting one struggling peer spread out instead
+	// of arriving in lockstep (default 10ms). A sleep that would
+	// outlive the per-op deadline is skipped and the request fails
+	// with the last transport error instead.
 	Backoff time.Duration
 }
 
@@ -46,15 +58,19 @@ type Client struct {
 
 	mu     sync.Mutex
 	idle   []net.Conn
+	live   map[net.Conn]struct{} // checked out by in-flight requests
 	closed bool
 
 	// Per-op wire attempts, transport errors and response bytes;
 	// exported through Instrument. The histogram pointer is nil until
-	// Instrument runs — the hot path loads it atomically.
+	// Instrument runs — the hot path loads it atomically. hlat is the
+	// always-on latency record the hedging engine derives its adaptive
+	// p99 threshold from; it exists whether or not Instrument ran.
 	reqs     [8]atomic.Int64 // indexed by op byte
 	transErr atomic.Int64
 	bytesIn  atomic.Int64
 	lat      atomic.Pointer[obs.Histogram]
+	hlat     *obs.Histogram
 }
 
 // opNames label the per-op request counters.
@@ -91,45 +107,80 @@ func NewClient(cfg ClientConfig) (*Client, error) {
 	if cfg.Backoff <= 0 {
 		cfg.Backoff = 10 * time.Millisecond
 	}
-	return &Client{cfg: cfg}, nil
+	return &Client{
+		cfg:  cfg,
+		live: make(map[net.Conn]struct{}),
+		hlat: obs.NewHistogram(obs.LatencyBuckets),
+	}, nil
 }
 
 // Name implements storage.Backend.
 func (c *Client) Name() string { return c.cfg.Name }
 
-// Close drops all idle connections and fails future requests.
+// Close drains the idle pool, closes every in-flight connection (so
+// blocked requests fail fast with ErrClientClosed instead of waiting
+// out their deadlines) and fails future requests. Safe to call more
+// than once.
 func (c *Client) Close() error {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
 	c.closed = true
-	for _, conn := range c.idle {
+	idle := c.idle
+	c.idle = nil
+	live := make([]net.Conn, 0, len(c.live))
+	for conn := range c.live {
+		live = append(live, conn)
+	}
+	c.mu.Unlock()
+	for _, conn := range idle {
 		conn.Close()
 	}
-	c.idle = nil
+	for _, conn := range live {
+		conn.Close()
+	}
 	return nil
 }
 
-// getConn pops an idle connection or dials a fresh one.
+// getConn pops an idle connection or dials a fresh one; either way the
+// connection is tracked as live until putConn/discard, so Close can
+// fail it under an in-flight request.
 func (c *Client) getConn(ctx context.Context) (net.Conn, error) {
 	c.mu.Lock()
 	if c.closed {
 		c.mu.Unlock()
-		return nil, fmt.Errorf("peernet: client %s is closed", c.cfg.Name)
+		return nil, fmt.Errorf("peernet: %s: %w", c.cfg.Name, ErrClientClosed)
 	}
 	if n := len(c.idle); n > 0 {
 		conn := c.idle[n-1]
 		c.idle = c.idle[:n-1]
+		c.live[conn] = struct{}{}
 		c.mu.Unlock()
 		return conn, nil
 	}
 	c.mu.Unlock()
-	return c.cfg.Dial(ctx)
+	conn, err := c.cfg.Dial(ctx)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		conn.Close()
+		return nil, fmt.Errorf("peernet: %s: %w", c.cfg.Name, ErrClientClosed)
+	}
+	c.live[conn] = struct{}{}
+	c.mu.Unlock()
+	return conn, nil
 }
 
 // putConn returns a healthy connection to the pool.
 func (c *Client) putConn(conn net.Conn) {
 	conn.SetDeadline(time.Time{})
 	c.mu.Lock()
+	delete(c.live, conn)
 	if !c.closed && len(c.idle) < c.cfg.PoolSize {
 		c.idle = append(c.idle, conn)
 		c.mu.Unlock()
@@ -139,34 +190,72 @@ func (c *Client) putConn(conn net.Conn) {
 	conn.Close()
 }
 
-// do runs one request with per-attempt deadlines and transport-level
-// retry. It returns the remote status and response payload; callers
-// map non-OK statuses through remoteError.
+// discard closes a failed connection and forgets it.
+func (c *Client) discard(conn net.Conn) {
+	c.mu.Lock()
+	delete(c.live, conn)
+	c.mu.Unlock()
+	conn.Close()
+}
+
+func (c *Client) isClosed() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.closed
+}
+
+// do runs one request under the per-op deadline with transport-level
+// retry: jittered exponential backoff between attempts, total wall
+// time (attempts plus sleeps) capped by the deadline. It returns the
+// remote status and response payload; callers map non-OK statuses
+// through remoteError.
 func (c *Client) do(ctx context.Context, op byte, payload []byte) (byte, []byte, error) {
 	if err := ctx.Err(); err != nil {
 		return 0, nil, err
 	}
+	// One deadline for the whole call; a tighter caller deadline wins.
+	deadline := time.Now().Add(c.cfg.Timeout)
+	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
+		deadline = d
+	}
 	backoff := c.cfg.Backoff
 	var lastErr error
+	attempts := 0
 	for attempt := 0; attempt <= c.cfg.Retries; attempt++ {
 		if attempt > 0 {
+			if err := ctx.Err(); err != nil {
+				return 0, nil, err
+			}
+			sleep := time.Duration((0.5 + rand.Float64()) * float64(backoff))
+			backoff *= 2
+			if sleep > time.Until(deadline) {
+				// The sleep would outlive the op deadline; surface the
+				// last transport error instead of burning the budget.
+				break
+			}
 			select {
 			case <-ctx.Done():
 				return 0, nil, ctx.Err()
-			case <-time.After(backoff):
+			case <-time.After(sleep):
 			}
-			backoff *= 2
 		}
+		attempts++
 		conn, err := c.getConn(ctx)
 		if err != nil {
+			if errors.Is(err, ErrClientClosed) {
+				return 0, nil, err
+			}
 			c.transErr.Add(1)
 			lastErr = err
 			continue
 		}
-		status, resp, err := c.roundTrip(ctx, conn, op, payload)
+		status, resp, err := c.roundTrip(ctx, conn, op, payload, deadline)
 		if err != nil {
-			conn.Close()
+			c.discard(conn)
 			c.transErr.Add(1)
+			if c.isClosed() {
+				return 0, nil, fmt.Errorf("peernet: %s: %w", c.cfg.Name, ErrClientClosed)
+			}
 			lastErr = err
 			continue
 		}
@@ -174,17 +263,27 @@ func (c *Client) do(ctx context.Context, op byte, payload []byte) (byte, []byte,
 		return status, resp, nil
 	}
 	return 0, nil, fmt.Errorf("peernet: %s: request failed after %d attempts: %w",
-		c.cfg.Name, c.cfg.Retries+1, lastErr)
+		c.cfg.Name, attempts, lastErr)
 }
 
-// roundTrip sends one frame and reads the response on conn.
-func (c *Client) roundTrip(ctx context.Context, conn net.Conn, op byte, payload []byte) (byte, []byte, error) {
-	deadline := time.Now().Add(c.cfg.Timeout)
-	if d, ok := ctx.Deadline(); ok && d.Before(deadline) {
-		deadline = d
-	}
+// roundTrip sends one frame and reads the response on conn. A
+// cancelled context forces the connection's deadline into the past, so
+// hedged reads can abandon the losing replica mid-read instead of
+// waiting out the full timeout.
+func (c *Client) roundTrip(ctx context.Context, conn net.Conn, op byte, payload []byte, deadline time.Time) (byte, []byte, error) {
 	if err := conn.SetDeadline(deadline); err != nil {
 		return 0, nil, err
+	}
+	if cancel := ctx.Done(); cancel != nil {
+		done := make(chan struct{})
+		defer close(done)
+		go func() {
+			select {
+			case <-cancel:
+				conn.SetDeadline(time.Unix(1, 0))
+			case <-done:
+			}
+		}()
 	}
 	c.reqs[op&0x07].Add(1)
 	start := time.Now()
@@ -195,10 +294,19 @@ func (c *Client) roundTrip(ctx context.Context, conn net.Conn, op byte, payload 
 	if err != nil {
 		return 0, nil, err
 	}
+	elapsed := time.Since(start).Seconds()
+	c.hlat.Observe(elapsed)
 	if h := c.lat.Load(); h != nil {
-		h.Observe(time.Since(start).Seconds())
+		h.Observe(elapsed)
 	}
 	return status, resp, nil
+}
+
+// LatencyQuantile estimates quantile q of this client's request round
+// trips from the always-on latency histogram, with the sample count —
+// the signal the tier's hedging engine thresholds on.
+func (c *Client) LatencyQuantile(q float64) (seconds float64, samples uint64) {
+	return c.hlat.Quantile(q), c.hlat.Count()
 }
 
 // remoteError reconstructs the sentinel a non-OK status encodes, so
@@ -237,6 +345,27 @@ func (c *Client) Ping(ctx context.Context) error {
 		return c.remoteError(status, resp)
 	}
 	return nil
+}
+
+// Heartbeat sends one membership heartbeat piggybacked on PING: the
+// local view travels out, the peer's view comes back (nil when the
+// peer runs without a Membership — plain liveness still proven).
+func (c *Client) Heartbeat(ctx context.Context, self string, view []HeartbeatEntry) ([]HeartbeatEntry, error) {
+	status, resp, err := c.do(ctx, OpPing, appendHeartbeat(nil, self, view))
+	if err != nil {
+		return nil, err
+	}
+	if status != StatusOK {
+		return nil, c.remoteError(status, resp)
+	}
+	if len(resp) == 0 {
+		return nil, nil
+	}
+	_, entries, err := parseHeartbeat(resp)
+	if err != nil {
+		return nil, err
+	}
+	return entries, nil
 }
 
 // Stat implements storage.Backend.

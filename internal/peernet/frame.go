@@ -19,6 +19,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 )
 
 // MaxFrame bounds one frame (code byte + payload). Large reads are
@@ -33,7 +34,10 @@ const maxData = 4 << 20
 // Op codes sent by clients. The high bit is clear; Status codes have
 // it set.
 const (
-	// OpPing checks liveness; empty payload, empty OK response.
+	// OpPing checks liveness; empty payload, empty OK response. A
+	// non-empty payload is a piggybacked membership heartbeat (see
+	// appendHeartbeat); servers with a Membership answer with their own
+	// view, servers without answer empty — old and new nodes interoperate.
 	OpPing byte = 0x01
 	// OpStat requests file metadata; payload = name, response = i64 size.
 	OpStat byte = 0x02
@@ -252,6 +256,61 @@ func parseListResp(p []byte) ([]listEntry, error) {
 		return nil, fmt.Errorf("%w: %d trailing bytes after LIST response", errMalformed, len(p))
 	}
 	return entries, nil
+}
+
+// appendHeartbeat encodes a heartbeat payload (piggybacked on OpPing
+// requests and their OK responses): sender name + u32 count +
+// count×(node, u64 age-nanos). Ages, not timestamps, travel on the
+// wire so peers never need synchronised clocks: the receiver rebases
+// each age onto its own clock at decode time.
+func appendHeartbeat(b []byte, sender string, entries []HeartbeatEntry) []byte {
+	b = appendString(b, sender)
+	b = binary.BigEndian.AppendUint32(b, uint32(len(entries)))
+	for _, e := range entries {
+		b = appendString(b, e.Node)
+		age := e.Age
+		if age < 0 {
+			age = 0
+		}
+		b = binary.BigEndian.AppendUint64(b, uint64(age))
+	}
+	return b
+}
+
+// parseHeartbeat decodes a heartbeat payload.
+func parseHeartbeat(p []byte) (sender string, entries []HeartbeatEntry, err error) {
+	if sender, p, err = parseString(p); err != nil {
+		return "", nil, err
+	}
+	count, p, err := parseU32(p)
+	if err != nil {
+		return "", nil, err
+	}
+	// Every entry is at least 10 bytes (2-byte name length + 8-byte
+	// age); reject counts the payload cannot possibly hold.
+	if int64(count)*10 > int64(len(p)) {
+		return "", nil, fmt.Errorf("%w: heartbeat count %d exceeds payload", errMalformed, count)
+	}
+	entries = make([]HeartbeatEntry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		var e HeartbeatEntry
+		if e.Node, p, err = parseString(p); err != nil {
+			return "", nil, err
+		}
+		var age int64
+		if age, p, err = parseI64(p); err != nil {
+			return "", nil, err
+		}
+		if age < 0 {
+			return "", nil, fmt.Errorf("%w: negative heartbeat age", errMalformed)
+		}
+		e.Age = time.Duration(age)
+		entries = append(entries, e)
+	}
+	if len(p) != 0 {
+		return "", nil, fmt.Errorf("%w: %d trailing bytes after heartbeat", errMalformed, len(p))
+	}
+	return sender, entries, nil
 }
 
 // appendUsageResp encodes a USAGE response payload.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"testing"
+	"time"
 )
 
 // FuzzFrame throws arbitrary bytes at the wire decode path: the frame
@@ -29,6 +30,19 @@ func FuzzFrame(f *testing.F) {
 	var usage bytes.Buffer
 	writeFrame(&usage, StatusOK, appendUsageResp(nil, 1<<30, 1<<20))
 	f.Add(usage.Bytes())
+	// Heartbeat payloads: a gossiped view, an empty view, and the
+	// count-overrun shape that parseHeartbeat must bound-check.
+	var hb bytes.Buffer
+	writeFrame(&hb, OpPing, appendHeartbeat(nil, "node0", []HeartbeatEntry{
+		{Node: "node1", Age: 0}, {Node: "node2", Age: 1500 * time.Millisecond},
+	}))
+	f.Add(hb.Bytes())
+	var hbEmpty bytes.Buffer
+	writeFrame(&hbEmpty, OpPing, appendHeartbeat(nil, "solo", nil))
+	f.Add(hbEmpty.Bytes())
+	var hbBad bytes.Buffer
+	writeFrame(&hbBad, OpPing, []byte{0, 1, 's', 0xff, 0xff, 0xff, 0xff})
+	f.Add(hbBad.Bytes())
 	// Malformed shapes: zero length, huge length, truncated body.
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
@@ -66,6 +80,11 @@ func FuzzFrame(f *testing.F) {
 			parseUsageResp(payload)
 			parseI64(payload)
 			parseU32(payload)
+			if sender, entries, err := parseHeartbeat(payload); err == nil {
+				if len(sender) > len(payload) || len(entries) > len(payload) {
+					t.Fatal("parseHeartbeat conjured data")
+				}
+			}
 		}
 	})
 }
@@ -97,6 +116,50 @@ func FuzzRoundtrip(f *testing.F) {
 		}
 		if rq.name != name || rq.off != off || rq.n != n {
 			t.Fatalf("roundtrip mismatch: %+v", rq)
+		}
+	})
+}
+
+// FuzzHeartbeat checks encode→decode identity for gossiped views built
+// from fuzzed fields, and that the decoder never accepts trailing junk.
+func FuzzHeartbeat(f *testing.F) {
+	f.Add("node0", "node1", int64(0), "node2", int64(1500))
+	f.Add("", "", int64(-1), "", int64(1<<40))
+	f.Fuzz(func(t *testing.T, sender, n1 string, age1 int64, n2 string, age2 int64) {
+		if len(sender) > 0xffff {
+			sender = sender[:0xffff]
+		}
+		if len(n1) > 0xffff {
+			n1 = n1[:0xffff]
+		}
+		if len(n2) > 0xffff {
+			n2 = n2[:0xffff]
+		}
+		entries := []HeartbeatEntry{
+			{Node: n1, Age: time.Duration(age1) * time.Millisecond},
+			{Node: n2, Age: time.Duration(age2) * time.Millisecond},
+		}
+		payload := appendHeartbeat(nil, sender, entries)
+		gotSender, got, err := parseHeartbeat(payload)
+		if err != nil {
+			t.Fatalf("decode of encoded view: %v", err)
+		}
+		if gotSender != sender || len(got) != len(entries) {
+			t.Fatalf("roundtrip: sender=%q entries=%d", gotSender, len(got))
+		}
+		for i := range entries {
+			// Ages travel as u64 nanos, clamped at zero on encode
+			// (negative silence does not exist).
+			want := entries[i].Age
+			if want < 0 {
+				want = 0
+			}
+			if got[i].Node != entries[i].Node || got[i].Age != want {
+				t.Fatalf("entry %d: got %+v want {%s %v}", i, got[i], entries[i].Node, want)
+			}
+		}
+		if _, _, err := parseHeartbeat(append(payload, 0)); err == nil {
+			t.Fatal("trailing byte accepted")
 		}
 	})
 }

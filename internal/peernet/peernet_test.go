@@ -372,3 +372,115 @@ func TestLargeReadSplitsFrames(t *testing.T) {
 		t.Fatal("large read corrupted across frame splits")
 	}
 }
+
+// TestClientCloseIdempotent: Close twice is fine, and every operation
+// after Close fails fast with ErrClientClosed.
+func TestClientCloseIdempotent(t *testing.T) {
+	ctx := context.Background()
+	c, _ := pipeClient(t, 0, false)
+	if err := c.Close(); err != nil {
+		t.Fatalf("first close: %v", err)
+	}
+	if err := c.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if _, err := c.ReadFile(ctx, "f"); !errors.Is(err, peernet.ErrClientClosed) {
+		t.Fatalf("read after close: %v, want ErrClientClosed", err)
+	}
+	if err := c.Ping(ctx); !errors.Is(err, peernet.ErrClientClosed) {
+		t.Fatalf("ping after close: %v, want ErrClientClosed", err)
+	}
+}
+
+// stallFS blocks every ReadAt until the gate opens, simulating a peer
+// that accepted the request but never answers.
+type stallFS struct {
+	storage.Backend
+	gate chan struct{}
+}
+
+func (s stallFS) ReadAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	<-s.gate
+	return s.Backend.ReadAt(ctx, name, p, off)
+}
+
+// TestClientCloseDuringRead: a request blocked on a stalled peer must
+// fail fast when the client closes underneath it — Close kills the
+// in-flight connection instead of letting the read wait out its
+// 30-second deadline.
+func TestClientCloseDuringRead(t *testing.T) {
+	ctx := context.Background()
+	mem := storage.NewMemFS("remote", 0)
+	if err := mem.WriteFile(ctx, "slow", []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	gate := make(chan struct{})
+	srv, err := peernet.NewServer(peernet.ServerConfig{
+		Backend: stallFS{Backend: mem, gate: gate},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	// LIFO: the gate must open before srv.Close waits on the handler
+	// goroutine blocked behind it.
+	defer close(gate)
+	c, err := peernet.NewClient(peernet.ClientConfig{
+		Name:    "peer:stalled",
+		Dial:    peernet.PipeDialer(srv),
+		Retries: 1,
+		Timeout: 30 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	errc := make(chan error, 1)
+	go func() {
+		_, err := c.ReadFile(ctx, "slow")
+		errc <- err
+	}()
+	time.Sleep(50 * time.Millisecond) // let the read reach the wire
+	start := time.Now()
+	c.Close()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, peernet.ErrClientClosed) {
+			t.Fatalf("read under close: %v, want ErrClientClosed", err)
+		}
+		if d := time.Since(start); d > 2*time.Second {
+			t.Fatalf("read took %v to fail after Close", d)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("read still blocked 5s after Close")
+	}
+}
+
+// TestClientBackoffCappedByDeadline: with a dead dial target, retry
+// sleeps must never outlive the per-op deadline. Retries 8 at 200ms
+// exponential backoff would naively sleep ~51s; the op must return in
+// roughly its 300ms budget.
+func TestClientBackoffCappedByDeadline(t *testing.T) {
+	c, err := peernet.NewClient(peernet.ClientConfig{
+		Name: "peer:unreachable",
+		Dial: func(ctx context.Context) (net.Conn, error) {
+			return nil, errors.New("connection refused")
+		},
+		Retries: 8,
+		Backoff: 200 * time.Millisecond,
+		Timeout: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	err = c.Ping(context.Background())
+	elapsed := time.Since(start)
+	if err == nil {
+		t.Fatal("ping of unreachable peer succeeded")
+	}
+	if elapsed > 2*time.Second {
+		t.Fatalf("retry loop ran %v; backoff ignored the %v op deadline", elapsed, 300*time.Millisecond)
+	}
+}

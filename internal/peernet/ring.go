@@ -14,6 +14,7 @@ import (
 type Ring struct {
 	points []ringPoint
 	nodes  []string
+	vnodes int
 }
 
 type ringPoint struct {
@@ -40,6 +41,7 @@ func NewRing(nodes []string, replicas int) (*Ring, error) {
 	r := &Ring{
 		points: make([]ringPoint, 0, len(nodes)*replicas),
 		nodes:  append([]string(nil), nodes...),
+		vnodes: replicas,
 	}
 	sort.Strings(r.nodes)
 	for _, node := range r.nodes {
@@ -81,9 +83,74 @@ func (r *Ring) Owner(name string) string {
 	return r.points[i].node
 }
 
+// OwnersOf returns the ordered replica set for name: the first n
+// distinct nodes encountered walking the ring clockwise from the
+// name's hash. The first entry equals Owner(name); n is capped at the
+// member count. Every node derives the identical set, so "replica k"
+// is a cluster-wide role, not a local guess.
+func (r *Ring) OwnersOf(name string, n int) []string {
+	if n <= 0 {
+		n = 1
+	}
+	if n > len(r.nodes) {
+		n = len(r.nodes)
+	}
+	h := hash64(name)
+	start := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].hash >= h
+	})
+	owners := make([]string, 0, n)
+	seen := make(map[string]bool, n)
+	for i := 0; i < len(r.points) && len(owners) < n; i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			owners = append(owners, p.node)
+		}
+	}
+	return owners
+}
+
+// OwnedBy reports whether node is one of the first n replicas of name
+// — the replica-aware form of `ring.Owner(name) == node` that
+// Config.Peer.Owns should use when running with replication.
+func (r *Ring) OwnedBy(name, node string, n int) bool {
+	for _, o := range r.OwnersOf(name, n) {
+		if o == node {
+			return true
+		}
+	}
+	return false
+}
+
 // Nodes returns the membership, sorted.
 func (r *Ring) Nodes() []string {
 	return append([]string(nil), r.nodes...)
+}
+
+// Add returns a new ring with node joined; the receiver is unchanged
+// (rings are immutable, so concurrent readers never see a rebalance
+// mid-flight). Ownership movement is bounded: only names whose replica
+// walk now meets one of the new node's virtual points change hands,
+// ~K/N of the namespace.
+func (r *Ring) Add(node string) (*Ring, error) {
+	return NewRing(append(r.Nodes(), node), r.vnodes)
+}
+
+// Remove returns a new ring with node departed; the receiver is
+// unchanged. Names the node owned redistribute across the survivors;
+// everything else keeps its owner.
+func (r *Ring) Remove(node string) (*Ring, error) {
+	nodes := make([]string, 0, len(r.nodes))
+	for _, n := range r.nodes {
+		if n != node {
+			nodes = append(nodes, n)
+		}
+	}
+	if len(nodes) == len(r.nodes) {
+		return nil, fmt.Errorf("peernet: node %q is not a ring member", node)
+	}
+	return NewRing(nodes, r.vnodes)
 }
 
 // hash64 is FNV-1a 64: cheap, allocation-free and stable across

@@ -82,3 +82,134 @@ func TestRingRejectsBadMembership(t *testing.T) {
 		t.Fatal("empty node ID accepted")
 	}
 }
+
+// TestRingOwnersOfProperties holds the replica-set invariants over a
+// large sample of names: distinct members only, primary == Owner,
+// width capped at the member count, and OwnedBy consistent with the
+// returned set at every width.
+func TestRingOwnersOfProperties(t *testing.T) {
+	nodes := []string{"node0", "node1", "node2", "node3", "node4"}
+	r, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	member := map[string]bool{}
+	for _, n := range nodes {
+		member[n] = true
+	}
+	for i := 0; i < 500; i++ {
+		name := fmt.Sprintf("data/shard-%04d.rec", i)
+		owners := r.OwnersOf(name, 3)
+		if len(owners) != 3 {
+			t.Fatalf("%s: %d owners, want 3", name, len(owners))
+		}
+		if owners[0] != r.Owner(name) {
+			t.Fatalf("%s: primary %s != Owner %s", name, owners[0], r.Owner(name))
+		}
+		seen := map[string]bool{}
+		for _, o := range owners {
+			if !member[o] {
+				t.Fatalf("%s: non-member owner %s", name, o)
+			}
+			if seen[o] {
+				t.Fatalf("%s: duplicate owner in %v", name, owners)
+			}
+			seen[o] = true
+		}
+		// OwnedBy(k) must match membership of owners[:k] exactly.
+		for _, n := range nodes {
+			for k := 1; k <= 3; k++ {
+				in := false
+				for _, o := range owners[:k] {
+					if o == n {
+						in = true
+					}
+				}
+				if got := r.OwnedBy(name, n, k); got != in {
+					t.Fatalf("%s: OwnedBy(%s,%d)=%v, set=%v", name, n, k, got, owners[:k])
+				}
+			}
+		}
+	}
+	// Width beyond the membership is capped, not padded.
+	if all := r.OwnersOf("anything", 50); len(all) != len(nodes) {
+		t.Fatalf("OwnersOf capped at %d, want %d", len(all), len(nodes))
+	}
+}
+
+// TestRingAddRemoveRoundTrip: join-then-leave restores the exact
+// ownership of every name, and bad membership edits error.
+func TestRingAddRemoveRoundTrip(t *testing.T) {
+	base, err := NewRing([]string{"node0", "node1", "node2", "node3"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grown, err := base.Add("node4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := grown.Remove("node4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 300; i++ {
+		name := fmt.Sprintf("f-%d", i)
+		a, b := base.OwnersOf(name, 2), back.OwnersOf(name, 2)
+		if a[0] != b[0] || a[1] != b[1] {
+			t.Fatalf("%s: replica set %v changed to %v across join+leave", name, a, b)
+		}
+	}
+	if _, err := grown.Add("node4"); err == nil {
+		t.Fatal("duplicate join accepted")
+	}
+	if _, err := base.Remove("ghost"); err == nil {
+		t.Fatal("departure of a non-member accepted")
+	}
+	// Immutability: the receiver never observes the edit.
+	if len(base.Nodes()) != 4 || len(grown.Nodes()) != 5 {
+		t.Fatalf("rings mutated in place: base=%v grown=%v", base.Nodes(), grown.Nodes())
+	}
+}
+
+// TestRingReplicaSetMovementBounded: one node joining a ring of 8
+// must disturb roughly 2/9 of the R=2 replica sets (each of the two
+// replica slots moves with probability ~1/9), never a wholesale
+// reshuffle. The complement also holds: a set that changed must still
+// share at least one member with its old self or include the joiner.
+func TestRingReplicaSetMovementBounded(t *testing.T) {
+	nodes := make([]string, 8)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("node%d", i)
+	}
+	before, err := NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := before.Add("node8")
+	if err != nil {
+		t.Fatal(err)
+	}
+	const names = 2000
+	changed := 0
+	for i := 0; i < names; i++ {
+		name := fmt.Sprintf("data/part-%05d", i)
+		a, b := before.OwnersOf(name, 2), after.OwnersOf(name, 2)
+		if a[0] == b[0] && a[1] == b[1] {
+			continue
+		}
+		changed++
+		// A disturbed set either gained the joiner or kept a survivor:
+		// the walk only re-routes where node8's points landed.
+		keeps := b[0] == "node8" || b[1] == "node8" ||
+			b[0] == a[0] || b[0] == a[1] || b[1] == a[0] || b[1] == a[1]
+		if !keeps {
+			t.Fatalf("%s: %v -> %v shares nothing with the old set", name, a, b)
+		}
+	}
+	if frac := float64(changed) / names; frac > 0.5 {
+		t.Fatalf("join moved %.0f%% of replica sets; expected ~22%%", frac*100)
+	}
+	if changed == 0 {
+		t.Fatal("join moved nothing; the test has no teeth")
+	}
+}

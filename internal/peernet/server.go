@@ -20,6 +20,12 @@ type ServerConfig struct {
 	// network is a read-only cache fabric, and a read-only server is
 	// what keeps a misbehaving peer from corrupting a sibling's tier.
 	AllowWrite bool
+	// Membership, when set, lets the server take part in the gossip
+	// exchange: PING frames carrying a heartbeat payload merge the
+	// sender's view and are answered with this node's own. Without it,
+	// heartbeat PINGs are answered empty (plain liveness), so old and
+	// new nodes interoperate.
+	Membership *Membership
 	// Logf receives per-connection diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -157,7 +163,23 @@ func (s *Server) handle(op byte, payload []byte) (status byte, resp []byte) {
 	b := s.cfg.Backend
 	switch op {
 	case OpPing:
-		return StatusOK, nil
+		if len(payload) == 0 {
+			return StatusOK, nil
+		}
+		_, entries, err := parseHeartbeat(payload)
+		if err != nil {
+			return statusFromError(err)
+		}
+		m := s.cfg.Membership
+		if m == nil {
+			return StatusOK, nil
+		}
+		// Merge the gossiped ages only. The sender being able to reach
+		// us says nothing about whether we can reach it — liveness here
+		// means "its serving socket answers", which only our own
+		// outbound heartbeats can prove.
+		m.Merge(entries)
+		return StatusOK, appendHeartbeat(nil, m.Self(), m.View())
 
 	case OpStat:
 		name, _, err := parseString(payload)

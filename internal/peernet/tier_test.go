@@ -7,6 +7,7 @@ import (
 	"testing"
 	"time"
 
+	"monarch/internal/obs"
 	"monarch/internal/peernet"
 	"monarch/internal/storage"
 )
@@ -183,5 +184,290 @@ func TestTierValidatesMembership(t *testing.T) {
 	}
 	if _, err := peernet.NewTier("p", "zz", ring, nil); err == nil {
 		t.Fatal("tier for non-member node accepted")
+	}
+}
+
+func TestTierRejectsTooManyReplicas(t *testing.T) {
+	ring, _ := peernet.NewRing([]string{"a"}, 0)
+	if _, err := peernet.NewTierWithConfig(peernet.TierConfig{
+		Self: "a", Ring: ring, Replicas: 2,
+	}); err == nil {
+		t.Fatal("replica width beyond the member count accepted")
+	}
+}
+
+// replicaCluster builds n nodes with live servers (index 0 is self: no
+// server) and hands back everything a replica test needs to kill and
+// seed specific nodes.
+type replicaCluster struct {
+	ring    *peernet.Ring
+	stores  []*storage.MemFS
+	servers []*peernet.Server
+	clients map[string]*peernet.Client
+	idx     map[string]int
+}
+
+func newReplicaCluster(t *testing.T, n int, wrap func(i int, b storage.Backend) storage.Backend) *replicaCluster {
+	t.Helper()
+	nodes := make([]string, n)
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("node%d", i)
+	}
+	ring, err := peernet.NewRing(nodes, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rc := &replicaCluster{
+		ring:    ring,
+		stores:  make([]*storage.MemFS, n),
+		servers: make([]*peernet.Server, n),
+		clients: map[string]*peernet.Client{},
+		idx:     map[string]int{},
+	}
+	for i, node := range nodes {
+		rc.idx[node] = i
+		rc.stores[i] = storage.NewMemFS(node, 0)
+		if i == 0 {
+			continue
+		}
+		backend := storage.Backend(rc.stores[i])
+		if wrap != nil {
+			backend = wrap(i, backend)
+		}
+		srv, err := peernet.NewServer(peernet.ServerConfig{Backend: backend})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { srv.Close() })
+		rc.servers[i] = srv
+		c, err := peernet.NewClient(peernet.ClientConfig{
+			Name:    "peer:" + node,
+			Dial:    peernet.PipeDialer(srv),
+			Retries: 1,
+			Backoff: time.Millisecond,
+			Timeout: 5 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { c.Close() })
+		rc.clients[node] = c
+	}
+	return rc
+}
+
+// foreignName finds a name whose whole replica set avoids node 0, so
+// every replica is reachable only over the wire.
+func (rc *replicaCluster) foreignName(t *testing.T, replicas int) (string, []string) {
+	t.Helper()
+	for i := 0; i < 10000; i++ {
+		name := fmt.Sprintf("data/shard-%04d.rec", i)
+		owners := rc.ring.OwnersOf(name, replicas)
+		foreign := true
+		for _, o := range owners {
+			if o == "node0" {
+				foreign = false
+			}
+		}
+		if foreign {
+			return name, owners
+		}
+	}
+	t.Fatal("no fully foreign replica set found")
+	return "", nil
+}
+
+// TestTierReplicaFailover is the robustness core: with R=2 and both
+// replicas holding the file, killing the primary's server must not
+// surface an error — the read comes back from the second replica.
+func TestTierReplicaFailover(t *testing.T) {
+	ctx := context.Background()
+	rc := newReplicaCluster(t, 4, nil)
+	tier, err := peernet.NewTierWithConfig(peernet.TierConfig{
+		Self: "node0", Ring: rc.ring, Clients: rc.clients, Replicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, owners := rc.foreignName(t, 2)
+	for _, o := range owners {
+		if err := rc.stores[rc.idx[o]].WriteFile(ctx, name, []byte("replicated")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Healthy primary serves as before.
+	if data, err := tier.ReadFile(ctx, name); err != nil || string(data) != "replicated" {
+		t.Fatalf("pre-kill read: %q err=%v", data, err)
+	}
+
+	rc.servers[rc.idx[owners[0]]].Close()
+	data, err := tier.ReadFile(ctx, name)
+	if err != nil || string(data) != "replicated" {
+		t.Fatalf("post-kill read: %q err=%v — dead primary must fail over to the replica", data, err)
+	}
+	if _, err := tier.Stat(ctx, name); err != nil {
+		t.Fatalf("post-kill stat: %v", err)
+	}
+}
+
+// TestTierReplicaMissBeatsTransportError pins the error reduction: if
+// any reachable replica definitively lacks the file, the tier reports a
+// clean miss (ErrNotExist → peer-miss re-read from the source), not the
+// dead primary's transport error (→ fallback + breaker pressure).
+func TestTierReplicaMissBeatsTransportError(t *testing.T) {
+	ctx := context.Background()
+	rc := newReplicaCluster(t, 4, nil)
+	tier, err := peernet.NewTierWithConfig(peernet.TierConfig{
+		Self: "node0", Ring: rc.ring, Clients: rc.clients, Replicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, owners := rc.foreignName(t, 2)
+	// Neither replica holds the file, and the primary is dead.
+	rc.servers[rc.idx[owners[0]]].Close()
+	if _, err := tier.ReadFile(ctx, name); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("miss through a dead primary: %v, want ErrNotExist", err)
+	}
+}
+
+// TestTierAllReplicasDeadIsAnError: when no replica answers and none
+// reported a miss, the transport failure must propagate (this is what
+// feeds the breaker when a whole replica set is gone).
+func TestTierAllReplicasDeadIsAnError(t *testing.T) {
+	ctx := context.Background()
+	rc := newReplicaCluster(t, 4, nil)
+	tier, err := peernet.NewTierWithConfig(peernet.TierConfig{
+		Self: "node0", Ring: rc.ring, Clients: rc.clients, Replicas: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, owners := rc.foreignName(t, 2)
+	for _, o := range owners {
+		rc.servers[rc.idx[o]].Close()
+	}
+	_, err = tier.ReadFile(ctx, name)
+	if err == nil || errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("read with whole replica set dead: %v, want a transport error", err)
+	}
+}
+
+// slowServe delays every served ReadAt — a congested peer, not a dead
+// one.
+type slowServe struct {
+	storage.Backend
+	delay time.Duration
+}
+
+func (s slowServe) ReadAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	time.Sleep(s.delay)
+	return s.Backend.ReadAt(ctx, name, p, off)
+}
+
+// TestTierHedgedRead races a 200ms-slow primary against a fast second
+// replica: the backup must win, the caller's buffer must carry the
+// backup's bytes, and the hedge counters and the read annotation must
+// record it.
+func TestTierHedgedRead(t *testing.T) {
+	ctx := context.Background()
+	var slowIdx int
+	rc := newReplicaCluster(t, 3, nil)
+	name, owners := rc.foreignName(t, 2)
+	slowIdx = rc.idx[owners[0]]
+
+	// Rebuild with the primary's serving path delayed.
+	rc = newReplicaCluster(t, 3, func(i int, b storage.Backend) storage.Backend {
+		if i == slowIdx {
+			return slowServe{Backend: b, delay: 200 * time.Millisecond}
+		}
+		return b
+	})
+	for _, o := range owners {
+		if err := rc.stores[rc.idx[o]].WriteFile(ctx, name, []byte("hedged bytes")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tier, err := peernet.NewTierWithConfig(peernet.TierConfig{
+		Self: "node0", Ring: rc.ring, Clients: rc.clients, Replicas: 2,
+		Hedge: peernet.HedgeConfig{Enabled: true, MinSamples: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One fast round trip seeds the primary's latency histogram past
+	// MinSamples, so the adaptive threshold (floored at 1ms) arms.
+	if err := rc.clients[owners[0]].Ping(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	rctx, ann := obs.WithReadAnnotation(ctx)
+	buf := make([]byte, len("hedged bytes"))
+	start := time.Now()
+	n, err := tier.ReadAt(rctx, name, buf, 0)
+	if err != nil || string(buf[:n]) != "hedged bytes" {
+		t.Fatalf("hedged read: %q err=%v", buf[:n], err)
+	}
+	if d := time.Since(start); d >= 200*time.Millisecond {
+		t.Fatalf("hedged read took %v — the backup never raced", d)
+	}
+	if tier.Hedges() != 1 || tier.HedgeWins() != 1 {
+		t.Fatalf("hedges=%d wins=%d, want 1/1", tier.Hedges(), tier.HedgeWins())
+	}
+	if ann.Flags()&obs.FlagHedged == 0 {
+		t.Fatal("read annotation missing FlagHedged")
+	}
+}
+
+// TestTierMembershipSkipsDeadReplica: with a view that already calls
+// the primary Dead, the tier must not even dial it — the replica is
+// first in try-order.
+func TestTierMembershipSkipsDeadReplica(t *testing.T) {
+	ctx := context.Background()
+	rc := newReplicaCluster(t, 4, nil)
+	name, owners := rc.foreignName(t, 2)
+
+	clk := time.Now()
+	elapsed := time.Duration(0)
+	mem, err := peernet.NewMembership(peernet.MembershipConfig{
+		Self:         "node0",
+		Peers:        []string{"node1", "node2", "node3"},
+		SuspectAfter: 50 * time.Millisecond,
+		DeadAfter:    150 * time.Millisecond,
+		Clock:        func() time.Time { return clk.Add(elapsed) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tier, err := peernet.NewTierWithConfig(peernet.TierConfig{
+		Self: "node0", Ring: rc.ring, Clients: rc.clients, Replicas: 2,
+		Membership: mem,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Only the second replica holds the file. Everyone goes silent,
+	// then every peer but the primary is observed alive: the primary is
+	// Dead in the view, its server is gone, and yet the read must be
+	// served without burning a dial on it.
+	if err := rc.stores[rc.idx[owners[1]]].WriteFile(ctx, name, []byte("from replica")); err != nil {
+		t.Fatal(err)
+	}
+	rc.servers[rc.idx[owners[0]]].Close()
+	elapsed = 200 * time.Millisecond
+	for _, p := range []string{"node1", "node2", "node3"} {
+		if p != owners[0] {
+			mem.ObserveAlive(p)
+		}
+	}
+	dials := rc.clients[owners[0]].TransportErrors()
+	data, err := tier.ReadFile(ctx, name)
+	if err != nil || string(data) != "from replica" {
+		t.Fatalf("read around dead primary: %q err=%v", data, err)
+	}
+	if got := rc.clients[owners[0]].TransportErrors(); got != dials {
+		t.Fatalf("tier dialed the Dead primary (%d new transport errors)", got-dials)
 	}
 }

@@ -39,9 +39,13 @@ type Epoch struct {
 	// Peer counts reads served by a sibling node's cache over the peer
 	// network — no PFS traffic. PeerMiss counts peer-routed reads the
 	// owner had not cached: they were re-served from the PFS and count
-	// toward PFSOps.
+	// toward PFSOps. Hedged counts peer-served reads that raced a
+	// second replica against a slow primary — still zero PFS ops, and
+	// included in Peer's byte/op totals, but priced separately (each
+	// hedge is one extra wire request somewhere in the cluster).
 	Peer     int64 `json:"peer,omitempty"`
 	PeerMiss int64 `json:"peer_miss,omitempty"`
+	Hedged   int64 `json:"hedged,omitempty"`
 	Errors   int64 `json:"errors"`
 
 	BytesLocal int64 `json:"bytes_local"`
@@ -220,6 +224,10 @@ func Analyze(t *trace.Trace, opts Options) *Analysis {
 			case trace.ClassPeer:
 				cur.Peer++
 				cur.BytesPeer += ev.Len
+			case trace.ClassPeerHedge:
+				cur.Peer++
+				cur.Hedged++
+				cur.BytesPeer += ev.Len
 			case trace.ClassPeerMiss:
 				cur.PeerMiss++
 				cur.BytesPFS += ev.Len
@@ -333,13 +341,26 @@ func (a *Analysis) Render(w io.Writer, opts Options) {
 		fmt.Fprintf(w, "WARNING: no trailer — the capture did not close cleanly\n")
 	}
 	hasPeer := false
+	hasHedge := false
 	for _, e := range a.Epochs {
 		if e.Peer > 0 || e.PeerMiss > 0 {
 			hasPeer = true
 		}
+		if e.Hedged > 0 {
+			hasHedge = true
+		}
 	}
 	fmt.Fprintf(w, "\nper-epoch PFS operations (baseline: every read goes to the PFS)\n")
-	if hasPeer {
+	switch {
+	case hasPeer && hasHedge:
+		fmt.Fprintf(w, "%-6s %9s %9s %9s %9s %9s %9s %9s %9s %9s %9s %9s %8s\n",
+			"epoch", "reads", "local", "partial", "peer", "hedged", "p-miss", "pfs", "fallback", "bg-ops", "pfs-ops", "baseline", "savings")
+		for _, e := range a.Epochs {
+			fmt.Fprintf(w, "%-6d %9d %9d %9d %9d %9d %9d %9d %9d %9d %9d %9d %7.1f%%\n",
+				e.Epoch, e.Reads, e.Local, e.Partial, e.Peer, e.Hedged, e.PeerMiss, e.PFS, e.Fallback,
+				e.BackgroundOps, e.PFSOps, e.BaselineOps, 100*e.Savings)
+		}
+	case hasPeer:
 		fmt.Fprintf(w, "%-6s %9s %9s %9s %9s %9s %9s %9s %9s %9s %9s %8s\n",
 			"epoch", "reads", "local", "partial", "peer", "p-miss", "pfs", "fallback", "bg-ops", "pfs-ops", "baseline", "savings")
 		for _, e := range a.Epochs {
@@ -347,7 +368,7 @@ func (a *Analysis) Render(w io.Writer, opts Options) {
 				e.Epoch, e.Reads, e.Local, e.Partial, e.Peer, e.PeerMiss, e.PFS, e.Fallback,
 				e.BackgroundOps, e.PFSOps, e.BaselineOps, 100*e.Savings)
 		}
-	} else {
+	default:
 		fmt.Fprintf(w, "%-6s %9s %9s %9s %9s %9s %9s %9s %9s %8s\n",
 			"epoch", "reads", "local", "partial", "pfs", "fallback", "bg-ops", "pfs-ops", "baseline", "savings")
 		for _, e := range a.Epochs {
@@ -358,6 +379,13 @@ func (a *Analysis) Render(w io.Writer, opts Options) {
 	}
 	fmt.Fprintf(w, "total: %d PFS ops vs %d baseline → %.1f%% saved\n",
 		a.PFSOps, a.BaselineOps, 100*a.Savings)
+	if hasHedge {
+		var hedged int64
+		for _, e := range a.Epochs {
+			hedged += e.Hedged
+		}
+		fmt.Fprintf(w, "hedged reads: %d peer hit(s) raced a second replica (one extra wire request each, zero PFS ops)\n", hedged)
+	}
 	if a.RecordedPFSOps > 0 {
 		if a.RecordedPFSOps == a.PFSOps {
 			fmt.Fprintf(w, "cross-check: run recorded %d PFS data ops — accounting matches exactly\n", a.RecordedPFSOps)

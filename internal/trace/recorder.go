@@ -190,6 +190,8 @@ func (r *Recorder) HookSpan(s obs.Span) {
 			class = ClassPartial
 		case s.Flags&obs.FlagPeerMiss != 0:
 			class = ClassPeerMiss
+		case s.Flags&obs.FlagHedged != 0:
+			class = ClassPeerHedge
 		case s.Flags&obs.FlagPeer != 0:
 			class = ClassPeer
 		case s.Tier == r.cfg.Source:

@@ -110,6 +110,12 @@ const (
 	// cached the file; it was re-served from the source. Unlike
 	// ClassFallback this is a clean miss, not a failure.
 	ClassPeerMiss
+	// ClassPeerHedge: a peer-served read whose primary replica blew
+	// past the adaptive latency threshold, so a hedge raced the next
+	// replica. Still a peer hit — zero PFS ops — but priced separately
+	// so the analyzer can report what tail latency costs. (Appended
+	// after ClassPeerMiss to keep earlier binary traces decodable.)
+	ClassPeerHedge
 )
 
 // String names the class (the "c" field of the JSONL encoding).
@@ -147,6 +153,8 @@ func (c Class) String() string {
 		return "peer"
 	case ClassPeerMiss:
 		return "peer-miss"
+	case ClassPeerHedge:
+		return "peer-hedge"
 	default:
 		return "unknown"
 	}
@@ -154,7 +162,7 @@ func (c Class) String() string {
 
 // classFromString inverts Class.String; ok is false for unknown names.
 func classFromString(s string) (Class, bool) {
-	for c := ClassNone; c <= ClassPeerMiss; c++ {
+	for c := ClassNone; c <= ClassPeerHedge; c++ {
 		if c.String() == s {
 			return c, true
 		}

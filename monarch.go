@@ -81,12 +81,12 @@ type (
 
 // Event kinds.
 const (
-	EventPlaced   = core.EventPlaced
-	EventSkipped  = core.EventSkipped
-	EventFailed   = core.EventFailed
-	EventEvicted  = core.EventEvicted
-	EventFallback = core.EventFallback
-	EventDemoted  = core.EventDemoted
+	EventPlaced      = core.EventPlaced
+	EventSkipped     = core.EventSkipped
+	EventFailed      = core.EventFailed
+	EventEvicted     = core.EventEvicted
+	EventFallback    = core.EventFallback
+	EventDemoted     = core.EventDemoted
 	EventRetried     = core.EventRetried
 	EventTierDown    = core.EventTierDown
 	EventTierUp      = core.EventTierUp
@@ -243,6 +243,63 @@ func NewPeerTier(name, self string, ring *PeerRing, clients map[string]*PeerClie
 // PeerTCPDialer dials a sibling's monarch-serve address.
 func PeerTCPDialer(addr string, timeout time.Duration) PeerDialer {
 	return peernet.TCPDialer(addr, timeout)
+}
+
+// Cluster robustness, re-exported from internal/peernet: R-way
+// replicated ownership, gossip membership, and hedged reads. See
+// DESIGN.md §10.
+type (
+	// PeerTierConfig is the full-control constructor input for a
+	// PeerTier: replica width, a membership view, and hedging.
+	PeerTierConfig = peernet.TierConfig
+	// PeerHedgeConfig tunes hedged reads against slow replicas.
+	PeerHedgeConfig = peernet.HedgeConfig
+	// PeerMembership is a node's gossip-maintained liveness view of
+	// its ring siblings.
+	PeerMembership = peernet.Membership
+	// PeerMembershipConfig configures a PeerMembership (timeouts,
+	// transition callback).
+	PeerMembershipConfig = peernet.MembershipConfig
+	// PeerHeartbeater drives the gossip exchange over the sibling
+	// clients; Start it after wiring, Stop it on shutdown.
+	PeerHeartbeater = peernet.Heartbeater
+	// PeerState is a sibling's liveness as seen locally.
+	PeerState = peernet.PeerState
+	// PeerHeartbeatEntry is one gossiped view entry (peer name + age
+	// of the freshest reachability evidence).
+	PeerHeartbeatEntry = peernet.HeartbeatEntry
+)
+
+// Liveness states a PeerMembership reports.
+const (
+	PeerAlive   = peernet.PeerAlive
+	PeerSuspect = peernet.PeerSuspect
+	PeerDead    = peernet.PeerDead
+)
+
+// ErrPeerClientClosed is returned by every operation on a closed
+// PeerClient (in-flight requests fail fast rather than waiting out
+// their deadlines).
+var ErrPeerClientClosed = peernet.ErrClientClosed
+
+// NewPeerTierWithConfig builds a PeerTier with replication, an
+// optional membership view, and optional hedged reads. NewPeerTier is
+// the R=1 shorthand.
+func NewPeerTierWithConfig(cfg PeerTierConfig) (*PeerTier, error) {
+	return peernet.NewTierWithConfig(cfg)
+}
+
+// NewPeerMembership builds the liveness view for a node; feed it to
+// both the PeerServer (so inbound heartbeats merge) and the
+// PeerTier/PeerHeartbeater.
+func NewPeerMembership(cfg PeerMembershipConfig) (*PeerMembership, error) {
+	return peernet.NewMembership(cfg)
+}
+
+// NewPeerHeartbeater builds the gossip loop over the same per-sibling
+// clients the tier reads through; interval <= 0 defaults to 250ms.
+func NewPeerHeartbeater(mem *PeerMembership, clients map[string]*PeerClient, interval time.Duration) (*PeerHeartbeater, error) {
+	return peernet.NewHeartbeater(mem, clients, interval)
 }
 
 // Pool is the background placement executor interface.

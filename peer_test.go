@@ -112,3 +112,139 @@ func TestPublicAPIPeerNetwork(t *testing.T) {
 		t.Fatalf("owned read was peer-routed: %+v", got)
 	}
 }
+
+// TestPublicAPIPeerChurn is the replicated walkthrough through the
+// public facade: a 3-node ring at R=2, gossip membership, and a dead
+// primary whose shard is still served peer-local by the next replica —
+// zero fallbacks, breaker untouched.
+func TestPublicAPIPeerChurn(t *testing.T) {
+	ctx := context.Background()
+	const replicas = 2
+	ring, err := monarch.NewPeerRing([]string{"nodeA", "nodeB", "nodeC"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A file whose replica set is {A, C} in either order: B routes to
+	// it, and when its primary dies the other replica must serve.
+	var name string
+	var owners []string
+	for i := 0; name == ""; i++ {
+		cand := fmt.Sprintf("shard-%04d", i)
+		o := ring.OwnersOf(cand, replicas)
+		if o[0] != "nodeB" && o[1] != "nodeB" {
+			name, owners = cand, o
+		}
+	}
+	payload := []byte("replica-served bytes")
+	pfs := monarch.NewMemFS("lustre", 0)
+	if err := pfs.WriteFile(ctx, name, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	// Both replicas hold the file (replica-aware placement would have
+	// put it there); each serves its cache over loopback TCP.
+	servers := map[string]*monarch.PeerServer{}
+	clients := map[string]*monarch.PeerClient{}
+	for _, node := range owners {
+		cache := monarch.NewMemFS("ssd-"+node, 0)
+		if err := cache.WriteFile(ctx, name, payload); err != nil {
+			t.Fatal(err)
+		}
+		srv, err := monarch.NewPeerServer(monarch.PeerServerConfig{Backend: cache})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		go func() { _ = srv.Serve(ln) }()
+		defer srv.Close()
+		servers[node] = srv
+		c, err := monarch.NewPeerClient(monarch.PeerClientConfig{
+			Name: "peer:" + node,
+			Dial: monarch.PeerTCPDialer(ln.Addr().String(), time.Second),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer c.Close()
+		clients[node] = c
+	}
+
+	mem, err := monarch.NewPeerMembership(monarch.PeerMembershipConfig{
+		Self: "nodeB", Peers: owners,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb, err := monarch.NewPeerHeartbeater(mem, clients, 20*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hb.Start()
+	defer hb.Stop()
+
+	peers, err := monarch.NewPeerTierWithConfig(monarch.PeerTierConfig{
+		Self: "nodeB", Ring: ring, Clients: clients,
+		Replicas:   replicas,
+		Membership: mem,
+		Hedge:      monarch.PeerHedgeConfig{Enabled: true},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := monarch.New(monarch.Config{
+		Levels: []monarch.Backend{monarch.NewMemFS("ssdB", 0), peers, pfs},
+		Pool:   monarch.NewPool(2),
+		Peer: monarch.PeerConfig{
+			Tier: 1,
+			Owns: func(n string) bool { return ring.OwnedBy(n, "nodeB", replicas) },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy cluster: the primary replica serves.
+	buf := make([]byte, len(payload))
+	if _, err := m.ReadAt(ctx, name, buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Kill the primary; the read must come from the other replica with
+	// no fallback and no breaker movement.
+	servers[owners[0]].Close()
+	if _, err := m.ReadAt(ctx, name, buf, 0); err != nil {
+		t.Fatalf("read through dead primary: %v", err)
+	}
+	if string(buf) != string(payload) {
+		t.Fatalf("replica read returned %q", buf)
+	}
+	s := m.Stats()
+	if s.PeerHits != 2 {
+		t.Fatalf("expected both reads peer-served, got %+v", s)
+	}
+	if s.Fallbacks != 0 {
+		t.Fatalf("dead primary caused %d PFS fallbacks with a live replica", s.Fallbacks)
+	}
+	if st := m.TierState(1); st != monarch.TierHealthy {
+		t.Fatalf("peer tier state %v, want healthy", st)
+	}
+
+	// The membership view notices the death within its timeouts.
+	deadline := time.Now().Add(5 * time.Second)
+	for mem.State(owners[0]) != monarch.PeerDead {
+		if time.Now().After(deadline) {
+			t.Fatalf("view never marked %s dead: %v", owners[0], mem.Snapshot())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if mem.State(owners[1]) != monarch.PeerAlive {
+		t.Fatalf("live replica demoted: %v", mem.Snapshot())
+	}
+}
