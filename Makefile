@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover bench bench-all bench-obs bench-peer trace-smoke peer-smoke chaos-smoke repro repro-full examples fuzz fuzz-smoke clean
+.PHONY: all build test race vet cover bench bench-all bench-obs bench-peer bench-hotpath trace-smoke peer-smoke chaos-smoke repro repro-full examples fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -53,6 +53,13 @@ bench-obs:
 		$(GO) test -bench='ReadAtMidCopy|ReadAtInstrumented|ReadAtTraced' -benchmem -count=1 ./internal/core/ \
 		| $(GO) run ./cmd/monarch-benchjson -o BENCH_obs.json -metrics .bench-metrics.json
 	rm -f .bench-metrics.json
+
+# Hot-path fan-in guard: the steady-state read path at pinned 1/8/64
+# goroutine fan-in, committed as a JSON baseline so the hot-read-path
+# speedup stays measurable in-repo.
+bench-hotpath:
+	$(GO) test -bench='ReadAtParallel|ReadAtSteadyState' -benchmem -count=1 ./internal/core/ \
+		| $(GO) run ./cmd/monarch-benchjson -o BENCH_hotpath.json
 
 # Peer wire-protocol benchmarks over both transports (in-process pipe
 # isolates codec cost; loopback TCP adds the kernel socket path),

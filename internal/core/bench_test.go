@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -73,25 +74,56 @@ func BenchmarkReadAtSteadyState(b *testing.B) {
 	}
 }
 
-// BenchmarkReadAtParallel measures the same path under contention, the
-// shape of a framework's reader-thread pool.
+// benchFanIn runs body under exactly g goroutines regardless of the
+// host's core count, so fan-in points are comparable across machines:
+// RunParallel spawns parallelism×GOMAXPROCS workers, so GOMAXPROCS is
+// pinned to the largest power of two ≤ min(g, NumCPU) and the
+// parallelism multiplier supplies the rest (g is always a power of
+// two here, so the division is exact). Each worker gets a distinct
+// seed to spread its file sequence.
+func benchFanIn(b *testing.B, g int, body func(pb *testing.PB, seed int)) {
+	procs := 1
+	for procs*2 <= g && procs*2 <= runtime.NumCPU() {
+		procs *= 2
+	}
+	prev := runtime.GOMAXPROCS(procs)
+	defer runtime.GOMAXPROCS(prev)
+	b.SetParallelism(g / procs)
+	b.SetBytes(64 << 10)
+	b.ReportAllocs()
+	var seq atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		body(pb, int(seq.Add(1))*7919)
+	})
+}
+
+// BenchmarkReadAtParallel measures the steady-state read path under
+// goroutine fan-in — the shape of a framework's reader-thread pool.
+// The copy variant is the classic pread-style ReadAt into a caller
+// buffer; make bench-hotpath records every point into
+// BENCH_hotpath.json so the fan-in profile stays tracked in-repo.
 func BenchmarkReadAtParallel(b *testing.B) {
 	m := benchStack(b, 64, 256<<10)
 	ctx := context.Background()
-	b.SetBytes(64 << 10)
-	b.ReportAllocs()
-	b.ResetTimer()
-	b.RunParallel(func(pb *testing.PB) {
-		buf := make([]byte, 64<<10)
-		i := 0
-		for pb.Next() {
-			i++
-			name := fmt.Sprintf("f%04d", i%64)
-			if _, err := m.ReadAt(ctx, name, buf, 0); err != nil {
-				b.Fatal(err)
-			}
-		}
-	})
+	names := make([]string, 64)
+	for i := range names {
+		names[i] = fmt.Sprintf("f%04d", i)
+	}
+	for _, g := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("copy/g%d", g), func(b *testing.B) {
+			benchFanIn(b, g, func(pb *testing.PB, seed int) {
+				buf := make([]byte, 64<<10)
+				i := seed
+				for pb.Next() {
+					i++
+					if _, err := m.ReadAt(ctx, names[i&63], buf, int64(i&3)<<16); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		})
+	}
 }
 
 // benchPlacement measures end-to-end background placement of a small
