@@ -20,7 +20,8 @@ vet:
 test:
 	$(GO) vet ./...
 	$(GO) test ./...
-	$(GO) test -race -short ./internal/core/ ./internal/pool/ ./internal/storage/ ./internal/obs/ ./internal/peernet/
+	$(GO) test -tags debug ./internal/bufpool/
+	$(GO) test -race -short ./internal/core/ ./internal/pool/ ./internal/storage/ ./internal/obs/ ./internal/bufpool/ ./internal/peernet/
 	$(MAKE) trace-smoke
 	$(MAKE) peer-smoke
 	$(MAKE) chaos-smoke
@@ -28,8 +29,9 @@ test:
 
 race:
 	$(GO) test -race ./internal/core/... ./internal/pool/... ./internal/storage/... \
-		./internal/obs/... ./internal/sim/... ./internal/simstore/... ./internal/trace/... \
-		./internal/peernet/... ./internal/experiments/... .
+		./internal/obs/... ./internal/bufpool/... ./internal/sim/... ./internal/simstore/... \
+		./internal/trace/... ./internal/peernet/... ./internal/experiments/... .
+	$(GO) test -race -tags debug ./internal/bufpool/
 
 cover:
 	$(GO) test -cover ./internal/... .
@@ -113,6 +115,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzReader -fuzztime=30s ./internal/recordio/
 	$(GO) test -fuzz=FuzzReadAt -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzNamespace -fuzztime=30s ./internal/core/
+	$(GO) test -fuzz=FuzzMetaOracle -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzFrame -fuzztime=30s ./internal/peernet/
 	$(GO) test -fuzz=FuzzHeartbeat -fuzztime=30s ./internal/peernet/
 
@@ -123,6 +126,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzReader -fuzztime=10s ./internal/recordio/
 	$(GO) test -run='^$$' -fuzz=FuzzReadAt -fuzztime=10s ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzNamespace -fuzztime=10s ./internal/core/
+	$(GO) test -run='^$$' -fuzz=FuzzMetaOracle -fuzztime=10s ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzFrame -fuzztime=10s ./internal/peernet/
 
 clean:

@@ -1,0 +1,53 @@
+//go:build debug
+
+package bufpool
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Debug builds (go test -tags debug ./internal/bufpool/) trade hot-path
+// speed for misuse detection:
+//
+//   - Get zeroes every buffer, so a caller reading bytes it never wrote
+//     sees deterministic zeros instead of another request's stale data;
+//   - Put poisons the buffer with 0xDB, so use-after-Put reads are
+//     recognizable at a glance;
+//   - Put panics when the same buffer is already sitting in the pool
+//     (double Put), the bug that would otherwise surface later as two
+//     goroutines "owning" one buffer.
+//
+// The outstanding-buffer registry is keyed by the backing array's first
+// byte; a class-capacity buffer always has cap > 0.
+
+var (
+	trackMu sync.Mutex
+	pooled  = make(map[*byte]struct{}) // backing arrays currently inside the pool
+)
+
+func onGet(b []byte) {
+	trackMu.Lock()
+	delete(pooled, &b[:1][0])
+	trackMu.Unlock()
+	b = b[:cap(b)]
+	for i := range b {
+		b[i] = 0
+	}
+}
+
+func onPut(b []byte) {
+	key := &b[0]
+	trackMu.Lock()
+	_, dup := pooled[key]
+	if !dup {
+		pooled[key] = struct{}{}
+	}
+	trackMu.Unlock()
+	if dup {
+		panic(fmt.Sprintf("bufpool: double Put of %p (cap %d)", key, cap(b)))
+	}
+	for i := range b {
+		b[i] = 0xDB
+	}
+}

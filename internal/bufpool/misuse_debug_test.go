@@ -1,0 +1,56 @@
+//go:build debug
+
+package bufpool
+
+import "testing"
+
+// These tests exercise the -tags debug misuse guards; make test runs
+// them via `go test -tags debug ./internal/bufpool/`.
+
+// TestDebugGetZeroed: debug Gets always hand out zeroed bytes, even
+// when the buffer was dirtied before recycling.
+func TestDebugGetZeroed(t *testing.T) {
+	for round := 0; round < 4; round++ {
+		b := Get(4096)
+		for i := range b {
+			if b[i] != 0 {
+				t.Fatalf("round %d: byte %d = %#x, want 0", round, i, b[i])
+			}
+		}
+		for i := range b {
+			b[i] = 0xFF
+		}
+		Put(b)
+	}
+}
+
+// TestDebugPutPoisons: after Put, a retained alias sees the 0xDB
+// poison pattern, so use-after-Put is recognizable.
+func TestDebugPutPoisons(t *testing.T) {
+	b := Get(512)
+	alias := b
+	Put(b)
+	for i := range alias {
+		if alias[i] != 0xDB {
+			t.Fatalf("byte %d = %#x after Put, want 0xDB poison", i, alias[i])
+		}
+	}
+	// Drain the buffer back out so later tests' double-Put tracking
+	// starts clean.
+	Get(512)
+}
+
+// TestDebugDoublePutPanics: returning the same buffer twice is the
+// misuse the debug build refuses to let slide.
+func TestDebugDoublePutPanics(t *testing.T) {
+	b := Get(1024)
+	Put(b)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Put of the same buffer did not panic")
+		}
+		// Leave the pool consistent for any tests that follow.
+		Get(1024)
+	}()
+	Put(b)
+}

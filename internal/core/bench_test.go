@@ -101,8 +101,11 @@ func benchFanIn(b *testing.B, g int, body func(pb *testing.PB, seed int)) {
 // BenchmarkReadAtParallel measures the steady-state read path under
 // goroutine fan-in — the shape of a framework's reader-thread pool.
 // The copy variant is the classic pread-style ReadAt into a caller
-// buffer; make bench-hotpath records every point into
-// BENCH_hotpath.json so the fan-in profile stays tracked in-repo.
+// buffer (memory-bandwidth-bound: each op moves 64 KiB); the view
+// variant is ReadView's copy-free path over the same workload, which
+// strips the memcpy and leaves only lookup + routing + bookkeeping.
+// make bench-hotpath records every point into BENCH_hotpath.json so
+// the fan-in profile stays tracked in-repo.
 func BenchmarkReadAtParallel(b *testing.B) {
 	m := benchStack(b, 64, 256<<10)
 	ctx := context.Background()
@@ -120,6 +123,27 @@ func BenchmarkReadAtParallel(b *testing.B) {
 					if _, err := m.ReadAt(ctx, names[i&63], buf, int64(i&3)<<16); err != nil {
 						b.Fatal(err)
 					}
+				}
+			})
+		})
+	}
+	for _, g := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("view/g%d", g), func(b *testing.B) {
+			benchFanIn(b, g, func(pb *testing.PB, seed int) {
+				i := seed
+				for pb.Next() {
+					i++
+					v, err := m.ReadView(ctx, names[i&63], int64(i&3)<<16, 64<<10)
+					if err != nil {
+						b.Fatal(err)
+					}
+					if len(v.Data) != 64<<10 {
+						b.Fatalf("view returned %d bytes", len(v.Data))
+					}
+					// Touch both ends so the view's bytes are really read,
+					// without paying a full copy.
+					_ = v.Data[0] + v.Data[len(v.Data)-1]
+					v.Release()
 				}
 			})
 		})

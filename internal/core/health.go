@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"monarch/internal/bufpool"
 	"monarch/internal/obs"
 	"monarch/internal/storage"
 )
@@ -465,7 +466,10 @@ func probeBackend(ctx context.Context, b storage.Backend) (err, cleanupErr error
 	if p, ok := b.(storage.Pinger); ok {
 		return p.Ping(ctx), nil
 	}
-	err = b.WriteFile(ctx, probeFile, []byte{0})
+	scratch := bufpool.Get(1)
+	scratch[0] = 0
+	err = b.WriteFile(ctx, probeFile, scratch)
+	bufpool.Put(scratch)
 	switch {
 	case err == nil:
 		if rmErr := b.Remove(ctx, probeFile); rmErr != nil && !errors.Is(rmErr, storage.ErrNotExist) {

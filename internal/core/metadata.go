@@ -1,8 +1,10 @@
 package core
 
 import (
+	"hash/maphash"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"monarch/internal/storage"
@@ -50,6 +52,14 @@ type fileEntry struct {
 	name string
 	size int64
 
+	// snap is a packed (state, level, chunk-armed) snapshot republished
+	// under mu after every transition, so the read path answers "which
+	// tier serves this file right now?" with one atomic load instead of
+	// the entry mutex. Layout: bits 0–7 state, 8–31 level, 32 armed.
+	// The mutex stays the sole writer: transitions are still serialized
+	// and the snapshot is always internally consistent.
+	snap atomic.Uint64
+
 	mu       sync.Mutex
 	level    int
 	state    placementState
@@ -64,16 +74,33 @@ type fileEntry struct {
 	chunksLeft int
 }
 
+const snapArmed = 1 << 32
+
+// publish refreshes the packed snapshot; callers hold e.mu (or hold the
+// entry exclusively, as populate does before linking it into a shard).
+func (e *fileEntry) publish() {
+	s := uint64(e.state)&0xff | uint64(e.level)&0xffffff<<8
+	if e.chunkBits != nil {
+		s |= snapArmed
+	}
+	e.snap.Store(s)
+}
+
+// snapshot returns the packed (state, level, armed) triple with one
+// atomic load.
+func (e *fileEntry) snapshot() (placementState, int, bool) {
+	s := e.snap.Load()
+	return placementState(s & 0xff), int(s >> 8 & 0xffffff), s&snapArmed != 0
+}
+
 func (e *fileEntry) currentLevel() int {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.level
+	_, lvl, _ := e.snapshot()
+	return lvl
 }
 
 func (e *fileEntry) currentState() placementState {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.state
+	st, _, _ := e.snapshot()
+	return st
 }
 
 // tryQueue transitions Source→Queued exactly once; it reports whether
@@ -86,6 +113,7 @@ func (e *fileEntry) tryQueue() bool {
 	}
 	e.state = stateQueued
 	e.queuedAt = time.Now()
+	e.publish()
 	return true
 }
 
@@ -107,6 +135,7 @@ func (e *fileEntry) markPlaced(level int) {
 	e.chunkBits = nil
 	e.chunkSize = 0
 	e.chunksLeft = 0
+	e.publish()
 }
 
 // chunkCount returns how many chunk-size pieces cover size bytes.
@@ -128,6 +157,7 @@ func (e *fileEntry) beginChunks(level int, chunk int64) {
 	e.chunkLevel = level
 	e.chunkBits = make([]uint64, (n+63)/64)
 	e.chunksLeft = n
+	e.publish()
 }
 
 // markChunk records chunk i resident; it reports whether i was the last
@@ -159,6 +189,7 @@ func (e *fileEntry) clearChunks() {
 	e.chunkBits = nil
 	e.chunkSize = 0
 	e.chunksLeft = 0
+	e.publish()
 }
 
 // chunksCover reports whether every chunk overlapping [off, off+n)
@@ -167,6 +198,12 @@ func (e *fileEntry) clearChunks() {
 // while the placement is in flight (stateQueued with an armed bitmap);
 // empty ranges are routed to the source like today.
 func (e *fileEntry) chunksCover(off, n int64) (int, bool) {
+	// Lock-free pre-gate: outside the beginChunks→markPlaced/clearChunks
+	// window (the common case — placed or plain source files) the armed
+	// bit is clear and reads never pay the entry mutex here.
+	if st, _, armed := e.snapshot(); !armed || st != stateQueued {
+		return 0, false
+	}
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.chunkBits == nil || e.chunkSize <= 0 || e.state != stateQueued {
@@ -199,6 +236,7 @@ func (e *fileEntry) markUnplaceable() {
 	e.chunkBits = nil
 	e.chunkSize = 0
 	e.chunksLeft = 0
+	e.publish()
 }
 
 // markEvicted sends the file back to the source level so a later access
@@ -208,6 +246,7 @@ func (e *fileEntry) markEvicted(sourceLevel int) {
 	defer e.mu.Unlock()
 	e.level = sourceLevel
 	e.state = stateSource
+	e.publish()
 }
 
 // markDemoted re-points a file placed on a tripped tier at the source
@@ -221,6 +260,7 @@ func (e *fileEntry) markDemoted(from, sourceLevel int) bool {
 	}
 	e.level = sourceLevel
 	e.state = stateDemoted
+	e.publish()
 	return true
 }
 
@@ -236,6 +276,7 @@ func (e *fileEntry) cancelQueued() {
 	e.chunkBits = nil
 	e.chunkSize = 0
 	e.chunksLeft = 0
+	e.publish()
 }
 
 // noteRetry counts one placement retry on the entry.
@@ -255,59 +296,96 @@ func (e *fileEntry) makeReplaceable() bool {
 		return false
 	}
 	e.state = stateSource
+	e.publish()
 	return true
+}
+
+// metaShards is the lock-stripe width of the namespace. Power of two
+// so shard selection is a mask; 64 stripes keep the collision odds of
+// any two concurrently-read files on one lock at ~1.5%.
+const metaShards = 64
+
+// metaShard is one lock stripe: a plain map under its own RWMutex.
+// Padding keeps neighbouring shards' locks off one cache line, so
+// reader fan-in on shard i doesn't false-share with shard i+1.
+type metaShard struct {
+	mu      sync.RWMutex
+	entries map[string]*fileEntry
+	_       [40]byte
 }
 
 // metadataContainer is the paper's virtual namespace module. It follows
 // an ephemeral storage model: populated at the start of the training
 // job, updated during runtime, and discarded with the process.
+//
+// The namespace is sharded into metaShards lock stripes keyed by a
+// maphash of the file name: a read locks only its own stripe, so
+// goroutine fan-in on distinct files no longer serializes on one
+// RWMutex cache line. Entries never move between stripes (the
+// namespace is append-only after Init), and whole-namespace walks
+// (list, resetForReplacement) take the stripes in index order.
 type metadataContainer struct {
-	mu      sync.RWMutex
-	entries map[string]*fileEntry
-	ready   bool
-	levels  int
+	seed   maphash.Seed
+	shards [metaShards]metaShard
+	ready  atomic.Bool
+	count  atomic.Int64
+	levels int
 }
 
 func newMetadataContainer(levels int) *metadataContainer {
-	return &metadataContainer{entries: make(map[string]*fileEntry), levels: levels}
+	c := &metadataContainer{seed: maphash.MakeSeed(), levels: levels}
+	for i := range c.shards {
+		c.shards[i].entries = make(map[string]*fileEntry)
+	}
+	return c
+}
+
+func (c *metadataContainer) shard(name string) *metaShard {
+	return &c.shards[maphash.String(c.seed, name)&(metaShards-1)]
 }
 
 // populate builds the namespace from a source-level listing.
 func (c *metadataContainer) populate(infos []storage.FileInfo, sourceLevel int) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	for _, fi := range infos {
-		c.entries[fi.Name] = &fileEntry{name: fi.Name, size: fi.Size, level: sourceLevel}
+		e := &fileEntry{name: fi.Name, size: fi.Size, level: sourceLevel}
+		e.publish()
+		s := c.shard(fi.Name)
+		s.mu.Lock()
+		if _, exists := s.entries[fi.Name]; !exists {
+			c.count.Add(1)
+		}
+		s.entries[fi.Name] = e
+		s.mu.Unlock()
 	}
-	c.ready = true
+	c.ready.Store(true)
 }
 
 func (c *metadataContainer) initialized() bool {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.ready
+	return c.ready.Load()
 }
 
 func (c *metadataContainer) get(name string) (*fileEntry, bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	e, ok := c.entries[name]
+	s := c.shard(name)
+	s.mu.RLock()
+	e, ok := s.entries[name]
+	s.mu.RUnlock()
 	return e, ok
 }
 
 func (c *metadataContainer) len() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return len(c.entries)
+	return int(c.count.Load())
 }
 
 // list returns the namespace sorted by name.
 func (c *metadataContainer) list() []storage.FileInfo {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]storage.FileInfo, 0, len(c.entries))
-	for _, e := range c.entries {
-		out = append(out, storage.FileInfo{Name: e.name, Size: e.size})
+	out := make([]storage.FileInfo, 0, c.len())
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for _, e := range s.entries {
+			out = append(out, storage.FileInfo{Name: e.name, Size: e.size})
+		}
+		s.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
@@ -317,24 +395,30 @@ func (c *metadataContainer) list() []storage.FileInfo {
 // re-placeable after a tier recovery; it returns how many entries
 // changed.
 func (c *metadataContainer) resetForReplacement() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
 	n := 0
-	for _, e := range c.entries {
-		if e.makeReplaceable() {
-			n++
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for _, e := range s.entries {
+			if e.makeReplaceable() {
+				n++
+			}
 		}
+		s.mu.RUnlock()
 	}
 	return n
 }
 
 // sortedEntries returns entries in name order (pre-staging order).
 func (c *metadataContainer) sortedEntries() []*fileEntry {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	out := make([]*fileEntry, 0, len(c.entries))
-	for _, e := range c.entries {
-		out = append(out, e)
+	out := make([]*fileEntry, 0, c.len())
+	for i := range c.shards {
+		s := &c.shards[i]
+		s.mu.RLock()
+		for _, e := range s.entries {
+			out = append(out, e)
+		}
+		s.mu.RUnlock()
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].name < out[j].name })
 	return out

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"monarch/internal/bufpool"
 	"monarch/internal/obs"
 	"monarch/internal/pool"
 	"monarch/internal/storage"
@@ -47,6 +48,14 @@ func (pl *placer) submit(task pool.Task) bool {
 // non-nil, is the complete file content the framework just read (the
 // §III-B fast path that skips the source re-read).
 func (pl *placer) onAccess(e *fileEntry, full []byte) {
+	// Snapshot fast-skip: once the file left Source (queued, placed,
+	// unplaceable, ...) every subsequent read would pay the entry mutex
+	// in tryQueue just to learn there is nothing to do. tryQueue stays
+	// the authoritative, mutex-guarded transition for the one read that
+	// actually races the snapshot.
+	if e.currentState() != stateSource {
+		return
+	}
 	if !e.tryQueue() {
 		return
 	}
@@ -337,7 +346,8 @@ func (j *chunkJob) cancel() {
 // they run out, the job fails, or the context is cancelled. The last
 // worker to exit finalises the placement.
 func (j *chunkJob) run(ctx context.Context) {
-	buf := make([]byte, j.chunk)
+	buf := bufpool.Get(int(j.chunk))
+	defer bufpool.Put(buf)
 	for !j.failed() {
 		if ctx.Err() != nil {
 			j.cancel()

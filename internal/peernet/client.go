@@ -310,12 +310,15 @@ func (c *Client) LatencyQuantile(q float64) (seconds float64, samples uint64) {
 }
 
 // remoteError reconstructs the sentinel a non-OK status encodes, so
-// errors.Is(err, storage.ErrNotExist) works across the wire.
+// errors.Is(err, storage.ErrNotExist) works across the wire. It
+// consumes resp (recycling the pooled payload); callers must not touch
+// resp afterwards.
 func (c *Client) remoteError(status byte, resp []byte) error {
 	msg, _, perr := parseString(resp)
 	if perr != nil {
 		msg = "(no detail)"
 	}
+	putPayload(resp)
 	switch status {
 	case StatusNotExist:
 		return fmt.Errorf("peernet: %s: %s: %w", c.cfg.Name, msg, storage.ErrNotExist)
@@ -344,6 +347,7 @@ func (c *Client) Ping(ctx context.Context) error {
 	if status != StatusOK {
 		return c.remoteError(status, resp)
 	}
+	putPayload(resp)
 	return nil
 }
 
@@ -362,6 +366,7 @@ func (c *Client) Heartbeat(ctx context.Context, self string, view []HeartbeatEnt
 		return nil, nil
 	}
 	_, entries, err := parseHeartbeat(resp)
+	putPayload(resp)
 	if err != nil {
 		return nil, err
 	}
@@ -381,6 +386,7 @@ func (c *Client) Stat(ctx context.Context, name string) (storage.FileInfo, error
 		return storage.FileInfo{}, c.remoteError(status, resp)
 	}
 	size, _, err := parseI64(resp)
+	putPayload(resp)
 	if err != nil {
 		return storage.FileInfo{}, err
 	}
@@ -397,6 +403,7 @@ func (c *Client) List(ctx context.Context) ([]storage.FileInfo, error) {
 		return nil, c.remoteError(status, resp)
 	}
 	entries, err := parseListResp(resp)
+	putPayload(resp)
 	if err != nil {
 		return nil, err
 	}
@@ -428,13 +435,15 @@ func (c *Client) ReadAt(ctx context.Context, name string, p []byte, off int64) (
 			return done, c.remoteError(status, resp)
 		}
 		if len(resp) > want {
+			putPayload(resp)
 			return done, fmt.Errorf("%w: READ returned %d bytes for a %d-byte request",
 				errMalformed, len(resp), want)
 		}
-		copy(p[done:], resp)
-		done += len(resp)
-		c.bytesIn.Add(int64(len(resp)))
-		if len(resp) < want || done == len(p) {
+		n := copy(p[done:], resp)
+		putPayload(resp)
+		done += n
+		c.bytesIn.Add(int64(n))
+		if n < want || done == len(p) {
 			// Short response = EOF on the remote, matching local
 			// ReadAt semantics (n < len(p), nil error).
 			return done, nil
@@ -470,6 +479,7 @@ func (c *Client) WriteFile(ctx context.Context, name string, data []byte) error 
 	if status != StatusOK {
 		return c.remoteError(status, resp)
 	}
+	putPayload(resp)
 	return nil
 }
 
@@ -485,6 +495,7 @@ func (c *Client) Remove(ctx context.Context, name string) error {
 	if status != StatusOK {
 		return c.remoteError(status, resp)
 	}
+	putPayload(resp)
 	return nil
 }
 
@@ -500,7 +511,9 @@ func (c *Client) usage() (capacity, used int64, err error) {
 	if status != StatusOK {
 		return 0, 0, c.remoteError(status, resp)
 	}
-	return parseUsageResp(resp)
+	capacity, used, err = parseUsageResp(resp)
+	putPayload(resp)
+	return capacity, used, err
 }
 
 // Capacity implements storage.Backend; it reports 0 (unlimited) when

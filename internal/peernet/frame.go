@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"time"
+
+	"monarch/internal/bufpool"
 )
 
 // MaxFrame bounds one frame (code byte + payload). Large reads are
@@ -102,9 +104,13 @@ func writeFrame(w io.Writer, code byte, payload []byte) error {
 	return nil
 }
 
-// readFrame decodes one frame from r. Payload memory is freshly
-// allocated per call, growing in bounded steps so a hostile length
-// prefix cannot force a huge allocation before the stream runs dry.
+// readFrame decodes one frame from r. Payloads up to bufpool.MaxPooled
+// come from the buffer pool — the caller hands them back with
+// putPayload once parsed (every in-tree decode copies what it keeps:
+// strings via parseString, ReadAt payloads via copy, WriteFile data via
+// the backend's own copy). Larger payloads are freshly allocated,
+// growing in bounded steps so a hostile length prefix cannot force a
+// huge allocation before the stream runs dry.
 func readFrame(r io.Reader) (code byte, payload []byte, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
@@ -128,9 +134,24 @@ func readFrame(r io.Reader) (code byte, payload []byte, err error) {
 	return cb[0], body, nil
 }
 
-// readBounded reads exactly n bytes, growing the buffer incrementally.
+// readBounded reads exactly n bytes. Sizes the pool covers borrow a
+// pooled buffer (a hostile length prefix can pin at most one maximal
+// pool class per connection, and the buffer is recycled either way);
+// larger reads grow incrementally so the prefix alone cannot force a
+// near-MaxFrame allocation before the stream runs dry.
 func readBounded(r io.Reader, n int) ([]byte, error) {
-	buf := make([]byte, 0, min(n, 64<<10))
+	if n == 0 {
+		return nil, nil
+	}
+	if n <= bufpool.MaxPooled {
+		buf := bufpool.Get(n)
+		if _, err := io.ReadFull(r, buf); err != nil {
+			bufpool.Put(buf)
+			return nil, err
+		}
+		return buf, nil
+	}
+	buf := make([]byte, 0, 64<<10)
 	for len(buf) < n {
 		chunk := min(n-len(buf), 1<<20)
 		start := len(buf)
@@ -141,6 +162,10 @@ func readBounded(r io.Reader, n int) ([]byte, error) {
 	}
 	return buf, nil
 }
+
+// putPayload recycles a frame payload obtained from readFrame. Safe on
+// nil and on payloads that outgrew the pool (bufpool discards those).
+func putPayload(p []byte) { bufpool.Put(p) }
 
 // appendString encodes s as u16 length + bytes.
 func appendString(b []byte, s string) []byte {

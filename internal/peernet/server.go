@@ -9,6 +9,7 @@ import (
 	"net"
 	"sync"
 
+	"monarch/internal/bufpool"
 	"monarch/internal/storage"
 )
 
@@ -147,106 +148,134 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		status, resp := s.handle(op, payload)
-		if err := writeFrame(bw, status, resp); err != nil {
-			return
+		status, resp, release := s.handle(op, payload)
+		err = writeFrame(bw, status, resp)
+		if err == nil {
+			err = bw.Flush()
 		}
-		if err := bw.Flush(); err != nil {
+		// The response may borrow backend bytes (a storage.View) or a
+		// pooled buffer; it must stay alive until flushed to the socket.
+		if release != nil {
+			release()
+		}
+		putPayload(payload)
+		if err != nil {
 			return
 		}
 	}
 }
 
-// handle dispatches one request and encodes the response.
-func (s *Server) handle(op byte, payload []byte) (status byte, resp []byte) {
+// handle dispatches one request and encodes the response. A non-nil
+// release returns resources resp borrows (a view's lock, a pooled
+// buffer); the caller invokes it after resp has been written out.
+func (s *Server) handle(op byte, payload []byte) (status byte, resp []byte, release func()) {
 	ctx := context.Background()
 	b := s.cfg.Backend
 	switch op {
 	case OpPing:
 		if len(payload) == 0 {
-			return StatusOK, nil
+			return StatusOK, nil, nil
 		}
 		_, entries, err := parseHeartbeat(payload)
 		if err != nil {
-			return statusFromError(err)
+			return failWith(err)
 		}
 		m := s.cfg.Membership
 		if m == nil {
-			return StatusOK, nil
+			return StatusOK, nil, nil
 		}
 		// Merge the gossiped ages only. The sender being able to reach
 		// us says nothing about whether we can reach it — liveness here
 		// means "its serving socket answers", which only our own
 		// outbound heartbeats can prove.
 		m.Merge(entries)
-		return StatusOK, appendHeartbeat(nil, m.Self(), m.View())
+		return StatusOK, appendHeartbeat(nil, m.Self(), m.View()), nil
 
 	case OpStat:
 		name, _, err := parseString(payload)
 		if err != nil {
-			return statusFromError(err)
+			return failWith(err)
 		}
 		fi, err := b.Stat(ctx, name)
 		if err != nil {
-			return statusFromError(err)
+			return failWith(err)
 		}
-		return StatusOK, binary.BigEndian.AppendUint64(nil, uint64(fi.Size))
+		return StatusOK, binary.BigEndian.AppendUint64(nil, uint64(fi.Size)), nil
 
 	case OpList:
 		infos, err := b.List(ctx)
 		if err != nil {
-			return statusFromError(err)
+			return failWith(err)
 		}
 		entries := make([]listEntry, len(infos))
 		for i, fi := range infos {
 			entries[i] = listEntry{name: fi.Name, size: fi.Size}
 		}
-		return StatusOK, appendListResp(nil, entries)
+		return StatusOK, appendListResp(nil, entries), nil
 
 	case OpRead:
 		rq, err := parseReadReq(payload)
 		if err != nil {
-			return statusFromError(err)
+			return failWith(err)
 		}
-		p := make([]byte, rq.n)
+		// Serve straight out of the backend's bytes when it lends views
+		// (MemFS tier-0 caches do): the response is written to the
+		// socket from the cache's own buffer, no intermediate copy.
+		if vr, ok := b.(storage.ViewReader); ok {
+			v, verr := vr.ReadView(ctx, rq.name, rq.off, int64(rq.n))
+			if verr == nil {
+				return StatusOK, v.Data, v.Release
+			}
+			if !errors.Is(verr, errors.ErrUnsupported) {
+				return failWith(verr)
+			}
+		}
+		p := bufpool.Get(int(rq.n))
 		n, err := b.ReadAt(ctx, rq.name, p, rq.off)
 		if err != nil {
-			return statusFromError(err)
+			bufpool.Put(p)
+			return failWith(err)
 		}
-		return StatusOK, p[:n]
+		return StatusOK, p[:n], func() { bufpool.Put(p) }
 
 	case OpWrite:
 		if !s.cfg.AllowWrite {
-			return StatusReadOnly, appendString(nil, "peer server is read-only")
+			return StatusReadOnly, appendString(nil, "peer server is read-only"), nil
 		}
 		name, data, err := parseString(payload)
 		if err != nil {
-			return statusFromError(err)
+			return failWith(err)
 		}
 		if err := b.WriteFile(ctx, name, data); err != nil {
-			return statusFromError(err)
+			return failWith(err)
 		}
-		return StatusOK, nil
+		return StatusOK, nil, nil
 
 	case OpRemove:
 		if !s.cfg.AllowWrite {
-			return StatusReadOnly, appendString(nil, "peer server is read-only")
+			return StatusReadOnly, appendString(nil, "peer server is read-only"), nil
 		}
 		name, _, err := parseString(payload)
 		if err != nil {
-			return statusFromError(err)
+			return failWith(err)
 		}
 		if err := b.Remove(ctx, name); err != nil {
-			return statusFromError(err)
+			return failWith(err)
 		}
-		return StatusOK, nil
+		return StatusOK, nil, nil
 
 	case OpUsage:
-		return StatusOK, appendUsageResp(nil, b.Capacity(), b.Used())
+		return StatusOK, appendUsageResp(nil, b.Capacity(), b.Used()), nil
 
 	default:
-		return StatusInvalid, appendString(nil, fmt.Sprintf("unknown op 0x%02x", op))
+		return StatusInvalid, appendString(nil, fmt.Sprintf("unknown op 0x%02x", op)), nil
 	}
+}
+
+// failWith adapts statusFromError to handle's three-value signature.
+func failWith(err error) (byte, []byte, func()) {
+	status, msg := statusFromError(err)
+	return status, msg, nil
 }
 
 // statusFromError maps a backend (or decode) error onto the wire

@@ -7,22 +7,45 @@ import (
 	"sync"
 )
 
+// memFile is one MemFS file. The data slice header is immutable after
+// creation (WriteFile and Allocate swap in a whole new memFile), so
+// sizes can be read without locking; mu guards the *contents* against
+// concurrent WriteAt, with readers taking the shared side. A ReadView
+// holds the read lock until Release, which keeps chunked placement
+// (concurrent WriteAt) from mutating bytes a borrower is still
+// parsing.
+type memFile struct {
+	mu   sync.RWMutex
+	data []byte
+}
+
+// Release implements Releaser: it drops the read lock a ReadView took.
+func (f *memFile) Release() { f.mu.RUnlock() }
+
 // MemFS is an in-memory Backend. It stands in for a compute node's
 // local file system in unit tests and the quickstart example, and backs
 // the simulated devices (which add timing on top).
+//
+// The namespace is a sync.Map of per-file lock words: the read path
+// (ReadAt/ReadView/Stat) takes no global lock at all, so goroutine
+// fan-in on distinct files scales instead of serializing on one
+// RWMutex. Namespace mutations and quota accounting serialize on mu;
+// a WriteFile concurrent with a held view swaps in a fresh file object
+// and leaves the borrowed bytes untouched (snapshot semantics).
 type MemFS struct {
 	name     string
 	capacity int64
 
-	mu    sync.RWMutex
-	files map[string][]byte
-	used  int64
-	ro    bool
+	files sync.Map // name -> *memFile
+
+	mu   sync.Mutex // guards used/ro and namespace mutations
+	used int64
+	ro   bool
 }
 
 // NewMemFS creates an empty in-memory backend. capacity 0 = unlimited.
 func NewMemFS(name string, capacity int64) *MemFS {
-	return &MemFS{name: name, capacity: capacity, files: make(map[string][]byte)}
+	return &MemFS{name: name, capacity: capacity}
 }
 
 // SetReadOnly marks the backend read-only, as the paper requires for the
@@ -41,9 +64,17 @@ func (m *MemFS) Capacity() int64 { return m.capacity }
 
 // Used implements Backend.
 func (m *MemFS) Used() int64 {
-	m.mu.RLock()
-	defer m.mu.RUnlock()
+	m.mu.Lock()
+	defer m.mu.Unlock()
 	return m.used
+}
+
+func (m *MemFS) load(name string) (*memFile, bool) {
+	v, ok := m.files.Load(name)
+	if !ok {
+		return nil, false
+	}
+	return v.(*memFile), true
 }
 
 // List implements Backend.
@@ -51,12 +82,11 @@ func (m *MemFS) List(ctx context.Context) ([]FileInfo, error) {
 	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	infos := make([]FileInfo, 0, len(m.files))
-	for name, data := range m.files {
-		infos = append(infos, FileInfo{Name: name, Size: int64(len(data))})
-	}
+	var infos []FileInfo
+	m.files.Range(func(k, v any) bool {
+		infos = append(infos, FileInfo{Name: k.(string), Size: int64(len(v.(*memFile).data))})
+		return true
+	})
 	sort.Slice(infos, func(i, j int) bool { return infos[i].Name < infos[j].Name })
 	return infos, nil
 }
@@ -69,13 +99,11 @@ func (m *MemFS) Stat(ctx context.Context, name string) (FileInfo, error) {
 	if err := ValidateName(name); err != nil {
 		return FileInfo{}, err
 	}
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	data, ok := m.files[name]
+	f, ok := m.load(name)
 	if !ok {
 		return FileInfo{}, fmt.Errorf("%s: stat %q: %w", m.name, name, ErrNotExist)
 	}
-	return FileInfo{Name: name, Size: int64(len(data))}, nil
+	return FileInfo{Name: name, Size: int64(len(f.data))}, nil
 }
 
 // ReadAt implements Backend.
@@ -86,13 +114,46 @@ func (m *MemFS) ReadAt(ctx context.Context, name string, p []byte, off int64) (i
 	if err := ValidateName(name); err != nil {
 		return 0, err
 	}
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	data, ok := m.files[name]
+	f, ok := m.load(name)
 	if !ok {
 		return 0, fmt.Errorf("%s: read %q: %w", m.name, name, ErrNotExist)
 	}
-	return ReadRange(data, p, off)
+	f.mu.RLock()
+	n, err := ReadRange(f.data, p, off)
+	f.mu.RUnlock()
+	return n, err
+}
+
+// ReadView implements ViewReader: it lends the file's own bytes under
+// the per-file read lock, held until the view's Release. No copy is
+// made; WriteAt to the same file blocks until the view is released.
+func (m *MemFS) ReadView(ctx context.Context, name string, off, n int64) (View, error) {
+	if err := ctxErr(ctx); err != nil {
+		return View{}, err
+	}
+	if err := ValidateName(name); err != nil {
+		return View{}, err
+	}
+	if off < 0 {
+		return View{}, fmt.Errorf("%s: read %q: negative offset %d", m.name, name, off)
+	}
+	if n < 0 {
+		return View{}, fmt.Errorf("%s: read %q: negative length %d", m.name, name, n)
+	}
+	f, ok := m.load(name)
+	if !ok {
+		return View{}, fmt.Errorf("%s: read %q: %w", m.name, name, ErrNotExist)
+	}
+	f.mu.RLock()
+	size := int64(len(f.data))
+	if off > size {
+		off = size
+	}
+	end := off + n
+	if end > size {
+		end = size
+	}
+	return View{Data: f.data[off:end:end], R: f}, nil
 }
 
 // ReadFile implements Backend.
@@ -103,14 +164,14 @@ func (m *MemFS) ReadFile(ctx context.Context, name string) ([]byte, error) {
 	if err := ValidateName(name); err != nil {
 		return nil, err
 	}
-	m.mu.RLock()
-	defer m.mu.RUnlock()
-	data, ok := m.files[name]
+	f, ok := m.load(name)
 	if !ok {
 		return nil, fmt.Errorf("%s: read %q: %w", m.name, name, ErrNotExist)
 	}
-	out := make([]byte, len(data))
-	copy(out, data)
+	f.mu.RLock()
+	out := make([]byte, len(f.data))
+	copy(out, f.data)
+	f.mu.RUnlock()
 	return out, nil
 }
 
@@ -127,7 +188,10 @@ func (m *MemFS) WriteFile(ctx context.Context, name string, data []byte) error {
 	if m.ro {
 		return fmt.Errorf("%s: write %q: %w", m.name, name, ErrReadOnly)
 	}
-	old := int64(len(m.files[name]))
+	var old int64
+	if f, ok := m.load(name); ok {
+		old = int64(len(f.data))
+	}
 	newUsed := m.used - old + int64(len(data))
 	if m.capacity > 0 && newUsed > m.capacity {
 		return fmt.Errorf("%s: write %q (%d bytes, %d free): %w",
@@ -135,7 +199,7 @@ func (m *MemFS) WriteFile(ctx context.Context, name string, data []byte) error {
 	}
 	stored := make([]byte, len(data))
 	copy(stored, data)
-	m.files[name] = stored
+	m.files.Store(name, &memFile{data: stored})
 	m.used = newUsed
 	return nil
 }
@@ -157,19 +221,24 @@ func (m *MemFS) Allocate(ctx context.Context, name string, size int64) error {
 	if m.ro {
 		return fmt.Errorf("%s: allocate %q: %w", m.name, name, ErrReadOnly)
 	}
-	old := int64(len(m.files[name]))
+	var old int64
+	if f, ok := m.load(name); ok {
+		old = int64(len(f.data))
+	}
 	newUsed := m.used - old + size
 	if m.capacity > 0 && newUsed > m.capacity {
 		return fmt.Errorf("%s: allocate %q (%d bytes, %d free): %w",
 			m.name, name, size, m.capacity-m.used, ErrNoSpace)
 	}
-	m.files[name] = make([]byte, size)
+	m.files.Store(name, &memFile{data: make([]byte, size)})
 	m.used = newUsed
 	return nil
 }
 
 // WriteAt implements RangeWriter. Writes must stay within the allocated
-// size.
+// size, and mutate the file object current at lookup time (a
+// concurrent WriteFile swap orphans in-flight WriteAt results, exactly
+// like a rename-over on a real file system).
 func (m *MemFS) WriteAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
 	if err := ctxErr(ctx); err != nil {
 		return 0, err
@@ -181,19 +250,22 @@ func (m *MemFS) WriteAt(ctx context.Context, name string, p []byte, off int64) (
 		return 0, fmt.Errorf("%s: write %q: negative offset %d", m.name, name, off)
 	}
 	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.ro {
+	ro := m.ro
+	m.mu.Unlock()
+	if ro {
 		return 0, fmt.Errorf("%s: write %q: %w", m.name, name, ErrReadOnly)
 	}
-	data, ok := m.files[name]
+	f, ok := m.load(name)
 	if !ok {
 		return 0, fmt.Errorf("%s: write %q: %w", m.name, name, ErrNotExist)
 	}
-	if off+int64(len(p)) > int64(len(data)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if off+int64(len(p)) > int64(len(f.data)) {
 		return 0, fmt.Errorf("%s: write %q: range [%d,%d) past allocated size %d",
-			m.name, name, off, off+int64(len(p)), len(data))
+			m.name, name, off, off+int64(len(p)), len(f.data))
 	}
-	return copy(data[off:], p), nil
+	return copy(f.data[off:], p), nil
 }
 
 // Remove implements Backend.
@@ -209,11 +281,10 @@ func (m *MemFS) Remove(ctx context.Context, name string) error {
 	if m.ro {
 		return fmt.Errorf("%s: remove %q: %w", m.name, name, ErrReadOnly)
 	}
-	data, ok := m.files[name]
+	v, ok := m.files.LoadAndDelete(name)
 	if !ok {
 		return fmt.Errorf("%s: remove %q: %w", m.name, name, ErrNotExist)
 	}
-	m.used -= int64(len(data))
-	delete(m.files, name)
+	m.used -= int64(len(v.(*memFile).data))
 	return nil
 }

@@ -10,11 +10,41 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"sync/atomic"
+
+	"monarch/internal/bufpool"
 )
+
+// maxCachedFDs bounds the per-backend descriptor cache. Eviction is
+// arbitrary (map order); a DL working set cycles through files fast
+// enough that any warm descriptor helps and none is precious.
+const maxCachedFDs = 64
+
+// cachedFD is a reference-counted open descriptor. The cache holds one
+// reference; each in-flight read holds another, so invalidation (on
+// WriteFile's rename-over or Remove) can drop the cache reference
+// without yanking the fd out from under a concurrent pread.
+type cachedFD struct {
+	f    *os.File
+	refs atomic.Int32
+}
+
+func (c *cachedFD) release() {
+	if c.refs.Add(-1) == 0 {
+		c.f.Close()
+	}
+}
 
 // OSFS is a Backend rooted at a real directory. It is what a production
 // deployment would point at an XFS mount on the compute node's SSD and
 // at the dataset directory on the PFS.
+//
+// Reads go through a bounded descriptor cache: the seed's
+// open-read-close per ReadAt cost three syscalls per operation, which
+// dominated tier-0 hits. WriteFile and Remove invalidate the cached
+// descriptor (the rename-over swaps the inode); Allocate and WriteAt
+// mutate the same inode in place, so cached descriptors stay valid
+// through a chunked placement.
 type OSFS struct {
 	name     string
 	root     string
@@ -22,6 +52,9 @@ type OSFS struct {
 
 	mu   sync.Mutex
 	used int64
+
+	fdMu sync.Mutex
+	fds  map[string]*cachedFD
 }
 
 // NewOSFS creates a backend rooted at dir, which must exist. The quota
@@ -35,7 +68,7 @@ func NewOSFS(name, dir string, capacity int64) (*OSFS, error) {
 	if !info.IsDir() {
 		return nil, fmt.Errorf("osfs %s: %s is not a directory", name, dir)
 	}
-	o := &OSFS{name: name, root: dir, capacity: capacity}
+	o := &OSFS{name: name, root: dir, capacity: capacity, fds: make(map[string]*cachedFD)}
 	infos, err := o.List(context.Background())
 	if err != nil {
 		return nil, err
@@ -119,6 +152,70 @@ func (o *OSFS) Stat(ctx context.Context, name string) (FileInfo, error) {
 	return FileInfo{Name: name, Size: fi.Size()}, nil
 }
 
+// fd returns a referenced descriptor for name, from the cache or a
+// fresh open. The caller must release() it after use.
+func (o *OSFS) fd(name, path string) (*cachedFD, error) {
+	o.fdMu.Lock()
+	if c, ok := o.fds[name]; ok {
+		c.refs.Add(1)
+		o.fdMu.Unlock()
+		return c, nil
+	}
+	o.fdMu.Unlock()
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	c := &cachedFD{f: f}
+	c.refs.Store(2) // one for the cache, one for the caller
+	o.fdMu.Lock()
+	if old, ok := o.fds[name]; ok {
+		// Lost an open race: keep the incumbent, hand back ours uncached.
+		old.refs.Add(1)
+		o.fdMu.Unlock()
+		c.refs.Store(1)
+		c.release()
+		return old, nil
+	}
+	if len(o.fds) >= maxCachedFDs {
+		for k, victim := range o.fds {
+			delete(o.fds, k)
+			defer victim.release()
+			break
+		}
+	}
+	o.fds[name] = c
+	o.fdMu.Unlock()
+	return c, nil
+}
+
+// invalidate drops the cached descriptor for name, if any; in-flight
+// reads on it finish against the old inode.
+func (o *OSFS) invalidate(name string) {
+	o.fdMu.Lock()
+	c, ok := o.fds[name]
+	if ok {
+		delete(o.fds, name)
+	}
+	o.fdMu.Unlock()
+	if ok {
+		c.release()
+	}
+}
+
+// CloseIdle drops every cached descriptor (in-flight reads keep theirs
+// alive until they finish). Long-lived daemons can call it when a
+// backend goes cold; tests use it to release temp-dir descriptors.
+func (o *OSFS) CloseIdle() {
+	o.fdMu.Lock()
+	fds := o.fds
+	o.fds = make(map[string]*cachedFD)
+	o.fdMu.Unlock()
+	for _, c := range fds {
+		c.release()
+	}
+}
+
 // ReadAt implements Backend.
 func (o *OSFS) ReadAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
 	if err := ctxErr(ctx); err != nil {
@@ -128,19 +225,45 @@ func (o *OSFS) ReadAt(ctx context.Context, name string, p []byte, off int64) (in
 	if err != nil {
 		return 0, err
 	}
-	f, err := os.Open(path)
+	c, err := o.fd(name, path)
 	if errors.Is(err, fs.ErrNotExist) {
 		return 0, fmt.Errorf("%s: read %q: %w", o.name, name, ErrNotExist)
 	}
 	if err != nil {
 		return 0, err
 	}
-	defer f.Close()
-	n, err := f.ReadAt(p, off)
+	n, err := c.f.ReadAt(p, off)
+	c.release()
 	if err == io.EOF {
 		err = nil
 	}
+	if err != nil {
+		// A failing descriptor (e.g. the device went away) must not be
+		// served to the next read.
+		o.invalidate(name)
+	}
 	return n, err
+}
+
+// ReadView implements ViewReader. A real file system cannot lend
+// stable bytes without mmap, so the "zero-copy" here is pragmatic: the
+// pread lands in a pooled scratch buffer the view returns to bufpool
+// on Release, sparing the caller's allocation and the second copy into
+// a caller-owned buffer.
+func (o *OSFS) ReadView(ctx context.Context, name string, off, n int64) (View, error) {
+	if n < 0 {
+		return View{}, fmt.Errorf("%s: read %q: negative length %d", o.name, name, n)
+	}
+	if off < 0 {
+		return View{}, fmt.Errorf("%s: read %q: negative offset %d", o.name, name, off)
+	}
+	buf := bufpool.Get(int(n))
+	m, err := o.ReadAt(ctx, name, buf, off)
+	if err != nil {
+		bufpool.Put(buf)
+		return View{}, err
+	}
+	return PooledView(buf, m), nil
 }
 
 // ReadFile implements Backend.
@@ -216,6 +339,9 @@ func (o *OSFS) WriteFile(ctx context.Context, name string, data []byte) error {
 		undo()
 		return err
 	}
+	// The rename swapped the inode: a cached descriptor would keep
+	// serving the replaced content.
+	o.invalidate(name)
 	return nil
 }
 
@@ -327,6 +453,7 @@ func (o *OSFS) Remove(ctx context.Context, name string) error {
 	if err := os.Remove(path); err != nil {
 		return err
 	}
+	o.invalidate(name)
 	o.mu.Lock()
 	o.used -= fi.Size()
 	o.mu.Unlock()

@@ -13,6 +13,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
+
+	"monarch/internal/bufpool"
 )
 
 // Sentinel errors returned by backends. Wrap with %w so errors.Is works
@@ -81,6 +84,74 @@ type RangeWriter interface {
 	// Allocated file. Writes must stay within the allocated size; the
 	// backend rejects writes past it so quota accounting stays exact.
 	WriteAt(ctx context.Context, name string, p []byte, off int64) (int, error)
+}
+
+// Releaser releases a borrowed resource. Implementations must be safe
+// to call exactly once; Release after Release is a caller bug.
+type Releaser interface {
+	Release()
+}
+
+// View is a borrowed read-only window into a backend's bytes — the
+// zero-copy result of ViewReader.ReadView. Data stays valid until
+// Release is called and MUST NOT be written to or retained past
+// Release; the backing store may be a shared in-memory buffer (MemFS,
+// held under a per-file read lock) or a pooled scratch buffer (OSFS).
+type View struct {
+	// Data is the requested range. Its length may be shorter than the
+	// requested byte count when the file ends first (same short-read
+	// semantics as Backend.ReadAt).
+	Data []byte
+	// R releases the view; nil means there is nothing to release.
+	R Releaser
+}
+
+// Release returns the view's resources. Call it exactly once, after
+// the last access to Data.
+func (v View) Release() {
+	if v.R != nil {
+		v.R.Release()
+	}
+}
+
+// ViewReader is an optional Backend extension: a zero-copy read fast
+// path. ReadView returns a borrowed window of up to n bytes of name at
+// off, skipping the copy into a caller buffer that ReadAt requires.
+// MONARCH's read path uses it to serve fully-placed tier-0 hits
+// copy-free; backends that cannot lend stable bytes simply don't
+// implement it and callers fall through to ReadAt.
+//
+// Contract: the caller must Release the returned view exactly once,
+// promptly — MemFS holds the file's read lock for the view's lifetime,
+// so an unreleased view blocks writers to that file forever.
+type ViewReader interface {
+	// ReadView returns up to n bytes of name at offset off. off < 0 or
+	// a missing name fail; off at-or-past EOF returns an empty (but
+	// releasable) view, mirroring ReadAt's short-read semantics.
+	ReadView(ctx context.Context, name string, off, n int64) (View, error)
+}
+
+// pooledView releases a view's bufpool scratch buffer on Release. The
+// releaser object itself is recycled through its own sync.Pool, so a
+// buffered view costs zero allocations in steady state.
+type pooledView struct{ buf []byte }
+
+func (r *pooledView) Release() {
+	bufpool.Put(r.buf)
+	r.buf = nil
+	pooledViews.Put(r)
+}
+
+var pooledViews = sync.Pool{New: func() any { return new(pooledView) }}
+
+// PooledView wraps a bufpool buffer in a View lending its first used
+// bytes; Release returns the buffer to bufpool. Shared by backends
+// (OSFS) and callers (core's ReadView fallthrough) that materialize
+// views out of pooled scratch.
+func PooledView(buf []byte, used int) View {
+	r := pooledViews.Get().(*pooledView)
+	r.buf = buf
+	return View{Data: buf[:used], R: r}
 }
 
 // Pinger is an optional Backend extension: a cheap liveness check that

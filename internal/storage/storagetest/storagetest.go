@@ -356,3 +356,132 @@ func RunRangeWriterConformance(t *testing.T, mk Factory) {
 		}
 	})
 }
+
+// RunViewReaderConformance drives the zero-copy ViewReader contract
+// against mk: agreement with ReadAt over arbitrary windows, short
+// reads at EOF, sentinel errors, rejection of negative ranges, and
+// release safety (a released view's buffer may be recycled, so the
+// suite never touches Data after Release).
+func RunViewReaderConformance(t *testing.T, mk Factory) {
+	ctx := context.Background()
+	asVR := func(t *testing.T, b storage.Backend) storage.ViewReader {
+		t.Helper()
+		vr, ok := b.(storage.ViewReader)
+		if !ok {
+			t.Fatalf("%T does not implement storage.ViewReader", b)
+		}
+		return vr
+	}
+
+	t.Run("AgreesWithReadAt", func(t *testing.T) {
+		b := mk(0)
+		vr := asVR(t, b)
+		content := make([]byte, 1000)
+		for i := range content {
+			content[i] = byte(i*13 + 7)
+		}
+		if err := b.WriteFile(ctx, "f", content); err != nil {
+			t.Fatal(err)
+		}
+		for _, w := range []struct{ off, n int64 }{
+			{0, 1000}, {0, 10}, {500, 250}, {990, 100}, {1000, 4}, {2000, 4}, {7, 0},
+		} {
+			v, err := vr.ReadView(ctx, "f", w.off, w.n)
+			if err != nil {
+				t.Fatalf("ReadView(%d,%d): %v", w.off, w.n, err)
+			}
+			p := make([]byte, w.n)
+			n, err := b.ReadAt(ctx, "f", p, w.off)
+			if err != nil {
+				t.Fatalf("ReadAt(%d,%d): %v", w.off, w.n, err)
+			}
+			if int64(len(v.Data)) > w.n {
+				t.Fatalf("ReadView(%d,%d): %d bytes, more than asked", w.off, w.n, len(v.Data))
+			}
+			if len(v.Data) != n || !bytes.Equal(v.Data, p[:n]) {
+				t.Fatalf("ReadView(%d,%d) = %d bytes, ReadAt = %d; content equal=%v",
+					w.off, w.n, len(v.Data), n, bytes.Equal(v.Data, p[:n]))
+			}
+			v.Release()
+		}
+	})
+
+	t.Run("MissingFile", func(t *testing.T) {
+		vr := asVR(t, mk(0))
+		if _, err := vr.ReadView(ctx, "nope", 0, 4); !errors.Is(err, storage.ErrNotExist) {
+			t.Fatalf("missing file: %v", err)
+		}
+	})
+
+	t.Run("NegativeRanges", func(t *testing.T) {
+		b := mk(0)
+		vr := asVR(t, b)
+		if err := b.WriteFile(ctx, "f", []byte("abc")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := vr.ReadView(ctx, "f", -1, 4); err == nil {
+			t.Fatal("negative offset accepted")
+		}
+		if _, err := vr.ReadView(ctx, "f", 0, -4); err == nil {
+			t.Fatal("negative length accepted")
+		}
+	})
+
+	t.Run("ConcurrentViews", func(t *testing.T) {
+		b := mk(0)
+		vr := asVR(t, b)
+		content := bytes.Repeat([]byte{0xA5}, 4096)
+		if err := b.WriteFile(ctx, "f", content); err != nil {
+			t.Fatal(err)
+		}
+		var wg sync.WaitGroup
+		for g := 0; g < 8; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < 50; i++ {
+					v, err := vr.ReadView(ctx, "f", 0, 4096)
+					if err != nil {
+						t.Errorf("ReadView: %v", err)
+						return
+					}
+					if len(v.Data) != 4096 || v.Data[0] != 0xA5 || v.Data[4095] != 0xA5 {
+						t.Errorf("view content wrong")
+						v.Release()
+						return
+					}
+					v.Release()
+				}
+			}()
+		}
+		wg.Wait()
+	})
+
+	t.Run("WriteThenView", func(t *testing.T) {
+		// A view taken after WriteFile replaced the content must see
+		// the new bytes (the OSFS descriptor cache invalidates on the
+		// rename-over).
+		b := mk(0)
+		vr := asVR(t, b)
+		if err := b.WriteFile(ctx, "f", []byte("old-old-old")); err != nil {
+			t.Fatal(err)
+		}
+		v, err := vr.ReadView(ctx, "f", 0, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Release()
+		if err := b.WriteFile(ctx, "f", []byte("new-new-new")); err != nil {
+			t.Fatal(err)
+		}
+		v, err = vr.ReadView(ctx, "f", 0, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := string(v.Data)
+		v.Release()
+		if got != "new-new-new" {
+			t.Fatalf("view after rewrite = %q", got)
+		}
+	})
+}

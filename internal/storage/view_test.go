@@ -1,0 +1,138 @@
+package storage_test
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"monarch/internal/bufpool"
+	"monarch/internal/storage"
+	"monarch/internal/storage/storagetest"
+)
+
+func TestViewReaderConformance(t *testing.T) {
+	for name, mk := range backendFactories(t) {
+		t.Run(name, func(t *testing.T) {
+			storagetest.RunViewReaderConformance(t, mk)
+		})
+	}
+}
+
+// TestMemFSViewBlocksWriteAt pins the MemFS view contract: a held view
+// keeps chunked placement's WriteAt out of the file, so borrowers never
+// observe bytes mutating under them.
+func TestMemFSViewBlocksWriteAt(t *testing.T) {
+	ctx := context.Background()
+	m := storage.NewMemFS("mem", 0)
+	if err := m.Allocate(ctx, "f", 64); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadView(ctx, "f", 0, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrote := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if _, err := m.WriteAt(ctx, "f", []byte{1, 2, 3}, 0); err != nil {
+			t.Errorf("WriteAt: %v", err)
+		}
+		close(wrote)
+	}()
+	select {
+	case <-wrote:
+		t.Fatal("WriteAt completed while a view was held")
+	case <-time.After(20 * time.Millisecond):
+	}
+	if v.Data[0] != 0 {
+		t.Fatal("view mutated while held")
+	}
+	v.Release()
+	wg.Wait()
+	select {
+	case <-wrote:
+	default:
+		t.Fatal("WriteAt still blocked after Release")
+	}
+}
+
+// TestMemFSViewSurvivesWriteFile: WriteFile swaps in a fresh file
+// object, so a held view keeps its snapshot and is never torn.
+func TestMemFSViewSurvivesWriteFile(t *testing.T) {
+	ctx := context.Background()
+	m := storage.NewMemFS("mem", 0)
+	if err := m.WriteFile(ctx, "f", []byte("snapshot")); err != nil {
+		t.Fatal(err)
+	}
+	v, err := m.ReadView(ctx, "f", 0, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer v.Release()
+	if err := m.WriteFile(ctx, "f", []byte("replaced")); err != nil {
+		t.Fatal(err)
+	}
+	if got := string(v.Data); got != "snapshot" {
+		t.Fatalf("held view = %q, want the pre-replace snapshot", got)
+	}
+}
+
+// TestOSFSViewRecyclesBuffers: OSFS views draw their scratch from
+// bufpool and return it on Release — the pool's books must balance.
+func TestOSFSViewRecyclesBuffers(t *testing.T) {
+	ctx := context.Background()
+	o, err := storage.NewOSFS("os", t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.CloseIdle()
+	if err := o.WriteFile(ctx, "f", make([]byte, 8192)); err != nil {
+		t.Fatal(err)
+	}
+	before := bufpool.Snapshot()
+	for i := 0; i < 10; i++ {
+		v, err := o.ReadView(ctx, "f", 0, 8192)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v.Release()
+	}
+	after := bufpool.Snapshot()
+	gets := after.Gets - before.Gets
+	puts := after.Puts - before.Puts
+	if gets != 10 {
+		t.Fatalf("Gets delta %d, want 10", gets)
+	}
+	if puts != gets {
+		t.Fatalf("Puts delta %d != Gets delta %d: view buffers leaked", puts, gets)
+	}
+}
+
+// TestOSFSFDCacheServesRepeatedReads: repeated reads of one file reuse
+// a cached descriptor, and Remove invalidates it.
+func TestOSFSFDCacheServesRepeatedReads(t *testing.T) {
+	ctx := context.Background()
+	o, err := storage.NewOSFS("os", t.TempDir(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer o.CloseIdle()
+	if err := o.WriteFile(ctx, "f", []byte("0123456789")); err != nil {
+		t.Fatal(err)
+	}
+	p := make([]byte, 4)
+	for i := 0; i < 5; i++ {
+		if n, err := o.ReadAt(ctx, "f", p, 2); err != nil || n != 4 || string(p) != "2345" {
+			t.Fatalf("read %d: n=%d err=%v p=%q", i, n, err, p)
+		}
+	}
+	if err := o.Remove(ctx, "f"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.ReadAt(ctx, "f", p, 0); err == nil {
+		t.Fatal("read of removed file succeeded via stale descriptor")
+	}
+}

@@ -173,6 +173,15 @@ type (
 	// recovery probe prefers over a write probe — read-only tiers (a
 	// PeerTier) can only prove liveness this way.
 	Pinger = storage.Pinger
+	// View is a borrowed read-only window into a tier's bytes, the
+	// zero-copy result of Monarch.ReadView. Call Release exactly once
+	// after the last access to Data.
+	View = storage.View
+	// ViewReader is the optional backend extension behind the copy-free
+	// read fast path. MemFS and OSFS implement it.
+	ViewReader = storage.ViewReader
+	// Releaser releases a borrowed resource such as a View.
+	Releaser = storage.Releaser
 )
 
 // Backend sentinel errors.
