@@ -11,11 +11,29 @@
 //	monarch-serve -root DIR -metrics :9078            # capacity gauges + pprof
 //	monarch-serve -root DIR -self node0 \
 //	    -peers node1=host1:9077,node2=host2:9077     # gossip membership
+//	monarch-serve -root DIR -quota 64000000000 \
+//	    -pfs /lustre/datasets -jobs jobA=0.5,jobB=0.3 # multi-tenant cache
 //	monarch-serve -selftest                           # 2-node loopback smoke
 //	monarch-serve -chaos                              # kill/rejoin chaos smoke
 //
 // The server is read-only by default: peers may READ/STAT/LIST/PING but
 // never mutate this node's cache (placement stays a local decision).
+//
+// With -jobs the daemon becomes a multi-tenant MONARCH node: -root is
+// managed as the SSD cache tier over the read-only -pfs dataset
+// directory, served through a full middleware instance with the
+// heat-driven eviction engine on. Every file's first path segment names
+// its job ("jobA/shard-0003" belongs to jobA); -jobs declares each
+// job's guaranteed share of the -quota (shares in [0,1], sum <= 1),
+// with unused capacity borrowable by any job until its owner reclaims
+// it. Reads arriving over the wire heat files, drive placement and
+// eviction, and move per-job fairness counters
+// (monarch_job_read_ops_total, monarch_job_tier_used_bytes, ...)
+// exported on -metrics. -epoch-every sets the wall-clock stand-in for
+// the training loop's epoch marks, which drive heat decay. Tenant mode
+// requires a finite -quota (shares of an unlimited tier are
+// meaningless) and is incompatible with -write (the cache's contents
+// are the middleware's placement decisions, not remote state).
 //
 // With -self and -peers the node joins the gossip membership: it
 // heartbeats every sibling over the same wire protocol (views ride
@@ -36,6 +54,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
@@ -43,9 +62,12 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strconv"
 	"strings"
 	"syscall"
 	"time"
+
+	"monarch"
 
 	"monarch/internal/experiments"
 	"monarch/internal/obs"
@@ -69,6 +91,10 @@ func main() {
 		hbEvery  = flag.Duration("heartbeat", 250*time.Millisecond, "gossip heartbeat interval")
 		suspect  = flag.Duration("suspect-after", time.Second, "silence before a peer turns Suspect")
 		dead     = flag.Duration("dead-after", 3*time.Second, "silence before a peer turns Dead")
+
+		pfs     = flag.String("pfs", "", "read-only dataset directory (enables multi-tenant mode with -jobs)")
+		jobs    = flag.String("jobs", "", "per-job quota shares, job=share each (e.g. jobA=0.5,jobB=0.3)")
+		epochEv = flag.Duration("epoch-every", time.Minute, "wall-clock epoch length driving heat decay in tenant mode (0 = never decay)")
 	)
 	flag.Parse()
 
@@ -86,6 +112,7 @@ func main() {
 		addr: *addr, root: *root, quota: *quota, write: *write, metrics: *metrics,
 		self: *self, peers: *peers, replicas: *replicas,
 		heartbeat: *hbEvery, suspectAfter: *suspect, deadAfter: *dead,
+		pfs: *pfs, jobs: *jobs, epochEvery: *epochEv,
 	}
 	if err := serve(cfg); err != nil {
 		fmt.Fprintln(os.Stderr, "monarch-serve:", err)
@@ -102,6 +129,63 @@ type serveConfig struct {
 	replicas                int
 	heartbeat               time.Duration
 	suspectAfter, deadAfter time.Duration
+	pfs, jobs               string
+	epochEvery              time.Duration
+}
+
+// validate rejects flag combinations before any resource is touched,
+// so misconfigurations fail fast with one clear message.
+func (cfg serveConfig) validate() error {
+	if cfg.replicas < 1 {
+		return fmt.Errorf("-replicas must be >= 1, got %d", cfg.replicas)
+	}
+	if (cfg.self == "") != (cfg.peers == "") {
+		return fmt.Errorf("-self and -peers must be set together")
+	}
+	if cfg.jobs != "" {
+		if cfg.pfs == "" {
+			return fmt.Errorf("-jobs needs -pfs: the tenant cache is placed from a dataset directory")
+		}
+		if cfg.quota <= 0 {
+			return fmt.Errorf("conflicting -quota: -jobs declares shares of the cache tier, so -quota must be a positive byte count (got %d)", cfg.quota)
+		}
+		if cfg.write {
+			return fmt.Errorf("-write conflicts with -jobs: a tenant cache holds placement decisions, not remote writes")
+		}
+		if _, err := parseJobs(cfg.jobs); err != nil {
+			return err
+		}
+	} else if cfg.pfs != "" {
+		return fmt.Errorf("-pfs needs -jobs: declare at least one tenant share")
+	}
+	return nil
+}
+
+// parseJobs decodes the -jobs flag: comma-separated job=share, each
+// share a fraction of the cache tier in [0,1]. Range, duplicate and
+// sum-of-shares validation happens in core when the middleware is
+// assembled; this only parses.
+func parseJobs(spec string) ([]monarch.TenantConfig, error) {
+	var tenants []monarch.TenantConfig
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		job, val, ok := strings.Cut(part, "=")
+		if !ok || job == "" || val == "" {
+			return nil, fmt.Errorf("bad -jobs entry %q (want job=share)", part)
+		}
+		share, err := strconv.ParseFloat(val, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -jobs share %q: %v", part, err)
+		}
+		tenants = append(tenants, monarch.TenantConfig{Job: job, Share: share})
+	}
+	if len(tenants) == 0 {
+		return nil, fmt.Errorf("-jobs is empty (want job=share,...)")
+	}
+	return tenants, nil
 }
 
 // parsePeers decodes the -peers flag: comma-separated id=host:port.
@@ -126,20 +210,20 @@ func parsePeers(spec string) (ids []string, addrs map[string]string, err error) 
 }
 
 func serve(cfg serveConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	if cfg.jobs != "" {
+		return serveTenants(cfg)
+	}
 	store, err := storage.NewOSFS("tier0", cfg.root, cfg.quota)
 	if err != nil {
 		return err
-	}
-	if cfg.replicas < 1 {
-		return fmt.Errorf("-replicas must be >= 1, got %d", cfg.replicas)
 	}
 
 	// Gossip membership: requires both -self and -peers.
 	var mem *peernet.Membership
 	var hb *peernet.Heartbeater
-	if (cfg.self == "") != (cfg.peers == "") {
-		return fmt.Errorf("-self and -peers must be set together")
-	}
 	if cfg.self != "" {
 		ids, addrs, err := parsePeers(cfg.peers)
 		if err != nil {
@@ -223,6 +307,128 @@ func serve(cfg serveConfig) error {
 	}
 
 	// Serve until SIGINT/SIGTERM, then close connections and drain.
+	done := make(chan os.Signal, 1)
+	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-done
+		fmt.Println("monarch-serve: shutting down")
+		srv.Close()
+	}()
+	return srv.Serve(ln)
+}
+
+// monarchBackend adapts a middleware instance to the storage.Backend
+// surface the peernet server speaks, so remote reads flow through the
+// full MONARCH read path — heating files, triggering placements and
+// evictions, moving per-job counters — instead of hitting the cache
+// directory raw. The namespace is read-only by construction.
+type monarchBackend struct {
+	m     *monarch.Monarch
+	tier0 monarch.Backend
+}
+
+func (b *monarchBackend) Name() string { return "tenant" }
+func (b *monarchBackend) List(ctx context.Context) ([]storage.FileInfo, error) {
+	return b.m.Files(), nil
+}
+func (b *monarchBackend) Stat(ctx context.Context, name string) (storage.FileInfo, error) {
+	return b.m.Stat(name)
+}
+func (b *monarchBackend) ReadAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	return b.m.ReadAt(ctx, name, p, off)
+}
+func (b *monarchBackend) ReadFile(ctx context.Context, name string) ([]byte, error) {
+	return b.m.ReadFull(ctx, name)
+}
+func (b *monarchBackend) WriteFile(ctx context.Context, name string, data []byte) error {
+	return storage.ErrReadOnly
+}
+func (b *monarchBackend) Remove(ctx context.Context, name string) error {
+	return storage.ErrReadOnly
+}
+func (b *monarchBackend) Capacity() int64 { return b.tier0.Capacity() }
+func (b *monarchBackend) Used() int64     { return b.tier0.Used() }
+
+// serveTenants runs the multi-tenant daemon: a MONARCH instance
+// managing -root as the cache tier over the read-only -pfs dataset,
+// heat-driven eviction on, -jobs shares enforced, served over the
+// peernet wire protocol. A wall-clock ticker stands in for the
+// training loop's MarkEpoch calls to drive heat decay.
+func serveTenants(cfg serveConfig) error {
+	tenants, err := parseJobs(cfg.jobs)
+	if err != nil {
+		return err
+	}
+	tier0, err := storage.NewOSFS("ssd", cfg.root, cfg.quota)
+	if err != nil {
+		return fmt.Errorf("-root: %w", err)
+	}
+	pfs, err := storage.NewOSFS("pfs", cfg.pfs, 0)
+	if err != nil {
+		return fmt.Errorf("-pfs: %w", err)
+	}
+	m, err := monarch.New(monarch.Config{
+		Levels:        []monarch.Backend{tier0, pfs},
+		Pool:          monarch.NewPool(4),
+		FullFileFetch: true,
+		Eviction:      monarch.NewHeatPolicy(monarch.HeatConfig{}),
+		JobOf:         monarch.JobFromPath,
+		Tenants:       tenants,
+	})
+	if err != nil {
+		return err
+	}
+	defer m.Close()
+	if err := m.Init(context.Background()); err != nil {
+		return fmt.Errorf("building namespace from %s: %w", cfg.pfs, err)
+	}
+
+	srv, err := peernet.NewServer(peernet.ServerConfig{
+		Backend: &monarchBackend{m: m, tier0: tier0},
+		Logf:    func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+	})
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("monarch-serve: multi-tenant cache %s (quota %d) over %s on %s, %d files\n",
+		cfg.root, cfg.quota, cfg.pfs, ln.Addr(), m.NumFiles())
+	for _, tc := range tenants {
+		fmt.Printf("monarch-serve:   tenant %s guaranteed %.0f%% of the cache tier\n", tc.Job, tc.Share*100)
+	}
+
+	if cfg.epochEvery > 0 {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			tick := time.NewTicker(cfg.epochEvery)
+			defer tick.Stop()
+			for n := 1; ; n++ {
+				select {
+				case <-stop:
+					return
+				case <-tick.C:
+					m.MarkEpoch(n)
+				}
+			}
+		}()
+	}
+
+	if cfg.metrics != "" {
+		// The middleware registry already carries the per-job fairness
+		// series (monarch_job_read_ops_total, monarch_job_tier_used_bytes,
+		// monarch_job_tier_quota_bytes, ...); serve it as-is.
+		mln, err := net.Listen("tcp", cfg.metrics)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("monarch-serve: metrics on http://%s/metrics\n", mln.Addr())
+		go func() { _ = http.Serve(mln, m.Registry().Handler()) }()
+	}
+
 	done := make(chan os.Signal, 1)
 	signal.Notify(done, os.Interrupt, syscall.SIGTERM)
 	go func() {

@@ -1,0 +1,139 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tmpDirs builds a valid cache root and a dataset dir with one file per
+// job, so startup tests fail on exactly the path under test.
+func tmpDirs(t *testing.T) (root, pfs string) {
+	t.Helper()
+	root = t.TempDir()
+	pfs = t.TempDir()
+	for _, name := range []string{"jobA/f0", "jobB/f0"} {
+		p := filepath.Join(pfs, filepath.FromSlash(name))
+		if err := os.MkdirAll(filepath.Dir(p), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, make([]byte, 64), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return root, pfs
+}
+
+func TestParseJobs(t *testing.T) {
+	for _, tc := range []struct {
+		spec    string
+		want    int
+		wantErr string
+	}{
+		{spec: "jobA=0.5,jobB=0.3", want: 2},
+		{spec: " jobA=0.5 , jobB=0.3 ", want: 2},
+		{spec: "jobA=0.5,", want: 1},
+		{spec: "", wantErr: "empty"},
+		{spec: "jobA", wantErr: "want job=share"},
+		{spec: "=0.5", wantErr: "want job=share"},
+		{spec: "jobA=", wantErr: "want job=share"},
+		{spec: "jobA=half", wantErr: "bad -jobs share"},
+	} {
+		tenants, err := parseJobs(tc.spec)
+		if tc.wantErr != "" {
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("parseJobs(%q) err = %v, want containing %q", tc.spec, err, tc.wantErr)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("parseJobs(%q): %v", tc.spec, err)
+			continue
+		}
+		if len(tenants) != tc.want {
+			t.Errorf("parseJobs(%q) = %d tenants, want %d", tc.spec, len(tenants), tc.want)
+		}
+	}
+}
+
+// TestServeConfigValidate covers the flag-conflict matrix: every
+// misconfiguration must be rejected up front with a message naming the
+// offending flag, before any directory or socket is touched.
+func TestServeConfigValidate(t *testing.T) {
+	base := serveConfig{addr: ":0", root: "/r", quota: 1 << 20, replicas: 1}
+	for _, tc := range []struct {
+		name    string
+		mutate  func(*serveConfig)
+		wantErr string
+	}{
+		{"ok plain", func(c *serveConfig) {}, ""},
+		{"ok tenant", func(c *serveConfig) { c.jobs = "a=0.5"; c.pfs = "/d" }, ""},
+		{"bad replicas", func(c *serveConfig) { c.replicas = 0 }, "-replicas"},
+		{"self without peers", func(c *serveConfig) { c.self = "n0" }, "-self and -peers"},
+		{"peers without self", func(c *serveConfig) { c.peers = "n1=h:1" }, "-self and -peers"},
+		{"jobs without pfs", func(c *serveConfig) { c.jobs = "a=0.5" }, "-jobs needs -pfs"},
+		{"pfs without jobs", func(c *serveConfig) { c.pfs = "/d" }, "-pfs needs -jobs"},
+		{"jobs with unlimited quota", func(c *serveConfig) { c.jobs = "a=0.5"; c.pfs = "/d"; c.quota = 0 }, "conflicting -quota"},
+		{"jobs with write", func(c *serveConfig) { c.jobs = "a=0.5"; c.pfs = "/d"; c.write = true }, "-write conflicts"},
+		{"jobs bad spec", func(c *serveConfig) { c.jobs = "a=x"; c.pfs = "/d" }, "bad -jobs share"},
+	} {
+		cfg := base
+		tc.mutate(&cfg)
+		err := cfg.validate()
+		if tc.wantErr == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.wantErr)
+		}
+	}
+}
+
+// TestServeStartupFailures drives serve() itself through the startup
+// failure paths: each run must return an error (never hang, never
+// partially start) when a directory is missing or an address cannot be
+// bound. A timeout guards against a misconfiguration that blocks in
+// the serve loop instead of failing.
+func TestServeStartupFailures(t *testing.T) {
+	root, pfs := tmpDirs(t)
+	file := filepath.Join(t.TempDir(), "plainfile")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		cfg  serveConfig
+	}{
+		{"bad addr", serveConfig{addr: "localhost:notaport", root: root, replicas: 1}},
+		{"missing root", serveConfig{addr: ":0", root: filepath.Join(root, "no/such/dir"), replicas: 1}},
+		{"root is a file", serveConfig{addr: ":0", root: file, replicas: 1}},
+		{"tenant bad addr", serveConfig{addr: "localhost:notaport", root: root, quota: 1 << 20,
+			replicas: 1, pfs: pfs, jobs: "jobA=0.5,jobB=0.3"}},
+		{"tenant missing pfs dir", serveConfig{addr: ":0", root: root, quota: 1 << 20,
+			replicas: 1, pfs: filepath.Join(pfs, "nope"), jobs: "jobA=0.5"}},
+		{"tenant share out of range", serveConfig{addr: ":0", root: root, quota: 1 << 20,
+			replicas: 1, pfs: pfs, jobs: "jobA=1.5"}},
+		{"tenant shares oversubscribed", serveConfig{addr: ":0", root: root, quota: 1 << 20,
+			replicas: 1, pfs: pfs, jobs: "jobA=0.7,jobB=0.7"}},
+		{"tenant duplicate job", serveConfig{addr: ":0", root: root, quota: 1 << 20,
+			replicas: 1, pfs: pfs, jobs: "jobA=0.3,jobA=0.3"}},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			errc := make(chan error, 1)
+			go func() { errc <- serve(tc.cfg) }()
+			select {
+			case err := <-errc:
+				if err == nil {
+					t.Fatal("serve() succeeded on a broken configuration")
+				}
+			case <-time.After(5 * time.Second):
+				t.Fatal("serve() hung instead of failing startup")
+			}
+		})
+	}
+}

@@ -92,9 +92,21 @@ type Config struct {
 	ChunkSize int64
 	// Staging selects placement timing; see StagingMode.
 	Staging StagingMode
-	// Eviction is nil for the paper's no-eviction policy, or an
-	// EvictionPolicy for the abl-eviction ablation.
+	// Eviction is nil for the paper's no-eviction policy (the right
+	// choice for a single job with uniform access), a HeatPolicy for
+	// heat-driven multi-job admission/eviction, or LRU/FIFO for the
+	// abl-eviction ablation.
 	Eviction EvictionPolicy
+	// JobOf attributes a file name to a tenant job for quota accounting
+	// and per-job fairness counters. Nil with Tenants set defaults to
+	// JobFromPath (the first path segment); nil without Tenants disables
+	// per-job accounting entirely.
+	JobOf func(name string) string
+	// Tenants declares per-job guaranteed shares of every cache tier;
+	// see TenantConfig. Empty disables quota enforcement (single-tenant
+	// behaviour). Borrowing is work-conserving: shares only bite under
+	// tier pressure.
+	Tenants []TenantConfig
 	// Health tunes the per-tier circuit breaker that demotes entries
 	// off failing tiers and probes Down tiers for recovery. The zero
 	// value enables the breaker with defaults; set Health.Disabled for
@@ -181,8 +193,11 @@ type Monarch struct {
 	stats  statsCollector
 	placer *placer
 	health *healthTracker
-	inst   instruments
-	tracer *trace.Recorder
+	// tenants is the per-job quota ledger; nil unless Config.JobOf or
+	// Config.Tenants enables multi-job tenancy.
+	tenants *tenantTable
+	inst    instruments
+	tracer  *trace.Recorder
 	// spanHook fans spans out to the trace recorder and Config.Trace;
 	// nil when neither is configured.
 	spanHook obs.TraceHook
@@ -233,9 +248,22 @@ func New(cfg Config) (*Monarch, error) {
 	m.meta = newMetadataContainer(len(m.levels))
 	m.inst.reg = obs.NewRegistry()
 	m.stats.init(m.inst.reg, len(m.levels))
+	caps := make([]int64, len(m.levels))
+	for i, d := range m.levels {
+		caps[i] = d.backend.Capacity()
+	}
+	tenants, err := newTenantTable(cfg, caps)
+	if err != nil {
+		return nil, err
+	}
+	m.tenants = tenants
+	if tb, ok := cfg.Eviction.(tenancyBinder); ok && m.tenants != nil {
+		tb.bindTenancy(m.tenants)
+	}
 	m.placer = newPlacer(m)
 	m.health = newHealthTracker(cfg.Health, len(m.levels)-1)
 	m.initObs()
+	m.initTenantObs()
 	if cfg.TracePath != "" {
 		if err := m.startTrace(); err != nil {
 			return nil, err
@@ -377,6 +405,20 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 		peer = false
 		d = m.source
 		n, rerr = d.backend.ReadAt(ctx, name, p, off)
+	} else if rerr != nil && lvl != src && !peer && !partial &&
+		m.cfg.Eviction != nil && errors.Is(rerr, storage.ErrNotExist) {
+		// Clean eviction race: the snapshot said placed, but a
+		// concurrent eviction re-pointed the entry and removed the tier
+		// copy between our lookup and the read. Like a peer miss this is
+		// the protocol working, not a tier failure — re-serve from the
+		// source with no breaker feed and no fallback event, so the
+		// stress fan-in of evict/re-place/read cannot trip a healthy
+		// tier. Mid-copy (partial) reads are excluded: in-flight chunked
+		// placements are pinned against eviction, so ErrNotExist there
+		// is a real anomaly for the breaker.
+		m.stats.evictionRaces.Add(1)
+		d = m.source
+		n, rerr = d.backend.ReadAt(ctx, name, p, off)
 	} else if rerr != nil && lvl != src {
 		// A tier failed under us: fall back to the PFS, which always
 		// holds the dataset, count the event, and feed the breaker.
@@ -426,6 +468,7 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 	dur := time.Since(start)
 	m.inst.readLatency[d.level].Observe(dur.Seconds())
 	m.span(obs.Span{Kind: obs.SpanRead, File: name, Tier: d.level, Off: off, Bytes: int64(n), Flags: flags, Duration: dur})
+	m.stats.jobRead(m.tenants, name, d.level, src, int64(n))
 
 	if !m.cfg.Disabled && m.cfg.Staging == StageOnFirstRead && m.owns(name) {
 		// The §III-B flow: first access triggers placement. If the
@@ -441,8 +484,36 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 	}
 	if m.cfg.Eviction != nil {
 		m.cfg.Eviction.OnAccess(name)
+		if !m.cfg.Disabled && m.owns(name) {
+			m.maybePromote(e)
+		}
 	}
 	return n, nil
+}
+
+// maybePromote re-enters an unplaceable file into the placement
+// pipeline. Heat-style policies (promoter) gate the revival: the file
+// must have become hot enough to displace a colder resident, and
+// HeatPolicy.ShouldPromote rate-limits the check to once per file per
+// epoch. Plain recency policies (LRU/FIFO) revive unconditionally —
+// under them an access *is* the claim to residence, and the books they
+// keep lag the chunk-finalisation tasks, so a placement skipped during
+// a burst must be retriable on the next touch. The placement itself
+// then runs the normal admission path: if no victim still qualifies by
+// the time it executes, the file simply returns to unplaceable.
+func (m *Monarch) maybePromote(e *fileEntry) {
+	if e.currentState() != stateUnplaceable {
+		return
+	}
+	if pr, ok := m.cfg.Eviction.(promoter); ok && !pr.ShouldPromote(e.name) {
+		return
+	}
+	if !e.makeReplaceable() {
+		return
+	}
+	m.stats.promotions.Add(1)
+	m.event(Event{Kind: EventPromoted, File: e.name, Level: -1, Bytes: e.size})
+	m.placer.onAccess(e, nil)
 }
 
 // ReadView serves up to n bytes of the named file at offset off as a
@@ -481,6 +552,7 @@ func (m *Monarch) ReadView(ctx context.Context, name string, off, n int64) (stor
 				if rerr == nil {
 					m.health.recordReadOK(lvl)
 					m.stats.served(lvl, int64(len(v.Data)))
+					m.stats.jobRead(m.tenants, name, lvl, m.source.level, int64(len(v.Data)))
 					dur := time.Since(m.base) - start
 					m.inst.readLatency[lvl].Observe(dur.Seconds())
 					m.span(obs.Span{Kind: obs.SpanRead, File: name, Tier: lvl, Off: off, Bytes: int64(len(v.Data)), Duration: dur})

@@ -47,6 +47,10 @@ const (
 	// errors silently; now they surface here and in the
 	// monarch_errors_total metric.
 	EventOpError
+	// EventPromoted: an unplaceable file re-entered the placement
+	// pipeline because its heat came to justify displacing a colder
+	// resident.
+	EventPromoted
 
 	// eventKinds counts the kinds above; keep it last.
 	eventKinds
@@ -79,6 +83,8 @@ func (k EventKind) String() string {
 		return "partial-hit"
 	case EventOpError:
 		return "op-error"
+	case EventPromoted:
+		return "promoted"
 	default:
 		return "unknown"
 	}
@@ -122,6 +128,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d read of %s served mid-copy from level %d (%d bytes)", e.Seq, e.File, e.Level, e.Bytes)
 	case EventOpError:
 		return fmt.Sprintf("#%d best-effort operation on %s (level %d) failed: %v", e.Seq, e.File, e.Level, e.Err)
+	case EventPromoted:
+		return fmt.Sprintf("#%d promoted %s back into placement (%d bytes)", e.Seq, e.File, e.Bytes)
 	default:
 		return fmt.Sprintf("#%d %s %s", e.Seq, e.Kind, e.File)
 	}

@@ -18,15 +18,15 @@ import (
 func FuzzReadAt(f *testing.F) {
 	f.Add(uint16(0), int64(0), uint16(0), uint16(0))
 	f.Add(uint16(1), int64(0), uint16(1), uint16(1))
-	f.Add(uint16(1000), int64(0), uint16(1000), uint16(256))     // full read, 4 chunks
-	f.Add(uint16(1000), int64(999), uint16(10), uint16(256))     // clipped at EOF
-	f.Add(uint16(1000), int64(1000), uint16(10), uint16(256))    // at EOF
-	f.Add(uint16(1000), int64(2000), uint16(10), uint16(256))    // past EOF
-	f.Add(uint16(1000), int64(-3), uint16(10), uint16(256))      // negative offset
-	f.Add(uint16(1000), int64(200), uint16(112), uint16(256))    // chunk straddle
-	f.Add(uint16(513), int64(512), uint16(1), uint16(512))       // short tail chunk
-	f.Add(uint16(4096), int64(100), uint16(4000), uint16(1))     // 1-byte chunks
-	f.Add(uint16(300), int64(0), uint16(300), uint16(7))         // odd chunk size
+	f.Add(uint16(1000), int64(0), uint16(1000), uint16(256))  // full read, 4 chunks
+	f.Add(uint16(1000), int64(999), uint16(10), uint16(256))  // clipped at EOF
+	f.Add(uint16(1000), int64(1000), uint16(10), uint16(256)) // at EOF
+	f.Add(uint16(1000), int64(2000), uint16(10), uint16(256)) // past EOF
+	f.Add(uint16(1000), int64(-3), uint16(10), uint16(256))   // negative offset
+	f.Add(uint16(1000), int64(200), uint16(112), uint16(256)) // chunk straddle
+	f.Add(uint16(513), int64(512), uint16(1), uint16(512))    // short tail chunk
+	f.Add(uint16(4096), int64(100), uint16(4000), uint16(1))  // 1-byte chunks
+	f.Add(uint16(300), int64(0), uint16(300), uint16(7))      // odd chunk size
 	f.Fuzz(func(t *testing.T, fileSize uint16, off int64, readLen, chunkSize uint16) {
 		ctx := context.Background()
 		content := chunkContent(0, int(fileSize))

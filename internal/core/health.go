@@ -388,9 +388,12 @@ func (m *Monarch) tierDown(level int, err error) {
 }
 
 // demote re-points an entry placed on a Down tier at the source level
-// so subsequent reads skip the broken tier entirely.
+// so subsequent reads skip the broken tier entirely. The entry's bytes
+// leave its job's quota ledger: a demoted file is served from the
+// source, and its re-placement after recovery charges the job again.
 func (m *Monarch) demote(e *fileEntry, from int) {
 	if e.markDemoted(from, m.source.level) {
+		m.tenants.release(m.tenants.job(e.name), from, e.size)
 		m.stats.demotions.Add(1)
 		m.event(Event{Kind: EventDemoted, File: e.name, Level: from, Bytes: e.size})
 	}

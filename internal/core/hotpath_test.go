@@ -79,7 +79,7 @@ func FuzzMetaOracle(f *testing.F) {
 			if !ok {
 				t.Fatalf("populated entry %q missing", name)
 			}
-			switch op % 12 {
+			switch op % 13 {
 			case 0:
 				if g, w := ce.tryQueue(), oe.tryQueue(); g != w {
 					t.Fatalf("tryQueue = %v, oracle %v", g, w)
@@ -123,6 +123,24 @@ func FuzzMetaOracle(f *testing.F) {
 			case 11:
 				if _, hit := c.get(fmt.Sprintf("zz%03d", arg)); hit {
 					t.Fatalf("get of unpopulated name hit")
+				}
+			case 12:
+				// The live eviction transition: must agree with the
+				// oracle, must only fire on entries placed on the given
+				// level, and must leave the entry re-placeable with no
+				// chunk state behind.
+				g := ce.markEvictedFrom(int(arg)%levels, levels-1)
+				w := oe.markEvictedFrom(int(arg)%levels, levels-1)
+				if g != w {
+					t.Fatalf("markEvictedFrom = %v, oracle %v", g, w)
+				}
+				if g {
+					if st, _, armed := ce.snapshot(); st != stateSource || armed {
+						t.Fatalf("evicted entry in state %d (armed=%v), want re-placeable source", st, armed)
+					}
+					if !ce.tryQueue() || !oe.tryQueue() {
+						t.Fatalf("evicted entry not immediately re-placeable")
+					}
 				}
 			}
 			check(pc, ce, oe)

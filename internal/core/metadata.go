@@ -240,13 +240,41 @@ func (e *fileEntry) markUnplaceable() {
 }
 
 // markEvicted sends the file back to the source level so a later access
-// may re-place it (only eviction-policy ablations ever call this).
+// may re-place it, discarding any chunk state so the presence bitmap
+// never outlives the entry's residency. Prefer markEvictedFrom on the
+// live eviction path; this unconditional form remains for the namespace
+// fuzz tapes.
 func (e *fileEntry) markEvicted(sourceLevel int) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.level = sourceLevel
 	e.state = stateSource
+	e.chunkBits = nil
+	e.chunkSize = 0
+	e.chunksLeft = 0
 	e.publish()
+}
+
+// markEvictedFrom atomically re-points a file placed on from at the
+// source level, reporting whether the entry actually moved. It refuses
+// any entry not currently placed on from — in particular queued entries
+// with an in-flight (possibly chunk-armed) placement, which is what
+// pins them against eviction — so a victim chosen from a stale policy
+// view is skipped instead of corrupted. The evicted entry lands in
+// stateSource: always immediately re-placeable on its next access.
+func (e *fileEntry) markEvictedFrom(from, sourceLevel int) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.state != statePlaced || e.level != from {
+		return false
+	}
+	e.level = sourceLevel
+	e.state = stateSource
+	e.chunkBits = nil
+	e.chunkSize = 0
+	e.chunksLeft = 0
+	e.publish()
+	return true
 }
 
 // markDemoted re-points a file placed on a tripped tier at the source

@@ -133,6 +133,32 @@ func (m *Monarch) initObs() {
 	}
 }
 
+// initTenantObs registers per-tenant quota gauges for every declared
+// tenant and cache tier. Jobs discovered only at runtime still get
+// their fairness counters lazily (statsCollector.job); quota gauges
+// exist only for declared shares, because only those carry guarantees.
+func (m *Monarch) initTenantObs() {
+	if m.tenants == nil {
+		return
+	}
+	reg := m.inst.reg
+	for _, j := range m.tenants.jobs() {
+		job := j
+		for lvl := 0; lvl < len(m.levels)-1; lvl++ {
+			level := lvl
+			labels := []obs.Label{obs.L("job", job), obs.L("tier", strconv.Itoa(level))}
+			reg.GaugeFunc("monarch_job_tier_used_bytes",
+				"Bytes of a tenant job's files currently placed on a tier.",
+				func() float64 { return float64(m.tenants.usedBytes(job, level)) },
+				labels...)
+			reg.GaugeFunc("monarch_job_tier_quota_bytes",
+				"A tenant job's guaranteed share of a tier, in bytes.",
+				func() float64 { return float64(m.tenants.guarantee(job, level)) },
+				labels...)
+		}
+	}
+}
+
 // event is the single funnel every middleware event goes through: it
 // bumps the per-kind counter, forwards to the (possibly nil) event
 // log, and mirrors tier-state changes into the access trace — so the

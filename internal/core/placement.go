@@ -93,6 +93,9 @@ func (pl *placer) placed(e *fileEntry, d *driver, attempt int, wroteBytes, reuse
 	}
 	m.span(obs.Span{Kind: obs.SpanPlacement, File: e.name, Tier: d.level, Bytes: e.size, Attempt: attempt, Flags: flags, Duration: dur})
 	m.event(Event{Kind: EventPlaced, File: e.name, Level: d.level, Bytes: e.size})
+	if m.tenants != nil {
+		m.tenants.charge(m.tenants.job(e.name), d.level, e.size)
+	}
 	if m.cfg.Eviction != nil {
 		m.cfg.Eviction.OnPlaced(e.name, d.level)
 	}
@@ -146,7 +149,7 @@ func (pl *placer) place(ctx context.Context, e *fileEntry, full []byte, attempt 
 			continue // breaker open: never write into a dead tier
 		}
 		if storage.Free(d.backend) < e.size {
-			if !pl.tryMakeRoom(ctx, d, e.size) {
+			if !pl.tryMakeRoom(ctx, d, e) {
 				continue
 			}
 		}
@@ -448,46 +451,89 @@ func (j *chunkJob) finish(ctx context.Context) {
 // path but is not an operational failure.
 var errFetchDisabled = errors.New("monarch: full-file fetch disabled")
 
-// tryMakeRoom applies the configured eviction policy (ablation only;
-// the paper's MONARCH never evicts) until size bytes fit on d.
-func (pl *placer) tryMakeRoom(ctx context.Context, d *driver, size int64) bool {
+// errUnknownVictim marks a policy proposing a file absent from the
+// namespace; tryMakeRoom gives up rather than trusting the policy
+// further.
+var errUnknownVictim = errors.New("monarch: eviction victim missing from namespace")
+
+// tryMakeRoom applies the configured eviction policy until e fits on
+// d. With a victimChooser (the heat engine) the candidate is in view,
+// so admission — quota reclaim or the heat-vs-margin contest — happens
+// inside victim selection; plain policies (the abl-eviction LRU/FIFO)
+// keep their unconditional make-room behaviour. The file being placed
+// is never its own victim, and a victim proposed twice aborts the loop
+// so a policy that ignores OnEvicted cannot spin it forever.
+func (pl *placer) tryMakeRoom(ctx context.Context, d *driver, e *fileEntry) bool {
 	policy := pl.m.cfg.Eviction
 	if policy == nil {
 		return false
 	}
-	if d.backend.Capacity() > 0 && size > d.backend.Capacity() {
+	if c := d.backend.Capacity(); c > 0 && e.size > c {
 		return false // would never fit, even empty
 	}
-	for storage.Free(d.backend) < size {
-		victim, ok := policy.Victim(d.level)
-		if !ok {
+	chooser, _ := policy.(victimChooser)
+	var tried map[string]bool
+	for storage.Free(d.backend) < e.size {
+		var victim string
+		var ok bool
+		if chooser != nil {
+			victim, ok = chooser.VictimFor(e.name, d.level)
+		} else {
+			victim, ok = policy.Victim(d.level)
+		}
+		if !ok || victim == e.name || tried[victim] {
 			return false
 		}
-		if err := pl.evict(ctx, d, victim); err != nil {
+		if tried == nil {
+			tried = make(map[string]bool)
+		}
+		tried[victim] = true
+		if _, err := pl.evict(ctx, d, victim); err != nil {
 			return false
 		}
+		// A stale victim (freed=false, nil error) just loops: evict
+		// already dropped it from the policy's books, so the next
+		// iteration proposes someone else.
 	}
 	return true
 }
 
-func (pl *placer) evict(ctx context.Context, d *driver, name string) error {
+// evict removes the victim from d on behalf of a placement. It reports
+// freed=true when bytes actually left the tier; freed=false with a nil
+// error means the victim was stale — no longer placed on d (concurrent
+// eviction or demotion, or pinned by an in-flight chunked placement) —
+// and the caller should ask the policy for another candidate.
+func (pl *placer) evict(ctx context.Context, d *driver, name string) (bool, error) {
 	m := pl.m
 	e, ok := m.meta.get(name)
 	if !ok {
-		return errors.New("monarch: eviction victim missing from namespace")
+		return false, errUnknownVictim
 	}
-	if err := d.backend.Remove(ctx, name); err != nil {
-		// This error used to vanish into tryMakeRoom's boolean; record
-		// it so a wedged eviction path shows up on a scrape.
+	// Metadata first: the moment the entry re-points at the source, new
+	// lookups route there and never observe the removal below. A reader
+	// already holding the placed snapshot may race Remove and get
+	// ErrNotExist from the tier; ReadAt treats that as a clean eviction
+	// race (re-served from the source, no breaker feed).
+	if !e.markEvictedFrom(d.level, m.source.level) {
+		m.cfg.Eviction.OnEvicted(name) // stale books: drop the ghost
+		return false, nil
+	}
+	start := time.Now()
+	job := m.tenants.job(name)
+	m.tenants.release(job, d.level, e.size)
+	m.cfg.Eviction.OnEvicted(name)
+	if err := d.backend.Remove(ctx, name); err != nil && !errors.Is(err, storage.ErrNotExist) {
+		// The entry already routes to the source so reads stay correct,
+		// but the tier freed nothing — surface the wedged eviction.
 		m.inst.errEvict.Inc()
 		m.event(Event{Kind: EventOpError, File: name, Level: d.level, Err: err})
-		return err
+		return false, err
 	}
-	e.markEvicted(m.source.level)
-	m.cfg.Eviction.OnEvicted(name)
 	m.stats.evictions.Add(1)
+	m.stats.jobEviction(m.tenants, job)
 	m.event(Event{Kind: EventEvicted, File: name, Level: d.level, Bytes: e.size})
-	return nil
+	m.span(obs.Span{Kind: obs.SpanEvict, File: name, Tier: d.level, Bytes: e.size, Duration: time.Since(start)})
+	return true, nil
 }
 
 // preStage implements StagePreTraining: synchronously walk the

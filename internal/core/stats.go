@@ -2,6 +2,7 @@ package core
 
 import (
 	"strconv"
+	"sync"
 
 	"monarch/internal/obs"
 )
@@ -56,8 +57,17 @@ type Stats struct {
 	// Fallbacks counts foreground reads re-served from the PFS after an
 	// upper tier failed.
 	Fallbacks int64
-	// Evictions counts files removed by an eviction-policy ablation.
+	// Evictions counts files removed from a tier by the eviction policy
+	// (the heat engine under tenancy, or an abl-eviction ablation).
 	Evictions int64
+	// EvictionRaces counts reads that looked up a placed file and found
+	// its tier copy already removed by a concurrent eviction; they were
+	// re-served from the source with no breaker feed, like peer misses.
+	EvictionRaces int64
+	// Promotions counts unplaceable files re-entered into the placement
+	// pipeline because their heat came to justify displacing a colder
+	// resident.
+	Promotions int64
 	// Demotions counts entries re-pointed from a Down tier to the
 	// source level by the circuit breaker.
 	Demotions int64
@@ -73,6 +83,29 @@ type Stats struct {
 	// InFlight is the number of queued or running placement tasks
 	// (including retries and recovery probes).
 	InFlight int
+	// Jobs holds per-tenant fairness counters, keyed by job name; nil
+	// unless Config.JobOf or Config.Tenants enabled tenancy.
+	Jobs map[string]JobStats
+}
+
+// JobStats are one tenant's fairness counters.
+type JobStats struct {
+	// ReadsServed / BytesServed count the job's foreground reads.
+	ReadsServed int64
+	BytesServed int64
+	// Hits counts the job's reads served above the source level.
+	Hits int64
+	// Evictions counts the job's files evicted from a tier.
+	Evictions int64
+}
+
+// HitRatio returns the fraction of the job's reads served above the
+// source level.
+func (j JobStats) HitRatio() float64 {
+	if j.ReadsServed == 0 {
+		return 0
+	}
+	return float64(j.Hits) / float64(j.ReadsServed)
 }
 
 // HitRatio returns the fraction of foreground reads served above the
@@ -116,14 +149,34 @@ type statsCollector struct {
 	peerHedges      *obs.Counter
 	fallbacks       *obs.Counter
 	evictions       *obs.Counter
+	evictionRaces   *obs.Counter
+	promotions      *obs.Counter
 	demotions       *obs.Counter
 	retries         *obs.Counter
 	tierTrips       *obs.Counter
 	tierRecoveries  *obs.Counter
 	probes          *obs.Counter
+
+	// Per-job fairness series, registered lazily on a job's first read
+	// or eviction (obs.Registry handles are idempotent and mutex-guarded,
+	// so concurrent first touches are safe). reg is retained for that
+	// lazy registration only.
+	reg   *obs.Registry
+	jobMu sync.RWMutex
+	jobs  map[string]*jobCounters
+}
+
+// jobCounters are one tenant's live fairness handles.
+type jobCounters struct {
+	reads     *obs.Counter
+	readBytes *obs.Counter
+	hits      *obs.Counter
+	evictions *obs.Counter
 }
 
 func (c *statsCollector) init(reg *obs.Registry, levels int) {
+	c.reg = reg
+	c.jobs = make(map[string]*jobCounters)
 	for i := 0; i < levels; i++ {
 		tier := obs.L("tier", strconv.Itoa(i))
 		c.readsServed = append(c.readsServed, reg.Counter("monarch_tier_read_ops_total",
@@ -160,7 +213,11 @@ func (c *statsCollector) init(reg *obs.Registry, levels int) {
 	c.fallbacks = reg.Counter("monarch_fallbacks_total",
 		"Reads re-served from the PFS after an upper-tier failure.")
 	c.evictions = reg.Counter("monarch_evictions_total",
-		"Files removed by an eviction-policy ablation.")
+		"Files removed from a tier by the eviction policy.")
+	c.evictionRaces = reg.Counter("monarch_eviction_read_races_total",
+		"Reads that raced a concurrent eviction and were cleanly re-served from the source.")
+	c.promotions = reg.Counter("monarch_promotions_total",
+		"Unplaceable files re-entered into placement because their heat justified it.")
 	c.demotions = reg.Counter("monarch_demotions_total",
 		"Entries re-pointed from a Down tier to the source level.")
 	c.retries = reg.Counter("monarch_placement_retries_total",
@@ -182,6 +239,55 @@ func (c *statsCollector) served(level int, bytes int64) {
 func (c *statsCollector) placedOn(level int, bytes int64) {
 	c.placements.Inc()
 	c.placedBytes.Add(bytes)
+}
+
+// job returns (lazily creating) the fairness handles for one tenant.
+func (c *statsCollector) job(name string) *jobCounters {
+	c.jobMu.RLock()
+	jc := c.jobs[name]
+	c.jobMu.RUnlock()
+	if jc != nil {
+		return jc
+	}
+	c.jobMu.Lock()
+	defer c.jobMu.Unlock()
+	if jc = c.jobs[name]; jc == nil {
+		l := obs.L("job", name)
+		jc = &jobCounters{
+			reads: c.reg.Counter("monarch_job_read_ops_total",
+				"Foreground reads, by tenant job.", l),
+			readBytes: c.reg.Counter("monarch_job_read_bytes_total",
+				"Foreground bytes read, by tenant job.", l),
+			hits: c.reg.Counter("monarch_job_hits_total",
+				"Reads served above the source level, by tenant job.", l),
+			evictions: c.reg.Counter("monarch_job_evictions_total",
+				"Files evicted from a tier, by tenant job.", l),
+		}
+		c.jobs[name] = jc
+	}
+	return jc
+}
+
+// jobRead attributes one served read to its tenant; no-op without a
+// tenant table, so single-tenant instances pay one nil check.
+func (c *statsCollector) jobRead(t *tenantTable, file string, level, src int, bytes int64) {
+	if t == nil {
+		return
+	}
+	jc := c.job(t.job(file))
+	jc.reads.Inc()
+	jc.readBytes.Add(bytes)
+	if level != src {
+		jc.hits.Inc()
+	}
+}
+
+// jobEviction attributes one eviction to its tenant.
+func (c *statsCollector) jobEviction(t *tenantTable, job string) {
+	if t == nil {
+		return
+	}
+	c.job(job).evictions.Inc()
 }
 
 // hitRatio is the live form of Stats.HitRatio, exposed as the
@@ -219,6 +325,8 @@ func (c *statsCollector) snapshot(inFlight int) Stats {
 		PeerHedges:       c.peerHedges.Value(),
 		Fallbacks:        c.fallbacks.Value(),
 		Evictions:        c.evictions.Value(),
+		EvictionRaces:    c.evictionRaces.Value(),
+		Promotions:       c.promotions.Value(),
 		Demotions:        c.demotions.Value(),
 		PlacementRetries: c.retries.Value(),
 		TierTrips:        c.tierTrips.Value(),
@@ -230,5 +338,18 @@ func (c *statsCollector) snapshot(inFlight int) Stats {
 		s.ReadsServed[i] = c.readsServed[i].Value()
 		s.BytesServed[i] = c.bytesServed[i].Value()
 	}
+	c.jobMu.RLock()
+	if len(c.jobs) > 0 {
+		s.Jobs = make(map[string]JobStats, len(c.jobs))
+		for name, jc := range c.jobs {
+			s.Jobs[name] = JobStats{
+				ReadsServed: jc.reads.Value(),
+				BytesServed: jc.readBytes.Value(),
+				Hits:        jc.hits.Value(),
+				Evictions:   jc.evictions.Value(),
+			}
+		}
+	}
+	c.jobMu.RUnlock()
 	return s
 }

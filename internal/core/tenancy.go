@@ -1,0 +1,173 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+)
+
+// TenantConfig declares one job's guaranteed share of every cache tier
+// (every level except the read-only source). Shares are fractions of
+// each tier's capacity; the sum across tenants must not exceed 1.
+//
+// Shares are guarantees, not limits: borrowing is work-conserving. A
+// job may fill any free space beyond its share, but while it is over
+// its share its coldest files are the first reclaimed when an
+// under-share job needs room (see HeatPolicy.VictimFor).
+type TenantConfig struct {
+	// Job names the tenant; Config.JobOf maps file names to jobs.
+	Job string
+	// Share is the guaranteed fraction (0..1] of each cache tier.
+	Share float64
+}
+
+// JobFromPath is the default Config.JobOf: the first path segment of
+// the file name ("jobA/shard-0003" → "jobA"; no separator → "").
+// It matches the per-job namespaces monarch-serve exports.
+func JobFromPath(name string) string {
+	if i := strings.IndexByte(name, '/'); i >= 0 {
+		return name[:i]
+	}
+	return ""
+}
+
+// tenantTable is the quota ledger behind multi-job tenancy: per-(job,
+// tier) bytes of currently placed files, charged on placement and
+// released on eviction/demotion. The placer and the heat policy consult
+// it for share guarantees; the per-job fairness gauges read it.
+//
+// Invariant (enforced by charge/release pairing on entry transitions
+// and locked down by TestQuotaAccounting*): a job's used bytes on a
+// tier never go negative and always equal the sum of its files placed
+// there.
+type tenantTable struct {
+	jobOf func(string) string
+	share map[string]float64
+	caps  []int64 // per-level capacity snapshot (source level included, unused)
+
+	mu   sync.Mutex
+	used map[string][]int64 // job → per-level placed bytes
+}
+
+// newTenantTable builds the ledger; returns nil when tenancy is off
+// (no JobOf and no Tenants), which disables all per-job accounting.
+func newTenantTable(cfg Config, caps []int64) (*tenantTable, error) {
+	if cfg.JobOf == nil && len(cfg.Tenants) == 0 {
+		return nil, nil
+	}
+	t := &tenantTable{
+		jobOf: cfg.JobOf,
+		share: make(map[string]float64),
+		caps:  caps,
+		used:  make(map[string][]int64),
+	}
+	if t.jobOf == nil {
+		t.jobOf = JobFromPath
+	}
+	sum := 0.0
+	for _, tc := range cfg.Tenants {
+		if tc.Share < 0 || tc.Share > 1 {
+			return nil, fmt.Errorf("monarch: tenant %q share %v outside [0,1]", tc.Job, tc.Share)
+		}
+		if _, dup := t.share[tc.Job]; dup {
+			return nil, fmt.Errorf("monarch: tenant %q declared twice", tc.Job)
+		}
+		t.share[tc.Job] = tc.Share
+		sum += tc.Share
+	}
+	if sum > 1+1e-9 {
+		return nil, fmt.Errorf("monarch: tenant shares sum to %v (> 1)", sum)
+	}
+	return t, nil
+}
+
+// job attributes a file name; nil-safe ("" = the single anonymous job).
+func (t *tenantTable) job(name string) string {
+	if t == nil {
+		return ""
+	}
+	return t.jobOf(name)
+}
+
+// guarantee returns job's guaranteed bytes on level (0 for undeclared
+// jobs and for unlimited-capacity tiers, where shares are moot).
+func (t *tenantTable) guarantee(job string, level int) int64 {
+	if t == nil || level < 0 || level >= len(t.caps) || t.caps[level] <= 0 {
+		return 0
+	}
+	return int64(t.share[job] * float64(t.caps[level]))
+}
+
+// charge records bytes of job's data placed on level.
+func (t *tenantTable) charge(job string, level int, bytes int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.row(job)[level] += bytes
+}
+
+// release returns bytes of job's data evicted or demoted off level.
+// Releasing more than was charged is a bookkeeping bug; the ledger
+// clamps at zero so a miscount can never flip the quota logic's sign,
+// and the invariant suite asserts the clamp never fires.
+func (t *tenantTable) release(job string, level int, bytes int64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	r := t.row(job)
+	r[level] -= bytes
+	if r[level] < 0 {
+		r[level] = 0
+	}
+}
+
+// usedBytes returns job's currently placed bytes on level.
+func (t *tenantTable) usedBytes(job string, level int) int64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if r, ok := t.used[job]; ok {
+		return r[level]
+	}
+	return 0
+}
+
+// overShare reports whether job is borrowing beyond its guaranteed
+// share of level. On unlimited tiers nobody is ever over share.
+func (t *tenantTable) overShare(job string, level int) bool {
+	if t == nil {
+		return false
+	}
+	g := t.guarantee(job, level)
+	if level < 0 || level >= len(t.caps) || t.caps[level] <= 0 {
+		return false
+	}
+	return t.usedBytes(job, level) > g
+}
+
+// jobs returns the declared tenants (for gauge registration).
+func (t *tenantTable) jobs() []string {
+	if t == nil {
+		return nil
+	}
+	out := make([]string, 0, len(t.share))
+	for j := range t.share {
+		out = append(out, j)
+	}
+	return out
+}
+
+func (t *tenantTable) row(job string) []int64 {
+	r, ok := t.used[job]
+	if !ok {
+		r = make([]int64, len(t.caps))
+		t.used[job] = r
+	}
+	return r
+}

@@ -81,11 +81,21 @@ func (m *Monarch) traceSummary() map[string]int64 {
 	return out
 }
 
-// MarkTraceEpoch records an epoch boundary in the access trace (a
-// no-op without Config.TracePath). The training loop calls it when
-// epoch n (1-based) finishes, giving the analyzer its per-epoch cut
-// points.
-func (m *Monarch) MarkTraceEpoch(n int) { m.tracer.MarkEpoch(n) }
+// MarkEpoch tells the instance that epoch n (1-based) finished: the
+// access trace records the boundary (a no-op without Config.TracePath)
+// and an epoch-aware eviction policy advances its heat-decay clock —
+// the online counterpart of the analyzer's per-epoch heatmap cut
+// points. The training loop should call it once per epoch.
+func (m *Monarch) MarkEpoch(n int) {
+	m.tracer.MarkEpoch(n)
+	if ea, ok := m.cfg.Eviction.(epochAdvancer); ok {
+		ea.AdvanceEpoch()
+	}
+}
+
+// MarkTraceEpoch is the historical name of MarkEpoch, kept for existing
+// training loops; it forwards unchanged.
+func (m *Monarch) MarkTraceEpoch(n int) { m.MarkEpoch(n) }
 
 // Tracer exposes the access-trace recorder (nil without
 // Config.TracePath), so harnesses can merge their own counters into

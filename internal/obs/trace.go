@@ -30,6 +30,11 @@ const (
 	SpanChunkCopy
 	// SpanTierProbe covers one recovery probe of a Down tier.
 	SpanTierProbe
+	// SpanEvict covers one eviction: a victim's bytes leaving a tier to
+	// make room for a hotter (or quota-entitled) placement. Duration is
+	// the backend removal; the eviction itself is also surfaced through
+	// the event funnel and the trace's state stream.
+	SpanEvict
 )
 
 // String names the kind.
@@ -45,6 +50,8 @@ func (k SpanKind) String() string {
 		return "chunk-copy"
 	case SpanTierProbe:
 		return "tier-probe"
+	case SpanEvict:
+		return "evict"
 	default:
 		return "unknown"
 	}

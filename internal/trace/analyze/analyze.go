@@ -9,6 +9,7 @@ package analyze
 import (
 	"fmt"
 	"io"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -74,6 +75,31 @@ type FileStats struct {
 	Reads         int64   `json:"reads"`
 	Bytes         int64   `json:"bytes"`
 	ReadsPerEpoch []int64 `json:"reads_per_epoch"`
+	// Heat is the file's exponentially decayed access temperature as of
+	// the trace's last epoch — HeatScore over ReadsPerEpoch with the
+	// default one-epoch half-life. It is the offline form of the value
+	// core's heat-driven eviction engine maintains online, so an
+	// operator can read "which files would the policy keep" straight
+	// off a capture.
+	Heat float64 `json:"heat"`
+}
+
+// HeatScore folds a per-epoch read heatmap into a single decayed
+// temperature: each epoch's reads add one heat unit apiece, and heat
+// halves every halfLife epochs of silence (halfLife <= 0 means 1).
+// This is the same decay core.HeatPolicy applies online via
+// MarkEpoch/AdvanceEpoch; TestHeatMatchesAnalyzer locks the two
+// together.
+func HeatScore(readsPerEpoch []int64, halfLife float64) float64 {
+	if halfLife <= 0 {
+		halfLife = 1
+	}
+	decay := math.Exp2(-1 / halfLife)
+	h := 0.0
+	for _, reads := range readsPerEpoch {
+		h = h*decay + float64(reads)
+	}
+	return h
 }
 
 // Transition is one tier-transition event on the timeline.
@@ -298,6 +324,7 @@ func Analyze(t *trace.Trace, opts Options) *Analysis {
 			f.reads = append(f.reads, 0)
 		}
 		fs.ReadsPerEpoch = f.reads
+		fs.Heat = HeatScore(f.reads, 1)
 		for _, v := range f.reads {
 			fs.Reads += v
 		}
@@ -433,13 +460,13 @@ func (a *Analysis) Render(w io.Writer, opts Options) {
 		if n > len(a.FileStats) {
 			n = len(a.FileStats)
 		}
-		fmt.Fprintf(w, "\nhottest files (reads per epoch)\n")
+		fmt.Fprintf(w, "\nhottest files (reads per epoch; heat = decayed temperature, 1-epoch half-life)\n")
 		for _, fs := range a.FileStats[:n] {
 			cells := make([]string, len(fs.ReadsPerEpoch))
 			for i, v := range fs.ReadsPerEpoch {
 				cells[i] = strconv.FormatInt(v, 10)
 			}
-			fmt.Fprintf(w, "  %-40s %10d B  [%s]\n", fs.Name, fs.Size, strings.Join(cells, " "))
+			fmt.Fprintf(w, "  %-40s %10d B  heat %6.2f  [%s]\n", fs.Name, fs.Size, fs.Heat, strings.Join(cells, " "))
 		}
 		if n < len(a.FileStats) {
 			fmt.Fprintf(w, "  … %d more file(s)\n", len(a.FileStats)-n)

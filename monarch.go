@@ -9,9 +9,12 @@
 // dataset. A single ReadAt call replaces the framework's pread: reads
 // are served from whichever tier currently holds the file, and the
 // first read of each file schedules a background whole-file copy into
-// the highest tier with free space. No evictions ever happen: under
-// DL's random once-per-epoch access pattern, replacement would only
-// churn data between tiers.
+// the highest tier with free space. By default no evictions ever
+// happen: under a single job's random once-per-epoch access pattern,
+// replacement would only churn data between tiers. When several jobs
+// share a tier, Config.Eviction = NewHeatPolicy(...) plus
+// Config.Tenants turns on heat-driven admission/eviction with per-job
+// quota shares (DESIGN.md §12).
 //
 // # Quick start
 //
@@ -56,9 +59,23 @@ type (
 	// StagingMode selects placement timing (on first read vs before
 	// training).
 	StagingMode = core.StagingMode
-	// EvictionPolicy is the replacement hook used only by ablations;
-	// production configurations leave Config.Eviction nil.
+	// EvictionPolicy is the replacement hook: nil (the paper's
+	// single-job configuration, never evict), an ablation policy
+	// (NewLRU/NewFIFO), or the multi-tenant heat engine (NewHeatPolicy).
 	EvictionPolicy = core.EvictionPolicy
+	// HeatConfig tunes the heat-driven policy engine (NewHeatPolicy):
+	// the decay half-life in epochs and the admission margin a candidate
+	// must clear over the coldest resident.
+	HeatConfig = core.HeatConfig
+	// HeatPolicy is the heat-driven eviction/admission engine with
+	// per-job quota shares; see NewHeatPolicy.
+	HeatPolicy = core.HeatPolicy
+	// TenantConfig declares one job's guaranteed share of every capped
+	// cache tier (Config.Tenants).
+	TenantConfig = core.TenantConfig
+	// JobStats is one job's slice of the fairness counters
+	// (Stats.Jobs).
+	JobStats = core.JobStats
 	// EventLog is a bounded ring of middleware events (placements,
 	// skips, fallbacks) for observability; attach via Config.Events.
 	EventLog = core.EventLog
@@ -93,6 +110,7 @@ const (
 	EventChunkPlaced = core.EventChunkPlaced
 	EventPartialHit  = core.EventPartialHit
 	EventOpError     = core.EventOpError
+	EventPromoted    = core.EventPromoted
 )
 
 // Observability types, re-exported from internal/obs. A Monarch's
@@ -119,6 +137,7 @@ const (
 	SpanPlacement        = obs.SpanPlacement
 	SpanChunkCopy        = obs.SpanChunkCopy
 	SpanTierProbe        = obs.SpanTierProbe
+	SpanEvict            = obs.SpanEvict
 )
 
 // Tier circuit-breaker states.
@@ -151,6 +170,18 @@ var (
 	NewLRU  = core.NewLRU
 	NewFIFO = core.NewFIFO
 )
+
+// NewHeatPolicy builds the heat-driven eviction/admission engine for
+// multi-job tenancy: exponentially decayed per-file heat (fed by the
+// read path and Monarch.MarkEpoch), margin-gated admission so uniform
+// single-job access degenerates to the paper's no-eviction behaviour,
+// and work-conserving per-job quota reclaim when Config.Tenants
+// declares shares. See DESIGN.md §12.
+func NewHeatPolicy(cfg HeatConfig) *HeatPolicy { return core.NewHeatPolicy(cfg) }
+
+// JobFromPath is the default Config.JobOf: a file's job is its first
+// slash-separated path segment ("jobA/shard-0003" → "jobA").
+func JobFromPath(name string) string { return core.JobFromPath(name) }
 
 // Storage backend types, re-exported from internal/storage.
 type (
