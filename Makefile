@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet cover bench bench-all bench-obs bench-peer bench-hotpath trace-smoke peer-smoke chaos-smoke repro repro-full examples fuzz fuzz-smoke clean
+.PHONY: all build test race vet lint cover bench bench-all bench-obs bench-peer bench-hotpath trace-smoke peer-smoke chaos-smoke repro repro-full examples fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -11,6 +11,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. staticcheck is not vendored; the target
+# runs it when the binary is on PATH (CI installs it) and degrades to
+# vet-only locally so `make lint` never needs network access.
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; ran go vet only (go install honnef.co/go/tools/cmd/staticcheck@latest)"; \
+	fi
 
 # The default test run vets first, includes a short-mode race pass over
 # the concurrency-heavy packages (so data races in the

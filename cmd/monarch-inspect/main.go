@@ -9,7 +9,8 @@
 //	monarch-inspect example <file>    # decode the first record's tf.Example
 //	monarch-inspect dataset <dir>     # summarise a shard directory
 //	monarch-inspect metrics <path|url> # summarise a metrics snapshot
-//	monarch-inspect trace [-json] <file> # per-epoch analytics of an access trace
+//	monarch-inspect trace [-json] <file>... # per-epoch analytics of an access trace
+//	monarch-inspect top [-once] [-interval 2s] <url> # live cluster view
 //
 // The metrics subcommand accepts either a JSON snapshot file (as
 // embedded in BENCH_obs.json or fetched from /metrics.json) or the base
@@ -20,6 +21,15 @@
 // operation counts and savings against a PFS-only baseline, per-file
 // access heatmaps, the tier-transition timeline and
 // time-to-first-local-hit; -json emits the full analysis as JSON.
+// Given SEVERAL trace files — one per node of a peer-cache cluster —
+// it instead stitches cross-node reads: each peer-served read's client
+// half (in the reader's trace) is joined to its serve half (in the
+// owner's trace) by the request ID both carry.
+//
+// The top subcommand polls a node's /cluster.json (served next to
+// /metrics when the node runs a fleet aggregator) and renders a live
+// terminal view of the cluster: per-node hit ratios, tier occupancy,
+// breaker and gossip state, per-job quota usage and eviction churn.
 package main
 
 import (
@@ -29,6 +39,7 @@ import (
 	"io"
 	"net/http"
 	"os"
+	"path/filepath"
 	"sort"
 	"strings"
 
@@ -44,7 +55,7 @@ import (
 
 func main() {
 	if len(os.Args) < 3 {
-		fatal(fmt.Errorf("usage: monarch-inspect {tfrecord <file> | recordio <file> | dataset <dir> | metrics <path|url> | trace [-json] <file>}"))
+		fatal(fmt.Errorf("usage: monarch-inspect {tfrecord <file> | recordio <file> | dataset <dir> | metrics <path|url> | trace [-json] <file>... | top [-once] [-interval 2s] <url>}"))
 	}
 	var err error
 	switch os.Args[1] {
@@ -60,6 +71,8 @@ func main() {
 		err = inspectMetrics(os.Args[2])
 	case "trace":
 		err = inspectTrace(os.Args[2:])
+	case "top":
+		err = inspectTop(os.Args[2:])
 	default:
 		err = fmt.Errorf("unknown subcommand %q", os.Args[1])
 	}
@@ -68,38 +81,96 @@ func main() {
 	}
 }
 
-// inspectTrace analyzes an access trace: human tables by default,
-// the full analysis as JSON with -json.
+// inspectTrace analyzes access traces. One file: per-epoch analytics,
+// human tables by default, the full analysis as JSON with -json.
+// Several files — one per node of a peer-cache cluster — switch to
+// cross-node correlation: peer reads are stitched to the serve events
+// the owning nodes recorded, joined by the shared request ID.
 func inspectTrace(args []string) error {
 	asJSON := false
-	var path string
+	var paths []string
 	for _, a := range args {
 		switch {
 		case a == "-json" || a == "--json":
 			asJSON = true
 		case strings.HasPrefix(a, "-"):
 			return fmt.Errorf("trace: unknown flag %q", a)
-		case path != "":
-			return fmt.Errorf("trace: exactly one trace file expected")
 		default:
-			path = a
+			paths = append(paths, a)
 		}
 	}
-	if path == "" {
-		return fmt.Errorf("usage: monarch-inspect trace [-json] <file>")
+	if len(paths) == 0 {
+		return fmt.Errorf("usage: monarch-inspect trace [-json] <file>...")
 	}
-	t, err := trace.ReadFile(path)
-	if err != nil {
-		return err
+	if len(paths) == 1 {
+		t, err := trace.ReadFile(paths[0])
+		if err != nil {
+			return err
+		}
+		a := analyze.Analyze(t, analyze.Options{})
+		if asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			return enc.Encode(a)
+		}
+		a.Render(os.Stdout, analyze.Options{})
+		return nil
 	}
-	a := analyze.Analyze(t, analyze.Options{})
+
+	traces := make(map[string]*trace.Trace, len(paths))
+	for _, p := range paths {
+		t, err := trace.ReadFile(p)
+		if err != nil {
+			return err
+		}
+		node := strings.TrimSuffix(filepath.Base(p), filepath.Ext(p))
+		if _, dup := traces[node]; dup {
+			node = p // fall back to the full path on basename collisions
+		}
+		traces[node] = t
+	}
+	c := analyze.Correlate(traces)
 	if asJSON {
 		enc := json.NewEncoder(os.Stdout)
 		enc.SetIndent("", "  ")
-		return enc.Encode(a)
+		return enc.Encode(c)
 	}
-	a.Render(os.Stdout, analyze.Options{})
+	renderCorrelation(os.Stdout, traces, c)
 	return nil
+}
+
+// renderCorrelation prints the stitched cross-node view.
+func renderCorrelation(w io.Writer, traces map[string]*trace.Trace, c *analyze.Correlation) {
+	nodes := make([]string, 0, len(traces))
+	for n := range traces {
+		nodes = append(nodes, n)
+	}
+	sort.Strings(nodes)
+	fmt.Fprintf(w, "correlating %d traces:\n", len(nodes))
+	for _, n := range nodes {
+		t := traces[n]
+		var serves int
+		for _, ev := range t.Events {
+			if ev.Kind == trace.KindServe {
+				serves++
+			}
+		}
+		fmt.Fprintf(w, "  %-20s %6d event(s), %d serve(s)\n", n, len(t.Events), serves)
+	}
+	fmt.Fprintf(w, "\n%d stitched cross-node read(s), %d unmatched read(s), %d unmatched serve(s)\n",
+		len(c.Pairs), c.UnmatchedReads, c.UnmatchedServes)
+	const show = 10
+	for i, p := range c.Pairs {
+		if i == show {
+			fmt.Fprintf(w, "  … %d more pair(s)\n", len(c.Pairs)-show)
+			break
+		}
+		for _, s := range p.Serves {
+			fmt.Fprintf(w, "  req=%016x %-28s %s(%s, ≤%gs) ⇐ %s(≤%gs)\n",
+				p.Req, p.Client.File, p.Client.Node, p.Client.Class, p.Client.Lat,
+				s.Node, s.Lat)
+		}
+	}
 }
 
 func inspectShard(path string, mxnet bool) error {

@@ -1,0 +1,260 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"monarch/internal/obs"
+	"monarch/internal/obs/cluster"
+)
+
+// inspectTop polls a node's /cluster.json and renders a live terminal
+// view of the fleet: per-node hit ratios, tier occupancy, breaker and
+// gossip state, per-job quota usage and eviction churn. -once renders
+// a single frame (no screen clearing) and exits; otherwise the view
+// refreshes every -interval until interrupted.
+func inspectTop(args []string) error {
+	once := false
+	interval := 2 * time.Second
+	var url string
+	for i := 0; i < len(args); i++ {
+		switch a := args[i]; {
+		case a == "-once" || a == "--once":
+			once = true
+		case a == "-interval" || a == "--interval":
+			i++
+			if i == len(args) {
+				return fmt.Errorf("top: -interval needs a duration")
+			}
+			d, err := time.ParseDuration(args[i])
+			if err != nil || d <= 0 {
+				return fmt.Errorf("top: bad -interval %q", args[i])
+			}
+			interval = d
+		case strings.HasPrefix(a, "-"):
+			return fmt.Errorf("top: unknown flag %q", a)
+		case url != "":
+			return fmt.Errorf("top: exactly one base URL expected")
+		default:
+			url = a
+		}
+	}
+	if url == "" {
+		return fmt.Errorf("usage: monarch-inspect top [-once] [-interval 2s] <url>")
+	}
+	if !strings.HasPrefix(url, "http://") && !strings.HasPrefix(url, "https://") {
+		url = "http://" + url
+	}
+	url = strings.TrimSuffix(url, "/")
+	if !strings.HasSuffix(url, "/cluster.json") {
+		url += "/cluster.json"
+	}
+
+	for {
+		snap, err := fetchCluster(url)
+		if err != nil {
+			if once {
+				return err
+			}
+			// Keep polling through transient failures — a node restart
+			// mid-watch should not kill the dashboard.
+			fmt.Printf("monarch-top: %v (retrying in %s)\n", err, interval)
+		} else {
+			if !once {
+				fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+			}
+			renderTop(os.Stdout, snap)
+		}
+		if once {
+			return nil
+		}
+		time.Sleep(interval)
+	}
+}
+
+// fetchCluster retrieves and decodes one /cluster.json snapshot.
+func fetchCluster(url string) (*cluster.Snapshot, error) {
+	resp, err := http.Get(url)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("%s: %s", url, resp.Status)
+	}
+	var snap cluster.Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("%s: not a cluster snapshot: %w", url, err)
+	}
+	return &snap, nil
+}
+
+// sumSeries totals every point of one family in a snapshot, whatever
+// its labels — e.g. monarch_tier_read_ops_total across tiers.
+func sumSeries(s obs.Snapshot, name string) float64 {
+	var sum float64
+	for _, p := range s.Metrics {
+		if p.Name == name && p.Value != nil {
+			sum += *p.Value
+		}
+	}
+	return sum
+}
+
+// tierCells renders one node's per-tier occupancy as "t0 62%" cells
+// (absolute bytes when the tier reports no capacity).
+func tierCells(s obs.Snapshot) string {
+	type occ struct {
+		tier      string
+		used, cap float64
+	}
+	byTier := map[string]*occ{}
+	var order []string
+	for _, p := range s.Metrics {
+		if p.Value == nil {
+			continue
+		}
+		if p.Name != "monarch_tier_used_bytes" && p.Name != "monarch_tier_capacity_bytes" {
+			continue
+		}
+		t := p.Labels["tier"]
+		o := byTier[t]
+		if o == nil {
+			o = &occ{tier: t}
+			byTier[t] = o
+			order = append(order, t)
+		}
+		if p.Name == "monarch_tier_used_bytes" {
+			o.used = *p.Value
+		} else {
+			o.cap = *p.Value
+		}
+	}
+	sort.Strings(order)
+	var cells []string
+	for _, t := range order {
+		o := byTier[t]
+		if o.cap > 0 {
+			cells = append(cells, fmt.Sprintf("t%s %3.0f%%", o.tier, 100*o.used/o.cap))
+		} else if o.used > 0 {
+			cells = append(cells, fmt.Sprintf("t%s %s", o.tier, sizeCell(o.used)))
+		}
+	}
+	if len(cells) == 0 {
+		return "-"
+	}
+	return strings.Join(cells, " ")
+}
+
+// sizeCell renders a byte count compactly.
+func sizeCell(b float64) string {
+	switch {
+	case b >= 1<<30:
+		return fmt.Sprintf("%.1fG", b/(1<<30))
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fM", b/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fK", b/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", b)
+	}
+}
+
+// breakerCell compresses a node's per-tier breaker states into one
+// cell: "ok" when every breaker is closed, else e.g. "t1:down".
+func breakerCell(s obs.Snapshot) string {
+	names := [...]string{"ok", "susp", "down"}
+	var parts []string
+	for _, p := range s.Metrics {
+		if p.Name != "monarch_tier_breaker_state" || p.Value == nil {
+			continue
+		}
+		if st := int(*p.Value); st >= 1 && st <= 2 {
+			parts = append(parts, fmt.Sprintf("t%s:%s", p.Labels["tier"], names[st]))
+		}
+	}
+	if len(parts) == 0 {
+		return "ok"
+	}
+	sort.Strings(parts)
+	return strings.Join(parts, " ")
+}
+
+// renderTop writes one frame of the cluster view.
+func renderTop(w io.Writer, snap *cluster.Snapshot) {
+	fmt.Fprintf(w, "monarch-top — %d node(s)", len(snap.Nodes))
+	if len(snap.Unreachable) > 0 {
+		var down []string
+		for n := range snap.Unreachable {
+			down = append(down, n)
+		}
+		sort.Strings(down)
+		fmt.Fprintf(w, ", %d unreachable (%s)", len(down), strings.Join(down, ", "))
+	}
+	fmt.Fprintf(w, " — %s\n\n", time.Now().Format("15:04:05"))
+
+	fmt.Fprintf(w, "%-12s %8s %6s %9s %9s %9s %7s  %-14s %s\n",
+		"NODE", "UP", "HIT%", "READS", "PEERHITS", "EVICT", "BRKR", "TIERS", "GOSSIP")
+	for _, n := range snap.Nodes {
+		m := n.Metrics
+		hit, _ := m.Value("monarch_hit_ratio")
+		up, _ := m.Value("monarch_uptime_seconds")
+		reads := sumSeries(m, "monarch_tier_read_ops_total")
+		peerHits := sumSeries(m, "monarch_peer_hits_total")
+		evict := sumSeries(m, "monarch_evictions_total")
+		var alive, other int
+		for _, g := range n.Gossip {
+			if g.State == "alive" {
+				alive++
+			} else {
+				other++
+			}
+		}
+		gossip := "-"
+		if len(n.Gossip) > 0 {
+			gossip = fmt.Sprintf("%d alive", alive)
+			if other > 0 {
+				gossip += fmt.Sprintf(", %d not", other)
+			}
+		}
+		fmt.Fprintf(w, "%-12s %8s %6.1f %9.0f %9.0f %9.0f %7s  %-14s %s\n",
+			n.Node, time.Duration(up*float64(time.Second)).Round(time.Second),
+			100*hit, reads, peerHits, evict, breakerCell(m), tierCells(m), gossip)
+	}
+
+	fleetReads := sumSeries(snap.Fleet, "monarch_tier_read_ops_total")
+	fleetPeer := sumSeries(snap.Fleet, "monarch_peer_hits_total")
+	fleetEvict := sumSeries(snap.Fleet, "monarch_evictions_total")
+	fleetErr := sumSeries(snap.Fleet, "monarch_errors_total")
+	fmt.Fprintf(w, "\nfleet: %.0f reads, %.0f peer hits, %.0f evictions, %.0f errors\n",
+		fleetReads, fleetPeer, fleetEvict, fleetErr)
+
+	if len(snap.Jobs) > 0 {
+		fmt.Fprintf(w, "\n%-16s %9s %12s %9s %9s\n", "JOB", "READS", "BYTES", "HITS", "EVICT")
+		jobs := make([]string, 0, len(snap.Jobs))
+		for j := range snap.Jobs {
+			jobs = append(jobs, j)
+		}
+		sort.Strings(jobs)
+		for _, j := range jobs {
+			jc := snap.Jobs[j]
+			fmt.Fprintf(w, "%-16s %9d %12d %9d %9d\n",
+				j, jc.ReadsServed, jc.BytesServed, jc.Hits, jc.Evictions)
+		}
+	}
+
+	for _, d := range snap.Disagreements {
+		var views []string
+		for obsr, st := range d.Views {
+			views = append(views, obsr+" sees "+st)
+		}
+		sort.Strings(views)
+		fmt.Fprintf(w, "\nGOSSIP SPLIT on %s: %s\n", d.Subject, strings.Join(views, "; "))
+	}
+}

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"monarch/internal/obs"
+	"monarch/internal/obs/cluster"
+	"monarch/internal/peernet"
+)
+
+// topNode builds one node's snapshot with enough series to light every
+// column of the top view.
+func topNode(name string, hit float64, reads, peerHits int64) peernet.NodeStats {
+	r := obs.NewRegistry()
+	r.Gauge("monarch_hit_ratio", "").Set(hit)
+	r.Gauge("monarch_uptime_seconds", "").Set(125)
+	r.Counter("monarch_tier_read_ops_total", "", obs.L("tier", "0")).Add(reads)
+	r.Counter("monarch_peer_hits_total", "").Add(peerHits)
+	r.Counter("monarch_evictions_total", "", obs.L("tier", "0")).Add(2)
+	r.Gauge("monarch_tier_used_bytes", "", obs.L("tier", "0")).Set(512)
+	r.Gauge("monarch_tier_capacity_bytes", "", obs.L("tier", "0")).Set(1024)
+	r.Gauge("monarch_tier_breaker_state", "", obs.L("tier", "1")).Set(2)
+	return peernet.NodeStats{
+		Node:    name,
+		Metrics: r.Snapshot(),
+		Gossip: []peernet.GossipEntry{
+			{Node: name, State: "alive"},
+			{Node: "node9", State: "suspect"},
+		},
+	}
+}
+
+func TestRenderTop(t *testing.T) {
+	n0 := topNode("node0", 0.84, 100, 30)
+	n1 := topNode("node1", 0.92, 60, 10)
+
+	fleet := obs.NewRegistry()
+	fleet.Counter("monarch_tier_read_ops_total", "", obs.L("tier", "0")).Add(160)
+	fleet.Counter("monarch_peer_hits_total", "").Add(40)
+
+	snap := &cluster.Snapshot{
+		Nodes:       []peernet.NodeStats{n0, n1},
+		Unreachable: map[string]string{"node2": "dial: refused"},
+		Fleet:       fleet.Snapshot(),
+		Jobs: map[string]peernet.JobCounters{
+			"resnet": {ReadsServed: 80, BytesServed: 1 << 20, Hits: 64, Evictions: 3},
+		},
+		Disagreements: []cluster.Disagreement{{
+			Subject: "node9",
+			Views:   map[string]string{"node0": "suspect", "node1": "alive"},
+		}},
+	}
+
+	var buf bytes.Buffer
+	renderTop(&buf, snap)
+	out := buf.String()
+
+	for _, want := range []string{
+		"2 node(s), 1 unreachable (node2)",
+		"NODE", "HIT%", "PEERHITS", "BRKR", "GOSSIP",
+		"node0", "84.0", "t1:down", "t0  50%", "1 alive, 1 not",
+		"fleet: 160 reads, 40 peer hits",
+		"JOB",
+		"resnet", "1048576",
+		"GOSSIP SPLIT on node9",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("top frame missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestSizeCell(t *testing.T) {
+	for _, tc := range []struct {
+		in   float64
+		want string
+	}{
+		{100, "100B"}, {2048, "2.0K"}, {3 << 20, "3.0M"}, {5 << 30, "5.0G"},
+	} {
+		if got := sizeCell(tc.in); got != tc.want {
+			t.Fatalf("sizeCell(%v) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestBreakerCellAllClosed(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Gauge("monarch_tier_breaker_state", "", obs.L("tier", "0")).Set(0)
+	if got := breakerCell(r.Snapshot()); got != "ok" {
+		t.Fatalf("breakerCell = %q, want ok", got)
+	}
+}

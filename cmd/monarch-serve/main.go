@@ -55,13 +55,16 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
 	"syscall"
@@ -71,8 +74,11 @@ import (
 
 	"monarch/internal/experiments"
 	"monarch/internal/obs"
+	"monarch/internal/obs/cluster"
 	"monarch/internal/peernet"
 	"monarch/internal/storage"
+	"monarch/internal/trace"
+	"monarch/internal/trace/analyze"
 )
 
 func main() {
@@ -209,6 +215,43 @@ func parsePeers(spec string) (ids []string, addrs map[string]string, err error) 
 	return ids, addrs, nil
 }
 
+// gossipEntries renders a membership view as STATS-frame gossip
+// entries, sorted by node for deterministic output. Nil membership
+// (no -self/-peers) yields nil.
+func gossipEntries(mem *peernet.Membership) []peernet.GossipEntry {
+	if mem == nil {
+		return nil
+	}
+	snap := mem.Snapshot()
+	entries := make([]peernet.GossipEntry, 0, len(snap))
+	for peer, st := range snap {
+		entries = append(entries, peernet.GossipEntry{Node: peer, State: st.String()})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Node < entries[j].Node })
+	return entries
+}
+
+// gossipHandler serves /debug/gossip: this node's live membership view
+// as a JSON object of peer -> state. Without gossip it reports so
+// instead of 404ing, so operators can tell "not enabled" from "wrong
+// port".
+func gossipHandler(mem *peernet.Membership) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if mem == nil {
+			fmt.Fprintln(w, `{"gossip":"disabled"}`)
+			return
+		}
+		view := map[string]string{}
+		for peer, st := range mem.Snapshot() {
+			view[peer] = st.String()
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(map[string]any{"self": mem.Self(), "peers": view})
+	})
+}
+
 func serve(cfg serveConfig) error {
 	if err := cfg.validate(); err != nil {
 		return err
@@ -224,11 +267,14 @@ func serve(cfg serveConfig) error {
 	// Gossip membership: requires both -self and -peers.
 	var mem *peernet.Membership
 	var hb *peernet.Heartbeater
+	var peerIDs []string
+	clients := map[string]*peernet.Client{}
 	if cfg.self != "" {
 		ids, addrs, err := parsePeers(cfg.peers)
 		if err != nil {
 			return err
 		}
+		peerIDs = ids
 		mem, err = peernet.NewMembership(peernet.MembershipConfig{
 			Self:         cfg.self,
 			Peers:        ids,
@@ -241,7 +287,6 @@ func serve(cfg serveConfig) error {
 		if err != nil {
 			return err
 		}
-		clients := map[string]*peernet.Client{}
 		for _, id := range ids {
 			c, err := peernet.NewClient(peernet.ClientConfig{
 				Name: "peer:" + id,
@@ -259,10 +304,38 @@ func serve(cfg serveConfig) error {
 		}
 	}
 
+	// The registry exists whether or not -metrics serves it: the STATS
+	// frame answers with its snapshot either way, so a fleet aggregator
+	// on any sibling can poll this node.
+	reg := obs.NewRegistry()
+	obs.RegisterBuildInfo(reg, time.Now())
+	reg.GaugeFunc("monarch_serve_capacity_bytes",
+		"Capacity the served store reports (0 = unlimited).",
+		func() float64 { return float64(store.Capacity()) })
+	reg.GaugeFunc("monarch_serve_used_bytes",
+		"Bytes currently held by the served store.",
+		func() float64 { return float64(store.Used()) })
+	reg.GaugeFunc("monarch_serve_replicas",
+		"Replica-set width R the cluster's ownership rings run with.",
+		func() float64 { return float64(cfg.replicas) })
+	if mem != nil {
+		mem.Instrument(reg)
+	}
+	nodeName := cfg.self
+	if nodeName == "" {
+		nodeName = "monarch-serve"
+	}
+	statsFn := func() (peernet.NodeStats, error) {
+		ns := peernet.NodeStats{Node: nodeName, Metrics: reg.Snapshot()}
+		ns.Gossip = gossipEntries(mem)
+		return ns, nil
+	}
+
 	srv, err := peernet.NewServer(peernet.ServerConfig{
 		Backend:    store,
 		AllowWrite: cfg.write,
 		Membership: mem,
+		Stats:      statsFn,
 		Logf:       func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
 	})
 	if err != nil {
@@ -285,25 +358,41 @@ func serve(cfg serveConfig) error {
 	}
 
 	if cfg.metrics != "" {
-		reg := obs.NewRegistry()
-		reg.GaugeFunc("monarch_serve_capacity_bytes",
-			"Capacity the served store reports (0 = unlimited).",
-			func() float64 { return float64(store.Capacity()) })
-		reg.GaugeFunc("monarch_serve_used_bytes",
-			"Bytes currently held by the served store.",
-			func() float64 { return float64(store.Used()) })
-		reg.GaugeFunc("monarch_serve_replicas",
-			"Replica-set width R the cluster's ownership rings run with.",
-			func() float64 { return float64(cfg.replicas) })
-		if mem != nil {
-			mem.Instrument(reg)
+		routes := map[string]http.Handler{
+			"/debug/gossip": gossipHandler(mem),
 		}
+		if mem != nil {
+			// The gossip clients double as fleet-stats sources: the
+			// aggregator polls every sibling's STATS frame per scrape and
+			// serves the merged view from this node.
+			var sources []cluster.Source
+			for _, id := range peerIDs {
+				sources = append(sources, cluster.Source{Node: id, Client: clients[id]})
+			}
+			agg := cluster.New(cluster.Config{Self: statsFn, Sources: sources})
+			for pattern, h := range agg.Routes() {
+				routes[pattern] = h
+			}
+		}
+		handler := reg.HandlerWith(obs.HandlerOpts{
+			Health: func() obs.Health {
+				h := obs.Health{}
+				if mem != nil {
+					h.Gossip = map[string]string{}
+					for peer, st := range mem.Snapshot() {
+						h.Gossip[peer] = st.String()
+					}
+				}
+				return h
+			},
+			Routes: routes,
+		})
 		mln, err := net.Listen("tcp", cfg.metrics)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("monarch-serve: metrics on http://%s/metrics\n", mln.Addr())
-		go func() { _ = http.Serve(mln, reg.Handler()) }()
+		go func() { _ = http.Serve(mln, handler) }()
 	}
 
 	// Serve until SIGINT/SIGTERM, then close connections and drain.
@@ -385,7 +474,22 @@ func serveTenants(cfg serveConfig) error {
 
 	srv, err := peernet.NewServer(peernet.ServerConfig{
 		Backend: &monarchBackend{m: m, tier0: tier0},
-		Logf:    func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		Stats: func() (peernet.NodeStats, error) {
+			ns := peernet.NodeStats{Node: "monarch-serve", Metrics: m.Registry().Snapshot()}
+			if jobs := m.Stats().Jobs; len(jobs) > 0 {
+				ns.Jobs = make(map[string]peernet.JobCounters, len(jobs))
+				for job, js := range jobs {
+					ns.Jobs[job] = peernet.JobCounters{
+						ReadsServed: js.ReadsServed,
+						BytesServed: js.BytesServed,
+						Hits:        js.Hits,
+						Evictions:   js.Evictions,
+					}
+				}
+			}
+			return ns, nil
+		},
+		Logf: func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
 	})
 	if err != nil {
 		return err
@@ -426,7 +530,11 @@ func serveTenants(cfg serveConfig) error {
 			return err
 		}
 		fmt.Printf("monarch-serve: metrics on http://%s/metrics\n", mln.Addr())
-		go func() { _ = http.Serve(mln, m.Registry().Handler()) }()
+		handler := m.Registry().HandlerWith(obs.HandlerOpts{
+			Health: m.Healthz,
+			Routes: map[string]http.Handler{"/debug/gossip": gossipHandler(nil)},
+		})
+		go func() { _ = http.Serve(mln, handler) }()
 	}
 
 	done := make(chan os.Signal, 1)
@@ -441,17 +549,31 @@ func serveTenants(cfg serveConfig) error {
 
 // runSelftest spins up a 2-node cluster over loopback TCP — each node a
 // real peernet server plus a MONARCH instance routing non-owned reads
-// through its sibling — and verifies the peer network end to end.
+// through its sibling — and verifies the peer network end to end:
+// sibling caches must serve reads, the fleet aggregator's merged
+// counters must equal the sum of every node's registry, and at least
+// one cross-node read must stitch (the client span in the reader's
+// trace joined to the serve span in the owner's by the request ID the
+// frame carried).
 func runSelftest() int {
+	fail := func(format string, args ...any) int {
+		fmt.Fprintf(os.Stderr, "monarch-serve selftest: FAIL: "+format+"\n", args...)
+		return 1
+	}
+	traceDir, err := os.MkdirTemp("", "monarch-selftest-")
+	if err != nil {
+		return fail("%v", err)
+	}
+	defer os.RemoveAll(traceDir)
 	res, err := experiments.RunPeerLoopback(experiments.PeerRunConfig{
 		Nodes: 2, Files: 24, FileSize: 4096, Epochs: 3,
 		Mode:     experiments.ShardReshuffled,
 		UsePeers: true,
 		Seed:     42,
+		TraceDir: traceDir,
 	})
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "monarch-serve selftest: FAIL:", err)
-		return 1
+		return fail("%v", err)
 	}
 	hits := res.PeerHits()
 	var misses, placements int64
@@ -463,11 +585,83 @@ func runSelftest() int {
 	fmt.Printf("  peer hits %d, peer misses %d, placements %d, PFS data ops %d\n",
 		hits, misses, placements, res.PFSOps)
 	if hits == 0 {
-		fmt.Fprintln(os.Stderr, "monarch-serve selftest: FAIL: no reads were served by the sibling cache")
-		return 1
+		return fail("no reads were served by the sibling cache")
 	}
+
+	// Fleet aggregation: the merged view polled over the wire (STATS
+	// frames through node 0's clients) must agree exactly with the
+	// per-node registries it was built from, and with the run's own
+	// measured counters.
+	if res.Fleet == nil {
+		return fail("no fleet snapshot was aggregated")
+	}
+	if len(res.Fleet.Nodes) != 2 || len(res.Fleet.Unreachable) != 0 {
+		return fail("aggregator reached %d/2 nodes (unreachable: %v)",
+			len(res.Fleet.Nodes), res.Fleet.Unreachable)
+	}
+	fleetHits, _ := res.Fleet.Fleet.Int("monarch_peer_hits_total")
+	var nodeHits int64
+	for _, ns := range res.Fleet.Nodes {
+		v, _ := ns.Metrics.Int("monarch_peer_hits_total")
+		nodeHits += v
+	}
+	fmt.Printf("  fleet peer-hit total %d (per-node registries sum to %d, middleware counted %d)\n",
+		fleetHits, nodeHits, hits)
+	if fleetHits != nodeHits || fleetHits != hits {
+		return fail("fleet peer-hit total %d != per-node sum %d / counters %d", fleetHits, nodeHits, hits)
+	}
+	fleetPFS := sumPFSBackendOps(res.Fleet.Fleet)
+	var nodePFS int64
+	for _, ns := range res.Fleet.Nodes {
+		nodePFS += sumPFSBackendOps(ns.Metrics)
+	}
+	fmt.Printf("  fleet PFS data-op total %d (per-node registries sum to %d, PFS measured %d)\n",
+		fleetPFS, nodePFS, res.PFSOps)
+	if fleetPFS != nodePFS || fleetPFS != res.PFSOps {
+		return fail("fleet PFS ops %d != per-node sum %d / measured %d", fleetPFS, nodePFS, res.PFSOps)
+	}
+
+	// Cross-node correlation: every node recorded a trace; peer reads
+	// in one must stitch to serve events in the other.
+	traces := make(map[string]*trace.Trace, 2)
+	for i := 0; i < 2; i++ {
+		name := fmt.Sprintf("node%d", i)
+		t, err := trace.ReadFile(filepath.Join(traceDir, name+".bin"))
+		if err != nil {
+			return fail("reading %s trace: %v", name, err)
+		}
+		traces[name] = t
+	}
+	c := analyze.Correlate(traces)
+	fmt.Printf("  stitched %d cross-node read(s), %d unmatched read(s), %d unmatched serve(s)\n",
+		len(c.Pairs), c.UnmatchedReads, c.UnmatchedServes)
+	if len(c.Pairs) == 0 {
+		return fail("no client/serve span pair shared a request ID")
+	}
+	p := c.Pairs[0]
+	fmt.Printf("  e.g. req=%016x %s: %s(%s) ⇐ %s\n",
+		p.Req, p.Client.File, p.Client.Node, p.Client.Class, p.Serves[0].Node)
 	fmt.Println("monarch-serve selftest: OK")
 	return 0
+}
+
+// sumPFSBackendOps totals the data operations (reads + writes) the
+// shared PFS backend answered, from monarch_backend_ops_total — the
+// counter the middleware's source-level Counting wrapper exports.
+func sumPFSBackendOps(s obs.Snapshot) int64 {
+	var sum float64
+	for _, p := range s.Metrics {
+		if p.Name != "monarch_backend_ops_total" || p.Value == nil {
+			continue
+		}
+		if p.Labels["backend"] != "lustre" {
+			continue
+		}
+		if op := p.Labels["op"]; op == "read" || op == "write" {
+			sum += *p.Value
+		}
+	}
+	return int64(sum)
 }
 
 // runChaos is the churn drill behind `make chaos-smoke`: a 6-node

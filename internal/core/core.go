@@ -390,10 +390,16 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 	d := m.levels[lvl]
 	rctx := ctx
 	var ann *obs.ReadAnnotation
+	var req uint64
 	if peer {
 		// Backend.ReadAt has no flag channel, so the peer tier reports
 		// how it served (a hedged read) through a context annotation.
 		rctx, ann = obs.WithReadAnnotation(ctx)
+		// Mint the cross-node correlation ID: the peernet client stamps
+		// it into the frame header, the serving node stamps it into its
+		// serve span, and both halves land in traces under the same Req.
+		req = obs.NewRequestID()
+		rctx = obs.WithRequestID(rctx, req)
 	}
 	n, rerr := d.backend.ReadAt(rctx, name, p, off)
 	if rerr != nil && peer && errors.Is(rerr, storage.ErrNotExist) {
@@ -446,7 +452,7 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 	}
 	if rerr != nil {
 		m.inst.errRead.Inc()
-		m.span(obs.Span{Kind: obs.SpanRead, File: name, Tier: d.level, Off: off, Flags: flags, Err: rerr, Duration: time.Since(start)})
+		m.span(obs.Span{Kind: obs.SpanRead, File: name, Tier: d.level, Off: off, Flags: flags, Req: req, Err: rerr, Duration: time.Since(start)})
 		return n, rerr
 	}
 	m.stats.served(d.level, int64(n))
@@ -467,7 +473,7 @@ func (m *Monarch) ReadAt(ctx context.Context, name string, p []byte, off int64) 
 	}
 	dur := time.Since(start)
 	m.inst.readLatency[d.level].Observe(dur.Seconds())
-	m.span(obs.Span{Kind: obs.SpanRead, File: name, Tier: d.level, Off: off, Bytes: int64(n), Flags: flags, Duration: dur})
+	m.span(obs.Span{Kind: obs.SpanRead, File: name, Tier: d.level, Off: off, Bytes: int64(n), Flags: flags, Req: req, Duration: dur})
 	m.stats.jobRead(m.tenants, name, d.level, src, int64(n))
 
 	if !m.cfg.Disabled && m.cfg.Staging == StageOnFirstRead && m.owns(name) {

@@ -65,6 +65,7 @@ type instruments struct {
 // Called from New after stats, placer and health exist.
 func (m *Monarch) initObs() {
 	reg := m.inst.reg
+	obs.RegisterBuildInfo(reg, m.base)
 	for i := range m.levels {
 		m.inst.readLatency = append(m.inst.readLatency, reg.Histogram(
 			"monarch_read_latency_seconds",
@@ -127,8 +128,16 @@ func (m *Monarch) initObs() {
 			})
 	}
 	for i, d := range m.levels {
-		if in, ok := d.backend.(obs.Instrumentable); ok {
-			in.Instrument(reg, obs.L("tier", strconv.Itoa(i)))
+		b := d.backend
+		tier := obs.L("tier", strconv.Itoa(i))
+		reg.GaugeFunc("monarch_tier_used_bytes",
+			"Bytes currently held by each level's backend.",
+			func() float64 { return float64(b.Used()) }, tier)
+		reg.GaugeFunc("monarch_tier_capacity_bytes",
+			"Capacity each level's backend reports (0 = unlimited).",
+			func() float64 { return float64(b.Capacity()) }, tier)
+		if in, ok := b.(obs.Instrumentable); ok {
+			in.Instrument(reg, tier)
 		}
 	}
 }
@@ -184,6 +193,26 @@ func (m *Monarch) span(s obs.Span) {
 // snapshots (monarch-benchjson -metrics) or attaching custom sinks.
 func (m *Monarch) Registry() *obs.Registry { return m.inst.reg }
 
+// Healthz summarizes the instance for the /healthz endpoint: every
+// cache tier's breaker state plus the trace ring's drop count. The
+// summary is Healthy() unless a breaker is open. Gossip state is
+// outside core's view; monarch-serve layers it in before serving.
+func (m *Monarch) Healthz() obs.Health {
+	h := obs.Health{}
+	for i, d := range m.levels {
+		if i == m.source.level {
+			continue
+		}
+		h.Tiers = append(h.Tiers, obs.TierHealth{
+			Tier:  i,
+			Name:  d.backend.Name(),
+			State: m.health.state(i).String(),
+		})
+	}
+	h.TraceDrops = m.tracer.Stats().Dropped
+	return h
+}
+
 // MetricsURL returns the base URL of the metrics endpoint, or "" when
 // Config.MetricsAddr is unset. With MetricsAddr ":0" this is how the
 // chosen port is discovered.
@@ -203,7 +232,10 @@ func (m *Monarch) startMetrics() error {
 		return fmt.Errorf("monarch: metrics listener: %w", err)
 	}
 	m.metricsLn = ln
-	srv := &http.Server{Handler: m.inst.reg.HandlerWith(obs.HandlerOpts{DisablePprof: m.cfg.DisablePprof})}
+	srv := &http.Server{Handler: m.inst.reg.HandlerWith(obs.HandlerOpts{
+		DisablePprof: m.cfg.DisablePprof,
+		Health:       m.Healthz,
+	})}
 	m.metricsSrv = srv
 	// srv is captured locally: stopMetrics may nil the field before this
 	// goroutine is scheduled.

@@ -6,10 +6,14 @@ import (
 	"fmt"
 	"net"
 	"os"
+	"path/filepath"
+	"sort"
 	"sync"
 	"time"
 
 	"monarch/internal/core"
+	"monarch/internal/obs"
+	"monarch/internal/obs/cluster"
 	"monarch/internal/peernet"
 	"monarch/internal/pool"
 	"monarch/internal/report"
@@ -91,6 +95,12 @@ type PeerRunConfig struct {
 	// trailer records node 0's measured PFS data ops for the analyzer
 	// cross-check.
 	TracePath string
+	// TraceDir, when non-empty, captures EVERY node's access trace as
+	// TraceDir/nodeN.bin — the input cross-node correlation needs: a
+	// peer read's client span lands in the reader's trace, the matching
+	// serve span in the owner's, stitched by the shared request ID.
+	// Overrides TracePath.
+	TraceDir string
 }
 
 // PeerRunResult summarises one loopback run.
@@ -120,6 +130,11 @@ type PeerRunResult struct {
 	// FinalViews is each node's final membership snapshot (nil
 	// without Membership).
 	FinalViews []map[string]peernet.PeerState
+	// Fleet is the cluster aggregator's merged view, polled once after
+	// the last epoch through node 0's peer clients plus node 0's own
+	// registry — the same path /metrics/cluster serves. Nil when
+	// UsePeers is false.
+	Fleet *cluster.Snapshot
 }
 
 // PeerHits sums peer-cache hits across nodes.
@@ -330,6 +345,51 @@ func RunPeerLoopback(cfg PeerRunConfig) (*PeerRunResult, error) {
 		}
 	}
 
+	// The serving sockets come up before the monarchs exist, so the
+	// observability hooks late-bind: each server's STATS answer and
+	// serve-span sink resolve node i's instance per request (nil until
+	// assembly finishes, reported as an error rather than a panic).
+	nodeStats := func(i int) func() (peernet.NodeStats, error) {
+		return func() (peernet.NodeStats, error) {
+			monMu.Lock()
+			m, view := monarchs[i], mems[i]
+			monMu.Unlock()
+			if m == nil {
+				return peernet.NodeStats{}, fmt.Errorf("node %s still assembling", nodeIDs[i])
+			}
+			ns := peernet.NodeStats{Node: nodeIDs[i], Metrics: m.Registry().Snapshot()}
+			if view != nil {
+				for peer, st := range view.Snapshot() {
+					ns.Gossip = append(ns.Gossip, peernet.GossipEntry{Node: peer, State: st.String()})
+				}
+				sort.Slice(ns.Gossip, func(a, b int) bool { return ns.Gossip[a].Node < ns.Gossip[b].Node })
+			}
+			if jobs := m.Stats().Jobs; len(jobs) > 0 {
+				ns.Jobs = make(map[string]peernet.JobCounters, len(jobs))
+				for job, js := range jobs {
+					ns.Jobs[job] = peernet.JobCounters{
+						ReadsServed: js.ReadsServed, BytesServed: js.BytesServed,
+						Hits: js.Hits, Evictions: js.Evictions,
+					}
+				}
+			}
+			return ns, nil
+		}
+	}
+	nodeTrace := func(i int) obs.TraceHook {
+		return func(s obs.Span) {
+			monMu.Lock()
+			m := monarchs[i]
+			monMu.Unlock()
+			if m == nil {
+				return
+			}
+			if tr := m.Tracer(); tr != nil {
+				tr.HookSpan(s)
+			}
+		}
+	}
+
 	// Per-node stores and, with peers on, one serving socket each. The
 	// servers must all be listening before any client dials. The
 	// servers slice is mutated by kill/rejoin, so cleanup walks it at
@@ -357,6 +417,8 @@ func RunPeerLoopback(cfg PeerRunConfig) (*PeerRunResult, error) {
 			srv, err := peernet.NewServer(peernet.ServerConfig{
 				Backend:    serveBackends[i],
 				Membership: mems[i],
+				Stats:      nodeStats(i),
+				Trace:      nodeTrace(i),
 			})
 			if err != nil {
 				return nil, err
@@ -423,6 +485,9 @@ func RunPeerLoopback(cfg PeerRunConfig) (*PeerRunResult, error) {
 		mcfg.Levels = levels
 		if i == 0 && cfg.TracePath != "" {
 			mcfg.TracePath = cfg.TracePath
+		}
+		if cfg.TraceDir != "" {
+			mcfg.TracePath = filepath.Join(cfg.TraceDir, fmt.Sprintf("node%d.bin", i))
 		}
 		m, err := core.New(mcfg)
 		if err != nil {
@@ -498,6 +563,8 @@ func RunPeerLoopback(cfg PeerRunConfig) (*PeerRunResult, error) {
 			srv, err := peernet.NewServer(peernet.ServerConfig{
 				Backend:    serveBackends[cfg.KillNode],
 				Membership: mems[cfg.KillNode],
+				Stats:      nodeStats(cfg.KillNode),
+				Trace:      nodeTrace(cfg.KillNode),
 			})
 			if err != nil {
 				rejoinErr = err
@@ -544,7 +611,7 @@ func RunPeerLoopback(cfg PeerRunConfig) (*PeerRunResult, error) {
 					errs[node] = fmt.Errorf("node %d epoch %d: %w", node, epoch, err)
 					return
 				}
-				if node == 0 {
+				if node == 0 || cfg.TraceDir != "" {
 					m.MarkTraceEpoch(epoch)
 				}
 				barrier.await()
@@ -567,6 +634,23 @@ func RunPeerLoopback(cfg PeerRunConfig) (*PeerRunResult, error) {
 		res.RejoinConvergence = <-convRejoin
 	}
 
+	// Fleet aggregation, while every server is still up: node 0 polls
+	// its siblings' STATS frames through the same pooled clients its
+	// peer tier reads with, and contributes its own registry locally —
+	// exactly what /metrics/cluster serves on a production node.
+	if cfg.UsePeers {
+		var sources []cluster.Source
+		for j := 1; j < cfg.Nodes; j++ {
+			sources = append(sources, cluster.Source{Node: nodeIDs[j], Client: clientsOf[0][nodeIDs[j]]})
+		}
+		agg := cluster.New(cluster.Config{Self: nodeStats(0), Sources: sources})
+		snap, err := agg.Poll(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: fleet stats poll: %w", err)
+		}
+		res.Fleet = &snap
+	}
+
 	for i, m := range monarchs {
 		res.Stats[i] = m.Stats()
 		res.NodePFSOps[i] = pfss[i].Counts().DataOps()
@@ -585,10 +669,8 @@ func RunPeerLoopback(cfg PeerRunConfig) (*PeerRunResult, error) {
 			res.FinalViews[i] = mems[i].Snapshot()
 		}
 		res.PeerStageErrors += int64(m.Registry().Vars()[`monarch_errors_total{stage="peer"}`])
-		if i == 0 && cfg.TracePath != "" {
-			if tr := m.Tracer(); tr != nil {
-				tr.AddSummary(map[string]int64{"pfs_data_ops": res.NodePFSOps[0]})
-			}
+		if tr := m.Tracer(); tr != nil {
+			tr.AddSummary(map[string]int64{"pfs_data_ops": res.NodePFSOps[i]})
 		}
 		m.Close()
 	}
@@ -661,6 +743,26 @@ func nodeIDList(n int) []string {
 		ids[i] = fmt.Sprintf("node%d", i)
 	}
 	return ids
+}
+
+// fleetPFSOps totals the data operations (reads + writes) the shared
+// PFS answered, from the fleet's merged monarch_backend_ops_total —
+// every node's source level is a Counting wrapper over the same PFS,
+// so the summed series is the cluster's whole PFS bill.
+func fleetPFSOps(s obs.Snapshot) int64 {
+	var sum float64
+	for _, p := range s.Metrics {
+		if p.Name != "monarch_backend_ops_total" || p.Value == nil {
+			continue
+		}
+		if p.Labels["backend"] != "lustre" {
+			continue
+		}
+		if op := p.Labels["op"]; op == "read" || op == "write" {
+			sum += *p.Value
+		}
+	}
+	return int64(sum)
 }
 
 // derivedPFSOps reconstructs the PFS data-op count from one node's
@@ -816,6 +918,20 @@ func extPeernet() Experiment {
 			row("16 nodes, small budget, peers", scalePeers16)
 			row("4 nodes, small budget, no peers", scaleBase4)
 			row("4 nodes, small budget, peers", scalePeers4)
+			// The fleet row comes from the aggregator itself — the churn
+			// run's merged /metrics/cluster view, polled over STATS
+			// frames — not from the per-node result structs the other
+			// rows use. The checks below pin the two accountings to each
+			// other.
+			if f := churn.Fleet; f != nil {
+				fleetHits, _ := f.Fleet.Int("monarch_peer_hits_total")
+				fleetMisses, _ := f.Fleet.Int("monarch_peer_misses_total")
+				fleetHedges, _ := f.Fleet.Int("monarch_peer_hedges_total")
+				fleetFalls, _ := f.Fleet.Int("monarch_fallbacks_total")
+				t.Add("16 nodes, kill+rejoin (fleet view)",
+					report.Count(fleetPFSOps(f.Fleet)), report.Count(fleetHits),
+					report.Count(fleetMisses), report.Count(fleetHedges), report.Count(fleetFalls))
+			}
 			o.Tables = append(o.Tables, t)
 
 			o.check("peer network cuts PFS data ops under reshuffled sharding",
@@ -846,6 +962,17 @@ func extPeernet() Experiment {
 			o.check("measured PFS ops match the monarch_ counters",
 				derived == churn.PFSOps,
 				"counters derive %d, PFS measured %d", derived, churn.PFSOps)
+
+			o.check("cluster aggregator snapshotted every node",
+				churn.Fleet != nil && len(churn.Fleet.Nodes) == nodes && len(churn.Fleet.Unreachable) == 0,
+				"fleet view holds %d/%d nodes", len(churn.Fleet.Nodes), nodes)
+			fleetHits, _ := churn.Fleet.Fleet.Int("monarch_peer_hits_total")
+			o.check("fleet peer-hit series equals the sum of per-node counters",
+				fleetHits == churn.PeerHits(),
+				"fleet %d, per-node counters %d", fleetHits, churn.PeerHits())
+			o.check("fleet PFS backend-op series equals the measured PFS data ops",
+				fleetPFSOps(churn.Fleet.Fleet) == churn.PFSOps,
+				"fleet %d, PFS measured %d", fleetPFSOps(churn.Fleet.Fleet), churn.PFSOps)
 
 			a, err := AnalyzePeerTrace(churnTrace)
 			if err != nil {

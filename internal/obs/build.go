@@ -1,0 +1,47 @@
+package obs
+
+import (
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// buildVersion resolves the binary's module version once: the VCS
+// revision when the binary was built from a checkout, the module
+// version when built from a proper release, "dev" otherwise.
+var buildVersion = func() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "dev"
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" && len(s.Value) >= 12 {
+			return s.Value[:12]
+		}
+	}
+	if bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "dev"
+}()
+
+// RegisterBuildInfo adds the standard identification series to r:
+//
+//	monarch_build_info{version,goversion,platform} 1
+//	monarch_uptime_seconds                         (derived, live)
+//
+// start anchors the uptime series; pass the process (or instance)
+// start time. Idempotent per registry for the gauge; a second call
+// with the same registry would re-register the uptime func and panic,
+// so call it once where the registry is built.
+func RegisterBuildInfo(r *Registry, start time.Time) {
+	g := r.Gauge("monarch_build_info",
+		"Build identification; the value is always 1, the labels carry the facts.",
+		L("version", buildVersion),
+		L("goversion", runtime.Version()),
+		L("platform", runtime.GOOS+"-"+runtime.GOARCH))
+	g.Set(1)
+	r.GaugeFunc("monarch_uptime_seconds",
+		"Seconds since this instance started.",
+		func() float64 { return time.Since(start).Seconds() })
+}

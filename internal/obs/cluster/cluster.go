@@ -1,0 +1,300 @@
+// Package cluster aggregates per-node observability into a fleet
+// view. MONARCH's value proposition is measured in cluster-wide PFS
+// ops saved, but metrics and traces are collected per node; this
+// package polls every node's STATS endpoint over the existing peernet
+// client (pooled connections, retries, deadlines — nothing new on the
+// wire), merges the snapshots into fleet series, and re-exposes them
+// on the node's obs HTTP mux as /metrics/cluster (Prometheus text)
+// and /cluster.json (structured, consumed by monarch-inspect top).
+//
+// Merge semantics: counters and gauges sum across nodes; histograms
+// with identical bucket layouts sum pointwise (every in-tree latency
+// histogram uses obs.LatencyBuckets, so layouts match in practice)
+// and re-derive their quantiles from the merged buckets. Per-node
+// breakdowns survive in the exposition as the same series with a
+// `node` label, and per-job ledgers roll up across nodes. Gossip
+// views are compared pairwise: when two observers disagree about a
+// peer's state, the disagreement is surfaced instead of averaged
+// away — a stuck view is exactly what a chaos drill needs to see.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"monarch/internal/obs"
+	"monarch/internal/peernet"
+)
+
+// Source is one pollable node.
+type Source struct {
+	// Node is the node's name, used to label its series in the fleet
+	// exposition.
+	Node string
+	// Client speaks to the node's peer server (which must run with a
+	// stats source).
+	Client *peernet.Client
+}
+
+// Config assembles an Aggregator.
+type Config struct {
+	// Self, when set, contributes the local node's snapshot without a
+	// wire hop — an aggregator usually runs on a node that is itself
+	// part of the fleet.
+	Self func() (peernet.NodeStats, error)
+	// Sources are the remote nodes to poll.
+	Sources []Source
+	// Timeout bounds one whole poll fan-out (default 5s).
+	Timeout time.Duration
+}
+
+// Aggregator polls a fleet and merges the results.
+type Aggregator struct {
+	cfg Config
+}
+
+// New builds an Aggregator.
+func New(cfg Config) *Aggregator {
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 5 * time.Second
+	}
+	return &Aggregator{cfg: cfg}
+}
+
+// Disagreement records a gossip split: observers that hold different
+// opinions of the same peer's state.
+type Disagreement struct {
+	// Subject is the peer being disagreed about.
+	Subject string `json:"subject"`
+	// Views maps observer → the state it reports for Subject.
+	Views map[string]string `json:"views"`
+}
+
+// Snapshot is one aggregation round over the fleet.
+type Snapshot struct {
+	// Nodes holds every reachable node's snapshot, sorted by name.
+	Nodes []peernet.NodeStats `json:"nodes"`
+	// Unreachable maps nodes that failed to answer to the error text.
+	Unreachable map[string]string `json:"unreachable,omitempty"`
+	// Fleet is the merged registry view: counters and gauges summed,
+	// histograms bucket-merged, deterministic order.
+	Fleet obs.Snapshot `json:"fleet"`
+	// Jobs rolls the per-node quota ledgers up across the fleet.
+	Jobs map[string]peernet.JobCounters `json:"jobs,omitempty"`
+	// Disagreements lists gossip splits between node views.
+	Disagreements []Disagreement `json:"disagreements,omitempty"`
+}
+
+// Poll fans one STATS request out to every source (and the local Self,
+// if any), then merges whatever answered. It fails only when not a
+// single node could be snapshotted; partial fleets are normal during
+// churn and are reported through Unreachable instead.
+func (a *Aggregator) Poll(ctx context.Context) (Snapshot, error) {
+	ctx, cancel := context.WithTimeout(ctx, a.cfg.Timeout)
+	defer cancel()
+
+	type result struct {
+		node string
+		ns   peernet.NodeStats
+		err  error
+	}
+	results := make([]result, len(a.cfg.Sources)+1)
+	var wg sync.WaitGroup
+	for i, src := range a.cfg.Sources {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ns, err := src.Client.Stats(ctx)
+			results[i] = result{node: src.Node, ns: ns, err: err}
+		}()
+	}
+	last := &results[len(a.cfg.Sources)]
+	if a.cfg.Self != nil {
+		ns, err := a.cfg.Self()
+		*last = result{node: ns.Node, ns: ns, err: err}
+		if last.node == "" {
+			last.node = "self"
+		}
+	} else {
+		last.err = fmt.Errorf("no local source")
+		last.node = ""
+	}
+	wg.Wait()
+
+	var snap Snapshot
+	for _, r := range results {
+		if r.node == "" && r.err != nil {
+			continue // the absent Self slot
+		}
+		if r.err != nil {
+			if snap.Unreachable == nil {
+				snap.Unreachable = make(map[string]string)
+			}
+			snap.Unreachable[r.node] = r.err.Error()
+			continue
+		}
+		if r.ns.Node == "" {
+			r.ns.Node = r.node
+		}
+		snap.Nodes = append(snap.Nodes, r.ns)
+	}
+	if len(snap.Nodes) == 0 {
+		return snap, fmt.Errorf("cluster: no node answered the stats poll")
+	}
+	sort.Slice(snap.Nodes, func(i, j int) bool { return snap.Nodes[i].Node < snap.Nodes[j].Node })
+	snap.Fleet = Merge(snap.Nodes)
+	snap.Jobs = mergeJobs(snap.Nodes)
+	snap.Disagreements = disagreements(snap.Nodes)
+	return snap, nil
+}
+
+// seriesID keys one series by name plus sorted labels.
+func seriesID(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	keys := make([]string, 0, len(labels))
+	for k := range labels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString(name)
+	for _, k := range keys {
+		b.WriteByte(0xff)
+		b.WriteString(k)
+		b.WriteByte(0xfe)
+		b.WriteString(labels[k])
+	}
+	return b.String()
+}
+
+// Merge folds every node's registry snapshot into fleet series:
+// counters and gauges sum per (name, labels); histograms with
+// identical bucket layouts sum pointwise and re-derive P50/P95/P99
+// from the merged buckets (a layout mismatch keeps the first layout
+// and folds in only count and sum — quantiles stay estimable, nothing
+// is silently dropped). Output order is deterministic: name, then
+// label signature.
+func Merge(nodes []peernet.NodeStats) obs.Snapshot {
+	merged := make(map[string]*obs.MetricPoint)
+	var order []string
+	for _, n := range nodes {
+		for _, p := range n.Metrics.Metrics {
+			id := seriesID(p.Name, p.Labels)
+			m, ok := merged[id]
+			if !ok {
+				cp := p
+				if p.Value != nil {
+					v := *p.Value
+					cp.Value = &v
+				}
+				if p.Histogram != nil {
+					h := *p.Histogram
+					h.Buckets = append([]obs.BucketPoint(nil), p.Histogram.Buckets...)
+					cp.Histogram = &h
+				}
+				if p.Labels != nil {
+					cp.Labels = make(map[string]string, len(p.Labels))
+					for k, v := range p.Labels {
+						cp.Labels[k] = v
+					}
+				}
+				merged[id] = &cp
+				order = append(order, id)
+				continue
+			}
+			switch {
+			case p.Value != nil && m.Value != nil:
+				*m.Value += *p.Value
+			case p.Histogram != nil && m.Histogram != nil:
+				mergeHistogram(m.Histogram, p.Histogram)
+			}
+		}
+	}
+	sort.Strings(order)
+	var out obs.Snapshot
+	for _, id := range order {
+		m := merged[id]
+		if m.Histogram != nil {
+			m.Histogram.P50 = m.Histogram.Quantile(0.50)
+			m.Histogram.P95 = m.Histogram.Quantile(0.95)
+			m.Histogram.P99 = m.Histogram.Quantile(0.99)
+		}
+		out.Metrics = append(out.Metrics, *m)
+	}
+	return out
+}
+
+// mergeHistogram folds src into dst.
+func mergeHistogram(dst, src *obs.HistogramPoint) {
+	dst.Sum += src.Sum
+	dst.Count += src.Count
+	if len(dst.Buckets) == len(src.Buckets) {
+		same := true
+		for i := range dst.Buckets {
+			if dst.Buckets[i].LE != src.Buckets[i].LE {
+				same = false
+				break
+			}
+		}
+		if same {
+			for i := range dst.Buckets {
+				dst.Buckets[i].Count += src.Buckets[i].Count
+			}
+		}
+	}
+}
+
+// mergeJobs rolls the per-node job ledgers up across the fleet.
+func mergeJobs(nodes []peernet.NodeStats) map[string]peernet.JobCounters {
+	var out map[string]peernet.JobCounters
+	for _, n := range nodes {
+		for job, jc := range n.Jobs {
+			if out == nil {
+				out = make(map[string]peernet.JobCounters)
+			}
+			agg := out[job]
+			agg.ReadsServed += jc.ReadsServed
+			agg.BytesServed += jc.BytesServed
+			agg.Hits += jc.Hits
+			agg.Evictions += jc.Evictions
+			out[job] = agg
+		}
+	}
+	return out
+}
+
+// disagreements compares every observer's opinion of every subject and
+// returns the splits, sorted by subject. A node absent from a view is
+// not an opinion (gossip views deliberately omit nodes never heard
+// from), so only explicit conflicting states count.
+func disagreements(nodes []peernet.NodeStats) []Disagreement {
+	views := make(map[string]map[string]string) // subject -> observer -> state
+	for _, n := range nodes {
+		for _, g := range n.Gossip {
+			m := views[g.Node]
+			if m == nil {
+				m = make(map[string]string)
+				views[g.Node] = m
+			}
+			m[n.Node] = g.State
+		}
+	}
+	var out []Disagreement
+	for subject, opinions := range views {
+		distinct := make(map[string]bool)
+		for _, state := range opinions {
+			distinct[state] = true
+		}
+		if len(distinct) > 1 {
+			out = append(out, Disagreement{Subject: subject, Views: opinions})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Subject < out[j].Subject })
+	return out
+}

@@ -1,0 +1,351 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"monarch/internal/obs"
+	"monarch/internal/peernet"
+	"monarch/internal/storage"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// nodeRegistry builds a deterministic registry for a fake node: the
+// same families every node exports, with node-dependent values, plus
+// one series only some nodes carry (exercising partial overlap).
+func nodeRegistry(node int) *obs.Registry {
+	r := obs.NewRegistry()
+	r.Counter("demo_reads_total", "Reads per tier.", obs.L("tier", "0")).Add(int64(10 * (node + 1)))
+	r.Counter("demo_reads_total", "Reads per tier.", obs.L("tier", "1")).Add(int64(node + 1))
+	r.Gauge("demo_queue_depth", "Queue depth.").Set(float64(node))
+	h := r.Histogram("demo_latency_seconds", "Latency.", []float64{0.1, 1, 10})
+	for i := 0; i <= node; i++ {
+		h.Observe(0.05)
+		h.Observe(5)
+	}
+	if node%2 == 1 {
+		r.Counter("demo_odd_total", "Only odd nodes.").Add(int64(node))
+	}
+	return r
+}
+
+func nodeStats(node int) peernet.NodeStats {
+	return peernet.NodeStats{
+		Node:    fmt.Sprintf("node%d", node),
+		Metrics: nodeRegistry(node).Snapshot(),
+	}
+}
+
+// TestMergeSumsEverySeries is the aggregation property test: for every
+// series of every node, the fleet value must equal the sum of that
+// series across the per-node registries — no series lost, none
+// double-counted.
+func TestMergeSumsEverySeries(t *testing.T) {
+	const n = 4
+	nodes := make([]peernet.NodeStats, n)
+	for i := range nodes {
+		nodes[i] = nodeStats(i)
+	}
+	fleet := Merge(nodes)
+
+	// Sum every per-node series independently of Merge's bookkeeping.
+	wantValues := map[string]float64{}
+	wantCounts := map[string]uint64{}
+	for _, ns := range nodes {
+		for _, p := range ns.Metrics.Metrics {
+			id := seriesID(p.Name, p.Labels)
+			if p.Value != nil {
+				wantValues[id] += *p.Value
+			}
+			if p.Histogram != nil {
+				wantCounts[id] += p.Histogram.Count
+			}
+		}
+	}
+	gotSeries := map[string]bool{}
+	for _, p := range fleet.Metrics {
+		id := seriesID(p.Name, p.Labels)
+		if gotSeries[id] {
+			t.Fatalf("fleet holds series %q twice", id)
+		}
+		gotSeries[id] = true
+		if p.Value != nil {
+			if got, want := *p.Value, wantValues[id]; got != want {
+				t.Errorf("fleet %q = %v, want sum %v", id, got, want)
+			}
+			delete(wantValues, id)
+		}
+		if p.Histogram != nil {
+			if got, want := p.Histogram.Count, wantCounts[id]; got != want {
+				t.Errorf("fleet %q count = %d, want %d", id, got, want)
+			}
+			delete(wantCounts, id)
+		}
+	}
+	for id := range wantValues {
+		t.Errorf("series %q missing from the fleet view", id)
+	}
+	for id := range wantCounts {
+		t.Errorf("histogram %q missing from the fleet view", id)
+	}
+}
+
+func TestMergeRecomputesHistogramQuantiles(t *testing.T) {
+	nodes := []peernet.NodeStats{nodeStats(0), nodeStats(3)}
+	fleet := Merge(nodes)
+	hp, ok := fleet.Hist("demo_latency_seconds")
+	if !ok {
+		t.Fatal("merged histogram missing")
+	}
+	if hp.Count != 2+8 {
+		t.Fatalf("merged count = %d, want 10", hp.Count)
+	}
+	if hp.P50 != hp.Quantile(0.50) || hp.P99 != hp.Quantile(0.99) {
+		t.Fatalf("quantiles not recomputed from merged buckets: %+v", hp)
+	}
+	// Buckets are cumulative: the last finite bucket holds every
+	// observation (nothing in this fixture lands past the top bound).
+	if last := hp.Buckets[len(hp.Buckets)-1].Count; last != hp.Count {
+		t.Fatalf("last cumulative bucket = %d, total says %d", last, hp.Count)
+	}
+}
+
+func TestDisagreements(t *testing.T) {
+	nodes := []peernet.NodeStats{
+		{Node: "node0", Gossip: []peernet.GossipEntry{
+			{Node: "node2", State: "alive"}, {Node: "node3", State: "alive"},
+		}},
+		{Node: "node1", Gossip: []peernet.GossipEntry{
+			{Node: "node2", State: "dead"}, {Node: "node3", State: "alive"},
+		}},
+	}
+	d := disagreements(nodes)
+	if len(d) != 1 || d[0].Subject != "node2" {
+		t.Fatalf("disagreements = %+v, want exactly one about node2", d)
+	}
+	if d[0].Views["node0"] != "alive" || d[0].Views["node1"] != "dead" {
+		t.Fatalf("views = %v", d[0].Views)
+	}
+}
+
+func TestMergeJobs(t *testing.T) {
+	nodes := []peernet.NodeStats{
+		{Node: "a", Jobs: map[string]peernet.JobCounters{
+			"resnet": {ReadsServed: 10, BytesServed: 100, Hits: 7, Evictions: 1},
+		}},
+		{Node: "b", Jobs: map[string]peernet.JobCounters{
+			"resnet": {ReadsServed: 5, BytesServed: 50, Hits: 2},
+			"bert":   {ReadsServed: 3},
+		}},
+	}
+	jobs := mergeJobs(nodes)
+	if got := jobs["resnet"]; got != (peernet.JobCounters{ReadsServed: 15, BytesServed: 150, Hits: 9, Evictions: 1}) {
+		t.Fatalf("resnet = %+v", got)
+	}
+	if got := jobs["bert"]; got.ReadsServed != 3 {
+		t.Fatalf("bert = %+v", got)
+	}
+}
+
+// TestPollOverWire drives the real path: two peernet servers answering
+// STATS frames over pipe transports, one unreachable source, plus a
+// local self — the aggregator must merge the reachable ones and report
+// the failure instead of erroring.
+func TestPollOverWire(t *testing.T) {
+	mkServer := func(node int) *peernet.Server {
+		srv, err := peernet.NewServer(peernet.ServerConfig{
+			Backend: storage.NewMemFS("ssd", 0),
+			Stats:   func() (peernet.NodeStats, error) { return nodeStats(node), nil },
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return srv
+	}
+	var clients []*peernet.Client
+	mkClient := func(name string, dial peernet.Dialer) *peernet.Client {
+		c, err := peernet.NewClient(peernet.ClientConfig{
+			Name: name, Dial: dial, Timeout: 2 * time.Second,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		clients = append(clients, c)
+		return c
+	}
+	defer func() {
+		for _, c := range clients {
+			c.Close()
+		}
+	}()
+
+	s1, s2 := mkServer(1), mkServer(2)
+	defer s1.Close()
+	defer s2.Close()
+	agg := New(Config{
+		Self: func() (peernet.NodeStats, error) { return nodeStats(0), nil },
+		Sources: []Source{
+			{Node: "node1", Client: mkClient("peer:node1", peernet.PipeDialer(s1))},
+			{Node: "node2", Client: mkClient("peer:node2", peernet.PipeDialer(s2))},
+			{Node: "node9", Client: mkClient("peer:node9", func(ctx context.Context) (net.Conn, error) {
+				return nil, fmt.Errorf("connection refused")
+			})},
+		},
+		Timeout: 5 * time.Second,
+	})
+	snap, err := agg.Poll(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Nodes) != 3 {
+		t.Fatalf("reached %d nodes, want 3", len(snap.Nodes))
+	}
+	for i, want := range []string{"node0", "node1", "node2"} {
+		if snap.Nodes[i].Node != want {
+			t.Fatalf("nodes[%d] = %q, want %q (sorted)", i, snap.Nodes[i].Node, want)
+		}
+	}
+	if len(snap.Unreachable) != 1 || snap.Unreachable["node9"] == "" {
+		t.Fatalf("unreachable = %v, want node9 reported", snap.Unreachable)
+	}
+	// 10+20+30 from tier 0 across nodes 0..2.
+	if got, _ := snap.Fleet.Value("demo_reads_total", obs.L("tier", "0")); got != 60 {
+		t.Fatalf("fleet demo_reads_total{tier=0} = %v, want 60", got)
+	}
+}
+
+func TestPollAllUnreachable(t *testing.T) {
+	c, err := peernet.NewClient(peernet.ClientConfig{
+		Name: "peer:gone",
+		Dial: func(ctx context.Context) (net.Conn, error) { return nil, fmt.Errorf("refused") },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	agg := New(Config{Sources: []Source{{Node: "gone", Client: c}}, Timeout: time.Second})
+	if _, err := agg.Poll(context.Background()); err == nil {
+		t.Fatal("Poll with zero reachable nodes returned nil error")
+	}
+}
+
+// TestServerWithoutStatsRejects pins the downgrade path: a server with
+// no stats source answers STATS with a remote error, not a hang or a
+// cut connection.
+func TestServerWithoutStatsRejects(t *testing.T) {
+	srv, err := peernet.NewServer(peernet.ServerConfig{Backend: storage.NewMemFS("ssd", 0)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := peernet.NewClient(peernet.ClientConfig{Name: "peer:old", Dial: peernet.PipeDialer(srv)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Stats(context.Background()); err == nil {
+		t.Fatal("Stats against a stats-less server returned nil error")
+	}
+}
+
+// TestClusterGolden locks the /metrics/cluster exposition down
+// byte-for-byte: fleet series first within each family, then per-node
+// series with the injected node label.
+// Regenerate with: go test ./internal/obs/cluster -run TestClusterGolden -update
+func TestClusterGolden(t *testing.T) {
+	nodes := []peernet.NodeStats{nodeStats(0), nodeStats(1)}
+	snap := Snapshot{Nodes: nodes, Fleet: Merge(nodes)}
+	var buf bytes.Buffer
+	if err := WriteMetrics(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("cluster exposition drifted from golden file.\n--- got ---\n%s\n--- want ---\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestRoutesOnObsMux mounts the aggregator on the obs handler the way
+// monarch-serve does and scrapes both endpoints over HTTP.
+func TestRoutesOnObsMux(t *testing.T) {
+	srv, err := peernet.NewServer(peernet.ServerConfig{
+		Backend: storage.NewMemFS("ssd", 0),
+		Stats:   func() (peernet.NodeStats, error) { return nodeStats(1), nil },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	c, err := peernet.NewClient(peernet.ClientConfig{Name: "peer:node1", Dial: peernet.PipeDialer(srv)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	agg := New(Config{
+		Self:    func() (peernet.NodeStats, error) { return nodeStats(0), nil },
+		Sources: []Source{{Node: "node1", Client: c}},
+	})
+	reg := obs.NewRegistry()
+	web := httptest.NewServer(reg.HandlerWith(obs.HandlerOpts{Routes: agg.Routes()}))
+	defer web.Close()
+
+	resp, err := web.Client().Get(web.URL + "/metrics/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var body bytes.Buffer
+	if _, err := body.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics/cluster = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(body.String(), `demo_reads_total{node="node1",tier="0"}`) {
+		t.Fatalf("exposition missing per-node series:\n%s", body.String())
+	}
+
+	resp, err = web.Client().Get(web.URL + "/cluster.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap Snapshot
+	err = json.NewDecoder(resp.Body).Decode(&snap)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Nodes) != 2 {
+		t.Fatalf("/cluster.json holds %d nodes, want 2", len(snap.Nodes))
+	}
+	if v, _ := snap.Fleet.Value("demo_queue_depth"); v != 1 {
+		t.Fatalf("fleet demo_queue_depth = %v, want 1", v)
+	}
+}

@@ -1,0 +1,78 @@
+package cluster
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+
+	"monarch/internal/obs"
+)
+
+// WriteMetrics renders a fleet snapshot in the Prometheus text
+// exposition format: for each family, the fleet-summed series first,
+// then every node's own series with a `node` label — one scrape
+// answers both "what is the cluster doing" and "which node is the
+// outlier". Output is deterministic for identical input, so the
+// format is golden-testable.
+func WriteMetrics(w io.Writer, snap Snapshot) error {
+	points := make([]obs.MetricPoint, 0,
+		len(snap.Fleet.Metrics)*(len(snap.Nodes)+1))
+	points = append(points, snap.Fleet.Metrics...)
+	for _, n := range snap.Nodes {
+		for _, p := range n.Metrics.Metrics {
+			labels := make(map[string]string, len(p.Labels)+1)
+			for k, v := range p.Labels {
+				labels[k] = v
+			}
+			labels["node"] = n.Node
+			p.Labels = labels
+			points = append(points, p)
+		}
+	}
+	// Group by family; the stable sort keeps fleet series ahead of the
+	// per-node ones and preserves node order within a family.
+	sort.SliceStable(points, func(i, j int) bool { return points[i].Name < points[j].Name })
+	return obs.WriteMetricPoints(w, points)
+}
+
+// MetricsHandler serves GET /metrics/cluster: one poll per scrape,
+// rendered through WriteMetrics. Poll failures surface as 502 — a
+// scrape that cannot see the fleet must not masquerade as an empty
+// fleet.
+func (a *Aggregator) MetricsHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap, err := a.Poll(req.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = WriteMetrics(w, snap)
+	})
+}
+
+// JSONHandler serves GET /cluster.json: the full Snapshot, indented —
+// the feed monarch-inspect top renders.
+func (a *Aggregator) JSONHandler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap, err := a.Poll(req.Context())
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadGateway)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+}
+
+// Routes returns the obs.HandlerOpts route map exposing this
+// aggregator on a node's metrics mux.
+func (a *Aggregator) Routes() map[string]http.Handler {
+	return map[string]http.Handler{
+		"/metrics/cluster": a.MetricsHandler(),
+		"/cluster.json":    a.JSONHandler(),
+	}
+}

@@ -94,6 +94,97 @@ func TestHandlerPprof(t *testing.T) {
 	}
 }
 
+func TestHealthzEndpoint(t *testing.T) {
+	r := NewRegistry()
+	state := "healthy"
+	srv := httptest.NewServer(r.HandlerWith(HandlerOpts{Health: func() Health {
+		return Health{
+			Tiers:      []TierHealth{{Tier: 0, Name: "ssd", State: state}},
+			Gossip:     map[string]string{"node1": "alive"},
+			TraceDrops: 3,
+		}
+	}}))
+	defer srv.Close()
+
+	get := func() (int, Health) {
+		t.Helper()
+		resp, err := srv.Client().Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var h Health
+		if err := json.NewDecoder(resp.Body).Decode(&h); err != nil {
+			t.Fatalf("/healthz is not JSON: %v", err)
+		}
+		return resp.StatusCode, h
+	}
+
+	code, h := get()
+	if code != http.StatusOK || h.Status != "ok" {
+		t.Fatalf("healthy node: %d %q, want 200 ok", code, h.Status)
+	}
+	if len(h.Tiers) != 1 || h.Tiers[0].State != "healthy" || h.TraceDrops != 3 {
+		t.Fatalf("health body = %+v", h)
+	}
+	if h.Gossip["node1"] != "alive" {
+		t.Fatalf("gossip view lost: %+v", h.Gossip)
+	}
+
+	// A suspect tier degrades nothing: only Down turns the probe red.
+	state = "suspect"
+	if code, _ := get(); code != http.StatusOK {
+		t.Fatalf("suspect tier: %d, want 200", code)
+	}
+	state = "down"
+	code, h = get()
+	if code != http.StatusServiceUnavailable || h.Status != "down" {
+		t.Fatalf("down tier: %d %q, want 503 down", code, h.Status)
+	}
+
+	// Without a Health source the endpoint does not exist.
+	bare := httptest.NewServer(NewRegistry().Handler())
+	defer bare.Close()
+	resp, err := bare.Client().Get(bare.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Fatalf("GET /healthz without a source = %d, want 404", resp.StatusCode)
+	}
+}
+
+func TestHandlerRoutes(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m_ops_total", "").Add(1)
+	srv := httptest.NewServer(r.HandlerWith(HandlerOpts{Routes: map[string]http.Handler{
+		"/debug/custom": http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+			io.WriteString(w, "custom")
+		}),
+	}}))
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/custom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || string(body) != "custom" {
+		t.Fatalf("mounted route: %d %q", resp.StatusCode, body)
+	}
+	// The standard endpoints survive extra routes.
+	resp, err = srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics with Routes = %d, want 200", resp.StatusCode)
+	}
+}
+
 func TestServeOnClosedListener(t *testing.T) {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {

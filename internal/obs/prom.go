@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"io"
 	"math"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -52,6 +53,63 @@ func writeHistogram(bw *bufio.Writer, name string, s *series) {
 	writeSample(bw, name+"_bucket", s.labels, "+Inf", float64(cum))
 	writeSample(bw, name+"_sum", s.labels, "", s.h.Sum())
 	writeSample(bw, name+"_count", s.labels, "", float64(s.h.Count()))
+}
+
+// WriteMetricPoints renders a pre-built point list (a Snapshot's
+// Metrics, or a merged fleet view) in the same text exposition format
+// as WritePrometheus. Points must arrive grouped by name — `# HELP` /
+// `# TYPE` headers are emitted whenever the name changes, taken from
+// the group's first point. Labels render in sorted order, so output
+// is deterministic for identical input.
+func WriteMetricPoints(w io.Writer, points []MetricPoint) error {
+	bw := bufio.NewWriter(w)
+	prev := ""
+	for _, p := range points {
+		if p.Name != prev {
+			prev = p.Name
+			if p.Help != "" {
+				bw.WriteString("# HELP ")
+				bw.WriteString(p.Name)
+				bw.WriteByte(' ')
+				bw.WriteString(escapeHelp(p.Help))
+				bw.WriteByte('\n')
+			}
+			bw.WriteString("# TYPE ")
+			bw.WriteString(p.Name)
+			bw.WriteByte(' ')
+			bw.WriteString(p.Type)
+			bw.WriteByte('\n')
+		}
+		labels := sortedPointLabels(p.Labels)
+		if h := p.Histogram; h != nil {
+			for _, b := range h.Buckets {
+				writeSample(bw, p.Name+"_bucket", labels, formatLE(b.LE), float64(b.Count))
+			}
+			writeSample(bw, p.Name+"_bucket", labels, "+Inf", float64(h.Count))
+			writeSample(bw, p.Name+"_sum", labels, "", h.Sum)
+			writeSample(bw, p.Name+"_count", labels, "", float64(h.Count))
+			continue
+		}
+		v := 0.0
+		if p.Value != nil {
+			v = *p.Value
+		}
+		writeSample(bw, p.Name, labels, "", v)
+	}
+	return bw.Flush()
+}
+
+// sortedPointLabels converts a point's label map to a sorted slice.
+func sortedPointLabels(m map[string]string) []Label {
+	if len(m) == 0 {
+		return nil
+	}
+	out := make([]Label, 0, len(m))
+	for k, v := range m {
+		out = append(out, Label{Name: k, Value: v})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
 }
 
 // writeSample emits one line: name{labels[,le="?"]} value. le, when

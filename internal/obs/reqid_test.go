@@ -1,0 +1,30 @@
+package obs
+
+import (
+	"context"
+	"testing"
+)
+
+func TestNewRequestID(t *testing.T) {
+	a, b := NewRequestID(), NewRequestID()
+	if a == 0 || b == 0 {
+		t.Fatal("request IDs must never be zero (zero means unset)")
+	}
+	if a == b {
+		t.Fatalf("consecutive IDs collide: %016x", a)
+	}
+	if a>>32 != b>>32 {
+		t.Fatalf("IDs from one process must share the prefix: %016x vs %016x", a, b)
+	}
+}
+
+func TestRequestIDContext(t *testing.T) {
+	ctx := context.Background()
+	if got := RequestIDFrom(ctx); got != 0 {
+		t.Fatalf("bare context carries ID %016x, want 0", got)
+	}
+	ctx = WithRequestID(ctx, 0xdeadbeef)
+	if got := RequestIDFrom(ctx); got != 0xdeadbeef {
+		t.Fatalf("roundtrip = %016x, want deadbeef", got)
+	}
+}

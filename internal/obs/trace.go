@@ -35,6 +35,11 @@ const (
 	// the backend removal; the eviction itself is also surfaced through
 	// the event funnel and the trace's state stream.
 	SpanEvict
+	// SpanPeerServe covers one READ frame served to a sibling node by
+	// the peer cache server. It is the remote half of a peer read: its
+	// Req matches the Req of the client-side SpanRead that triggered
+	// it, so correlated traces can price true end-to-end peer latency.
+	SpanPeerServe
 )
 
 // String names the kind.
@@ -52,6 +57,8 @@ func (k SpanKind) String() string {
 		return "tier-probe"
 	case SpanEvict:
 		return "evict"
+	case SpanPeerServe:
+		return "peer-serve"
 	default:
 		return "unknown"
 	}
@@ -99,6 +106,7 @@ type Span struct {
 	Bytes    int64         // payload bytes moved, if any
 	Attempt  int           // 1-based placement attempt, if applicable
 	Flags    SpanFlags     // hit qualifiers; see SpanFlags
+	Req      uint64        // cross-node correlation ID (0 when unset)
 	Err      error         // outcome; nil on success
 	Duration time.Duration // wall-clock duration (informational under simulation)
 }
@@ -138,6 +146,9 @@ func (s Span) String() string {
 	}
 	if s.Flags&FlagHedged != 0 {
 		out += " hedged"
+	}
+	if s.Req != 0 {
+		out += fmt.Sprintf(" req=%016x", s.Req)
 	}
 	out += fmt.Sprintf(" dur=%s", s.Duration)
 	if s.Err != nil {

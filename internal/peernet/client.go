@@ -66,7 +66,7 @@ type Client struct {
 	// Instrument runs — the hot path loads it atomically. hlat is the
 	// always-on latency record the hedging engine derives its adaptive
 	// p99 threshold from; it exists whether or not Instrument ran.
-	reqs     [8]atomic.Int64 // indexed by op byte
+	reqs     [16]atomic.Int64 // indexed by op byte (low nibble)
 	transErr atomic.Int64
 	bytesIn  atomic.Int64
 	lat      atomic.Pointer[obs.Histogram]
@@ -82,6 +82,7 @@ var opNames = map[byte]string{
 	OpWrite:  "write",
 	OpRemove: "remove",
 	OpUsage:  "usage",
+	OpStats:  "stats",
 }
 
 // NewClient validates cfg, applies defaults and builds a Client. No
@@ -285,12 +286,12 @@ func (c *Client) roundTrip(ctx context.Context, conn net.Conn, op byte, payload 
 			}
 		}()
 	}
-	c.reqs[op&0x07].Add(1)
+	c.reqs[op&0x0f].Add(1)
 	start := time.Now()
-	if err := writeFrame(conn, op, payload); err != nil {
+	if err := writeFrameID(conn, op, obs.RequestIDFrom(ctx), payload); err != nil {
 		return 0, nil, err
 	}
-	status, resp, err := readFrame(conn)
+	status, _, resp, err := readFrame(conn)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -499,6 +500,23 @@ func (c *Client) Remove(ctx context.Context, name string) error {
 	return nil
 }
 
+// Stats fetches the peer's observability snapshot: registry metrics,
+// gossip view and per-job ledger. Peers that predate the STATS op (or
+// run without a stats source) answer StatusInvalid, which surfaces
+// here as a remote error.
+func (c *Client) Stats(ctx context.Context) (NodeStats, error) {
+	status, resp, err := c.do(ctx, OpStats, nil)
+	if err != nil {
+		return NodeStats{}, err
+	}
+	if status != StatusOK {
+		return NodeStats{}, c.remoteError(status, resp)
+	}
+	ns, err := parseStatsResp(resp)
+	putPayload(resp)
+	return ns, err
+}
+
 // usage fetches the remote quota pair with a self-imposed deadline,
 // since Capacity/Used take no context.
 func (c *Client) usage() (capacity, used int64, err error) {
@@ -542,7 +560,7 @@ func (c *Client) Used() int64 {
 func (c *Client) Instrument(r *obs.Registry, labels ...obs.Label) {
 	base := append([]obs.Label{obs.L("peer", c.cfg.Name)}, labels...)
 	for op, name := range opNames {
-		ctr := &c.reqs[op&0x07]
+		ctr := &c.reqs[op&0x0f]
 		r.CounterFunc("monarch_peer_requests_total",
 			"Wire requests sent to a peer cache server, by operation.",
 			ctr.Load, append(append([]obs.Label(nil), base...), obs.L("op", name))...)

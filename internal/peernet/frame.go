@@ -56,7 +56,21 @@ const (
 	// OpUsage requests quota accounting; response = i64 capacity +
 	// i64 used.
 	OpUsage byte = 0x07
+	// OpStats requests the node's observability snapshot; empty payload,
+	// response = u8 version + JSON-encoded NodeStats (see stats.go).
+	// Servers without a stats source answer StatusInvalid, so old and
+	// new nodes interoperate.
+	OpStats byte = 0x08
 )
+
+// flagReqID marks a request frame that carries a correlation ID: when
+// the bit is set on an op code, 8 big-endian bytes of request ID sit
+// between the code byte and the payload. The bit is outside both the
+// op range (0x01–0x08) and the status range (0x80–0x87), so a server
+// that predates it would see an unknown op and answer StatusInvalid
+// instead of misparsing. Responses never carry the bit: a response is
+// matched to its request by the synchronous framing, not by ID.
+const flagReqID byte = 0x40
 
 // Status codes returned by servers. Each maps onto the storage sentinel
 // the client re-wraps, so errors.Is works across the wire.
@@ -87,13 +101,25 @@ var errMalformed = errors.New("peernet: malformed frame")
 
 // writeFrame emits one frame. The payload may be nil.
 func writeFrame(w io.Writer, code byte, payload []byte) error {
+	return writeFrameID(w, code, 0, payload)
+}
+
+// writeFrameID emits one frame, stamping the request ID after the code
+// byte (and setting flagReqID on it) when req is non-zero.
+func writeFrameID(w io.Writer, code byte, req uint64, payload []byte) error {
 	if len(payload)+1 > MaxFrame {
 		return fmt.Errorf("peernet: frame payload %d bytes exceeds MaxFrame", len(payload))
 	}
-	var hdr [5]byte
-	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+1))
+	var hdr [13]byte
+	n := 5
 	hdr[4] = code
-	if _, err := w.Write(hdr[:]); err != nil {
+	if req != 0 {
+		hdr[4] = code | flagReqID
+		binary.BigEndian.PutUint64(hdr[5:13], req)
+		n = 13
+	}
+	binary.BigEndian.PutUint32(hdr[:4], uint32(len(payload)+n-4))
+	if _, err := w.Write(hdr[:n]); err != nil {
 		return err
 	}
 	if len(payload) > 0 {
@@ -111,27 +137,43 @@ func writeFrame(w io.Writer, code byte, payload []byte) error {
 // the backend's own copy). Larger payloads are freshly allocated,
 // growing in bounded steps so a hostile length prefix cannot force a
 // huge allocation before the stream runs dry.
-func readFrame(r io.Reader) (code byte, payload []byte, err error) {
+func readFrame(r io.Reader) (code byte, req uint64, payload []byte, err error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n == 0 {
-		return 0, nil, fmt.Errorf("%w: zero length", errMalformed)
+		return 0, 0, nil, fmt.Errorf("%w: zero length", errMalformed)
 	}
 	if n > MaxFrame {
-		return 0, nil, fmt.Errorf("%w: length %d exceeds MaxFrame", errMalformed, n)
+		return 0, 0, nil, fmt.Errorf("%w: length %d exceeds MaxFrame", errMalformed, n)
 	}
 	var cb [1]byte
 	if _, err := io.ReadFull(r, cb[:]); err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	body, err := readBounded(r, int(n-1))
+	code = cb[0]
+	n--
+	if code&0x80 == 0 && code&flagReqID != 0 {
+		// A request frame carrying a correlation ID: 8 ID bytes sit
+		// between the code byte and the payload.
+		if n < 8 {
+			return 0, 0, nil, fmt.Errorf("%w: truncated request ID", errMalformed)
+		}
+		var ib [8]byte
+		if _, err := io.ReadFull(r, ib[:]); err != nil {
+			return 0, 0, nil, err
+		}
+		req = binary.BigEndian.Uint64(ib[:])
+		code &^= flagReqID
+		n -= 8
+	}
+	body, err := readBounded(r, int(n))
 	if err != nil {
-		return 0, nil, err
+		return 0, 0, nil, err
 	}
-	return cb[0], body, nil
+	return code, req, body, nil
 }
 
 // readBounded reads exactly n bytes. Sizes the pool covers borrow a

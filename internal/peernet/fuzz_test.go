@@ -43,18 +43,44 @@ func FuzzFrame(f *testing.F) {
 	var hbBad bytes.Buffer
 	writeFrame(&hbBad, OpPing, []byte{0, 1, 's', 0xff, 0xff, 0xff, 0xff})
 	f.Add(hbBad.Bytes())
-	// Malformed shapes: zero length, huge length, truncated body.
+	// A STATS response and an ID-stamped request: the version byte,
+	// JSON body and the 8-byte correlation ID all sit on the decode
+	// path.
+	var stats bytes.Buffer
+	statsPayload, _ := appendStatsResp(nil, NodeStats{
+		Node:   "node0",
+		Gossip: []GossipEntry{{Node: "node1", State: "alive"}},
+		Jobs:   map[string]JobCounters{"resnet": {ReadsServed: 3, Hits: 2}},
+	})
+	writeFrame(&stats, StatusOK, statsPayload)
+	f.Add(stats.Bytes())
+	var reqID bytes.Buffer
+	writeFrameID(&reqID, OpRead, 0xdeadbeefcafe, read)
+	f.Add(reqID.Bytes())
+	var statsReq bytes.Buffer
+	writeFrameID(&statsReq, OpStats, 1, nil)
+	f.Add(statsReq.Bytes())
+	// Malformed shapes: zero length, huge length, truncated body, an
+	// ID flag with fewer than 8 ID bytes behind it, a bad STATS version.
 	f.Add([]byte{0, 0, 0, 0})
 	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
 	f.Add([]byte{0, 0, 1, 0, OpStat, 0, 50, 'a', 'b'})
+	f.Add([]byte{0, 0, 0, 4, OpRead | 0x40, 1, 2, 3})
+	f.Add([]byte{0, 0, 0, 3, StatusOK, 0xff, '{'})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
 		for {
-			code, payload, err := readFrame(r)
+			code, req, payload, err := readFrame(r)
 			if err != nil {
 				break
 			}
+			// The ID flag must be stripped from decoded codes, and an
+			// absent ID decodes as zero.
+			if code&0x80 == 0 && code&0x40 != 0 {
+				t.Fatalf("undecoded request-ID flag on code %#x", code)
+			}
+			_ = req
 			// A decoded frame's length prefix can never exceed what the
 			// input held.
 			if len(payload)+1 > len(data) {
@@ -85,6 +111,11 @@ func FuzzFrame(f *testing.F) {
 					t.Fatal("parseHeartbeat conjured data")
 				}
 			}
+			if ns, err := parseStatsResp(payload); err == nil {
+				if len(ns.Node) > len(payload) {
+					t.Fatal("parseStatsResp conjured a node name")
+				}
+			}
 		}
 	})
 }
@@ -106,7 +137,7 @@ func FuzzRoundtrip(f *testing.F) {
 		if err := writeFrame(&buf, OpRead, payload); err != nil {
 			t.Fatal(err)
 		}
-		code, got, err := readFrame(&buf)
+		code, _, got, err := readFrame(&buf)
 		if err != nil || code != OpRead {
 			t.Fatalf("decode: code=%#x err=%v", code, err)
 		}
@@ -168,7 +199,7 @@ func FuzzHeartbeat(f *testing.F) {
 func TestFrameRejectsOversize(t *testing.T) {
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
-	if _, _, err := readFrame(bytes.NewReader(hdr[:])); err == nil {
+	if _, _, _, err := readFrame(bytes.NewReader(hdr[:])); err == nil {
 		t.Fatal("oversize length accepted")
 	}
 	if err := writeFrame(&bytes.Buffer{}, OpWrite, make([]byte, MaxFrame)); err == nil {

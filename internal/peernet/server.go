@@ -8,8 +8,10 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
 	"monarch/internal/bufpool"
+	"monarch/internal/obs"
 	"monarch/internal/storage"
 )
 
@@ -27,6 +29,14 @@ type ServerConfig struct {
 	// heartbeat PINGs are answered empty (plain liveness), so old and
 	// new nodes interoperate.
 	Membership *Membership
+	// Stats, when set, answers STATS requests with this node's
+	// observability snapshot. Nil servers answer StatusInvalid, exactly
+	// like servers that predate the op.
+	Stats func() (NodeStats, error)
+	// Trace, when set, receives one SpanPeerServe per READ frame
+	// served, stamped with the request's correlation ID — the remote
+	// half of a cross-node peer-read span pair. Hooks must be fast.
+	Trace obs.TraceHook
 	// Logf receives per-connection diagnostics; nil discards them.
 	Logf func(format string, args ...any)
 }
@@ -137,7 +147,7 @@ func (s *Server) serveConn(conn net.Conn) {
 	br := bufio.NewReader(conn)
 	bw := bufio.NewWriter(conn)
 	for {
-		op, payload, err := readFrame(br)
+		op, req, payload, err := readFrame(br)
 		if err != nil {
 			// A malformed frame may leave unread garbage mid-stream;
 			// drop the connection rather than guess at resync.
@@ -148,7 +158,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			return
 		}
-		status, resp, release := s.handle(op, payload)
+		status, resp, release := s.handle(op, req, payload)
 		err = writeFrame(bw, status, resp)
 		if err == nil {
 			err = bw.Flush()
@@ -168,7 +178,7 @@ func (s *Server) serveConn(conn net.Conn) {
 // handle dispatches one request and encodes the response. A non-nil
 // release returns resources resp borrows (a view's lock, a pooled
 // buffer); the caller invokes it after resp has been written out.
-func (s *Server) handle(op byte, payload []byte) (status byte, resp []byte, release func()) {
+func (s *Server) handle(op byte, req uint64, payload []byte) (status byte, resp []byte, release func()) {
 	ctx := context.Background()
 	b := s.cfg.Backend
 	switch op {
@@ -218,15 +228,18 @@ func (s *Server) handle(op byte, payload []byte) (status byte, resp []byte, rele
 		if err != nil {
 			return failWith(err)
 		}
+		start := time.Now()
 		// Serve straight out of the backend's bytes when it lends views
 		// (MemFS tier-0 caches do): the response is written to the
 		// socket from the cache's own buffer, no intermediate copy.
 		if vr, ok := b.(storage.ViewReader); ok {
 			v, verr := vr.ReadView(ctx, rq.name, rq.off, int64(rq.n))
 			if verr == nil {
+				s.serveSpan(rq, req, int64(len(v.Data)), nil, start)
 				return StatusOK, v.Data, v.Release
 			}
 			if !errors.Is(verr, errors.ErrUnsupported) {
+				s.serveSpan(rq, req, 0, verr, start)
 				return failWith(verr)
 			}
 		}
@@ -234,8 +247,10 @@ func (s *Server) handle(op byte, payload []byte) (status byte, resp []byte, rele
 		n, err := b.ReadAt(ctx, rq.name, p, rq.off)
 		if err != nil {
 			bufpool.Put(p)
+			s.serveSpan(rq, req, 0, err, start)
 			return failWith(err)
 		}
+		s.serveSpan(rq, req, int64(n), nil, start)
 		return StatusOK, p[:n], func() { bufpool.Put(p) }
 
 	case OpWrite:
@@ -267,9 +282,40 @@ func (s *Server) handle(op byte, payload []byte) (status byte, resp []byte, rele
 	case OpUsage:
 		return StatusOK, appendUsageResp(nil, b.Capacity(), b.Used()), nil
 
+	case OpStats:
+		if s.cfg.Stats == nil {
+			return StatusInvalid, appendString(nil, "stats unsupported"), nil
+		}
+		ns, err := s.cfg.Stats()
+		if err != nil {
+			return failWith(err)
+		}
+		resp, err := appendStatsResp(nil, ns)
+		if err != nil {
+			return failWith(err)
+		}
+		return StatusOK, resp, nil
+
 	default:
 		return StatusInvalid, appendString(nil, fmt.Sprintf("unknown op 0x%02x", op)), nil
 	}
+}
+
+// serveSpan emits the server half of a peer read to the trace hook.
+func (s *Server) serveSpan(rq readReq, req uint64, n int64, err error, start time.Time) {
+	if s.cfg.Trace == nil {
+		return
+	}
+	s.cfg.Trace(obs.Span{
+		Kind:     obs.SpanPeerServe,
+		File:     rq.name,
+		Tier:     -1,
+		Off:      rq.off,
+		Bytes:    n,
+		Req:      req,
+		Err:      err,
+		Duration: time.Since(start),
+	})
 }
 
 // failWith adapts statusFromError to handle's three-value signature.

@@ -1,0 +1,79 @@
+package peernet
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"monarch/internal/obs"
+)
+
+// statsVersion is the STATS payload version. The response payload is
+// one version byte followed by JSON — the snapshot is control-plane
+// traffic polled every few seconds, so schema evolvability beats the
+// byte-level compactness the data-plane frames need.
+const statsVersion byte = 1
+
+// maxStats bounds a STATS response payload. A registry snapshot of a
+// node with thousands of series is well under a megabyte; anything
+// approaching the data-plane cap is garbage.
+const maxStats = maxData
+
+// GossipEntry is one node's opinion of one peer in its membership
+// view, as carried in a STATS response.
+type GossipEntry struct {
+	// Node is the peer this opinion is about.
+	Node string `json:"node"`
+	// State is the observed PeerState ("alive", "suspect", "dead").
+	State string `json:"state"`
+}
+
+// JobCounters is the per-job slice of a node's quota ledger.
+type JobCounters struct {
+	ReadsServed int64 `json:"reads_served"`
+	BytesServed int64 `json:"bytes_served"`
+	Hits        int64 `json:"hits"`
+	Evictions   int64 `json:"evictions"`
+}
+
+// NodeStats is one node's observability snapshot as returned by a
+// STATS request: its metric registry, its gossip view of the cluster,
+// and its per-job quota ledger.
+type NodeStats struct {
+	// Node is the responding node's name.
+	Node string `json:"node"`
+	// Metrics is the node's full registry snapshot.
+	Metrics obs.Snapshot `json:"metrics"`
+	// Gossip is the node's membership view, including its (always
+	// Alive) opinion of itself. Empty when the node runs no gossip.
+	Gossip []GossipEntry `json:"gossip,omitempty"`
+	// Jobs is the per-job quota ledger. Empty on single-tenant nodes.
+	Jobs map[string]JobCounters `json:"jobs,omitempty"`
+}
+
+// appendStatsResp encodes a STATS response payload.
+func appendStatsResp(b []byte, ns NodeStats) ([]byte, error) {
+	data, err := json.Marshal(ns)
+	if err != nil {
+		return nil, err
+	}
+	b = append(b, statsVersion)
+	return append(b, data...), nil
+}
+
+// parseStatsResp decodes a STATS response payload.
+func parseStatsResp(p []byte) (NodeStats, error) {
+	var ns NodeStats
+	if len(p) < 1 {
+		return ns, fmt.Errorf("%w: empty STATS response", errMalformed)
+	}
+	if p[0] != statsVersion {
+		return ns, fmt.Errorf("%w: STATS version %d unsupported", errMalformed, p[0])
+	}
+	if len(p) > maxStats {
+		return ns, fmt.Errorf("%w: STATS payload %d bytes exceeds cap", errMalformed, len(p))
+	}
+	if err := json.Unmarshal(p[1:], &ns); err != nil {
+		return ns, fmt.Errorf("%w: STATS body: %v", errMalformed, err)
+	}
+	return ns, nil
+}

@@ -1,0 +1,116 @@
+package analyze
+
+import (
+	"sort"
+
+	"monarch/internal/trace"
+)
+
+// This file stitches cross-node reads back together. A peer-served
+// read leaves two records in two different captures: the reader's
+// KindRead event (class peer/peer-hedge/peer-miss) and the owner's
+// KindServe event, both stamped with the request ID the client minted
+// and carried in the wire frame. Correlate joins them, which is the
+// only way to see one logical read end to end — per-node traces alone
+// cannot say WHICH sibling served a read, or what the serve cost on
+// the far side.
+
+// HalfEvent is one side of a cross-node read.
+type HalfEvent struct {
+	// Node names the trace the event came from (the Correlate map key).
+	Node string `json:"node"`
+	// File is the resolved file name in that node's namespace.
+	File string `json:"file"`
+	// T is the event time, ns relative to that node's capture start.
+	// Clocks are per-node: T values are comparable within a node only.
+	T int64 `json:"t_ns"`
+	// Lat is the upper bound (seconds) of the event's latency bucket.
+	Lat float64 `json:"lat_le_s"`
+	// Class is the event's class string ("peer", "peer-hedge", ...).
+	Class string `json:"class,omitempty"`
+}
+
+// StitchedPair is one logical cross-node read: the client half from
+// the reader's trace and the serve half from the owner's.
+type StitchedPair struct {
+	Req    uint64      `json:"req"`
+	Client HalfEvent   `json:"client"`
+	Serves []HalfEvent `json:"serves"`
+}
+
+// Correlation is the result of stitching a set of per-node traces.
+type Correlation struct {
+	// Pairs holds every read matched to at least one serve, sorted by
+	// request ID. A hedged read legitimately matches two serves (the
+	// primary and the raced replica both served bytes).
+	Pairs []StitchedPair `json:"pairs"`
+	// UnmatchedReads counts peer reads that carried a request ID but
+	// found no serve half — expected when the serving node's trace was
+	// not captured or was sampled away.
+	UnmatchedReads int `json:"unmatched_reads"`
+	// UnmatchedServes counts serve events with no client half —
+	// expected when the reading node's trace is missing, or its reads
+	// were sampled (serve events are never sampled; client reads may
+	// be).
+	UnmatchedServes int `json:"unmatched_serves"`
+}
+
+// Correlate stitches per-node traces, keyed by node name, into
+// cross-node read pairs via the shared request IDs.
+func Correlate(traces map[string]*trace.Trace) *Correlation {
+	type serveHalf struct {
+		ev   HalfEvent
+		used bool
+	}
+	serves := make(map[uint64][]*serveHalf)
+	nodes := make([]string, 0, len(traces))
+	for node := range traces {
+		nodes = append(nodes, node)
+	}
+	sort.Strings(nodes)
+	for _, node := range nodes {
+		t := traces[node]
+		for _, ev := range t.Events {
+			if ev.Kind != trace.KindServe || ev.Req == 0 {
+				continue
+			}
+			serves[ev.Req] = append(serves[ev.Req], &serveHalf{ev: HalfEvent{
+				Node: node, File: t.Name(ev.File), T: ev.T,
+				Lat: trace.LatBucketBound(ev.Lat), Class: ev.Class.String(),
+			}})
+		}
+	}
+
+	c := &Correlation{}
+	for _, node := range nodes {
+		t := traces[node]
+		for _, ev := range t.Events {
+			if ev.Kind != trace.KindRead || ev.Req == 0 {
+				continue
+			}
+			halves := serves[ev.Req]
+			if len(halves) == 0 {
+				c.UnmatchedReads++
+				continue
+			}
+			pair := StitchedPair{Req: ev.Req, Client: HalfEvent{
+				Node: node, File: t.Name(ev.File), T: ev.T,
+				Lat: trace.LatBucketBound(ev.Lat), Class: ev.Class.String(),
+			}}
+			for _, h := range halves {
+				h.used = true
+				pair.Serves = append(pair.Serves, h.ev)
+			}
+			c.Pairs = append(c.Pairs, pair)
+		}
+	}
+	for _, halves := range serves {
+		for _, h := range halves {
+			if !h.used {
+				c.UnmatchedServes++
+			}
+		}
+	}
+	sort.Slice(c.Pairs, func(i, j int) bool { return c.Pairs[i].Req < c.Pairs[j].Req })
+	return c
+}

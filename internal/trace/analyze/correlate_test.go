@@ -1,0 +1,107 @@
+package analyze
+
+import (
+	"testing"
+
+	"monarch/internal/trace"
+)
+
+// synthTrace builds a minimal in-memory capture with one file table
+// entry per name and the given events.
+func synthTrace(files []string, events []trace.Event) *trace.Trace {
+	t := &trace.Trace{Header: trace.Header{Version: 2}}
+	for i, name := range files {
+		t.Files = append(t.Files, trace.File{ID: uint32(i + 1), Name: name})
+	}
+	t.Events = events
+	return t
+}
+
+func TestCorrelateStitchesAcrossNodes(t *testing.T) {
+	reader := synthTrace([]string{"shard-7"}, []trace.Event{
+		// A peer-served read stamped with request ID 0x11.
+		{T: 100, File: 1, Kind: trace.KindRead, Class: trace.ClassPeer, Req: 0x11},
+		// A local hit: no request ID, must not appear in the output.
+		{T: 200, File: 1, Kind: trace.KindRead, Class: trace.ClassLocal},
+	})
+	owner := synthTrace([]string{"shard-7"}, []trace.Event{
+		{T: 90, File: 1, Kind: trace.KindServe, Tier: -1, Req: 0x11},
+	})
+
+	c := Correlate(map[string]*trace.Trace{"node0": reader, "node1": owner})
+	if len(c.Pairs) != 1 {
+		t.Fatalf("stitched %d pairs, want 1: %+v", len(c.Pairs), c.Pairs)
+	}
+	p := c.Pairs[0]
+	if p.Req != 0x11 {
+		t.Fatalf("pair req = %x, want 0x11", p.Req)
+	}
+	if p.Client.Node != "node0" || p.Client.File != "shard-7" || p.Client.Class != "peer" {
+		t.Fatalf("client half = %+v", p.Client)
+	}
+	if len(p.Serves) != 1 || p.Serves[0].Node != "node1" {
+		t.Fatalf("serve halves = %+v", p.Serves)
+	}
+	if c.UnmatchedReads != 0 || c.UnmatchedServes != 0 {
+		t.Fatalf("unmatched reads=%d serves=%d, want 0/0", c.UnmatchedReads, c.UnmatchedServes)
+	}
+}
+
+func TestCorrelateHedgedReadMatchesTwoServes(t *testing.T) {
+	reader := synthTrace([]string{"f"}, []trace.Event{
+		{T: 10, File: 1, Kind: trace.KindRead, Class: trace.ClassPeerHedge, Req: 0x22},
+	})
+	primary := synthTrace([]string{"f"}, []trace.Event{
+		{T: 5, File: 1, Kind: trace.KindServe, Req: 0x22},
+	})
+	replica := synthTrace([]string{"f"}, []trace.Event{
+		{T: 6, File: 1, Kind: trace.KindServe, Req: 0x22},
+	})
+
+	c := Correlate(map[string]*trace.Trace{
+		"reader": reader, "primary": primary, "replica": replica,
+	})
+	if len(c.Pairs) != 1 {
+		t.Fatalf("stitched %d pairs, want 1", len(c.Pairs))
+	}
+	if got := len(c.Pairs[0].Serves); got != 2 {
+		t.Fatalf("hedged read matched %d serves, want 2 (primary + raced replica)", got)
+	}
+	if c.UnmatchedServes != 0 {
+		t.Fatalf("both serve halves belong to the read; unmatched = %d", c.UnmatchedServes)
+	}
+}
+
+func TestCorrelateCountsUnmatchedHalves(t *testing.T) {
+	// The reader's trace survived but the owner's capture is missing,
+	// and a second owner recorded a serve whose reader was sampled away.
+	reader := synthTrace([]string{"a"}, []trace.Event{
+		{T: 1, File: 1, Kind: trace.KindRead, Class: trace.ClassPeer, Req: 0x33},
+	})
+	owner := synthTrace([]string{"b"}, []trace.Event{
+		{T: 2, File: 1, Kind: trace.KindServe, Req: 0x44},
+	})
+
+	c := Correlate(map[string]*trace.Trace{"reader": reader, "owner": owner})
+	if len(c.Pairs) != 0 {
+		t.Fatalf("nothing should stitch, got %+v", c.Pairs)
+	}
+	if c.UnmatchedReads != 1 || c.UnmatchedServes != 1 {
+		t.Fatalf("unmatched reads=%d serves=%d, want 1/1", c.UnmatchedReads, c.UnmatchedServes)
+	}
+}
+
+func TestCorrelatePairsSortedByRequestID(t *testing.T) {
+	reader := synthTrace([]string{"x"}, []trace.Event{
+		{T: 1, File: 1, Kind: trace.KindRead, Class: trace.ClassPeer, Req: 0xbb},
+		{T: 2, File: 1, Kind: trace.KindRead, Class: trace.ClassPeer, Req: 0xaa},
+	})
+	owner := synthTrace([]string{"x"}, []trace.Event{
+		{T: 1, File: 1, Kind: trace.KindServe, Req: 0xaa},
+		{T: 2, File: 1, Kind: trace.KindServe, Req: 0xbb},
+	})
+	c := Correlate(map[string]*trace.Trace{"r": reader, "o": owner})
+	if len(c.Pairs) != 2 || c.Pairs[0].Req != 0xaa || c.Pairs[1].Req != 0xbb {
+		t.Fatalf("pairs not sorted by request ID: %+v", c.Pairs)
+	}
+}

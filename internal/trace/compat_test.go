@@ -1,0 +1,79 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+)
+
+// TestReadBinaryV1 decodes a hand-built version-1 binary trace: 32-byte
+// event records with no Req field. Old captures must stay readable
+// after the version-2 record grew the correlation ID.
+func TestReadBinaryV1(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(binMagic)
+
+	blob := func(data []byte) {
+		var n [4]byte
+		binary.LittleEndian.PutUint32(n[:], uint32(len(data)))
+		buf.Write(n[:])
+		buf.Write(data)
+	}
+	hdr, err := json.Marshal(Header{Version: 1, Clock: "wall", Levels: []Level{{Name: "ssd"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob(hdr)
+
+	// tagDefine: file "a", id 1, size 64.
+	def := make([]byte, 12, 13)
+	binary.LittleEndian.PutUint32(def[0:], 1)
+	binary.LittleEndian.PutUint64(def[4:], 64)
+	def = append(def, 'a')
+	buf.WriteByte(tagDefine)
+	blob(def)
+
+	// tagEvent: one v1 (32-byte) read record — T=5000, file 1,
+	// KindRead/ClassLocal, tier 0, off 8, len 16, and no Req bytes.
+	var rec [32]byte
+	binary.LittleEndian.PutUint64(rec[0:], 5000)
+	binary.LittleEndian.PutUint32(rec[8:], 1)
+	rec[12] = byte(KindRead)
+	rec[13] = byte(ClassLocal)
+	rec[14] = 0 // tier
+	rec[15] = 2 // latency bucket
+	binary.LittleEndian.PutUint64(rec[16:], 8)
+	binary.LittleEndian.PutUint64(rec[24:], 16)
+	buf.WriteByte(tagEvent)
+	buf.Write(rec[:])
+
+	trl, err := json.Marshal(Trailer{Summary: map[string]int64{"reads": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteByte(tagTrailer)
+	blob(trl)
+
+	tr, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Header.Version != 1 {
+		t.Fatalf("version = %d, want 1", tr.Header.Version)
+	}
+	if len(tr.Events) != 1 {
+		t.Fatalf("got %d events, want 1", len(tr.Events))
+	}
+	ev := tr.Events[0]
+	if ev.T != 5000 || tr.Name(ev.File) != "a" || ev.Kind != KindRead ||
+		ev.Class != ClassLocal || ev.Off != 8 || ev.Len != 16 {
+		t.Fatalf("v1 event decoded as %+v", ev)
+	}
+	if ev.Req != 0 {
+		t.Fatalf("v1 record has no Req field, decoded %x", ev.Req)
+	}
+	if !tr.Complete() || tr.Summary["reads"] != 1 {
+		t.Fatalf("trailer lost: %+v", tr.Summary)
+	}
+}

@@ -23,7 +23,9 @@ import (
 //	{"summary":{...},"trace":{...}}              trailer
 //
 // Binary (".bin" paths): magic "MTRB1\n", a length-prefixed JSON
-// header, then tagged records — tag 1 a fixed 32-byte event, tag 2 a
+// header, then tagged records — tag 1 a fixed-size event (40 bytes in
+// version 2; 32 in version 1, which lacked the trailing Req field —
+// the header's version selects the record length on read), tag 2 a
 // file definition, tag 3 a length-prefixed JSON trailer. Everything is
 // little-endian.
 type encoder interface {
@@ -108,6 +110,10 @@ func (e *jsonlEncoder) event(ev Event) error {
 		b = append(b, `,"len":`...)
 		b = strconv.AppendInt(b, ev.Len, 10)
 	}
+	if ev.Req != 0 {
+		b = append(b, `,"r":`...)
+		b = strconv.AppendUint(b, ev.Req, 10)
+	}
 	b = append(b, '}', '\n')
 	e.buf = b
 	_, err := e.w.Write(b)
@@ -130,7 +136,7 @@ func (e *jsonlEncoder) flush() error { return e.w.Flush() }
 
 type binEncoder struct {
 	w   *bufio.Writer
-	rec [33]byte // tag + 32-byte event
+	rec [41]byte // tag + 40-byte event (v2 layout)
 }
 
 func newBinEncoder(w io.Writer) *binEncoder {
@@ -190,6 +196,7 @@ func (e *binEncoder) event(ev Event) error {
 	b[16] = ev.Lat
 	binary.LittleEndian.PutUint64(b[17:], uint64(ev.Off))
 	binary.LittleEndian.PutUint64(b[25:], uint64(ev.Len))
+	binary.LittleEndian.PutUint64(b[33:], ev.Req)
 	_, err := e.w.Write(b)
 	return err
 }
@@ -292,7 +299,14 @@ func readBin(br *bufio.Reader) (*Trace, error) {
 	if err := json.Unmarshal(hb, &t.Header); err != nil {
 		return nil, fmt.Errorf("header: %w", err)
 	}
-	var rec [32]byte
+	// The header precedes every event, so its version can drive the
+	// record length: version 1 wrote 32-byte events, version 2 appended
+	// an 8-byte Req.
+	recLen := 40
+	if t.Header.Version < 2 {
+		recLen = 32
+	}
+	var rec [40]byte
 	for {
 		tag, err := br.ReadByte()
 		if err == io.EOF {
@@ -303,10 +317,10 @@ func readBin(br *bufio.Reader) (*Trace, error) {
 		}
 		switch tag {
 		case tagEvent:
-			if _, err := io.ReadFull(br, rec[:]); err != nil {
+			if _, err := io.ReadFull(br, rec[:recLen]); err != nil {
 				return nil, fmt.Errorf("event record: %w", err)
 			}
-			t.Events = append(t.Events, Event{
+			ev := Event{
 				T:     int64(binary.LittleEndian.Uint64(rec[0:])),
 				File:  binary.LittleEndian.Uint32(rec[8:]),
 				Kind:  Kind(rec[12]),
@@ -315,7 +329,11 @@ func readBin(br *bufio.Reader) (*Trace, error) {
 				Lat:   rec[15],
 				Off:   int64(binary.LittleEndian.Uint64(rec[16:])),
 				Len:   int64(binary.LittleEndian.Uint64(rec[24:])),
-			})
+			}
+			if recLen == 40 {
+				ev.Req = binary.LittleEndian.Uint64(rec[32:])
+			}
+			t.Events = append(t.Events, ev)
 		case tagDefine:
 			buf, err := readBlob()
 			if err != nil {
@@ -364,6 +382,7 @@ type jsonlLine struct {
 	Lat  uint8  `json:"lat"`
 	Off  int64  `json:"off"`
 	Len  int64  `json:"len"`
+	R    uint64 `json:"r"`
 }
 
 func readJSONL(br *bufio.Reader) (*Trace, error) {
@@ -407,7 +426,7 @@ func readJSONL(br *bufio.Reader) (*Trace, error) {
 			}
 			t.Events = append(t.Events, Event{
 				T: l.T, File: l.F, Kind: k, Class: c,
-				Tier: int8(tier), Lat: l.Lat, Off: l.Off, Len: l.Len,
+				Tier: int8(tier), Lat: l.Lat, Off: l.Off, Len: l.Len, Req: l.R,
 			})
 		default:
 			return nil, fmt.Errorf("line %d: unrecognised line", lineNo)

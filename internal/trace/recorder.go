@@ -212,6 +212,26 @@ func (r *Recorder) HookSpan(s obs.Span) {
 			Lat:   LatBucket(s.Duration),
 			Off:   s.Off,
 			Len:   s.Bytes,
+			Req:   s.Req,
+		}, s.File)
+	case obs.SpanPeerServe:
+		// The remote half of a sibling's peer read. Never sampled: each
+		// serve is the witness that stitches a cross-node span pair, and
+		// the analyzer cannot correlate what sampling threw away.
+		class := ClassNone
+		if s.Err != nil {
+			class = ClassError
+		}
+		r.seen.Add(1)
+		r.enqueue(Event{
+			T:     r.now(),
+			Kind:  KindServe,
+			Class: class,
+			Tier:  int8(s.Tier),
+			Lat:   LatBucket(s.Duration),
+			Off:   s.Off,
+			Len:   s.Bytes,
+			Req:   s.Req,
 		}, s.File)
 	case obs.SpanPlacement:
 		class := ClassFetch

@@ -20,8 +20,11 @@ import (
 	"monarch/internal/obs"
 )
 
-// Version is the trace format version written into headers.
-const Version = 1
+// Version is the trace format version written into headers. Version 2
+// added the Req correlation field to events ("r" in JSONL, 8 extra
+// bytes per binary record); version-1 traces still decode — the
+// header's version selects the record length.
+const Version = 2
 
 // Kind classifies trace events.
 type Kind uint8
@@ -39,6 +42,11 @@ const (
 	// KindState is a tier-state change: demotion, eviction, a breaker
 	// opening or closing.
 	KindState
+	// KindServe is one READ frame this node served to a sibling over
+	// the peer protocol — the remote half of the sibling's KindRead
+	// peer hit, correlated through the shared Req ID. (Appended so
+	// earlier kinds keep their numeric values in old binary traces.)
+	KindServe
 )
 
 // String names the kind (the "k" field of the JSONL encoding).
@@ -54,6 +62,8 @@ func (k Kind) String() string {
 		return "epoch"
 	case KindState:
 		return "state"
+	case KindServe:
+		return "serve"
 	default:
 		return "unknown"
 	}
@@ -172,7 +182,7 @@ func classFromString(s string) (Class, bool) {
 
 // kindFromString inverts Kind.String.
 func kindFromString(s string) (Kind, bool) {
-	for k := KindRead; k <= KindState; k++ {
+	for k := KindRead; k <= KindServe; k++ {
 		if k.String() == s {
 			return k, true
 		}
@@ -195,6 +205,7 @@ type Event struct {
 	Lat   uint8 // latency bucket index; see LatBucket
 	Off   int64
 	Len   int64
+	Req   uint64 // cross-node correlation ID; 0 when unset
 }
 
 // File is one namespace entry of the traced hierarchy. IDs are dense
