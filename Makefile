@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build test race vet lint cover bench bench-all bench-obs bench-peer bench-hotpath trace-smoke peer-smoke chaos-smoke repro repro-full examples fuzz fuzz-smoke clean
+.PHONY: all build test race vet lint cover bench bench-all bench-obs bench-peer bench-hotpath bench-write trace-smoke peer-smoke chaos-smoke crash-smoke repro repro-full examples fuzz fuzz-smoke clean
 
 all: build vet test
 
@@ -31,10 +31,11 @@ test:
 	$(GO) vet ./...
 	$(GO) test ./...
 	$(GO) test -tags debug ./internal/bufpool/
-	$(GO) test -race -short ./internal/core/ ./internal/pool/ ./internal/storage/ ./internal/obs/ ./internal/bufpool/ ./internal/peernet/
+	$(GO) test -race -short ./internal/core/ ./internal/pool/ ./internal/storage/ ./internal/obs/ ./internal/bufpool/ ./internal/peernet/ ./internal/journal/
 	$(MAKE) trace-smoke
 	$(MAKE) peer-smoke
 	$(MAKE) chaos-smoke
+	$(MAKE) crash-smoke
 	$(MAKE) fuzz-smoke
 
 # Race the whole module. The package list comes from `go list` at run
@@ -91,11 +92,26 @@ bench-peer:
 	$(GO) test -bench='PeerRead|PeerStat' -benchmem -count=1 ./internal/peernet/ \
 		| $(GO) run ./cmd/monarch-benchjson -o BENCH_peer.json
 
+# Write-path benchmarks: foreground ack latency/throughput for
+# write-through vs write-back (journaled and not), committed as a JSON
+# baseline so ack-path regressions show up in review.
+bench-write:
+	$(GO) test -bench='WriteThrough|WriteBack' -benchmem -count=1 ./internal/core/ \
+		| $(GO) run ./cmd/monarch-benchjson -o BENCH_write.json
+
 # Peer network smoke: two real servers over loopback TCP, a short
 # reshuffled sharded job, non-zero exit unless sibling caches served
 # reads.
 peer-smoke:
 	$(GO) run ./cmd/monarch-serve -selftest
+
+# Write-path crash drill: a journaled write-back burst SIGKILLed
+# mid-flight, the stack reopened over the same directories, and every
+# acked chunk verified byte-identical after WAL replay. Non-zero exit
+# on any lost acked byte — or if nothing was left to recover (the
+# drill must actually exercise replay).
+crash-smoke:
+	$(GO) run ./cmd/monarch-serve -crashsmoke
 
 # Churn drill: 6 replicated nodes with gossip membership, one killed
 # mid-run and rejoined two epochs later. Non-zero exit unless the kill
@@ -139,6 +155,7 @@ fuzz:
 	$(GO) test -fuzz=FuzzMetaOracle -fuzztime=30s ./internal/core/
 	$(GO) test -fuzz=FuzzFrame -fuzztime=30s ./internal/peernet/
 	$(GO) test -fuzz=FuzzHeartbeat -fuzztime=30s ./internal/peernet/
+	$(GO) test -fuzz=FuzzReplay -fuzztime=30s ./internal/journal/
 
 # A 10-second pass per fuzz target — enough to replay the committed
 # corpus and shake out shallow regressions on every `make test`.
@@ -149,6 +166,7 @@ fuzz-smoke:
 	$(GO) test -run='^$$' -fuzz=FuzzNamespace -fuzztime=10s ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzMetaOracle -fuzztime=10s ./internal/core/
 	$(GO) test -run='^$$' -fuzz=FuzzFrame -fuzztime=10s ./internal/peernet/
+	$(GO) test -run='^$$' -fuzz=FuzzReplay -fuzztime=10s ./internal/journal/
 
 clean:
 	rm -f test_output.txt bench_output.txt .bench-metrics.json .cover-core.out

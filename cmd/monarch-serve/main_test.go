@@ -1,11 +1,17 @@
 package main
 
 import (
+	"bytes"
+	"context"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"monarch"
+	"monarch/internal/storage"
 )
 
 // tmpDirs builds a valid cache root and a dataset dir with one file per
@@ -76,7 +82,15 @@ func TestServeConfigValidate(t *testing.T) {
 		{"jobs without pfs", func(c *serveConfig) { c.jobs = "a=0.5" }, "-jobs needs -pfs"},
 		{"pfs without jobs", func(c *serveConfig) { c.pfs = "/d" }, "-pfs needs -jobs"},
 		{"jobs with unlimited quota", func(c *serveConfig) { c.jobs = "a=0.5"; c.pfs = "/d"; c.quota = 0 }, "conflicting -quota"},
-		{"jobs with write", func(c *serveConfig) { c.jobs = "a=0.5"; c.pfs = "/d"; c.write = true }, "-write conflicts"},
+		{"jobs with write", func(c *serveConfig) { c.jobs = "a=0.5"; c.pfs = "/d"; c.write = true }, ""},
+		{"jobs with write and journal", func(c *serveConfig) {
+			c.jobs = "a=0.5"
+			c.pfs = "/d"
+			c.write = true
+			c.journal = "/j/wal.mj"
+		}, ""},
+		{"journal without write", func(c *serveConfig) { c.jobs = "a=0.5"; c.pfs = "/d"; c.journal = "/j/wal.mj" }, "-journal needs -write"},
+		{"journal in plain mode", func(c *serveConfig) { c.write = true; c.journal = "/j/wal.mj" }, "-journal needs -jobs"},
 		{"jobs bad spec", func(c *serveConfig) { c.jobs = "a=x"; c.pfs = "/d" }, "bad -jobs share"},
 	} {
 		cfg := base
@@ -135,5 +149,76 @@ func TestServeStartupFailures(t *testing.T) {
 				t.Fatal("serve() hung instead of failing startup")
 			}
 		})
+	}
+}
+
+// TestMonarchBackendWrite covers the writable tenant adapter: remote
+// WRITE is whole-file PUT through Create+WriteAt (including replace),
+// REMOVE distinguishes ghosts from dataset files, and the read-only
+// adapter rejects every mutation — the exact semantics the peernet
+// server relays onto the wire.
+func TestMonarchBackendWrite(t *testing.T) {
+	ctx := context.Background()
+	pfs := monarch.NewMemFS("lustre", 0)
+	if err := pfs.WriteFile(ctx, "jobA/f0", make([]byte, 64)); err != nil {
+		t.Fatal(err)
+	}
+	tier0 := monarch.NewMemFS("ssd", 1<<20)
+	m, err := monarch.New(monarch.Config{
+		Levels:        []monarch.Backend{tier0, pfs},
+		Pool:          monarch.NewPool(2),
+		FullFileFetch: true,
+		Write: monarch.WriteConfig{
+			Enabled:    true,
+			Durability: func(string) monarch.Durability { return monarch.WriteBack },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close()
+	if err := m.Init(ctx); err != nil {
+		t.Fatal(err)
+	}
+	b := &monarchBackend{m: m, tier0: tier0, writable: true}
+
+	if err := b.WriteFile(ctx, "ckpt/s0", []byte("checkpoint v1")); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	got, err := b.ReadFile(ctx, "ckpt/s0")
+	if err != nil || !bytes.Equal(got, []byte("checkpoint v1")) {
+		t.Fatalf("readback: %q err=%v", got, err)
+	}
+	// Whole-file PUT replaces, including a size change.
+	if err := b.WriteFile(ctx, "ckpt/s0", []byte("v2")); err != nil {
+		t.Fatalf("replace: %v", err)
+	}
+	if got, _ = b.ReadFile(ctx, "ckpt/s0"); !bytes.Equal(got, []byte("v2")) {
+		t.Fatalf("after replace: %q", got)
+	}
+	// Dataset files are read-only in every mode.
+	if err := b.WriteFile(ctx, "jobA/f0", []byte("clobber")); !errors.Is(err, storage.ErrReadOnly) {
+		t.Fatalf("dataset write: %v, want ErrReadOnly", err)
+	}
+	if err := b.Remove(ctx, "jobA/f0"); !errors.Is(err, storage.ErrReadOnly) {
+		t.Fatalf("dataset remove: %v, want ErrReadOnly", err)
+	}
+	// Ghosts surface as ErrNotExist, not read-only.
+	if err := b.Remove(ctx, "ckpt/ghost"); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("ghost remove: %v, want ErrNotExist", err)
+	}
+	if err := b.Remove(ctx, "ckpt/s0"); err != nil {
+		t.Fatalf("remove: %v", err)
+	}
+	if _, err := b.ReadFile(ctx, "ckpt/s0"); err == nil {
+		t.Fatal("removed file still readable")
+	}
+
+	ro := &monarchBackend{m: m, tier0: tier0}
+	if err := ro.WriteFile(ctx, "ckpt/s1", []byte("x")); !errors.Is(err, storage.ErrReadOnly) {
+		t.Fatalf("read-only write: %v, want ErrReadOnly", err)
+	}
+	if err := ro.Remove(ctx, "ckpt/s1"); !errors.Is(err, storage.ErrReadOnly) {
+		t.Fatalf("read-only remove: %v, want ErrReadOnly", err)
 	}
 }

@@ -156,6 +156,10 @@ type Config struct {
 	// Peer wires a peer cache tier (a level serving sibling nodes'
 	// caches over the wire) into the read path; see PeerConfig.
 	Peer PeerConfig
+	// Write enables the write path — Create/WriteAt/Flush/Remove for
+	// runtime-created files (checkpoints), with per-path durability and
+	// an optional crash journal; see WriteConfig.
+	Write WriteConfig
 }
 
 // PeerConfig routes reads through a peer cache tier. With a consistent
@@ -197,7 +201,10 @@ type Monarch struct {
 	// Config.Tenants enables multi-job tenancy.
 	tenants *tenantTable
 	inst    instruments
-	tracer  *trace.Recorder
+	// writes is the write subsystem (durable checkpoints, write-back
+	// flusher, crash journal); nil unless Config.Write.Enabled.
+	writes *writeState
+	tracer *trace.Recorder
 	// spanHook fans spans out to the trace recorder and Config.Trace;
 	// nil when neither is configured.
 	spanHook obs.TraceHook
@@ -235,6 +242,19 @@ func New(cfg Config) (*Monarch, error) {
 			return nil, fmt.Errorf("monarch: peer routing requires an Owns function")
 		}
 	}
+	if cfg.Write.Enabled {
+		if cfg.Disabled {
+			return nil, fmt.Errorf("monarch: the write path requires tiering (Disabled is set)")
+		}
+		if _, ok := cfg.Levels[0].(storage.RangeWriter); !ok {
+			return nil, fmt.Errorf("monarch: the write path requires level 0 (%s) to implement storage.RangeWriter",
+				cfg.Levels[0].Name())
+		}
+		if _, ok := cfg.Levels[len(cfg.Levels)-1].(storage.RangeWriter); !ok {
+			return nil, fmt.Errorf("monarch: the write path requires the source level (%s) to implement storage.RangeWriter",
+				cfg.Levels[len(cfg.Levels)-1].Name())
+		}
+	}
 	m := &Monarch{cfg: cfg, base: time.Now()}
 	for i, b := range cfg.Levels {
 		if b == nil {
@@ -262,6 +282,9 @@ func New(cfg Config) (*Monarch, error) {
 	}
 	m.placer = newPlacer(m)
 	m.health = newHealthTracker(cfg.Health, len(m.levels)-1)
+	if cfg.Write.Enabled {
+		m.writes = newWriteState(m, cfg.Write)
+	}
 	m.initObs()
 	m.initTenantObs()
 	if cfg.TracePath != "" {
@@ -291,6 +314,12 @@ func (m *Monarch) Init(ctx context.Context) error {
 	if m.meta.initialized() {
 		return fmt.Errorf("monarch: Init called twice")
 	}
+	// Journal recovery runs BEFORE the namespace listing: write-back
+	// bytes a crashed predecessor acked but never flushed land on the
+	// PFS first, so the recovered files are listed like any other.
+	if err := m.initWrites(ctx); err != nil {
+		return err
+	}
 	infos, err := m.source.backend.List(ctx)
 	if err != nil {
 		return fmt.Errorf("monarch: init: %w", err)
@@ -316,7 +345,13 @@ func (m *Monarch) Levels() int { return len(m.levels) }
 func (m *Monarch) NumFiles() int { return m.meta.len() }
 
 // Stats returns a snapshot of middleware counters.
-func (m *Monarch) Stats() Stats { return m.stats.snapshot(m.placer.inFlight()) }
+func (m *Monarch) Stats() Stats {
+	s := m.stats.snapshot(m.placer.inFlight())
+	if m.writes != nil {
+		s.DirtyBytes = m.writes.dirtyBytes()
+	}
+	return s
+}
 
 // Idle reports whether no placements are queued or running.
 func (m *Monarch) Idle() bool { return m.placer.inFlight() == 0 }
@@ -327,6 +362,11 @@ func (m *Monarch) Idle() bool { return m.placer.inFlight() == 0 }
 // trace's summary reflects final counters.
 func (m *Monarch) Close() {
 	m.stopMetrics()
+	if m.writes != nil {
+		// Graceful: drain the dirty backlog to the PFS, persist the heat
+		// snapshot, seal the journal.
+		m.writes.close(true)
+	}
 	if m.cfg.Pool != nil {
 		m.cfg.Pool.Close()
 	}
@@ -338,6 +378,11 @@ func (m *Monarch) Close() {
 // their files to the source state and are not counted as errors.
 func (m *Monarch) Shutdown() {
 	m.stopMetrics()
+	if m.writes != nil {
+		// Abrupt: skip the drain. The journal already holds every acked
+		// write-back byte; the next Init replays them into the PFS.
+		m.writes.close(false)
+	}
 	if m.cfg.Pool != nil {
 		m.cfg.Pool.Shutdown()
 	}

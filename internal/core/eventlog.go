@@ -51,6 +51,15 @@ const (
 	// pipeline because its heat came to justify displacing a colder
 	// resident.
 	EventPromoted
+	// EventFlushed: a write-back file's dirty bytes reached the PFS;
+	// Bytes carries the dirty bytes retired.
+	EventFlushed
+	// EventWriteStalled: a write-back writer blocked on the dirty
+	// budget until the flusher drained; Bytes carries the write size.
+	EventWriteStalled
+	// EventRecovered: Init replayed journaled write-back state into the
+	// PFS after a crash; Bytes carries the number of files recovered.
+	EventRecovered
 
 	// eventKinds counts the kinds above; keep it last.
 	eventKinds
@@ -85,6 +94,12 @@ func (k EventKind) String() string {
 		return "op-error"
 	case EventPromoted:
 		return "promoted"
+	case EventFlushed:
+		return "flushed"
+	case EventWriteStalled:
+		return "write-stalled"
+	case EventRecovered:
+		return "recovered"
 	default:
 		return "unknown"
 	}
@@ -130,6 +145,12 @@ func (e Event) String() string {
 		return fmt.Sprintf("#%d best-effort operation on %s (level %d) failed: %v", e.Seq, e.File, e.Level, e.Err)
 	case EventPromoted:
 		return fmt.Sprintf("#%d promoted %s back into placement (%d bytes)", e.Seq, e.File, e.Bytes)
+	case EventFlushed:
+		return fmt.Sprintf("#%d flushed %s to the PFS (%d dirty bytes retired)", e.Seq, e.File, e.Bytes)
+	case EventWriteStalled:
+		return fmt.Sprintf("#%d write of %s stalled on the dirty budget (%d bytes)", e.Seq, e.File, e.Bytes)
+	case EventRecovered:
+		return fmt.Sprintf("#%d recovered %d journaled files to the PFS", e.Seq, e.Bytes)
 	default:
 		return fmt.Sprintf("#%d %s %s", e.Seq, e.Kind, e.File)
 	}

@@ -336,6 +336,54 @@ func (p *HeatPolicy) ShouldPromote(name string) bool {
 	return false
 }
 
+// heatState is one file's serialisable heat record, exchanged with the
+// write journal so victim standing survives daemon restarts.
+type heatState struct {
+	name      string
+	prevBits  uint64 // float64 bits of the epoch-boundary accumulation
+	cur       int64  // reads of the epoch in progress
+	lastEpoch int64
+}
+
+// snapshotState captures the decay clock and every file's heat for
+// persistence. The placed books are deliberately absent: they are
+// rebuilt by OnPlaced as the next process re-places files, while heat
+// is history no restart should forget.
+func (p *HeatPolicy) snapshotState() (epoch int64, files []heatState) {
+	epoch = p.epoch.Load()
+	p.mu.RLock()
+	defer p.mu.RUnlock()
+	files = make([]heatState, 0, len(p.files))
+	for name, e := range p.files {
+		files = append(files, heatState{
+			name:      name,
+			prevBits:  e.prevBits.Load(),
+			cur:       e.cur.Load(),
+			lastEpoch: e.lastEpoch.Load(),
+		})
+	}
+	return epoch, files
+}
+
+// restoreState reinstates a snapshot taken by snapshotState. Called
+// before any access lands (Init, pre-List), so plain stores suffice.
+func (p *HeatPolicy) restoreState(epoch int64, files []heatState) {
+	p.epoch.Store(epoch)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, s := range files {
+		e := p.files[s.name]
+		if e == nil {
+			e = &heatEntry{name: s.name}
+			e.promoteEpoch.Store(-1)
+			p.files[s.name] = e
+		}
+		e.prevBits.Store(s.prevBits)
+		e.cur.Store(s.cur)
+		e.lastEpoch.Store(s.lastEpoch)
+	}
+}
+
 // victimChooser is the optional EvictionPolicy extension the placer
 // prefers when making room: victim selection with the candidate (and
 // through the bound tenancy table, its job) in view.

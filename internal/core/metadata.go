@@ -388,6 +388,37 @@ func (c *metadataContainer) populate(infos []storage.FileInfo, sourceLevel int) 
 	c.ready.Store(true)
 }
 
+// insert adds one entry at runtime (the write path registering a
+// created file). It fails with storage.ErrExist when the name is
+// taken: writable names must not shadow dataset files.
+func (c *metadataContainer) insert(name string, size int64, level int, state placementState) (*fileEntry, error) {
+	e := &fileEntry{name: name, size: size, level: level, state: state}
+	e.publish()
+	s := c.shard(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.entries[name]; exists {
+		return nil, storage.ErrExist
+	}
+	s.entries[name] = e
+	c.count.Add(1)
+	return e, nil
+}
+
+// remove drops an entry from the namespace (the write path's Remove);
+// it reports whether the name was present.
+func (c *metadataContainer) remove(name string) bool {
+	s := c.shard(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.entries[name]; !exists {
+		return false
+	}
+	delete(s.entries, name)
+	c.count.Add(-1)
+	return true
+}
+
 func (c *metadataContainer) initialized() bool {
 	return c.ready.Load()
 }

@@ -34,6 +34,14 @@ const (
 	// stageCleanup: a best-effort removal failed (partial-copy cleanup
 	// after a failed chunk job, probe scratch file).
 	stageCleanup = "cleanup"
+	// stageWrite: a foreground Create/WriteAt/Remove failed to the
+	// caller.
+	stageWrite = "write"
+	// stageFlush: a background flush of a write-back file to the PFS
+	// failed (the bytes stay dirty and journaled; the flush retries).
+	stageFlush = "flush"
+	// stageJournal: a write-journal append, compaction or close failed.
+	stageJournal = "journal"
 )
 
 // instruments bundles the registry and every handle the middleware
@@ -46,6 +54,8 @@ type instruments struct {
 	readLatency      []*obs.Histogram // per tier, successful foreground reads
 	placementLatency *obs.Histogram   // enqueue → placed, successful placements
 	chunkCopyLatency *obs.Histogram   // one chunk, source → destination tier
+	writeLatency     *obs.Histogram   // successful foreground writes, ack latency
+	flushLatency     *obs.Histogram   // one write-back flush, tier 0 → PFS
 
 	errTierRead  *obs.Counter
 	errPeer      *obs.Counter
@@ -55,6 +65,9 @@ type instruments struct {
 	errProbe     *obs.Counter
 	errEvict     *obs.Counter
 	errCleanup   *obs.Counter
+	errWrite     *obs.Counter
+	errFlush     *obs.Counter
+	errJournal   *obs.Counter
 
 	events [eventKinds]*obs.Counter
 }
@@ -76,6 +89,10 @@ func (m *Monarch) initObs() {
 		"Enqueue-to-landed latency of successful placements (includes queue wait).", nil)
 	m.inst.chunkCopyLatency = reg.Histogram("monarch_chunk_copy_latency_seconds",
 		"Latency of individual chunk copies within chunked placements.", nil)
+	m.inst.writeLatency = reg.Histogram("monarch_write_latency_seconds",
+		"Ack latency of successful foreground writes (both durability levels).", nil)
+	m.inst.flushLatency = reg.Histogram("monarch_flush_latency_seconds",
+		"Latency of background write-back flushes (tier 0 to the PFS).", nil)
 
 	const errHelp = "Errors observed by the middleware, by pipeline stage."
 	m.inst.errTierRead = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stageTierRead))
@@ -86,6 +103,9 @@ func (m *Monarch) initObs() {
 	m.inst.errProbe = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stageProbe))
 	m.inst.errEvict = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stageEvict))
 	m.inst.errCleanup = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stageCleanup))
+	m.inst.errWrite = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stageWrite))
+	m.inst.errFlush = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stageFlush))
+	m.inst.errJournal = reg.Counter("monarch_errors_total", errHelp, obs.L("stage", stageJournal))
 
 	for k := EventKind(0); k < eventKinds; k++ {
 		m.inst.events[k] = reg.Counter("monarch_events_total",
@@ -98,6 +118,19 @@ func (m *Monarch) initObs() {
 	reg.GaugeFunc("monarch_inflight_placements",
 		"Queued or running placement tasks, including retries and probes.",
 		func() float64 { return float64(m.placer.inFlight()) })
+	if m.writes != nil {
+		reg.GaugeFunc("monarch_dirty_bytes",
+			"Write-back bytes acked by tier 0 but not yet flushed to the PFS.",
+			func() float64 { return float64(m.writes.dirtyBytes()) })
+		reg.GaugeFunc("monarch_write_burst_active",
+			"1 while the checkpoint-burst gate holds background placement paused.",
+			func() float64 {
+				if m.writes.burstActive() {
+					return 1
+				}
+				return 0
+			})
+	}
 	for i := 0; i < len(m.levels)-1; i++ {
 		lvl := i
 		reg.GaugeFunc("monarch_tier_breaker_state",

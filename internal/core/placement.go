@@ -56,6 +56,11 @@ func (pl *placer) onAccess(e *fileEntry, full []byte) {
 	if e.currentState() != stateSource {
 		return
 	}
+	if pl.m.writes.protected(e.name) {
+		// Writable files never enter the placement pipeline: a tier copy
+		// of a write-through file would go stale on its next WriteAt.
+		return
+	}
 	if !e.tryQueue() {
 		return
 	}
@@ -139,6 +144,14 @@ func (pl *placer) place(ctx context.Context, e *fileEntry, full []byte, attempt 
 	m := pl.m
 	if ctx.Err() != nil {
 		e.cancelQueued() // shut down mid-queue: not a placement failure
+		return
+	}
+	// Checkpoint-burst gate: while foreground writes are landing (or
+	// their dirty backlog is draining), background copies would fight
+	// them for tier and PFS bandwidth — hold here until the burst ends.
+	m.writePause(ctx)
+	if ctx.Err() != nil {
+		e.cancelQueued()
 		return
 	}
 	for _, d := range m.levels[:len(m.levels)-1] {
@@ -356,6 +369,13 @@ func (j *chunkJob) run(ctx context.Context) {
 			j.cancel()
 			break
 		}
+		// Per-chunk burst check: a long chunked copy yields between
+		// chunks when a checkpoint burst starts mid-flight.
+		j.pl.m.writePause(ctx)
+		if ctx.Err() != nil {
+			j.cancel()
+			break
+		}
 		i := j.next.Add(1) - 1
 		if i >= j.nchunks {
 			break
@@ -508,6 +528,15 @@ func (pl *placer) evict(ctx context.Context, d *driver, name string) (bool, erro
 	e, ok := m.meta.get(name)
 	if !ok {
 		return false, errUnknownVictim
+	}
+	// Writable files are never victims: a dirty one holds the only
+	// tiered copy of acked bytes, and even a clean one belongs to the
+	// Remove lifecycle, not the placement policy. Defense in depth — the
+	// write path keeps them out of Eviction.OnPlaced, so a policy
+	// proposing one is working from corrupt books; treat it as stale.
+	if m.writes.protected(name) {
+		m.cfg.Eviction.OnEvicted(name)
+		return false, nil
 	}
 	// Metadata first: the moment the entry re-points at the source, new
 	// lookups route there and never observe the removal below. A reader

@@ -80,6 +80,31 @@ type Stats struct {
 	TierRecoveries int64
 	// Probes counts recovery probes attempted against Down tiers.
 	Probes int64
+	// Creates counts writable files registered through Create.
+	Creates int64
+	// Writes counts foreground WriteAt acks (both durability levels);
+	// WriteBacks is the subset acked by tier 0 with the flush deferred.
+	// WrittenBytes is the foreground bytes acked.
+	Writes       int64
+	WriteBacks   int64
+	WrittenBytes int64
+	// Flushes counts background flushes of write-back files to the PFS;
+	// FlushedBytes the dirty bytes they retired.
+	Flushes      int64
+	FlushedBytes int64
+	// WriteStalls counts writers that blocked on the dirty budget.
+	WriteStalls int64
+	// Removes counts writable files deleted through Remove.
+	Removes int64
+	// RecoveredFiles counts files whose journaled write-back state was
+	// replayed into the PFS by Init after a crash.
+	RecoveredFiles int64
+	// PlacementPauses counts background placement tasks paused by the
+	// checkpoint-burst gate.
+	PlacementPauses int64
+	// DirtyBytes is the current write-back backlog: bytes acked by tier
+	// 0 but not yet flushed to the PFS.
+	DirtyBytes int64
 	// InFlight is the number of queued or running placement tasks
 	// (including retries and recovery probes).
 	InFlight int
@@ -156,6 +181,16 @@ type statsCollector struct {
 	tierTrips       *obs.Counter
 	tierRecoveries  *obs.Counter
 	probes          *obs.Counter
+	creates         *obs.Counter
+	writes          *obs.Counter
+	writeBacks      *obs.Counter
+	writtenBytesFg  *obs.Counter
+	flushes         *obs.Counter
+	flushedBytes    *obs.Counter
+	writeStalls     *obs.Counter
+	removes         *obs.Counter
+	recoveredFiles  *obs.Counter
+	placementPauses *obs.Counter
 
 	// Per-job fairness series, registered lazily on a job's first read
 	// or eviction (obs.Registry handles are idempotent and mutex-guarded,
@@ -228,6 +263,26 @@ func (c *statsCollector) init(reg *obs.Registry, levels int) {
 		"Successful recovery probes (Down to Healthy).")
 	c.probes = reg.Counter("monarch_probes_total",
 		"Recovery probes attempted against Down tiers.")
+	c.creates = reg.Counter("monarch_creates_total",
+		"Writable files registered through Create.")
+	c.writes = reg.Counter("monarch_writes_total",
+		"Foreground WriteAt acks (write-through and write-back).")
+	c.writeBacks = reg.Counter("monarch_write_backs_total",
+		"Writes acked by tier 0 with the PFS flush deferred.")
+	c.writtenBytesFg = reg.Counter("monarch_written_bytes_total",
+		"Foreground bytes acked by the write path.")
+	c.flushes = reg.Counter("monarch_flushes_total",
+		"Background flushes of write-back files to the PFS.")
+	c.flushedBytes = reg.Counter("monarch_flushed_bytes_total",
+		"Dirty bytes retired by background flushes.")
+	c.writeStalls = reg.Counter("monarch_write_stalls_total",
+		"Writers that blocked on the dirty budget until the flusher drained.")
+	c.removes = reg.Counter("monarch_removes_total",
+		"Writable files deleted through Remove.")
+	c.recoveredFiles = reg.Counter("monarch_recovered_files_total",
+		"Files whose journaled write-back state was replayed into the PFS after a crash.")
+	c.placementPauses = reg.Counter("monarch_placement_pauses_total",
+		"Background placement tasks paused by the checkpoint-burst gate.")
 }
 
 func (c *statsCollector) served(level int, bytes int64) {
@@ -332,6 +387,16 @@ func (c *statsCollector) snapshot(inFlight int) Stats {
 		TierTrips:        c.tierTrips.Value(),
 		TierRecoveries:   c.tierRecoveries.Value(),
 		Probes:           c.probes.Value(),
+		Creates:          c.creates.Value(),
+		Writes:           c.writes.Value(),
+		WriteBacks:       c.writeBacks.Value(),
+		WrittenBytes:     c.writtenBytesFg.Value(),
+		Flushes:          c.flushes.Value(),
+		FlushedBytes:     c.flushedBytes.Value(),
+		WriteStalls:      c.writeStalls.Value(),
+		Removes:          c.removes.Value(),
+		RecoveredFiles:   c.recoveredFiles.Value(),
+		PlacementPauses:  c.placementPauses.Value(),
 		InFlight:         inFlight,
 	}
 	for i := range c.readsServed {

@@ -74,6 +74,15 @@ func (m *Monarch) traceSummary() map[string]int64 {
 		out["peer_misses"] = s.PeerMisses
 		out["peer_hedges"] = s.PeerHedges
 	}
+	if m.cfg.Write.Enabled {
+		// Gated like the peer keys: read-only traces keep their trailer
+		// shape.
+		out["writes"] = s.Writes
+		out["write_backs"] = s.WriteBacks
+		out["written_bytes"] = s.WrittenBytes
+		out["flushes"] = s.Flushes
+		out["removes"] = s.Removes
+	}
 	for i := range s.ReadsServed {
 		out["reads_tier_"+strconv.Itoa(i)] = s.ReadsServed[i]
 		out["bytes_tier_"+strconv.Itoa(i)] = s.BytesServed[i]

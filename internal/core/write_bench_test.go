@@ -1,0 +1,99 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"path/filepath"
+	"testing"
+
+	"monarch/internal/pool"
+	"monarch/internal/storage"
+)
+
+// benchWriteStack builds a write-enabled middleware over MemFS tiers.
+// journal=true adds a real on-disk journal (the WAL append is the
+// dominant cost it measures); durability picks the ack path.
+func benchWriteStack(b *testing.B, d Durability, journaled bool) *Monarch {
+	b.Helper()
+	ctx := context.Background()
+	pfs := storage.NewMemFS("pfs", 0)
+	if err := pfs.WriteFile(ctx, "data/seed", bytes.Repeat([]byte{1}, 1024)); err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{
+		Levels:        []storage.Backend{storage.NewMemFS("ssd", 0), pfs},
+		Pool:          pool.NewGoPool(4),
+		FullFileFetch: true,
+		Write: WriteConfig{
+			Enabled:    true,
+			Durability: func(string) Durability { return d },
+		},
+	}
+	if journaled {
+		cfg.Write.JournalPath = filepath.Join(b.TempDir(), "bench.journal")
+	}
+	m, err := New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := m.Init(ctx); err != nil {
+		b.Fatal(err)
+	}
+	b.Cleanup(m.Close)
+	return m
+}
+
+// benchWriteLoop writes chunkSize-byte slices round-robin across a few
+// fixed-size checkpoint shards — the paper's bursty checkpoint shape.
+func benchWriteLoop(b *testing.B, m *Monarch, chunkSize int) {
+	b.Helper()
+	ctx := context.Background()
+	const shards = 4
+	shardSize := int64(64 << 20)
+	for i := 0; i < shards; i++ {
+		if err := m.Create(ctx, fmt.Sprintf("ckpt/s%d", i), shardSize); err != nil {
+			b.Fatal(err)
+		}
+	}
+	chunk := bytes.Repeat([]byte{0xC5}, chunkSize)
+	slots := int(shardSize) / chunkSize
+	b.SetBytes(int64(chunkSize))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := fmt.Sprintf("ckpt/s%d", i%shards)
+		off := int64((i/shards)%slots) * int64(chunkSize)
+		if _, err := m.WriteAt(ctx, name, chunk, off); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	if err := m.Flush(ctx, ""); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkWriteThrough is the direct-PFS checkpoint baseline: every
+// WriteAt pays the source-tier write before acking.
+func BenchmarkWriteThrough(b *testing.B) {
+	benchWriteLoop(b, benchWriteStack(b, WriteThrough, false), 256<<10)
+}
+
+// BenchmarkWriteBack acks on tier 0; the flush to the PFS runs behind
+// the timer (retired in StopTimer's drain).
+func BenchmarkWriteBack(b *testing.B) {
+	benchWriteLoop(b, benchWriteStack(b, WriteBack, false), 256<<10)
+}
+
+// BenchmarkWriteBackJournaled adds the crash journal to the ack path:
+// the WAL append (an on-disk file, no fsync) is the durability tax.
+func BenchmarkWriteBackJournaled(b *testing.B) {
+	benchWriteLoop(b, benchWriteStack(b, WriteBack, true), 256<<10)
+}
+
+// BenchmarkWriteBackSmall measures the fixed per-write overhead with a
+// 4 KiB payload (metadata-log-style writes rather than shard bursts).
+func BenchmarkWriteBackSmall(b *testing.B) {
+	benchWriteLoop(b, benchWriteStack(b, WriteBack, false), 4<<10)
+}

@@ -80,7 +80,7 @@ func All() []Experiment {
 		ablEviction(), ablThreads(), ablStaging(), ablFullFetch(),
 		ablPFSSpeed(), ablCoverage(), ablCompute(), ablReaders(),
 		extMultiTier(), extPyTorch(), extDistributed(), extResilience(),
-		extChunked(), extPeernet(), extTenancy(),
+		extChunked(), extPeernet(), extTenancy(), extCheckpoint(),
 		traceTimeline(), tabLatency(),
 	}
 }

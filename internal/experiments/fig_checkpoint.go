@@ -1,0 +1,262 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"monarch/internal/core"
+	"monarch/internal/pool"
+	"monarch/internal/report"
+	"monarch/internal/storage"
+	"monarch/internal/trace"
+	"monarch/internal/trace/analyze"
+)
+
+// slowPFS injects a fixed per-operation latency into the write side of
+// a backend, standing in for a parallel filesystem whose metadata and
+// data paths are orders of magnitude slower than node-local flash.
+// Reads pass through untouched: both checkpoint modes read the
+// training set identically, so only write latency separates them.
+type slowPFS struct {
+	storage.Backend
+	lat time.Duration
+}
+
+func (s *slowPFS) WriteFile(ctx context.Context, name string, data []byte) error {
+	time.Sleep(s.lat)
+	return s.Backend.WriteFile(ctx, name, data)
+}
+
+func (s *slowPFS) Allocate(ctx context.Context, name string, size int64) error {
+	rw, ok := s.Backend.(storage.RangeWriter)
+	if !ok {
+		return fmt.Errorf("slowPFS: %s: %w", s.Backend.Name(), errors.ErrUnsupported)
+	}
+	time.Sleep(s.lat)
+	return rw.Allocate(ctx, name, size)
+}
+
+func (s *slowPFS) WriteAt(ctx context.Context, name string, p []byte, off int64) (int, error) {
+	rw, ok := s.Backend.(storage.RangeWriter)
+	if !ok {
+		return 0, fmt.Errorf("slowPFS: %s: %w", s.Backend.Name(), errors.ErrUnsupported)
+	}
+	time.Sleep(s.lat)
+	return rw.WriteAt(ctx, name, p, off)
+}
+
+// checkpointResult is one durability mode's outcome.
+type checkpointResult struct {
+	stall    time.Duration // foreground time inside checkpoint sections
+	total    time.Duration // whole run, flush drain included
+	stats    core.Stats
+	counts   storage.OpCounts
+	analysis *analyze.Analysis
+}
+
+// Workload shape for ext-checkpoint. The numbers are small enough to
+// keep the experiment under a second but large enough that the
+// injected PFS write latency dominates the write-through stall.
+const (
+	ckptTrainFiles = 12
+	ckptTrainSize  = 32 << 10
+	ckptShards     = 8
+	ckptShardSize  = 64 << 10
+	ckptEpochs     = 3
+	ckptPFSLatency = 2 * time.Millisecond
+)
+
+// runCheckpoint drives a training loop that alternates read epochs
+// with checkpoint bursts against real backends: a MemFS tier 0 over a
+// latency-injected MemFS "PFS", with every PFS operation counted. When
+// back is true the checkpoint namespace is write-back (tier-0 ack,
+// async flush, journaled); otherwise every write goes through to the
+// PFS before acking — the direct-PFS baseline. Each run captures an
+// access trace so the analyzer's write table can be cross-checked
+// against the storage counters.
+func runCheckpoint(back bool, dir string) (checkpointResult, error) {
+	ctx := context.Background()
+	pfsRaw := storage.NewMemFS("lustre", 0)
+	for i := 0; i < ckptTrainFiles; i++ {
+		if err := pfsRaw.WriteFile(ctx, fmt.Sprintf("data/f%02d", i), make([]byte, ckptTrainSize)); err != nil {
+			return checkpointResult{}, err
+		}
+	}
+	pfs := storage.NewCounting(&slowPFS{Backend: pfsRaw, lat: ckptPFSLatency})
+	mode := "through"
+	if back {
+		mode = "back"
+	}
+	tracePath := filepath.Join(dir, "ckpt-"+mode+".trace")
+	cfg := core.Config{
+		Levels:        []storage.Backend{storage.NewMemFS("ssd", 8<<20), pfs},
+		Pool:          pool.NewGoPool(2),
+		FullFileFetch: true,
+		TracePath:     tracePath,
+		Write: core.WriteConfig{
+			Enabled: true,
+		},
+	}
+	if back {
+		cfg.Write.Durability = func(string) core.Durability { return core.WriteBack }
+		cfg.Write.JournalPath = filepath.Join(dir, "ckpt.wal")
+	}
+	m, err := core.New(cfg)
+	if err != nil {
+		return checkpointResult{}, err
+	}
+	defer m.Close()
+	if err := m.Init(ctx); err != nil {
+		return checkpointResult{}, err
+	}
+
+	payload := make([]byte, ckptShardSize)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	buf := make([]byte, ckptTrainSize)
+	start := time.Now()
+	var stall time.Duration
+	for epoch := 1; epoch <= ckptEpochs; epoch++ {
+		for i := 0; i < ckptTrainFiles; i++ {
+			if _, err := m.ReadAt(ctx, fmt.Sprintf("data/f%02d", i), buf, 0); err != nil {
+				return checkpointResult{}, err
+			}
+		}
+		// The checkpoint burst: training is stalled until every shard
+		// is acked. This is the window the write path exists to shrink.
+		t0 := time.Now()
+		for s := 0; s < ckptShards; s++ {
+			name := fmt.Sprintf("ckpt/e%d-s%d", epoch, s)
+			if err := m.Create(ctx, name, ckptShardSize); err != nil {
+				return checkpointResult{}, err
+			}
+			if _, err := m.WriteAt(ctx, name, payload, 0); err != nil {
+				return checkpointResult{}, err
+			}
+		}
+		stall += time.Since(t0)
+		m.MarkEpoch(epoch)
+	}
+	// Durability parity: the run is not over until every acked byte is
+	// on the PFS, whichever mode produced it.
+	if err := m.Flush(ctx, ""); err != nil {
+		return checkpointResult{}, err
+	}
+	total := time.Since(start)
+	st := m.Stats()
+	m.Close()
+	tr, err := trace.ReadFile(tracePath)
+	if err != nil {
+		return checkpointResult{}, err
+	}
+	return checkpointResult{
+		stall:    stall,
+		total:    total,
+		stats:    st,
+		counts:   pfs.Counts(),
+		analysis: analyze.Analyze(tr, analyze.Options{}),
+	}, nil
+}
+
+// writeRows sums the analyzer's per-epoch write table.
+func writeRows(a *analyze.Analysis) (writes, writeBacks, flushes, bytes int64) {
+	for _, e := range a.Epochs {
+		writes += e.Writes
+		writeBacks += e.WriteBacks
+		flushes += e.Flushes
+		bytes += e.BytesWritten
+	}
+	return
+}
+
+// extCheckpoint measures what the write path buys a training loop that
+// checkpoints: foreground stall with write-back placement vs direct
+// PFS writes, at equal durability (both runs end with every byte on
+// the PFS). The stall numbers are cross-checked two independent ways:
+// the Counting wrapper's PFS op/byte counters and the trace analyzer's
+// write table must both agree with the run's own Stats.
+func extCheckpoint() Experiment {
+	return Experiment{
+		ID:    "ext-checkpoint",
+		Title: "Extension — checkpoint stall: write-back placement vs direct PFS",
+		Paper: "beyond §III: the paper's hierarchy only reads — checkpoints still pay full " +
+			"PFS latency in the training loop; acking on tier 0 with journaled async " +
+			"flush (cf. burst-buffer checkpointing) moves the PFS off the critical path " +
+			"while a crash-safe WAL keeps the ack durable",
+		Run: func(p Params) (*Outcome, error) {
+			dir, err := os.MkdirTemp("", "monarch-ckpt")
+			if err != nil {
+				return nil, err
+			}
+			defer os.RemoveAll(dir)
+			through, err := runCheckpoint(false, dir)
+			if err != nil {
+				return nil, err
+			}
+			backDir := filepath.Join(dir, "back")
+			if err := os.Mkdir(backDir, 0o755); err != nil {
+				return nil, err
+			}
+			back, err := runCheckpoint(true, backDir)
+			if err != nil {
+				return nil, err
+			}
+
+			o := &Outcome{}
+			const shardsTotal = int64(ckptShards * ckptEpochs)
+			tbl := report.NewTable(
+				fmt.Sprintf("checkpoint burst: %d shards x %dKiB per epoch, %d epochs, PFS +%s/write-op",
+					ckptShards, ckptShardSize>>10, ckptEpochs, ckptPFSLatency),
+				"mode", "ckpt stall", "stall/epoch", "PFS write ops", "PFS bytes", "flushes", "budget stalls")
+			for _, row := range []struct {
+				name string
+				r    checkpointResult
+			}{{"write-through (direct PFS)", through}, {"write-back (tier-0 ack + WAL)", back}} {
+				_, _, flushes, _ := writeRows(row.r.analysis)
+				tbl.Add(row.name,
+					row.r.stall.Round(time.Millisecond).String(),
+					(row.r.stall / ckptEpochs).Round(100*time.Microsecond).String(),
+					report.Count(row.r.counts.Ops[storage.OpWrite]),
+					report.Count(row.r.counts.BytesWritten),
+					report.Count(flushes),
+					report.Count(row.r.stats.WriteStalls))
+			}
+			o.Tables = append(o.Tables, tbl)
+
+			o.check("write-back takes the PFS off the checkpoint critical path",
+				back.stall*4 < through.stall,
+				"stall %s write-back vs %s direct-PFS", back.stall.Round(time.Millisecond), through.stall.Round(time.Millisecond))
+			o.check("durability parity: both modes land every checkpoint byte on the PFS",
+				through.counts.BytesWritten == shardsTotal*ckptShardSize &&
+					back.counts.BytesWritten == shardsTotal*ckptShardSize &&
+					back.stats.DirtyBytes == 0,
+				"PFS bytes: through %d, back %d, want %d; residual dirty %d",
+				through.counts.BytesWritten, back.counts.BytesWritten,
+				shardsTotal*ckptShardSize, back.stats.DirtyBytes)
+			thWrites, thBacks, _, thBytes := writeRows(through.analysis)
+			bkWrites, bkBacks, bkFlushes, bkBytes := writeRows(back.analysis)
+			o.check("trace analyzer prices the write classes the counters report",
+				thWrites == shardsTotal && thBacks == 0 &&
+					bkBacks == shardsTotal && bkWrites == 0 && bkFlushes == shardsTotal,
+				"through: %d writes/%d write-backs; back: %d writes/%d write-backs/%d flushes; want %d per class",
+				thWrites, thBacks, bkWrites, bkBacks, bkFlushes, shardsTotal)
+			o.check("trace byte accounting matches the run's own counters",
+				thBytes == through.stats.WrittenBytes && bkBytes == back.stats.WrittenBytes &&
+					back.stats.FlushedBytes == back.stats.WrittenBytes,
+				"trace bytes through %d (stats %d), back %d (stats %d), flushed %d",
+				thBytes, through.stats.WrittenBytes, bkBytes, back.stats.WrittenBytes, back.stats.FlushedBytes)
+			o.check("direct PFS pays two foreground ops per shard, write-back flushes once",
+				through.counts.Ops[storage.OpWrite] == 2*shardsTotal &&
+					back.counts.Ops[storage.OpWrite] == shardsTotal,
+				"PFS write ops: through %d (want %d), back %d (want %d)",
+				through.counts.Ops[storage.OpWrite], 2*shardsTotal,
+				back.counts.Ops[storage.OpWrite], shardsTotal)
+			return o, nil
+		},
+	}
+}

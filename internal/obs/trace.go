@@ -40,6 +40,16 @@ const (
 	// Req matches the Req of the client-side SpanRead that triggered
 	// it, so correlated traces can price true end-to-end peer latency.
 	SpanPeerServe
+	// SpanWrite covers one foreground WriteAt: from the durability
+	// decision to the acknowledgment. Tier is the level that acked the
+	// bytes (tier 0 for write-back, the source level for write-through);
+	// FlagWriteBack distinguishes the two.
+	SpanWrite
+	// SpanFlush covers one background flush of a write-back file's dirty
+	// bytes from tier 0 to the PFS. Bytes is the file size flushed.
+	SpanFlush
+	// SpanRemove covers one foreground Remove of a writable file.
+	SpanRemove
 )
 
 // String names the kind.
@@ -59,6 +69,12 @@ func (k SpanKind) String() string {
 		return "evict"
 	case SpanPeerServe:
 		return "peer-serve"
+	case SpanWrite:
+		return "write"
+	case SpanFlush:
+		return "flush"
+	case SpanRemove:
+		return "remove"
 	default:
 		return "unknown"
 	}
@@ -93,6 +109,10 @@ const (
 	// adaptive latency threshold, so a hedge request raced the next
 	// replica (whichever answered first served the bytes).
 	FlagHedged
+	// FlagWriteBack marks a write acknowledged by tier 0 with the PFS
+	// flush deferred to the background (vs write-through, which acks
+	// only after the PFS has the bytes).
+	FlagWriteBack
 )
 
 // Span is one completed operation on an instrumented path. Spans are
@@ -146,6 +166,9 @@ func (s Span) String() string {
 	}
 	if s.Flags&FlagHedged != 0 {
 		out += " hedged"
+	}
+	if s.Flags&FlagWriteBack != 0 {
+		out += " write-back"
 	}
 	if s.Req != 0 {
 		out += fmt.Sprintf(" req=%016x", s.Req)

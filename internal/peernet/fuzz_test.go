@@ -30,6 +30,19 @@ func FuzzFrame(f *testing.F) {
 	var usage bytes.Buffer
 	writeFrame(&usage, StatusOK, appendUsageResp(nil, 1<<30, 1<<20))
 	f.Add(usage.Bytes())
+	// Mutation ops: a WRITE (name + raw data payload), an empty-data
+	// WRITE, a REMOVE, and a WRITE whose name length overruns the
+	// payload — parseString must bound-check before slicing data off.
+	var write bytes.Buffer
+	writeFrame(&write, OpWrite, append(appendString(nil, "ckpt/shard-0"), []byte("checkpoint bytes")...))
+	f.Add(write.Bytes())
+	var writeEmpty bytes.Buffer
+	writeFrame(&writeEmpty, OpWrite, appendString(nil, "empty"))
+	f.Add(writeEmpty.Bytes())
+	var remove bytes.Buffer
+	writeFrame(&remove, OpRemove, appendString(nil, "ckpt/old"))
+	f.Add(remove.Bytes())
+	f.Add([]byte{0, 0, 0, 4, OpWrite, 0xff, 0xff, 'x'})
 	// Heartbeat payloads: a gossiped view, an empty view, and the
 	// count-overrun shape that parseHeartbeat must bound-check.
 	var hb bytes.Buffer

@@ -50,6 +50,65 @@ func TestClientConformance(t *testing.T) {
 	})
 }
 
+// TestClientWriteConformance holds the peer client's mutation path
+// (OpWrite/OpRemove over the wire) to the shared write-lifecycle
+// contract; the range subtests skip because the wire protocol has no
+// ALLOC/WRITEAT ops.
+func TestClientWriteConformance(t *testing.T) {
+	storagetest.RunWriteConformance(t, func(capacity int64) storage.Backend {
+		c, _ := pipeClient(t, capacity, true)
+		return c
+	})
+}
+
+// TestWriteRemoveOverTCP drives the gated mutation ops end-to-end over
+// a real loopback socket: write, read-back, remove, and the sentinel
+// for removing a ghost — all through the kernel's TCP path rather than
+// net.Pipe.
+func TestWriteRemoveOverTCP(t *testing.T) {
+	ctx := context.Background()
+	mem := storage.NewMemFS("remote", 0)
+	srv, err := peernet.NewServer(peernet.ServerConfig{Backend: mem, AllowWrite: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+	c, err := peernet.NewClient(peernet.ClientConfig{
+		Name: "peer:tcp-write",
+		Dial: peernet.TCPDialer(ln.Addr().String(), time.Second),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		c.Close()
+		srv.Close()
+	})
+	payload := bytes.Repeat([]byte{0xC3}, 128<<10)
+	if err := c.WriteFile(ctx, "ckpt/shard-0", payload); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := mem.ReadFile(ctx, "ckpt/shard-0"); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("server content after TCP write: %v", err)
+	}
+	if got, err := c.ReadFile(ctx, "ckpt/shard-0"); err != nil || !bytes.Equal(got, payload) {
+		t.Fatalf("TCP read-back: %v", err)
+	}
+	if err := c.Remove(ctx, "ckpt/shard-0"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mem.Stat(ctx, "ckpt/shard-0"); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("server copy survived TCP remove: %v", err)
+	}
+	if err := c.Remove(ctx, "ckpt/shard-0"); !errors.Is(err, storage.ErrNotExist) {
+		t.Fatalf("ghost remove over TCP: %v, want ErrNotExist", err)
+	}
+}
+
 // TestClientWrapperPassthrough runs the Counting and Faulty
 // instrumentation wrappers over the peer client, the way experiments
 // stack them over local backends.

@@ -470,3 +470,53 @@ func TestPresetSpecsSane(t *testing.T) {
 		t.Error("SSD latency should be below Lustre latency")
 	}
 }
+
+// TestStoreWriteLifecycle is the virtual-backend half of the write
+// conformance suite: the byte-free Store must still honour the
+// Allocate/WriteAt/Remove contract the core write path leans on —
+// quota reserve-then-fill, in-bounds enforcement, sentinel errors, and
+// device time charged per chunk (not at Allocate).
+func TestStoreWriteLifecycle(t *testing.T) {
+	end := runSim(t, 1, func(p *sim.Proc, env *sim.Env) {
+		s := NewStore(NewDevice(env, quietSpec()), "s", 100)
+		ctx := p.Context()
+		if err := s.Allocate(ctx, "ckpt", 64); err != nil {
+			t.Fatal(err)
+		}
+		if s.Used() != 64 {
+			t.Fatalf("allocate reserved %d, want 64", s.Used())
+		}
+		if err := s.Allocate(ctx, "big", 40); !errors.Is(err, storage.ErrNoSpace) {
+			t.Fatalf("over-quota allocate: %v", err)
+		}
+		if n, err := s.WriteAt(ctx, "ckpt", make([]byte, 32), 0); err != nil || n != 32 {
+			t.Fatalf("writeat: n=%d err=%v", n, err)
+		}
+		if _, err := s.WriteAt(ctx, "ckpt", make([]byte, 40), 32); err == nil {
+			t.Fatal("write past allocation succeeded")
+		}
+		if _, err := s.WriteAt(ctx, "ghost", []byte("x"), 0); !errors.Is(err, storage.ErrNotExist) {
+			t.Fatalf("writeat ghost: %v", err)
+		}
+		if err := s.Remove(ctx, "ckpt"); err != nil {
+			t.Fatal(err)
+		}
+		if s.Used() != 0 {
+			t.Fatalf("used = %d after remove", s.Used())
+		}
+		// The freed quota admits a recreate under the same name.
+		if err := s.Allocate(ctx, "ckpt", 100); err != nil {
+			t.Fatalf("re-allocate after remove: %v", err)
+		}
+	})
+	// Time charged: 3 successful metadata ops (2 allocates + remove, the
+	// failed allocate also charges one before rejecting, ghost writeat
+	// charges nothing, so 4 MetaOps at 10ms on 2 meta slots) plus one
+	// 32-byte write (2ms latency + transfer at 1 MiB/s).
+	bytesWritten := 32.0
+	wantWrite := 2*time.Millisecond + time.Duration(bytesWritten*float64(time.Second)/float64(1<<20))
+	wantMeta := 2 * 10 * time.Millisecond // 4 ops over 2 slots, sequential process
+	if got := end.Duration(); got < wantWrite || got > wantMeta+wantWrite+20*time.Millisecond {
+		t.Fatalf("lifecycle took %v (write %v, meta ~%v)", got, wantWrite, wantMeta)
+	}
+}

@@ -23,6 +23,26 @@ func TestRangeWriterConformance(t *testing.T) {
 	}
 }
 
+// TestWriteConformance runs the write-lifecycle contract (the shapes
+// Monarch.Create/WriteAt/Flush/Remove and journal recovery lean on)
+// against every in-tree backend, including the instrumentation
+// wrappers — the write path reaches the PFS through Counting in every
+// experiment, so sentinel preservation through wrappers is load-bearing.
+func TestWriteConformance(t *testing.T) {
+	factories := backendFactories(t)
+	factories["counting-memfs"] = func(capacity int64) storage.Backend {
+		return storage.NewCounting(storage.NewMemFS("mem", capacity))
+	}
+	factories["faulty-memfs"] = func(capacity int64) storage.Backend {
+		return storage.NewFaulty(storage.NewMemFS("mem", capacity))
+	}
+	for name, mk := range factories {
+		t.Run(name, func(t *testing.T) {
+			storagetest.RunWriteConformance(t, mk)
+		})
+	}
+}
+
 // noRange hides the optional interfaces of a Backend so wrapper
 // fallback paths can be exercised.
 type noRange struct{ storage.Backend }

@@ -485,3 +485,162 @@ func RunViewReaderConformance(t *testing.T, mk Factory) {
 		}
 	})
 }
+
+// RunWriteConformance drives the write-lifecycle contract the core
+// write path (Monarch.Create/WriteAt/Flush/Remove and journal
+// recovery) leans on, beyond the base RangeWriter semantics:
+// flush-style whole-file overwrites of allocated files, journal-replay
+// idempotence, remove-then-recreate quota hygiene, and range writes
+// into files that already exist with content.
+func RunWriteConformance(t *testing.T, mk Factory) {
+	ctx := context.Background()
+	// Whole-file backends (the peernet client: no ALLOC/WRITEAT wire
+	// ops) run the lifecycle and sentinel subtests; range subtests skip.
+	asRW := func(t *testing.T, b storage.Backend) storage.RangeWriter {
+		t.Helper()
+		rw, ok := b.(storage.RangeWriter)
+		if !ok {
+			t.Skipf("%s does not implement RangeWriter; range subtests skipped", b.Name())
+		}
+		return rw
+	}
+
+	t.Run("WholeFileLifecycle", func(t *testing.T) {
+		// WriteFile → overwrite → Remove → recreate, the shapes the
+		// flusher and Monarch.Remove drive against the PFS; needs only
+		// the base Backend contract so every write target runs it.
+		b := mk(64)
+		if err := b.WriteFile(ctx, "ckpt", bytes.Repeat([]byte{1}, 64)); err != nil {
+			t.Fatal(err)
+		}
+		next := bytes.Repeat([]byte{2}, 48)
+		if err := b.WriteFile(ctx, "ckpt", next); err != nil {
+			t.Fatalf("overwrite at quota edge: %v", err)
+		}
+		got, err := b.ReadFile(ctx, "ckpt")
+		if err != nil || !bytes.Equal(got, next) {
+			t.Fatalf("post-overwrite content: %v err=%v", got, err)
+		}
+		if b.Used() != 48 {
+			t.Fatalf("used = %d after shrink-overwrite, want 48", b.Used())
+		}
+		if err := b.Remove(ctx, "ckpt"); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Remove(ctx, "ckpt"); !errors.Is(err, storage.ErrNotExist) {
+			t.Fatalf("double remove: %v, want ErrNotExist", err)
+		}
+		if err := b.WriteFile(ctx, "ckpt", bytes.Repeat([]byte{3}, 64)); err != nil {
+			t.Fatalf("recreate after remove: %v", err)
+		}
+	})
+
+	t.Run("FlushOverwritesAllocation", func(t *testing.T) {
+		// The flusher does WriteFile over a name that may exist on the
+		// PFS from an earlier flush (or from recovery's Allocate): the
+		// overwrite must replace content and re-settle quota.
+		b := mk(100)
+		rw := asRW(t, b)
+		if err := rw.Allocate(ctx, "ckpt", 40); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rw.WriteAt(ctx, "ckpt", []byte("old!"), 0); err != nil {
+			t.Fatal(err)
+		}
+		flushed := bytes.Repeat([]byte{0xF1}, 24)
+		if err := b.WriteFile(ctx, "ckpt", flushed); err != nil {
+			t.Fatalf("flush-style overwrite: %v", err)
+		}
+		got, err := b.ReadFile(ctx, "ckpt")
+		if err != nil || !bytes.Equal(got, flushed) {
+			t.Fatalf("post-flush content: %q err=%v", got, err)
+		}
+		if b.Used() != 24 {
+			t.Fatalf("used = %d after shrink-overwrite, want 24", b.Used())
+		}
+	})
+
+	t.Run("ReplayIdempotence", func(t *testing.T) {
+		// Journal recovery may re-apply a write the previous process
+		// already landed; the double apply must be byte-neutral.
+		b := mk(0)
+		rw := asRW(t, b)
+		if err := rw.Allocate(ctx, "f", 16); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 2; i++ {
+			if _, err := rw.WriteAt(ctx, "f", []byte("abcd"), 4); err != nil {
+				t.Fatalf("apply %d: %v", i, err)
+			}
+		}
+		want := append(append(make([]byte, 4), []byte("abcd")...), make([]byte, 8)...)
+		got, err := b.ReadFile(ctx, "f")
+		if err != nil || !bytes.Equal(got, want) {
+			t.Fatalf("content after double apply: %v err=%v", got, err)
+		}
+		if b.Used() != 16 {
+			t.Fatalf("used = %d, want 16 (replay must not re-charge)", b.Used())
+		}
+	})
+
+	t.Run("RemoveThenRecreate", func(t *testing.T) {
+		b := mk(64)
+		rw := asRW(t, b)
+		if err := rw.Allocate(ctx, "tmp", 64); err != nil {
+			t.Fatal(err)
+		}
+		if err := b.Remove(ctx, "tmp"); err != nil {
+			t.Fatal(err)
+		}
+		if b.Used() != 0 {
+			t.Fatalf("used = %d after remove", b.Used())
+		}
+		// The freed quota admits a fresh allocation under the same name.
+		if err := rw.Allocate(ctx, "tmp", 64); err != nil {
+			t.Fatalf("re-allocate after remove: %v", err)
+		}
+		if _, err := rw.WriteAt(ctx, "tmp", []byte("new"), 0); err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.ReadAt(ctx, "tmp", make([]byte, 3), 0)
+		if err != nil || got != 3 {
+			t.Fatalf("read recreated file: n=%d err=%v", got, err)
+		}
+	})
+
+	t.Run("RangeWriteIntoExistingContent", func(t *testing.T) {
+		// Recovery WriteAts into a file the PFS already holds (a flush
+		// landed before the crash): untouched bytes must survive.
+		b := mk(0)
+		rw := asRW(t, b)
+		if err := b.WriteFile(ctx, "f", []byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rw.WriteAt(ctx, "f", []byte("XY"), 4); err != nil {
+			t.Fatal(err)
+		}
+		got, err := b.ReadFile(ctx, "f")
+		if err != nil || string(got) != "0123XY6789" {
+			t.Fatalf("partial overwrite: %q err=%v", got, err)
+		}
+	})
+
+	t.Run("SentinelsSurviveWrappers", func(t *testing.T) {
+		// The write path branches on these sentinels (errors.Is), so any
+		// wrapper or wire hop in the factory chain must preserve them.
+		b := mk(8)
+		if err := b.Remove(ctx, "ghost"); !errors.Is(err, storage.ErrNotExist) {
+			t.Fatalf("remove ghost: %v, want ErrNotExist", err)
+		}
+		if err := b.WriteFile(ctx, "big", make([]byte, 9)); !errors.Is(err, storage.ErrNoSpace) {
+			t.Fatalf("over-quota write: %v, want ErrNoSpace", err)
+		}
+		rw := asRW(t, b)
+		if _, err := rw.WriteAt(ctx, "ghost", []byte("x"), 0); !errors.Is(err, storage.ErrNotExist) {
+			t.Fatalf("writeat ghost: %v, want ErrNotExist", err)
+		}
+		if err := rw.Allocate(ctx, "big2", 9); !errors.Is(err, storage.ErrNoSpace) {
+			t.Fatalf("over-quota allocate: %v, want ErrNoSpace", err)
+		}
+	})
+}

@@ -47,11 +47,23 @@ type Epoch struct {
 	Peer     int64 `json:"peer,omitempty"`
 	PeerMiss int64 `json:"peer_miss,omitempty"`
 	Hedged   int64 `json:"hedged,omitempty"`
-	Errors   int64 `json:"errors"`
+	// Writes counts write-through writes (each a foreground PFS op);
+	// WriteBacks counts writes acked by tier 0 with the PFS flush
+	// deferred (zero foreground PFS ops). Flushes counts the background
+	// flushes draining write-back files to the PFS (one background op
+	// each — the flusher pushes a whole file per flush); Removes counts
+	// foreground removals (one PFS metadata op each). The PFS-only
+	// baseline charges every write and remove as a direct PFS op.
+	Writes     int64 `json:"writes,omitempty"`
+	WriteBacks int64 `json:"write_backs,omitempty"`
+	Flushes    int64 `json:"flushes,omitempty"`
+	Removes    int64 `json:"removes,omitempty"`
+	Errors     int64 `json:"errors"`
 
-	BytesLocal int64 `json:"bytes_local"`
-	BytesPeer  int64 `json:"bytes_peer,omitempty"`
-	BytesPFS   int64 `json:"bytes_pfs"`
+	BytesLocal   int64 `json:"bytes_local"`
+	BytesPeer    int64 `json:"bytes_peer,omitempty"`
+	BytesPFS     int64 `json:"bytes_pfs"`
+	BytesWritten int64 `json:"bytes_written,omitempty"`
 
 	Fetches     int64 `json:"fetches"`
 	Reuses      int64 `json:"reuses"`
@@ -220,7 +232,8 @@ func Analyze(t *trace.Trace, opts Options) *Analysis {
 
 	for _, ev := range t.Events {
 		rel := ev.T - t0
-		if cur.Reads+cur.Errors+cur.Fetches+cur.ChunkCopies == 0 {
+		if cur.Reads+cur.Errors+cur.Fetches+cur.ChunkCopies+
+			cur.Writes+cur.WriteBacks+cur.Flushes+cur.Removes == 0 {
 			cur.Start = rel
 		}
 		cur.End = rel
@@ -288,6 +301,26 @@ func Analyze(t *trace.Trace, opts Options) *Analysis {
 				T: rel, Kind: placementKind(ev.Class), File: t.Name(ev.File),
 				Tier: int(ev.Tier), Bytes: ev.Len,
 			})
+		case trace.KindWrite:
+			switch ev.Class {
+			case trace.ClassError:
+				cur.Errors++
+			case trace.ClassWrite:
+				cur.Writes++
+				cur.BytesWritten += ev.Len
+			case trace.ClassWriteBack:
+				cur.WriteBacks++
+				cur.BytesWritten += ev.Len
+			case trace.ClassRemove:
+				cur.Removes++
+			}
+		case trace.KindFlush:
+			if ev.Class == trace.ClassError {
+				cur.Errors++
+				continue
+			}
+			cur.Flushes++
+			cur.BackgroundOps++ // the flusher pushes the whole file in one PFS write
 		case trace.KindEpoch:
 			cur = &Epoch{Epoch: len(epochs) + 1, Start: rel, End: rel}
 			epochs = append(epochs, cur)
@@ -300,12 +333,14 @@ func Analyze(t *trace.Trace, opts Options) *Analysis {
 	}
 	// A final marker leaves an empty trailing epoch; drop it.
 	if n := len(epochs); n > 1 && epochs[n-1].Reads == 0 && epochs[n-1].Fetches == 0 &&
-		epochs[n-1].ChunkCopies == 0 && epochs[n-1].Errors == 0 {
+		epochs[n-1].ChunkCopies == 0 && epochs[n-1].Errors == 0 &&
+		epochs[n-1].Writes == 0 && epochs[n-1].WriteBacks == 0 &&
+		epochs[n-1].Flushes == 0 && epochs[n-1].Removes == 0 {
 		epochs = epochs[:n-1]
 	}
 	for _, e := range epochs {
-		e.PFSOps = e.PFS + e.Fallback + e.PeerMiss + e.BackgroundOps
-		e.BaselineOps = e.Reads
+		e.PFSOps = e.PFS + e.Fallback + e.PeerMiss + e.BackgroundOps + e.Writes + e.Removes
+		e.BaselineOps = e.Reads + e.Writes + e.WriteBacks + e.Removes
 		if e.BaselineOps > 0 {
 			e.Savings = 1 - float64(e.PFSOps)/float64(e.BaselineOps)
 		}
@@ -402,6 +437,21 @@ func (a *Analysis) Render(w io.Writer, opts Options) {
 			fmt.Fprintf(w, "%-6d %9d %9d %9d %9d %9d %9d %9d %9d %7.1f%%\n",
 				e.Epoch, e.Reads, e.Local, e.Partial, e.PFS, e.Fallback,
 				e.BackgroundOps, e.PFSOps, e.BaselineOps, 100*e.Savings)
+		}
+	}
+	hasWrite := false
+	for _, e := range a.Epochs {
+		if e.Writes > 0 || e.WriteBacks > 0 || e.Flushes > 0 || e.Removes > 0 {
+			hasWrite = true
+		}
+	}
+	if hasWrite {
+		fmt.Fprintf(w, "\nper-epoch write operations (baseline: every write goes straight to the PFS)\n")
+		fmt.Fprintf(w, "%-6s %9s %9s %9s %9s %12s\n",
+			"epoch", "through", "wr-back", "flushes", "removes", "bytes")
+		for _, e := range a.Epochs {
+			fmt.Fprintf(w, "%-6d %9d %9d %9d %9d %12d\n",
+				e.Epoch, e.Writes, e.WriteBacks, e.Flushes, e.Removes, e.BytesWritten)
 		}
 	}
 	fmt.Fprintf(w, "total: %d PFS ops vs %d baseline → %.1f%% saved\n",

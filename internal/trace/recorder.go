@@ -262,6 +262,44 @@ func (r *Recorder) HookSpan(s obs.Span) {
 			Off:  s.Off,
 			Len:  s.Bytes,
 		}, s.File)
+	case obs.SpanWrite, obs.SpanRemove:
+		// Writes and removes are never sampled: checkpoint bursts are
+		// rare, each acked byte matters for crash accounting, and the
+		// analyzer prices write-through vs write-back from exact counts.
+		class := ClassWrite
+		switch {
+		case s.Err != nil:
+			class = ClassError
+		case s.Kind == obs.SpanRemove:
+			class = ClassRemove
+		case s.Flags&obs.FlagWriteBack != 0:
+			class = ClassWriteBack
+		}
+		r.seen.Add(1)
+		r.enqueue(Event{
+			T:     r.now(),
+			Kind:  KindWrite,
+			Class: class,
+			Tier:  int8(s.Tier),
+			Lat:   LatBucket(s.Duration),
+			Off:   s.Off,
+			Len:   s.Bytes,
+			Req:   s.Req,
+		}, s.File)
+	case obs.SpanFlush:
+		class := ClassFlush
+		if s.Err != nil {
+			class = ClassError
+		}
+		r.seen.Add(1)
+		r.enqueue(Event{
+			T:     r.now(),
+			Kind:  KindFlush,
+			Class: class,
+			Tier:  int8(s.Tier),
+			Lat:   LatBucket(s.Duration),
+			Len:   s.Bytes,
+		}, s.File)
 	}
 }
 

@@ -47,6 +47,13 @@ const (
 	// peer hit, correlated through the shared Req ID. (Appended so
 	// earlier kinds keep their numeric values in old binary traces.)
 	KindServe
+	// KindWrite is one foreground WriteAt acknowledged by the
+	// middleware; its class says which durability level acked it.
+	// (Appended, like KindServe, to keep old binary traces decodable.)
+	KindWrite
+	// KindFlush is one background flush of a write-back file's dirty
+	// bytes from tier 0 to the PFS.
+	KindFlush
 )
 
 // String names the kind (the "k" field of the JSONL encoding).
@@ -64,6 +71,10 @@ func (k Kind) String() string {
 		return "state"
 	case KindServe:
 		return "serve"
+	case KindWrite:
+		return "write"
+	case KindFlush:
+		return "flush"
 	default:
 		return "unknown"
 	}
@@ -126,6 +137,20 @@ const (
 	// so the analyzer can report what tail latency costs. (Appended
 	// after ClassPeerMiss to keep earlier binary traces decodable.)
 	ClassPeerHedge
+
+	// ClassWrite: a write-through write — the PFS had the bytes before
+	// the caller was acked, so it costs foreground PFS ops. (Appended,
+	// with the write classes below, after the peer classes.)
+	ClassWrite
+	// ClassWriteBack: a write acked by tier 0 with the flush deferred;
+	// zero foreground PFS ops — the flush is priced separately.
+	ClassWriteBack
+	// ClassFlush: a background flush moving a write-back file's bytes
+	// to the PFS; background PFS ops, off the foreground path.
+	ClassFlush
+	// ClassRemove: a foreground Remove of a writable file (one PFS
+	// metadata op when the file had reached the PFS).
+	ClassRemove
 )
 
 // String names the class (the "c" field of the JSONL encoding).
@@ -165,6 +190,14 @@ func (c Class) String() string {
 		return "peer-miss"
 	case ClassPeerHedge:
 		return "peer-hedge"
+	case ClassWrite:
+		return "write"
+	case ClassWriteBack:
+		return "write-back"
+	case ClassFlush:
+		return "flush"
+	case ClassRemove:
+		return "remove"
 	default:
 		return "unknown"
 	}
@@ -172,7 +205,7 @@ func (c Class) String() string {
 
 // classFromString inverts Class.String; ok is false for unknown names.
 func classFromString(s string) (Class, bool) {
-	for c := ClassNone; c <= ClassPeerHedge; c++ {
+	for c := ClassNone; c <= ClassRemove; c++ {
 		if c.String() == s {
 			return c, true
 		}
@@ -182,7 +215,7 @@ func classFromString(s string) (Class, bool) {
 
 // kindFromString inverts Kind.String.
 func kindFromString(s string) (Kind, bool) {
-	for k := KindRead; k <= KindServe; k++ {
+	for k := KindRead; k <= KindFlush; k++ {
 		if k.String() == s {
 			return k, true
 		}

@@ -98,19 +98,49 @@ type (
 
 // Event kinds.
 const (
-	EventPlaced      = core.EventPlaced
-	EventSkipped     = core.EventSkipped
-	EventFailed      = core.EventFailed
-	EventEvicted     = core.EventEvicted
-	EventFallback    = core.EventFallback
-	EventDemoted     = core.EventDemoted
-	EventRetried     = core.EventRetried
-	EventTierDown    = core.EventTierDown
-	EventTierUp      = core.EventTierUp
-	EventChunkPlaced = core.EventChunkPlaced
-	EventPartialHit  = core.EventPartialHit
-	EventOpError     = core.EventOpError
-	EventPromoted    = core.EventPromoted
+	EventPlaced       = core.EventPlaced
+	EventSkipped      = core.EventSkipped
+	EventFailed       = core.EventFailed
+	EventEvicted      = core.EventEvicted
+	EventFallback     = core.EventFallback
+	EventDemoted      = core.EventDemoted
+	EventRetried      = core.EventRetried
+	EventTierDown     = core.EventTierDown
+	EventTierUp       = core.EventTierUp
+	EventChunkPlaced  = core.EventChunkPlaced
+	EventPartialHit   = core.EventPartialHit
+	EventOpError      = core.EventOpError
+	EventPromoted     = core.EventPromoted
+	EventFlushed      = core.EventFlushed
+	EventWriteStalled = core.EventWriteStalled
+	EventRecovered    = core.EventRecovered
+)
+
+// Write path, re-exported from internal/core: Create/WriteAt/Remove on
+// the middleware with per-path durability — write-through (the PFS has
+// the bytes before the ack) or write-back (tier-0 ack, bounded dirty
+// budget, background flush, crash-safe journal). See DESIGN.md §14.
+type (
+	// WriteConfig enables and tunes the write path (Config.Write).
+	WriteConfig = core.WriteConfig
+	// Durability selects how a writable file's bytes are acknowledged.
+	Durability = core.Durability
+)
+
+// Durability levels for WriteConfig.Durability.
+const (
+	WriteThrough = core.WriteThrough
+	WriteBack    = core.WriteBack
+)
+
+// Write-path sentinel errors.
+var (
+	// ErrWritesDisabled: Create/WriteAt/Flush/Remove without
+	// Config.Write.Enabled.
+	ErrWritesDisabled = core.ErrWritesDisabled
+	// ErrNotWritable: a write-path call named a dataset file (or an
+	// unknown one); only files registered through Create are writable.
+	ErrNotWritable = core.ErrNotWritable
 )
 
 // Observability types, re-exported from internal/obs. A Monarch's
